@@ -1,0 +1,131 @@
+//! Fixed-mapping strategies (paper §7.6): the single mappings that
+//! hand-tuned libraries and template compilers hard-code.
+//!
+//! * **im2col** (AMOS-fixM1, the cuDNN strategy): fuse *every* fusible
+//!   spatial iteration into the first spatial axis and every fusible
+//!   reduction iteration into the reduction axis — the maximal mapping.
+//! * **fuse_hw** (AMOS-fixM2, the UNIT strategy): fuse only the height and
+//!   width iterations (drop the batch-like leading spatial candidate) and
+//!   only the non-window reduction iterations (channels).
+
+use amos_core::{Mapping, MappingGenerator};
+use amos_hw::Intrinsic;
+use amos_ir::ComputeDef;
+
+/// The two fixed strategies of the §7.6 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixedKind {
+    /// cuDNN-style maximal im2col mapping (fixM1).
+    Im2col,
+    /// UNIT-style height/width-only mapping (fixM2).
+    FuseHw,
+}
+
+/// Selects the fixed mapping of the given kind from the valid-mapping space,
+/// or `None` when the operator has no valid mapping at all.
+pub fn fixed_mapping(
+    def: &ComputeDef,
+    intrinsic: &Intrinsic,
+    kind: FixedKind,
+) -> Option<Mapping> {
+    let all = MappingGenerator::new().enumerate(def, intrinsic);
+    if all.is_empty() {
+        return None;
+    }
+    match kind {
+        FixedKind::Im2col => {
+            // The maximal mapping: most iterations fused; ties broken by the
+            // deterministic enumeration order.
+            all.iter().max_by_key(|m| m.num_mapped()).cloned()
+        }
+        FixedKind::FuseHw => {
+            let compound = def.compound_participants();
+            // Prefer: leading spatial candidate (the batch-like dimension)
+            // unmapped, and no *reduction-side* window iterations fused.
+            // Fall back to the minimal mapping.
+            let batch_like = def
+                .iter_ids()
+                .find(|&id| def.iter_var(id).is_spatial());
+            all.iter()
+                .filter(|m| {
+                    let mapped = m.mapped_iters();
+                    let no_batch = batch_like
+                        .map(|b| !mapped.contains(&b))
+                        .unwrap_or(true);
+                    let no_window = mapped.iter().all(|s| {
+                        def.iter_var(*s).is_spatial() || !compound.contains(s)
+                    });
+                    no_batch && no_window
+                })
+                .max_by_key(|m| m.num_mapped())
+                .cloned()
+                .or_else(|| all.iter().min_by_key(|m| m.num_mapped()).cloned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_workloads::ops::{self, ConvShape};
+
+    fn c2d() -> ComputeDef {
+        ops::c2d(ConvShape {
+            n: 4,
+            c: 32,
+            k: 32,
+            p: 14,
+            q: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        })
+    }
+
+    #[test]
+    fn im2col_is_the_maximal_mapping() {
+        let def = c2d();
+        let intr = catalog::wmma_16x16x16();
+        let m = fixed_mapping(&def, &intr, FixedKind::Im2col).unwrap();
+        // n, p, q -> i1; k -> i2; c, r, s -> r1: all 7 iterations fused.
+        assert_eq!(m.num_mapped(), 7);
+        assert_eq!(
+            m.describe(&def, &intr),
+            "i1 <- {n, p, q}, i2 <- {k}, r1 <- {c, r, s}"
+        );
+    }
+
+    #[test]
+    fn fuse_hw_drops_batch_and_window_iters() {
+        let def = c2d();
+        let intr = catalog::wmma_16x16x16();
+        let m = fixed_mapping(&def, &intr, FixedKind::FuseHw).unwrap();
+        assert_eq!(
+            m.describe(&def, &intr),
+            "i1 <- {p, q}, i2 <- {k}, r1 <- {c}"
+        );
+    }
+
+    #[test]
+    fn unmappable_op_returns_none() {
+        let mut b = amos_ir::ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], amos_ir::DType::F32);
+        let o = b.output("o", &[4], amos_ir::DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+        assert!(fixed_mapping(&def, &catalog::wmma_16x16x16(), FixedKind::Im2col).is_none());
+    }
+
+    #[test]
+    fn gemm_fixed_mappings_coincide() {
+        // GEMM has a single mapping, so both strategies return it.
+        let def = ops::gmm(64, 64, 64);
+        let intr = catalog::wmma_16x16x16();
+        let a = fixed_mapping(&def, &intr, FixedKind::Im2col).unwrap();
+        let b = fixed_mapping(&def, &intr, FixedKind::FuseHw).unwrap();
+        assert_eq!(a, b);
+    }
+}

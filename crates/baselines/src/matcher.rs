@@ -1,0 +1,174 @@
+//! The XLA-style template matcher (paper §2.3, Table 2).
+//!
+//! Template compilers map an operator to the tensor unit only when it
+//! *exactly* matches a hand-written pattern; the paper profiles XLA and finds
+//! that layout changes, strides and operator variants all break the match.
+//! This matcher implements those fragile rules structurally:
+//!
+//! * a canonical dense GEMM (exactly two spatial + one reduction iteration,
+//!   plain 2-D accesses, tensor-core-sized extents), or
+//! * a standard 2D convolution in NHWC layout with stride 1 and dilation 1
+//!   (the pattern cuDNN's tensor-core kernels expect).
+//!
+//! Everything else — matrix-vector products (batch-1 linear layers),
+//! batched matmuls, NCHW or strided convolutions, grouped/depthwise/dilated
+//! variants — falls through to the scalar units, exactly the failures
+//! Table 2 reports.
+
+use amos_ir::{ComputeDef, Expr, OpKind};
+
+/// The fragile pattern matcher used by the XLA-like baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemplateMatcher;
+
+impl TemplateMatcher {
+    /// New matcher.
+    pub fn new() -> Self {
+        TemplateMatcher
+    }
+
+    /// True when one of the hand-written templates matches the operator.
+    pub fn matches(&self, def: &ComputeDef) -> bool {
+        self.matches_gemm(def) || self.matches_conv_nhwc_unit_stride(def)
+    }
+
+    /// Canonical dense GEMM: `out[i, j] += a[i, k] * b[k, j]`-shaped.
+    pub fn matches_gemm(&self, def: &ComputeDef) -> bool {
+        if def.op() != OpKind::MulAcc || def.inputs().len() != 2 {
+            return false;
+        }
+        let spatial = def.iters().iter().filter(|v| v.is_spatial()).count();
+        let reduction = def.iters().iter().filter(|v| v.is_reduction()).count();
+        if spatial != 2 || reduction != 1 || def.iters().len() != 3 {
+            return false;
+        }
+        // Plain single-variable indices on 2-D tensors everywhere.
+        for acc in def.all_accesses() {
+            if acc.indices.len() != 2 {
+                return false;
+            }
+            for e in &acc.indices {
+                if !matches!(e, Expr::Var(_)) {
+                    return false;
+                }
+            }
+        }
+        // Tensor-core-aligned extents (the template's minimum tile).
+        def.iters().iter().all(|v| v.extent >= 16)
+    }
+
+    /// Standard 2D convolution, channels-last, stride 1, dilation 1.
+    pub fn matches_conv_nhwc_unit_stride(&self, def: &ComputeDef) -> bool {
+        if def.op() != OpKind::MulAcc || def.inputs().len() != 2 || def.iters().len() != 7 {
+            return false;
+        }
+        if !def.predicates().is_empty() {
+            return false; // transposed/strided scatter forms
+        }
+        let spatial = def.iters().iter().filter(|v| v.is_spatial()).count();
+        if spatial != 4 {
+            return false;
+        }
+        // No iteration may appear in all three tensors (grouped variants).
+        let x = def.access_matrix();
+        for s in 0..def.iters().len() {
+            if (0..x.rows()).all(|r| x[(r, s)]) {
+                return false;
+            }
+        }
+        // The image operand: 4-D, with its *last* dimension a lone reduction
+        // iteration (channels-last) and unit-stride window expressions.
+        let image = &def.inputs()[0];
+        if image.indices.len() != 4 {
+            return false;
+        }
+        let last = image
+            .indices
+            .last()
+            .expect("4-D access has a last index");
+        let channels_last = match last {
+            Expr::Var(id) => def.iter_var(*id).is_reduction(),
+            _ => false,
+        };
+        if !channels_last {
+            return false;
+        }
+        // Window expressions must be exactly `p + r` (stride and dilation 1).
+        let num = def.iters().len();
+        for e in &image.indices {
+            let Some((coeffs, _)) = e.affine_coefficients(num) else {
+                return false;
+            };
+            if coeffs.iter().any(|&c| c != 0 && c != 1) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_workloads::networks::{c2d_nhwc, batch_matmul};
+    use amos_workloads::ops::{self, ConvShape};
+
+    fn shape(stride: i64) -> ConvShape {
+        ConvShape {
+            n: 1,
+            c: 16,
+            k: 16,
+            p: 14,
+            q: 14,
+            r: 3,
+            s: 3,
+            stride,
+        }
+    }
+
+    #[test]
+    fn gemm_matches() {
+        assert!(TemplateMatcher::new().matches(&ops::gmm(128, 768, 768)));
+    }
+
+    #[test]
+    fn small_gemm_fails_alignment() {
+        assert!(!TemplateMatcher::new().matches(&ops::gmm(8, 768, 768)));
+    }
+
+    #[test]
+    fn matvec_does_not_match() {
+        // The MI-LSTM failure of Table 2: batch-1 linear layers.
+        assert!(!TemplateMatcher::new().matches(&ops::gmv(1024, 1024)));
+    }
+
+    #[test]
+    fn batched_matmul_does_not_match() {
+        assert!(!TemplateMatcher::new().matches(&batch_matmul(12, 128, 128, 64)));
+    }
+
+    #[test]
+    fn nhwc_stride1_conv_matches() {
+        assert!(TemplateMatcher::new().matches(&c2d_nhwc(shape(1))));
+    }
+
+    #[test]
+    fn nchw_conv_does_not_match() {
+        // The layout fragility the paper demonstrates.
+        assert!(!TemplateMatcher::new().matches(&ops::c2d(shape(1))));
+    }
+
+    #[test]
+    fn strided_conv_does_not_match() {
+        assert!(!TemplateMatcher::new().matches(&c2d_nhwc(shape(2))));
+    }
+
+    #[test]
+    fn depthwise_grouped_dilated_do_not_match() {
+        let m = TemplateMatcher::new();
+        assert!(!m.matches(&ops::dep(1, 32, 14, 14, 3, 3)));
+        assert!(!m.matches(&ops::grp(1, 4, 8, 8, 14, 14, 3, 3)));
+        assert!(!m.matches(&ops::dil(1, 16, 16, 14, 14, 3, 3)));
+        assert!(!m.matches(&ops::t2d(1, 8, 8, 7, 7, 3, 3)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Full-network evaluation (paper §7.4): composing per-operator costs into
+//! end-to-end network latency under each system's mapping strategy.
+//!
+//! Tensor operators are mapped/tuned by the system under evaluation; scalar
+//! glue operators (ReLU, pooling, softmax, ...) cost the same flat amount
+//! for every system.
+
+use crate::systems::{evaluate, System, SCALAR_OP_CYCLES};
+use amos_hw::AcceleratorSpec;
+use amos_workloads::networks::Network;
+use std::collections::HashMap;
+
+/// Per-(system, op, accelerator) evaluation cache. Exploration is
+/// deterministic per key, so caching is purely a speedup.
+#[derive(Debug, Default)]
+pub struct NetworkEvaluator {
+    cache: HashMap<(System, String, String), f64>,
+}
+
+/// Cost breakdown of one network under one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkCost {
+    /// Total cycles across all operator instances.
+    pub total_cycles: f64,
+    /// Cycles spent in operators mapped to the tensor unit.
+    pub tensor_cycles: f64,
+    /// Cycles spent on scalar fallback and glue operators.
+    pub scalar_cycles: f64,
+    /// Operator instances mapped to the tensor unit.
+    pub mapped_ops: usize,
+    /// Total operator instances.
+    pub total_ops: usize,
+}
+
+impl NetworkEvaluator {
+    /// New evaluator with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates a network end-to-end at the given batch size.
+    pub fn evaluate(
+        &mut self,
+        system: System,
+        net: &Network,
+        batch: i64,
+        accel: &AcceleratorSpec,
+    ) -> NetworkCost {
+        let mut cost = NetworkCost {
+            total_cycles: 0.0,
+            tensor_cycles: 0.0,
+            scalar_cycles: 0.0,
+            mapped_ops: 0,
+            total_ops: net.total_ops(),
+        };
+        for grp in &net.groups {
+            match grp.op.compute_def(batch) {
+                Some(def) => {
+                    let key = (
+                        system,
+                        format!("{}/{}/b{batch}", net.name, grp.name),
+                        accel.name.clone(),
+                    );
+                    let seed = fnv(&key.1);
+                    let sc = if let Some(&c) = self.cache.get(&key) {
+                        // Re-derive mapped-ness cheaply from the cached cost
+                        // by re-evaluating only on a miss; cache stores cost
+                        // and the mapped flag is folded into the bucket
+                        // below via a second cache entry.
+                        crate::systems::SystemCost {
+                            cycles: c,
+                            mapped: self
+                                .cache
+                                .get(&(key.0, format!("{}#mapped", key.1), key.2.clone()))
+                                .map(|&m| m > 0.5)
+                                .unwrap_or(false),
+                        }
+                    } else {
+                        let sc = evaluate(system, &def, accel, seed);
+                        self.cache.insert(key.clone(), sc.cycles);
+                        self.cache.insert(
+                            (key.0, format!("{}#mapped", key.1), key.2.clone()),
+                            if sc.mapped { 1.0 } else { 0.0 },
+                        );
+                        sc
+                    };
+                    let cycles = sc.cycles * grp.count as f64;
+                    cost.total_cycles += cycles;
+                    if sc.mapped {
+                        cost.tensor_cycles += cycles;
+                        cost.mapped_ops += grp.count;
+                    } else {
+                        cost.scalar_cycles += cycles;
+                    }
+                }
+                None => {
+                    let cycles = SCALAR_OP_CYCLES * grp.count as f64;
+                    cost.total_cycles += cycles;
+                    cost.scalar_cycles += cycles;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Speedup of `a` over `b` on a network.
+    pub fn speedup(
+        &mut self,
+        a: System,
+        b: System,
+        net: &Network,
+        batch: i64,
+        accel: &AcceleratorSpec,
+    ) -> f64 {
+        let ca = self.evaluate(a, net, batch, accel);
+        let cb = self.evaluate(b, net, batch, accel);
+        cb.total_cycles / ca.total_cycles
+    }
+}
+
+fn fnv(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_workloads::networks;
+
+    #[test]
+    fn mi_lstm_matvec_layers_map_under_amos_but_not_libraries() {
+        let mut ev = NetworkEvaluator::new();
+        let accel = catalog::v100();
+        let net = networks::mi_lstm();
+        let amos = ev.evaluate(System::Amos, &net, 1, &accel);
+        let torch = ev.evaluate(System::PyTorch, &net, 1, &accel);
+        assert_eq!(torch.mapped_ops, 0, "libraries fall back on matvec");
+        // AMOS compiles the linear layers (on the tensor unit or scalar,
+        // whichever measures faster) and avoids the eager overhead.
+        assert!(amos.total_cycles < torch.total_cycles);
+    }
+
+    #[test]
+    fn cost_components_add_up() {
+        let mut ev = NetworkEvaluator::new();
+        let accel = catalog::v100();
+        let net = networks::mobilenet_v1();
+        let c = ev.evaluate(System::Amos, &net, 1, &accel);
+        assert!((c.tensor_cycles + c.scalar_cycles - c.total_cycles).abs() < 1e-6);
+        assert_eq!(c.total_ops, 30);
+        assert!(c.mapped_ops <= c.total_ops);
+    }
+
+    #[test]
+    fn cache_makes_repeat_evaluation_identical() {
+        let mut ev = NetworkEvaluator::new();
+        let accel = catalog::v100();
+        let net = networks::mi_lstm();
+        let a = ev.evaluate(System::Amos, &net, 1, &accel);
+        let b = ev.evaluate(System::Amos, &net, 1, &accel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speedup_is_reciprocal() {
+        let mut ev = NetworkEvaluator::new();
+        let accel = catalog::v100();
+        let net = networks::mi_lstm();
+        let ab = ev.speedup(System::Amos, System::PyTorch, &net, 1, &accel);
+        let ba = ev.speedup(System::PyTorch, System::Amos, &net, 1, &accel);
+        assert!((ab * ba - 1.0).abs() < 1e-9);
+        assert!(ab > 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation: the split-K schedule extension.
+//!
+//! The paper's schedule table (Table 3a) has no reduction-axis
+//! parallelisation; AMOS-rs adds a split-K dimension with a combine-pass
+//! epilogue. This ablation quantifies when it matters: skinny GEMMs whose
+//! spatial extent cannot fill the device. Random schedule search is run with
+//! and without split-K genes under identical budgets.
+
+use amos_core::{random_schedule_with, MappingGenerator};
+use amos_hw::catalog;
+use amos_sim::simulate;
+use amos_workloads::ops;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn best_of_random(
+    prog: &amos_sim::MappedProgram,
+    accel: &amos_hw::AcceleratorSpec,
+    allow_split_k: bool,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let s = random_schedule_with(prog, accel, &mut rng, allow_split_k);
+        if let Ok(r) = simulate(prog, &s, accel) {
+            best = best.min(r.cycles);
+        }
+    }
+    best
+}
+
+fn print_ablation() {
+    amos_bench::banner("Ablation: split-K schedules on skinny GEMMs (V100, 256 samples each)");
+    let accel = catalog::v100();
+    let generator = MappingGenerator::new();
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "shape (m x n x k)", "no split-K", "with split-K", "gain"
+    );
+    for (m, n, k) in [
+        (16i64, 16i64, 65536i64), // pathological: one output tile
+        (32, 32, 16384),
+        (64, 64, 8192),
+        (256, 256, 4096),
+        (2048, 2048, 512), // wide: split-K should not help
+    ] {
+        let def = ops::gmm(m, n, k);
+        let mapping = &generator.enumerate(&def, &accel.intrinsic)[0];
+        let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+        let seed = amos_bench::stable_seed(&format!("splitk{m}x{n}x{k}"));
+        let without = best_of_random(&prog, &accel, false, 256, seed);
+        let with = best_of_random(&prog, &accel, true, 256, seed);
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>7.2}x",
+            format!("{m} x {n} x {k}"),
+            without,
+            with,
+            without / with
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let accel = catalog::v100();
+    let def = ops::gmm(32, 32, 16384);
+    let generator = MappingGenerator::new();
+    let mapping = &generator.enumerate(&def, &accel.intrinsic)[0];
+    let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+    let mut group = c.benchmark_group("ablation_splitk");
+    group.sample_size(10);
+    group.bench_function("random_search_64_schedules", |b| {
+        b.iter(|| best_of_random(&prog, &accel, true, 64, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Figure 6: single-operator performance.
+//!
+//! Parts a/b — speedup of AMOS over the PyTorch-library baseline for all 15
+//! operator families (geometric mean over the 113 configurations of §7.3) at
+//! batch 1 on the V100- and A100-like accelerators. Paper geomeans: 2.50x
+//! (V100) and 2.80x (A100).
+//!
+//! Part c — the ResNet-18 C2D layers C0–C11 at batch 16 on A100, relative
+//! to cuDNN, against Ansor / AutoTVM stock / AutoTVM-Expert / UNIT. Paper
+//! average speedups over: CuDNN 2.38x, Ansor 1.79x, AutoTVM-Expert 1.30x,
+//! UNIT 4.96x.
+
+use amos_baselines::{geomean, System};
+use amos_bench::EvalCache;
+use amos_hw::catalog;
+use amos_workloads::{configs, ops};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn part_ab(cache: &mut EvalCache) {
+    for accel in [catalog::v100(), catalog::a100()] {
+        amos_bench::banner(&format!(
+            "Figure 6{}: operator speedup vs PyTorch, {} (batch 1)",
+            if accel.name == "v100" { "a" } else { "b" },
+            accel.name
+        ));
+        let configs = configs::operator_configs();
+        let mut all_speedups = Vec::new();
+        println!("{:<5} {:>8}  (configs)", "op", "speedup");
+        for family in ops::OPERATOR_NAMES {
+            let mut speedups = Vec::new();
+            for cfg in configs.iter().filter(|c| c.family == family) {
+                let key = format!("{}/{}", cfg.family, cfg.label);
+                let amos = cache.eval(System::Amos, &key, &cfg.def, &accel);
+                let torch = cache.eval(System::PyTorch, &key, &cfg.def, &accel);
+                speedups.push(torch.cycles / amos.cycles);
+            }
+            let g = geomean(&speedups);
+            all_speedups.extend(speedups.iter().copied());
+            println!("{:<5} {:>8.2}  ({})", family, g, speedups.len());
+        }
+        println!(
+            "GEO   {:>8.2}  (paper: {})",
+            geomean(&all_speedups),
+            if accel.name == "v100" { "2.50" } else { "2.80" }
+        );
+    }
+}
+
+fn part_c(cache: &mut EvalCache) {
+    amos_bench::banner("Figure 6c: ResNet-18 C2D layers vs compilers, A100 (batch 16), relative to cuDNN");
+    let accel = catalog::a100();
+    let systems = [
+        System::CuDnn,
+        System::Ansor,
+        System::AutoTvm,
+        System::AutoTvmExpert,
+        System::Unit,
+        System::Amos,
+    ];
+    print!("{:<5}", "layer");
+    for s in systems {
+        print!(" {:>14}", s.name());
+    }
+    println!();
+    let mut rel: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for (label, sh) in configs::resnet18_conv_layers(16) {
+        let def = ops::c2d(sh);
+        let key = format!("fig6c/{label}");
+        let cudnn = cache.eval(System::CuDnn, &key, &def, &accel).cycles;
+        print!("{:<5}", label);
+        for (i, s) in systems.iter().enumerate() {
+            let cost = cache.eval(*s, &key, &def, &accel).cycles;
+            let r = cudnn / cost;
+            rel[i].push(r);
+            print!(" {:>14.2}", r);
+        }
+        println!();
+    }
+    print!("{:<5}", "GEO");
+    for r in &rel {
+        print!(" {:>14.2}", geomean(r));
+    }
+    println!();
+    println!("\npaper (AMOS speedup over): CuDNN 2.38x, Ansor 1.79x, AutoTVM-Expert 1.30x, UNIT 4.96x");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut cache = EvalCache::new();
+    part_ab(&mut cache);
+    part_c(&mut cache);
+
+    let accel = catalog::a100();
+    let def = ops::c2d(configs::resnet18_conv_layers(16)[5].1);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("amos_full_pipeline_c5", |b| {
+        b.iter(|| amos_baselines::evaluate(System::Amos, &def, &accel, 5).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 7: end-to-end network performance.
+//!
+//! Parts a–d — network speedup of AMOS over the PyTorch library path on
+//! V100 and A100 at batch 1 and 16 (paper range: 0.91x on Bert/bs16/A100 up
+//! to 10.42x on ShuffleNet/bs1/A100).
+//!
+//! Part e — ResNet-18/50 and MobileNet-V1 at batch 16/32 on A100 relative
+//! to UNIT, comparing TVM and AMOS (paper: AMOS best in most cases).
+
+use amos_baselines::{NetworkEvaluator, System};
+use amos_hw::catalog;
+use amos_workloads::networks;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn parts_a_to_d(ev: &mut NetworkEvaluator) {
+    for accel in [catalog::v100(), catalog::a100()] {
+        for batch in [1i64, 16] {
+            amos_bench::banner(&format!(
+                "Figure 7: network speedup vs PyTorch, {} (batch {batch})",
+                accel.name
+            ));
+            println!("{:<14} {:>10} {:>16}", "network", "speedup", "AMOS tensor ops");
+            for net in networks::all_networks() {
+                let torch = ev.evaluate(System::PyTorch, &net, batch, &accel);
+                let amos = ev.evaluate(System::Amos, &net, batch, &accel);
+                println!(
+                    "{:<14} {:>10.2} {:>13}/{}",
+                    net.name,
+                    torch.total_cycles / amos.total_cycles,
+                    amos.mapped_ops,
+                    amos.total_ops
+                );
+            }
+        }
+    }
+    println!("\npaper: 2.50x-10.42x at batch 1; Bert bs16/A100 is the 0.91x case");
+}
+
+fn part_e(ev: &mut NetworkEvaluator) {
+    amos_bench::banner("Figure 7e: TVM and AMOS relative to UNIT, A100");
+    let accel = catalog::a100();
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "network/batch", "UNIT", "TVM", "AMOS"
+    );
+    for net in [
+        networks::resnet18(),
+        networks::resnet50(),
+        networks::mobilenet_v1(),
+    ] {
+        for batch in [16i64, 32] {
+            let unit = ev.evaluate(System::Unit, &net, batch, &accel).total_cycles;
+            let tvm = ev.evaluate(System::Tvm, &net, batch, &accel).total_cycles;
+            let amos = ev.evaluate(System::Amos, &net, batch, &accel).total_cycles;
+            println!(
+                "{:<22} {:>8.2} {:>8.2} {:>8.2}",
+                format!("{}-bs{batch}", net.name),
+                1.0,
+                unit / tvm,
+                unit / amos
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut ev = NetworkEvaluator::new();
+    parts_a_to_d(&mut ev);
+    part_e(&mut ev);
+
+    let accel = catalog::a100();
+    let net = networks::mi_lstm();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("mi_lstm_network_evaluation", |b| {
+        b.iter(|| {
+            let mut fresh = NetworkEvaluator::new();
+            fresh.evaluate(System::Amos, &net, 1, &accel).total_cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! §7.5 "New Accelerators": mapping 3D convolution onto three virtual
+//! spatial accelerators whose intrinsics sit at the three BLAS levels —
+//! AXPY (level 1), GEMV (level 2) and a pointwise/line CONV engine
+//! (level 3) — defined purely through the hardware abstraction.
+
+use amos_core::{Explorer, ExplorerConfig, MappingGenerator};
+use amos_hw::catalog;
+use amos_workloads::ops;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_section() {
+    amos_bench::banner("Section 7.5: C3D mapping counts on virtual accelerators");
+    let generator = MappingGenerator::new();
+    let c3d = ops::c3d(2, 8, 8, 6, 6, 6, 3, 3, 3);
+    let paper = [("virtual-axpy", 15), ("virtual-gemv", 7), ("virtual-conv", 31)];
+    println!("{:<16} {:>6}  paper", "accelerator", "ours");
+    for (accel, (_, p)) in [
+        catalog::virtual_axpy(),
+        catalog::virtual_gemv(),
+        catalog::virtual_conv(),
+    ]
+    .iter()
+    .zip(paper)
+    {
+        println!(
+            "{:<16} {:>6}  {}",
+            accel.name,
+            generator.count(&c3d, &accel.intrinsic),
+            p
+        );
+    }
+
+    println!("\nend-to-end exploration on each unit:");
+    for accel in [
+        catalog::virtual_axpy(),
+        catalog::virtual_gemv(),
+        catalog::virtual_conv(),
+    ] {
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 16,
+            generations: 4,
+            survivors: 4,
+            measure_top: 3,
+            seed: 75,
+        });
+        match explorer.explore(&c3d, &accel) {
+            Ok(r) => println!(
+                "  {:<16} best {} -> {:.0} cycles",
+                accel.name,
+                r.best_program.mapping_string(),
+                r.cycles()
+            ),
+            Err(e) => println!("  {:<16} {e}", accel.name),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_section();
+    let generator = MappingGenerator::new();
+    let c3d = ops::c3d(2, 8, 8, 6, 6, 6, 3, 3, 3);
+    let conv_unit = catalog::conv_unit();
+    let mut group = c.benchmark_group("sec75");
+    group.sample_size(20);
+    group.bench_function("enumerate_c3d_on_conv_unit", |b| {
+        b.iter(|| generator.enumerate(std::hint::black_box(&c3d), &conv_unit).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Table 2: operators mapped to Tensor Core per network — the fragile
+//! XLA-style template matcher versus AMOS's automatic generation.
+
+use amos_baselines::TemplateMatcher;
+use amos_core::MappingGenerator;
+use amos_hw::catalog;
+use amos_workloads::networks;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    amos_bench::banner("Table 2: network operator coverage (XLA vs AMOS)");
+    let matcher = TemplateMatcher::new();
+    let generator = MappingGenerator::new();
+    let wmma = catalog::wmma_16x16x16();
+    let paper = [
+        ("ShuffleNet", 70, 6, 50),
+        ("ResNet-50", 71, 15, 54),
+        ("MobileNet-V1", 30, 7, 29),
+        ("Bert", 204, 42, 84),
+        ("MI-LSTM", 11, 0, 9),
+    ];
+    println!(
+        "{:<14} {:>6} {:>10} {:>11}   paper (total/xla/amos)",
+        "network", "total", "XLA mapped", "AMOS mapped"
+    );
+    let nets = [
+        networks::shufflenet(),
+        networks::resnet50(),
+        networks::mobilenet_v1(),
+        networks::bert_base(),
+        networks::mi_lstm(),
+    ];
+    for (net, (pname, pt, px, pa)) in nets.iter().zip(paper) {
+        let mut xla = 0usize;
+        let mut amos = 0usize;
+        for grp in &net.groups {
+            if let Some(def) = grp.op.compute_def(1) {
+                if matcher.matches(&def) {
+                    xla += grp.count;
+                }
+                if generator.count(&def, &wmma) > 0 {
+                    amos += grp.count;
+                }
+            }
+        }
+        println!(
+            "{:<14} {:>6} {:>10} {:>11}   {pname} {pt}/{px}/{pa}",
+            net.name,
+            net.total_ops(),
+            xla,
+            amos
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let matcher = TemplateMatcher::new();
+    let generator = MappingGenerator::new();
+    let wmma = catalog::wmma_16x16x16();
+    let bert = networks::bert_base();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("classify_bert_204_ops", |b| {
+        b.iter(|| {
+            let mut mapped = 0usize;
+            for grp in &bert.groups {
+                if let Some(def) = grp.op.compute_def(1) {
+                    if matcher.matches(&def) || generator.count(&def, &wmma) > 0 {
+                        mapped += grp.count;
+                    }
+                }
+            }
+            mapped
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

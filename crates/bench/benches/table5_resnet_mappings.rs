@@ -1,0 +1,79 @@
+//! Table 5: the software-hardware compute mappings AMOS selects for each
+//! ResNet-18 convolution layer on the A100 (batch 16).
+//!
+//! Absolute mapping choices depend on the cost model, so the reproduced
+//! property is the paper's *qualitative* finding: AMOS picks several
+//! distinct mapping types across the twelve layers instead of one template.
+
+use amos_core::{Explorer, ExplorerConfig};
+use amos_hw::catalog;
+use amos_workloads::{configs, ops};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Paper Table 5 mappings, for side-by-side comparison.
+const PAPER: [&str; 12] = [
+    "[(n*112+q) mod 16, k mod 16, (c*49+r*7+s) mod 16]",
+    "[(n*56+q) mod 16, k mod 16, (c*3+r) mod 16]",
+    "[(p*56+q) mod 16, k mod 16, c mod 16]",
+    "[(n*784+p*28+q) mod 16, k mod 16, (c*3+s) mod 16]",
+    "[(p*28+q) mod 16, k mod 16, c mod 16]",
+    "[(p*28+q) mod 16, k mod 16, c mod 16]",
+    "[n mod 16, k mod 16, (c*3+s) mod 16]",
+    "[(n*196+p*14+q) mod 16, k mod 16, c mod 16]",
+    "[(p*14+q) mod 16, k mod 16, c mod 16]",
+    "[(n*49+p*7+q) mod 16, k mod 16, (c*9+r*3+s) mod 16]",
+    "[(n*49+p*7+q) mod 16, k mod 16, c mod 16]",
+    "[n mod 16, k mod 16, (c*9+r*3+s) mod 16]",
+];
+
+fn print_table() -> Vec<String> {
+    amos_bench::banner("Table 5: chosen compute mapping per ResNet-18 layer (A100, bs16)");
+    let accel = catalog::a100();
+    let explorer = Explorer::with_config(ExplorerConfig {
+        population: 24,
+        generations: 5,
+        survivors: 6,
+        measure_top: 4,
+        seed: 55,
+    });
+    let mut chosen = Vec::new();
+    println!("{:<5} {:<62} paper", "layer", "ours");
+    for (i, (label, sh)) in configs::resnet18_conv_layers(16).into_iter().enumerate() {
+        let def = ops::c2d(sh);
+        let result = explorer.explore(&def, &accel).expect("layer explores");
+        let mapping = result.best_program.mapping_string();
+        println!("{:<5} {:<62} {}", label, mapping, PAPER[i]);
+        chosen.push(mapping);
+    }
+    let distinct: std::collections::BTreeSet<_> = chosen.iter().collect();
+    println!(
+        "\ndistinct mapping types: {} of 12 layers (paper: 8 of 12)",
+        distinct.len()
+    );
+    chosen
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let accel = catalog::a100();
+    let (_, sh) = configs::resnet18_conv_layers(16).remove(7); // C7
+    let def = ops::c2d(sh);
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("explore_resnet18_c7", |b| {
+        b.iter(|| {
+            let explorer = Explorer::with_config(ExplorerConfig {
+                population: 16,
+                generations: 3,
+                survivors: 4,
+                measure_top: 3,
+                seed: 55,
+            });
+            explorer.explore(&def, &accel).unwrap().cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

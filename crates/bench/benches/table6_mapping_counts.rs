@@ -1,0 +1,48 @@
+//! Table 6: number of feasible mappings per operator on Tensor Core.
+//!
+//! Prints our enumeration next to the paper's counts (12/15 exact; the
+//! DEP/CAP/BCV deltas are analysed in EXPERIMENTS.md), then times the
+//! enumeration itself — the cost AMOS pays once per operator at the start
+//! of tuning.
+
+use amos_core::MappingGenerator;
+use amos_hw::catalog;
+use amos_workloads::ops;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PAPER: [usize; 15] = [1, 1, 6, 35, 180, 7, 35, 35, 11, 105, 11, 1, 1, 1, 1];
+
+fn print_table() {
+    amos_bench::banner("Table 6: feasible mappings per operator on Tensor Core");
+    let generator = MappingGenerator::new();
+    let wmma = catalog::wmma_16x16x16();
+    println!("{:<6} {:>6} {:>6}", "op", "ours", "paper");
+    for (def, paper) in ops::representative_ops().iter().zip(PAPER) {
+        println!(
+            "{:<6} {:>6} {:>6}",
+            def.name().to_uppercase(),
+            generator.count(def, &wmma),
+            paper
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let generator = MappingGenerator::new();
+    let wmma = catalog::wmma_16x16x16();
+    let c2d = &ops::representative_ops()[3];
+    let c3d = &ops::representative_ops()[4];
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(20);
+    group.bench_function("enumerate_c2d_35_mappings", |b| {
+        b.iter(|| generator.enumerate(std::hint::black_box(c2d), &wmma).len())
+    });
+    group.bench_function("enumerate_c3d_180_mappings", |b| {
+        b.iter(|| generator.enumerate(std::hint::black_box(c3d), &wmma).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,524 @@
+//! # amos-cli — command-line interface to the AMOS-rs mapping framework
+//!
+//! ```text
+//! amos ops                        list operator families and example specs
+//! amos accels                     list accelerators in the catalog
+//! amos mappings <op> [--accel A]  enumerate valid mappings of an operator
+//! amos explore  <op> [--accel A]  explore mappings x schedules, report best
+//! amos ir       <op> [--accel A]  print the generated Compute/Memory IR
+//! amos cuda     <op> [--accel A]  print CUDA-like source for the winner
+//! amos table6   [--accel A]       reproduce the Table 6 mapping counts
+//! amos network  <name> [--accel A] [--batch N]
+//!                                 end-to-end network cost under AMOS vs PyTorch
+//! ```
+//!
+//! Operator specs are `family:dims`, e.g. `gmm:512x512x256`,
+//! `gmv:1024x1024`, `c2d:n16,c64,k64,p56,q56,r3,s3,st1`, `dep:c128,p28,r3`,
+//! `c3d:n2,c8,k8,d6,p6,q6`.
+
+#![warn(missing_docs)]
+
+use amos_core::{Explorer, ExplorerConfig, MappingGenerator};
+use amos_hw::{catalog, AcceleratorSpec};
+use amos_ir::ComputeDef;
+use amos_workloads::ops;
+use std::fmt;
+
+/// CLI usage / parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses an accelerator name into a catalog entry.
+pub fn parse_accelerator(name: &str) -> Result<AcceleratorSpec, CliError> {
+    catalog::all_accelerators()
+        .into_iter()
+        .find(|a| a.name == name)
+        .ok_or_else(|| {
+            err(format!(
+                "unknown accelerator `{name}`; known: {}",
+                catalog::all_accelerators()
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// Parses `key1,key2,...` dims like `n16,c64,k64,p56,q56,r3,s3,st1` into
+/// (key, value) pairs.
+fn parse_kv(dims: &str) -> Result<Vec<(String, i64)>, CliError> {
+    dims.split(',')
+        .map(|part| {
+            let split = part
+                .find(|c: char| c.is_ascii_digit() || c == '-')
+                .ok_or_else(|| err(format!("malformed dimension `{part}`")))?;
+            let (key, val) = part.split_at(split);
+            let v: i64 = val
+                .parse()
+                .map_err(|_| err(format!("bad number in `{part}`")))?;
+            Ok((key.to_string(), v))
+        })
+        .collect()
+}
+
+fn get(kv: &[(String, i64)], key: &str, default: i64) -> i64 {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(default)
+}
+
+/// Parses an `MxNx...` dimension list.
+fn parse_x(dims: &str, expect: usize) -> Result<Vec<i64>, CliError> {
+    let vals: Result<Vec<i64>, _> = dims.split('x').map(str::parse).collect();
+    let vals = vals.map_err(|_| err(format!("bad dimensions `{dims}`")))?;
+    if vals.len() != expect {
+        return Err(err(format!(
+            "expected {expect} `x`-separated dimensions, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Parses an operator spec (`family:dims`) into a computation.
+pub fn parse_op(spec: &str) -> Result<ComputeDef, CliError> {
+    let (family, dims) = spec
+        .split_once(':')
+        .ok_or_else(|| err("operator spec must be `family:dims`, e.g. gmm:512x512x256"))?;
+    match family.to_lowercase().as_str() {
+        "gmm" => {
+            let d = parse_x(dims, 3)?;
+            Ok(ops::gmm(d[0], d[1], d[2]))
+        }
+        "gmv" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::gmv(d[0], d[1]))
+        }
+        "scn" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::scn(d[0], d[1]))
+        }
+        "men" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::men(d[0], d[1]))
+        }
+        "c2d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c2d(ops::ConvShape {
+                n: get(&kv, "n", 1),
+                c: get(&kv, "c", 64),
+                k: get(&kv, "k", 64),
+                p: get(&kv, "p", 28),
+                q: get(&kv, "q", get(&kv, "p", 28)),
+                r: get(&kv, "r", 3),
+                s: get(&kv, "s", get(&kv, "r", 3)),
+                stride: get(&kv, "st", 1),
+            }))
+        }
+        "dep" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 28);
+            let r = get(&kv, "r", 3);
+            Ok(ops::dep(get(&kv, "n", 1), get(&kv, "c", 64), p, p, r, r))
+        }
+        "c3d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c3d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 8),
+                get(&kv, "k", 8),
+                get(&kv, "d", 6),
+                get(&kv, "p", 6),
+                get(&kv, "q", get(&kv, "p", 6)),
+                3,
+                3,
+                3,
+            ))
+        }
+        "c1d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c1d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 64),
+                get(&kv, "k", 64),
+                get(&kv, "q", 256),
+                get(&kv, "s", 3),
+                get(&kv, "st", 1),
+            ))
+        }
+        "t2d" => {
+            let kv = parse_kv(dims)?;
+            let h = get(&kv, "h", 7);
+            let r = get(&kv, "r", 3);
+            Ok(ops::t2d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 8),
+                get(&kv, "k", 8),
+                h,
+                get(&kv, "w", h),
+                r,
+                r,
+            ))
+        }
+        "bcv" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 14);
+            let r = get(&kv, "r", 3);
+            Ok(ops::bcv(
+                get(&kv, "n", 8),
+                get(&kv, "c", 16),
+                get(&kv, "k", 16),
+                p,
+                p,
+                r,
+                r,
+            ))
+        }
+        "gfc" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::gfc(
+                get(&kv, "b", 16),
+                get(&kv, "g", 4),
+                get(&kv, "k", 64),
+                get(&kv, "c", 64),
+            ))
+        }
+        "var" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::var(d[0], d[1]))
+        }
+        "grp" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 14);
+            let r = get(&kv, "r", 3);
+            Ok(ops::grp(
+                get(&kv, "n", 1),
+                get(&kv, "g", 4),
+                get(&kv, "c", 16),
+                get(&kv, "k", 16),
+                p,
+                p,
+                r,
+                r,
+            ))
+        }
+        other => Err(err(format!(
+            "unknown operator family `{other}`; known: gmm, gmv, c1d, c2d, c3d, t2d, dep, grp, bcv, gfc, men, var, scn"
+        ))),
+    }
+}
+
+/// Simple flag extraction: removes `--flag value` pairs from the arg list.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(err(format!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Runs the CLI with the given arguments (without the program name),
+/// writing output to `out`. Returns an error message for usage problems.
+pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let mut args: Vec<String> = args.to_vec();
+    let accel_name = take_flag(&mut args, "--accel")?.unwrap_or_else(|| "v100".to_string());
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .map(|s| s.parse().map_err(|_| err("bad --seed")))
+        .transpose()?
+        .unwrap_or(2022);
+    let batch: i64 = take_flag(&mut args, "--batch")?
+        .map(|s| s.parse().map_err(|_| err("bad --batch")))
+        .transpose()?
+        .unwrap_or(1);
+
+    let io = |e: std::io::Error| err(format!("io error: {e}"));
+    match args.first().map(String::as_str) {
+        Some("ops") => {
+            writeln!(out, "operator families (paper §7.3):").map_err(io)?;
+            for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
+                writeln!(out, "  {:<4} {}", name, def.statement_string()).map_err(io)?;
+            }
+            writeln!(out, "\nspec examples: gmm:512x512x256, gmv:1024x1024,").map_err(io)?;
+            writeln!(out, "  c2d:n16,c64,k64,p56,q56,r3,s3,st1  dep:c128,p28,r3").map_err(io)?;
+            Ok(())
+        }
+        Some("accels") => {
+            for a in catalog::all_accelerators() {
+                writeln!(
+                    out,
+                    "{:<14} intrinsic {:<22} {} PE arrays",
+                    a.name,
+                    a.intrinsic.name,
+                    a.total_pe_arrays()
+                )
+                .map_err(io)?;
+            }
+            Ok(())
+        }
+        Some("mappings") => {
+            let spec = args.get(1).ok_or_else(|| err("mappings needs an operator spec"))?;
+            let def = parse_op(spec)?;
+            let accel = parse_accelerator(&accel_name)?;
+            let mappings = MappingGenerator::new().enumerate(&def, &accel.intrinsic);
+            writeln!(
+                out,
+                "{} valid mappings of `{}` onto {}:",
+                mappings.len(),
+                def.name(),
+                accel.intrinsic.name
+            )
+            .map_err(io)?;
+            for m in &mappings {
+                writeln!(out, "  {}", m.describe(&def, &accel.intrinsic)).map_err(io)?;
+            }
+            Ok(())
+        }
+        Some("explore") => {
+            let spec = args.get(1).ok_or_else(|| err("explore needs an operator spec"))?;
+            let def = parse_op(spec)?;
+            let accel = parse_accelerator(&accel_name)?;
+            let explorer = Explorer::with_config(ExplorerConfig {
+                seed,
+                ..ExplorerConfig::default()
+            });
+            let result = explorer
+                .explore_multi(&def, &accel)
+                .map_err(|e| err(e.to_string()))?;
+            writeln!(out, "software   : {def}").map_err(io)?;
+            writeln!(out, "accelerator: {}", accel.name).map_err(io)?;
+            writeln!(out, "best       : [i1, i2, r1]-style {}", result.best_program.mapping_string())
+                .map_err(io)?;
+            let report = amos_core::MappingReport::from_result(&result, &accel);
+            writeln!(out, "{report}").map_err(io)?;
+            Ok(())
+        }
+        Some("ir") => {
+            let spec = args.get(1).ok_or_else(|| err("ir needs an operator spec"))?;
+            let def = parse_op(spec)?;
+            let accel = parse_accelerator(&accel_name)?;
+            let explorer = Explorer::with_config(ExplorerConfig {
+                population: 16,
+                generations: 3,
+                survivors: 4,
+                measure_top: 3,
+                seed,
+            });
+            let result = explorer
+                .explore(&def, &accel)
+                .map_err(|e| err(e.to_string()))?;
+            let ir = amos_core::codegen::emit_ir(&result.best_program, &result.best_schedule);
+            write!(out, "{}", amos_ir::nodes::render_program(&ir)).map_err(io)?;
+            Ok(())
+        }
+        Some("cuda") => {
+            let spec = args.get(1).ok_or_else(|| err("cuda needs an operator spec"))?;
+            let def = parse_op(spec)?;
+            let accel = parse_accelerator(&accel_name)?;
+            let explorer = Explorer::with_config(ExplorerConfig {
+                population: 16,
+                generations: 3,
+                survivors: 4,
+                measure_top: 3,
+                seed,
+            });
+            let result = explorer
+                .explore(&def, &accel)
+                .map_err(|e| err(e.to_string()))?;
+            write!(
+                out,
+                "{}",
+                amos_core::cuda_like::emit_cuda_like(&result.best_program, &result.best_schedule)
+            )
+            .map_err(io)?;
+            Ok(())
+        }
+        Some("network") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| err("network needs a name (shufflenet, resnet18, resnet50, mobilenet, bert, milstm)"))?;
+            let net = match name.to_lowercase().as_str() {
+                "shufflenet" => amos_workloads::networks::shufflenet(),
+                "resnet18" => amos_workloads::networks::resnet18(),
+                "resnet50" => amos_workloads::networks::resnet50(),
+                "mobilenet" => amos_workloads::networks::mobilenet_v1(),
+                "bert" => amos_workloads::networks::bert_base(),
+                "milstm" => amos_workloads::networks::mi_lstm(),
+                other => return Err(err(format!("unknown network `{other}`"))),
+            };
+            let accel = parse_accelerator(&accel_name)?;
+            let mut ev = amos_baselines::NetworkEvaluator::new();
+            let amos = ev.evaluate(amos_baselines::System::Amos, &net, batch, &accel);
+            let torch = ev.evaluate(amos_baselines::System::PyTorch, &net, batch, &accel);
+            writeln!(out, "{} on {} (batch {batch}):", net.name, accel.name).map_err(io)?;
+            writeln!(
+                out,
+                "  AMOS   : {:>12.0} cycles, {}/{} ops on the tensor unit",
+                amos.total_cycles, amos.mapped_ops, amos.total_ops
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "  PyTorch: {:>12.0} cycles, {}/{} ops on the tensor unit",
+                torch.total_cycles, torch.mapped_ops, torch.total_ops
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "  speedup: {:.2}x",
+                torch.total_cycles / amos.total_cycles
+            )
+            .map_err(io)?;
+            Ok(())
+        }
+        Some("table6") => {
+            let accel = parse_accelerator(&accel_name)?;
+            let generator = MappingGenerator::new();
+            for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
+                writeln!(
+                    out,
+                    "{:<4} {:>6}",
+                    name,
+                    generator.count(def, &accel.intrinsic)
+                )
+                .map_err(io)?;
+            }
+            Ok(())
+        }
+        Some(other) => Err(err(format!("unknown command `{other}`"))),
+        None => Err(err(
+            "usage: amos <ops|accels|mappings|explore|ir|table6|network> [args] [--accel NAME] [--seed N] [--batch N]",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn parse_op_specs() {
+        let g = parse_op("gmm:128x64x32").unwrap();
+        assert_eq!(g.extents(), vec![128, 64, 32]);
+        let c = parse_op("c2d:n2,c8,k8,p7,q7,r3,s3,st2").unwrap();
+        assert_eq!(c.name(), "c2d");
+        assert_eq!(c.iters()[0].extent, 2);
+        let d = parse_op("dep:c32,p14,r3").unwrap();
+        assert_eq!(d.name(), "dep");
+        assert!(parse_op("gmm:12x12").is_err());
+        assert!(parse_op("nope:1x2x3").is_err());
+        assert!(parse_op("gmm").is_err());
+    }
+
+    #[test]
+    fn parse_accelerator_names() {
+        assert!(parse_accelerator("v100").is_ok());
+        assert!(parse_accelerator("ascend-npu").is_ok());
+        let e = parse_accelerator("tpu").unwrap_err();
+        assert!(e.to_string().contains("unknown accelerator"));
+    }
+
+    #[test]
+    fn flags_are_extracted() {
+        let mut args: Vec<String> = ["mappings", "--accel", "a100", "gmm:16x16x16"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let accel = take_flag(&mut args, "--accel").unwrap();
+        assert_eq!(accel.as_deref(), Some("a100"));
+        assert_eq!(args, vec!["mappings", "gmm:16x16x16"]);
+        let mut bad: Vec<String> = vec!["--seed".into()];
+        assert!(take_flag(&mut bad, "--seed").is_err());
+    }
+
+    #[test]
+    fn ops_and_accels_commands() {
+        let out = run_to_string(&["ops"]).unwrap();
+        assert!(out.contains("GMV"));
+        assert!(out.contains("SCN"));
+        let out = run_to_string(&["accels"]).unwrap();
+        assert!(out.contains("v100"));
+        assert!(out.contains("mali-g76"));
+    }
+
+    #[test]
+    fn mappings_command_counts_c2d() {
+        let out = run_to_string(&["mappings", "c2d:n2,c8,k8,p7,q7,r3,s3,st1"]).unwrap();
+        assert!(out.starts_with("35 valid mappings"), "{out}");
+    }
+
+    #[test]
+    fn explore_command_reports_a_mapping() {
+        let out = run_to_string(&["explore", "gmm:256x256x256", "--accel", "a100"]).unwrap();
+        assert!(out.contains("best       : [i1, i2, r1]"), "{out}");
+        assert!(out.contains("cycles"));
+    }
+
+    #[test]
+    fn ir_command_emits_statements() {
+        let out = run_to_string(&["ir", "gmm:64x64x64"]).unwrap();
+        assert!(out.contains("mma_sync"), "{out}");
+        assert!(out.contains("load_matrix_sync"));
+    }
+
+    #[test]
+    fn table6_command_prints_counts() {
+        let out = run_to_string(&["table6"]).unwrap();
+        assert!(out.lines().any(|l| l.starts_with("C2D") && l.ends_with("35")), "{out}");
+    }
+
+    #[test]
+    fn cuda_command_emits_source() {
+        let out = run_to_string(&["cuda", "gmm:64x64x64"]).unwrap();
+        assert!(out.contains("__global__ void gmm_kernel"), "{out}");
+        assert!(out.contains("mma_sync"));
+    }
+
+    #[test]
+    fn extended_op_families_parse() {
+        assert!(parse_op("c1d:n1,c32,k32,q128,s3,st1").is_ok());
+        assert!(parse_op("t2d:n1,c4,k4,h5,w5,r3").is_ok());
+        assert!(parse_op("bcv:n4,c8,k8,p7,r3").is_ok());
+        assert!(parse_op("gfc:b8,g4,k32,c32").is_ok());
+        assert!(parse_op("var:64x64").is_ok());
+    }
+
+    #[test]
+    fn network_command_reports_speedup() {
+        let out = run_to_string(&["network", "milstm"]).unwrap();
+        assert!(out.contains("MI-LSTM"), "{out}");
+        assert!(out.contains("speedup"));
+        assert!(run_to_string(&["network", "nope"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_to_string(&["frobnicate"]).is_err());
+        assert!(run_to_string(&[]).is_err());
+    }
+}

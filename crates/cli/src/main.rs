@@ -1,0 +1,10 @@
+//! The `amos` binary: see [`amos_cli`] for commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = amos_cli::run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Code generation: lowering a mapped program and schedule into the
+//! `Compute`/`Memory` statement IR of paper Table 4 (§6).
+//!
+//! The emitted tree is the human-readable face of the compiler output; the
+//! executable form is interpreted directly from the [`MappedProgram`] by the
+//! simulator, and both follow the same loop structure.
+
+use amos_hw::{OperandRef, TransferDir};
+use amos_ir::nodes::{BufferRef, Scope, Stmt};
+use amos_ir::{Expr, IterId};
+use amos_sim::{AxisKind, MappedProgram, Schedule};
+
+/// Emits the Table-4 statement IR for a mapped program under a schedule.
+///
+/// Loop structure (outer to inner): parallel spatial axes (grid-split), then
+/// sequential spatial remainders, accumulator init, reduction axes, per-source
+/// `Memory` loads, one `Compute` call, and the final `Memory` store.
+pub fn emit_ir(prog: &MappedProgram, schedule: &Schedule) -> Vec<Stmt> {
+    let axes = prog.axes();
+    let intr = prog.intrinsic();
+    let num_srcs = intr.compute.num_srcs();
+
+    // Loop variables: one per axis, in axis order.
+    let loop_vars: Vec<(String, IterId, i64, bool)> = axes
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let name = match a.kind {
+                AxisKind::OuterSpatial(id) | AxisKind::OuterReduction(id) => {
+                    prog.def().iter_var(id).name.clone()
+                }
+                AxisKind::TileSpatial(t) | AxisKind::TileReduction(t) => {
+                    format!("{}_o", intr.compute.iters()[t].name)
+                }
+            };
+            let parallel = a.kind.is_spatial() && schedule.grid[i] > 1;
+            (name, IterId(i as u32), a.extent, parallel)
+        })
+        .collect();
+
+    let operand_ref = |r: OperandRef| -> BufferRef {
+        let name = intr.compute.operand(r).name.clone();
+        BufferRef {
+            tensor: format!("{name}_frag"),
+            scope: Scope::Register,
+            indices: vec![],
+        }
+    };
+
+    // Innermost body: loads, compute, (store emitted at spatial level).
+    let mut body: Vec<Stmt> = Vec::new();
+    for m in 0..num_srcs {
+        let stmt = intr.memory.statement_for(OperandRef::Src(m));
+        let load_name = stmt
+            .and_then(|s| s.intrinsic.clone())
+            .unwrap_or_else(|| "load".to_string());
+        let src_scope = stmt
+            .map(|s| match s.from {
+                amos_ir::nodes::Scope::Global => Scope::Global,
+                amos_ir::nodes::Scope::Shared => Scope::Shared,
+                amos_ir::nodes::Scope::Register => Scope::Register,
+            })
+            .unwrap_or(Scope::Shared);
+        // Tile indices: the axes this operand depends on.
+        let indices: Vec<Expr> = axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| prog.operand_uses_axis(m, a))
+            .map(|(i, _)| Expr::Var(IterId(i as u32)))
+            .collect();
+        let access = &prog.def().inputs()[prog.correspondence()[m]];
+        body.push(Stmt::Memory {
+            intrinsic: load_name,
+            dst: operand_ref(OperandRef::Src(m)),
+            src: BufferRef {
+                tensor: prog.def().tensor(access.tensor).name.clone(),
+                scope: src_scope,
+                indices,
+            },
+        });
+    }
+    body.push(Stmt::Compute {
+        intrinsic: intr.name.clone(),
+        dst: operand_ref(OperandRef::Dst),
+        srcs: (0..num_srcs).map(|m| operand_ref(OperandRef::Src(m))).collect(),
+    });
+
+    // Wrap reduction axes around the body.
+    let mut inner = body;
+    for (i, a) in axes.iter().enumerate().rev() {
+        if a.kind.is_spatial() {
+            continue;
+        }
+        let (name, id, extent, parallel) = loop_vars[i].clone();
+        inner = vec![Stmt::Loop {
+            var: name,
+            id,
+            extent,
+            parallel,
+            body: inner,
+        }];
+    }
+
+    // Accumulator init, reduction loops, and the destination store.
+    let mut spatial_body = vec![Stmt::Fill {
+        dst: operand_ref(OperandRef::Dst),
+        value: 0.0,
+    }];
+    spatial_body.extend(inner);
+    let dst_row = num_srcs;
+    let store_stmt = intr.memory.statement_for(OperandRef::Dst);
+    let store_name = store_stmt
+        .and_then(|s| s.intrinsic.clone())
+        .unwrap_or_else(|| "store".to_string());
+    debug_assert!(store_stmt.map(|s| s.dir == TransferDir::Store).unwrap_or(true));
+    let dst_indices: Vec<Expr> = axes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind.is_spatial() && prog.operand_uses_axis(dst_row, a))
+        .map(|(i, _)| Expr::Var(IterId(i as u32)))
+        .collect();
+    spatial_body.push(Stmt::Memory {
+        intrinsic: store_name,
+        dst: BufferRef {
+            tensor: prog
+                .def()
+                .tensor(prog.def().output().tensor)
+                .name
+                .clone(),
+            scope: Scope::Global,
+            indices: dst_indices,
+        },
+        src: operand_ref(OperandRef::Dst),
+    });
+
+    // Wrap spatial axes.
+    let mut program = spatial_body;
+    for (i, a) in axes.iter().enumerate().rev() {
+        if !a.kind.is_spatial() {
+            continue;
+        }
+        let (name, id, extent, parallel) = loop_vars[i].clone();
+        program = vec![Stmt::Loop {
+            var: name,
+            id,
+            extent,
+            parallel,
+            body: program,
+        }];
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::nodes::render_program;
+    use amos_ir::{ComputeBuilder, DType};
+    use amos_sim::FusedGroup;
+
+    fn gemm_prog() -> MappedProgram {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 64);
+        let j = b.spatial("j", 64);
+        let k = b.reduce("k", 64);
+        let a = b.input("a", &[64, 64], DType::F16);
+        let w = b.input("b", &[64, 64], DType::F16);
+        let c = b.output("c", &[64, 64], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        MappedProgram::new(
+            def,
+            catalog::wmma_16x16x16(),
+            vec![
+                FusedGroup::of(vec![ids[0]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[2]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn emitted_ir_has_expected_structure() {
+        let prog = gemm_prog();
+        let accel = catalog::v100();
+        let schedule = Schedule::balanced(&prog, &accel);
+        let ir = emit_ir(&prog, &schedule);
+        let text = render_program(&ir);
+        assert!(text.contains("parallel i1_o in 0..4"), "{text}");
+        assert!(text.contains("for r1_o in 0..4"), "{text}");
+        assert!(text.contains("load_matrix_sync(reg.Src1_frag[] <- shared.a[i1_o, r1_o])"));
+        assert!(text.contains("mma_sync(reg.Dst_frag[], reg.Src1_frag[], reg.Src2_frag[])"));
+        assert!(text.contains("store_matrix_sync(global.c[i1_o, i2_o] <- reg.Dst_frag[])"));
+        assert!(text.contains("fill(reg.Dst_frag[], 0)"));
+    }
+
+    #[test]
+    fn implicit_memory_intrinsics_emit_generic_loads() {
+        // VNNI has no named memory intrinsics; loads/stores fall back to
+        // generic statements.
+        let mut b = ComputeBuilder::new("matvec");
+        let i = b.spatial("i", 64);
+        let k = b.reduce("k", 16);
+        let a = b.input("a", &[64, 16], DType::I8);
+        let x = b.input("x", &[16], DType::I8);
+        let o = b.output("o", &[64], DType::I32);
+        b.mul_acc(o.at([i.ex()]), a.at([i.ex(), k.ex()]), x.at([k.ex()]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::avx512_vnni(),
+            vec![FusedGroup::of(vec![ids[0]]), FusedGroup::of(vec![ids[1]])],
+            vec![0, 1],
+        )
+        .unwrap();
+        let ir = emit_ir(&prog, &Schedule::naive(&prog));
+        let text = render_program(&ir);
+        assert!(text.contains("load(reg.Src1_frag[] <- shared.a[i1_o, r1_o])"), "{text}");
+        assert!(text.contains("load(reg.Src2_frag[] <- shared.x[r1_o])"), "{text}");
+        assert!(text.contains("_mm512_dpbusds_epi32("), "{text}");
+        assert!(text.contains("store(global.o[i1_o] <- reg.Dst_frag[])"), "{text}");
+    }
+
+    #[test]
+    fn outer_loops_appear_with_software_names() {
+        // Map only j and k; i stays an outer software loop named `i`.
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 4);
+        let j = b.spatial("j", 64);
+        let k = b.reduce("k", 64);
+        let a = b.input("a", &[4, 64], DType::F16);
+        let w = b.input("b", &[64, 64], DType::F16);
+        let c = b.output("c", &[4, 64], DType::F32);
+        b.mul_acc(c.at([i.ex(), j.ex()]), a.at([i.ex(), k.ex()]), w.at([k.ex(), j.ex()]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::wmma_16x16x16(),
+            vec![
+                FusedGroup::empty(),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[2]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let ir = emit_ir(&prog, &Schedule::naive(&prog));
+        let text = render_program(&ir);
+        assert!(text.contains("for i in 0..4 {"), "{text}");
+    }
+
+    #[test]
+    fn sequential_schedule_has_no_parallel_loops() {
+        let prog = gemm_prog();
+        let ir = emit_ir(&prog, &Schedule::naive(&prog));
+        let text = render_program(&ir);
+        assert!(!text.contains("parallel"));
+        assert!(text.contains("for i1_o in 0..4"));
+    }
+}

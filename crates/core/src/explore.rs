@@ -1,0 +1,833 @@
+//! Joint exploration of mappings and schedules (paper §5.3).
+//!
+//! AMOS enumerates every valid mapping, then runs a genetic search over the
+//! combined (mapping × schedule) space: candidates are screened with the
+//! analytic performance model, and the most promising ones are measured on
+//! the ground truth — real hardware in the paper, the timing simulator here.
+
+use crate::generate::MappingGenerator;
+use crate::mapping::Mapping;
+use crate::perf_model::predict_cycles;
+use amos_hw::AcceleratorSpec;
+use amos_ir::ComputeDef;
+use amos_sim::{simulate, AxisKind, MappedProgram, Schedule, SimError, TimingReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Exploration failure modes.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ExploreError {
+    /// No valid software-hardware mapping exists for the computation on the
+    /// accelerator's intrinsic; callers typically fall back to scalar units.
+    NoValidMapping { computation: String, intrinsic: String },
+    /// A simulator error escaped candidate repair.
+    Sim(SimError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::NoValidMapping {
+                computation,
+                intrinsic,
+            } => write!(f, "no valid mapping of `{computation}` onto `{intrinsic}`"),
+            ExploreError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<SimError> for ExploreError {
+    fn from(e: SimError) -> Self {
+        ExploreError::Sim(e)
+    }
+}
+
+/// Tuning knobs of the genetic explorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerConfig {
+    /// Candidates alive per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Candidates surviving selection each generation.
+    pub survivors: usize,
+    /// Top predicted candidates measured on the ground truth per generation.
+    pub measure_top: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            population: 32,
+            generations: 8,
+            survivors: 8,
+            measure_top: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One (mapping, schedule) candidate with its scores.
+#[derive(Debug, Clone)]
+struct Candidate {
+    mapping_idx: usize,
+    schedule: Schedule,
+    predicted: f64,
+}
+
+/// Result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// The winning mapping.
+    pub best_mapping: Mapping,
+    /// The winning mapping, lowered.
+    pub best_program: MappedProgram,
+    /// The winning schedule.
+    pub best_schedule: Schedule,
+    /// Ground-truth report of the winner.
+    pub best_report: TimingReport,
+    /// Every (predicted, measured) pair evaluated on the ground truth, in
+    /// evaluation order — the raw data behind Figure 5.
+    pub evaluations: Vec<(f64, f64)>,
+    /// Size of the enumerated mapping space.
+    pub num_mappings: usize,
+}
+
+impl ExplorationResult {
+    /// Best measured cycles.
+    pub fn cycles(&self) -> f64 {
+        self.best_report.cycles
+    }
+}
+
+/// The genetic mapping-and-schedule explorer.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    config: ExplorerConfig,
+    generator: MappingGenerator,
+}
+
+impl Explorer {
+    /// Explorer with default configuration and policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explorer with a custom configuration.
+    pub fn with_config(config: ExplorerConfig) -> Self {
+        Explorer {
+            config,
+            generator: MappingGenerator::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// Explores the joint space for `def` on `accel` and returns the best
+    /// measured candidate.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::NoValidMapping`] when the enumeration is empty.
+    pub fn explore(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_mappings(def, accel, None)
+    }
+
+    /// Explores across *every* intrinsic of a heterogeneous accelerator
+    /// (e.g. an Ascend-style NPU with both cube and vector units) and keeps
+    /// the best mapping over all of them.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::NoValidMapping`] when no intrinsic admits a mapping.
+    pub fn explore_multi(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let mut best: Option<ExplorationResult> = None;
+        let mut evaluations = Vec::new();
+        let mut num_mappings = 0usize;
+        for intrinsic in accel.all_intrinsics() {
+            // Re-target the hierarchy at this unit.
+            let mut unit = accel.clone();
+            unit.intrinsic = intrinsic.clone();
+            unit.extra_intrinsics.clear();
+            match self.explore(def, &unit) {
+                Ok(result) => {
+                    evaluations.extend(result.evaluations.iter().copied());
+                    num_mappings += result.num_mappings;
+                    let better = best
+                        .as_ref()
+                        .map(|b| result.cycles() < b.cycles())
+                        .unwrap_or(true);
+                    if better {
+                        best = Some(result);
+                    }
+                }
+                Err(ExploreError::NoValidMapping { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut best = best.ok_or_else(|| ExploreError::NoValidMapping {
+            computation: def.name().to_string(),
+            intrinsic: accel
+                .all_intrinsics()
+                .map(|i| i.name.clone())
+                .collect::<Vec<_>>()
+                .join("|"),
+        })?;
+        best.evaluations = evaluations;
+        best.num_mappings = num_mappings;
+        Ok(best)
+    }
+
+    /// Explores with a fixed mapping set (used by the fixed-mapping baseline
+    /// ablations of paper §7.6, which keep AMOS's schedule tuner but freeze
+    /// the mapping).
+    pub fn explore_mappings(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        fixed: Option<Vec<Mapping>>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let intr = &accel.intrinsic;
+        let mappings = match fixed {
+            Some(m) => m,
+            None => self.generator.enumerate(def, intr),
+        };
+        if mappings.is_empty() {
+            return Err(ExploreError::NoValidMapping {
+                computation: def.name().to_string(),
+                intrinsic: intr.name.clone(),
+            });
+        }
+        let programs: Vec<MappedProgram> = mappings
+            .iter()
+            .map(|m| m.lower(def, intr))
+            .collect::<Result<_, _>>()?;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut evaluations: Vec<(f64, f64)> = Vec::new();
+        // Measured cache: candidate identity -> measured cycles.
+        let mut measured: BTreeMap<String, f64> = BTreeMap::new();
+        let mut best: Option<(usize, Schedule, TimingReport)> = None;
+        // Best measured cycles per mapping, for refinement shortlisting.
+        let mut best_per_mapping: BTreeMap<usize, f64> = BTreeMap::new();
+
+        // ---- heuristic seeds ------------------------------------------------
+        // Measure the balanced heuristic schedule for a spread of mappings up
+        // front. This anchors the search at the quality a hand-tuned library
+        // ships (the library's fixed mapping is in our space), so exploration
+        // can only improve on it.
+        let seed_count = mappings.len().min(64);
+        let stride = (mappings.len() / seed_count.max(1)).max(1);
+        for idx in (0..mappings.len()).step_by(stride).take(seed_count) {
+            let prog = &programs[idx];
+            let schedule = Schedule::balanced(prog, accel);
+            if let Ok(report) = simulate(prog, &schedule, accel) {
+                let predicted = predict_cycles(prog, &schedule, accel).unwrap_or(report.cycles);
+                evaluations.push((predicted, report.cycles));
+                let e = best_per_mapping.entry(idx).or_insert(f64::INFINITY);
+                *e = e.min(report.cycles);
+                let better = best
+                    .as_ref()
+                    .map(|(_, _, b)| report.cycles < b.cycles)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((idx, schedule, report));
+                }
+            }
+        }
+
+        // ---- initial population --------------------------------------------
+        let mut population: Vec<Candidate> = Vec::with_capacity(self.config.population);
+        while population.len() < self.config.population {
+            let mapping_idx = rng.gen_range(0..mappings.len());
+            let prog = &programs[mapping_idx];
+            let schedule = random_schedule(prog, accel, &mut rng);
+            if let Ok(p) = predict_cycles(prog, &schedule, accel) {
+                population.push(Candidate {
+                    mapping_idx,
+                    schedule,
+                    predicted: p,
+                });
+            }
+        }
+
+        for _generation in 0..self.config.generations {
+            population.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
+
+            // Measure the most promising candidates on the ground truth.
+            for cand in population.iter().take(self.config.measure_top) {
+                let key = candidate_key(cand);
+                if measured.contains_key(&key) {
+                    continue;
+                }
+                let prog = &programs[cand.mapping_idx];
+                match simulate(prog, &cand.schedule, accel) {
+                    Ok(report) => {
+                        evaluations.push((cand.predicted, report.cycles));
+                        measured.insert(key, report.cycles);
+                        let e = best_per_mapping
+                            .entry(cand.mapping_idx)
+                            .or_insert(f64::INFINITY);
+                        *e = e.min(report.cycles);
+                        let better = best
+                            .as_ref()
+                            .map(|(_, _, b)| report.cycles < b.cycles)
+                            .unwrap_or(true);
+                        if better {
+                            best = Some((cand.mapping_idx, cand.schedule.clone(), report));
+                        }
+                    }
+                    Err(_) => {
+                        // Infeasible on hardware; poison its predicted score.
+                        measured.insert(key, f64::INFINITY);
+                    }
+                }
+            }
+
+            // Selection + mutation.
+            population.truncate(self.config.survivors.max(1));
+            while population.len() < self.config.population {
+                let parent = population[..self.config.survivors.max(1).min(population.len())]
+                    .choose(&mut rng)
+                    .expect("survivors retained")
+                    .clone();
+                let mut mapping_idx = parent.mapping_idx;
+                // Occasionally jump to a different mapping entirely.
+                if rng.gen_bool(0.2) {
+                    mapping_idx = rng.gen_range(0..mappings.len());
+                }
+                let prog = &programs[mapping_idx];
+                let mut schedule = if mapping_idx == parent.mapping_idx {
+                    parent.schedule.clone()
+                } else {
+                    random_schedule(prog, accel, &mut rng)
+                };
+                mutate_schedule(&mut schedule, prog, accel, &mut rng);
+                if let Ok(p) = predict_cycles(prog, &schedule, accel) {
+                    population.push(Candidate {
+                        mapping_idx,
+                        schedule,
+                        predicted: p,
+                    });
+                }
+            }
+        }
+
+        // Guarantee at least one measured candidate: fall back to the
+        // balanced schedule of the best-predicted mapping.
+        if best.is_none() {
+            for (idx, prog) in programs.iter().enumerate() {
+                let schedule = Schedule::balanced(prog, accel);
+                if let Ok(report) = simulate(prog, &schedule, accel) {
+                    let predicted =
+                        predict_cycles(prog, &schedule, accel).unwrap_or(report.cycles);
+                    evaluations.push((predicted, report.cycles));
+                    let better = best
+                        .as_ref()
+                        .map(|(_, _, b)| report.cycles < b.cycles)
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((idx, schedule, report));
+                    }
+                }
+            }
+        }
+
+        let (mut idx, mut schedule, mut report) =
+            best.ok_or(ExploreError::Sim(SimError::InvalidSchedule {
+                detail: "no candidate could be simulated".into(),
+            }))?;
+
+        // ---- refinement phase ------------------------------------------------
+        // The joint search spreads its budget across the whole mapping space
+        // and may misrank mappings at shallow tuning depth. Shortlist the
+        // three best-measured mappings and dedicate a full-depth pass to
+        // each, so the eventual winner's schedule is tuned at least as
+        // deeply as a frozen-mapping baseline would tune it. This keeps
+        // AMOS's search a strict superset of the fixed-mapping ablations
+        // (paper §7.6).
+        if mappings.len() > 1 {
+            let mut shortlist: Vec<(usize, f64)> = best_per_mapping
+                .iter()
+                .map(|(&i, &c)| (i, c))
+                .collect();
+            shortlist.sort_by(|a, b| a.1.total_cmp(&b.1));
+            shortlist.truncate(3);
+            for (round, (ridx, _)) in shortlist.into_iter().enumerate() {
+                let refine = Explorer {
+                    config: ExplorerConfig {
+                        seed: self
+                            .config
+                            .seed
+                            .wrapping_add(round as u64)
+                            ^ 0x9e3779b97f4a7c15,
+                        ..self.config.clone()
+                    },
+                    generator: self.generator.clone(),
+                };
+                if let Ok(refined) =
+                    refine.explore_mappings(def, accel, Some(vec![mappings[ridx].clone()]))
+                {
+                    evaluations.extend(refined.evaluations.iter().copied());
+                    if refined.best_report.cycles < report.cycles {
+                        schedule = refined.best_schedule;
+                        report = refined.best_report;
+                        idx = ridx;
+                    }
+                }
+            }
+        }
+
+        Ok(ExplorationResult {
+            best_mapping: mappings[idx].clone(),
+            best_program: programs[idx].clone(),
+            best_schedule: schedule,
+            best_report: report,
+            evaluations,
+            num_mappings: mappings.len(),
+        })
+    }
+}
+
+fn candidate_key(c: &Candidate) -> String {
+    format!(
+        "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}{}{}",
+        c.mapping_idx,
+        c.schedule.grid,
+        c.schedule.split_k,
+        c.schedule.subcore,
+        c.schedule.stage,
+        c.schedule.warp,
+        c.schedule.double_buffer,
+        c.schedule.unroll,
+        c.schedule.vectorize
+    )
+}
+
+/// Samples a random legal schedule for a program.
+pub fn random_schedule(
+    prog: &MappedProgram,
+    accel: &AcceleratorSpec,
+    rng: &mut impl Rng,
+) -> Schedule {
+    random_schedule_with(prog, accel, rng, true)
+}
+
+/// Samples a random legal schedule, optionally excluding split-K factors
+/// (used by the split-K ablation bench).
+pub fn random_schedule_with(
+    prog: &MappedProgram,
+    accel: &AcceleratorSpec,
+    rng: &mut impl Rng,
+    allow_split_k: bool,
+) -> Schedule {
+    let axes = prog.axes();
+    let mut s = Schedule::naive(prog);
+    for (i, a) in axes.iter().enumerate() {
+        match a.kind {
+            AxisKind::TileSpatial(_) | AxisKind::OuterSpatial(_) => {
+                s.grid[i] = random_pow2_at_most(a.extent, rng);
+            }
+            AxisKind::TileReduction(_) => {
+                s.stage[i] = *[1i64, 2, 4].choose(rng).expect("nonempty") .min(&a.extent);
+                if allow_split_k && rng.gen_bool(0.25) {
+                    s.split_k[i] = random_pow2_at_most(a.extent.min(8), rng);
+                }
+            }
+            AxisKind::OuterReduction(_) => {
+                if allow_split_k && rng.gen_bool(0.1) {
+                    s.split_k[i] = random_pow2_at_most(a.extent.min(8), rng);
+                }
+            }
+        }
+        if matches!(a.kind, AxisKind::TileSpatial(_)) {
+            s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
+            s.warp[i] = s.warp[i].min(s.subcore_chunk(&axes, i)).max(1);
+        }
+    }
+    // Sub-core split on one random spatial axis.
+    let spatial: Vec<usize> = (0..axes.len())
+        .filter(|&i| axes[i].kind.is_spatial())
+        .collect();
+    if let Some(&i) = spatial.choose(rng) {
+        let max_sub = amos_sim::subcores_per_core(accel) as i64;
+        let chunk = s.block_chunk(&axes, i);
+        s.subcore[i] = random_pow2_at_most(max_sub.min(chunk), rng);
+    }
+    s.double_buffer = rng.gen_bool(0.5);
+    s.unroll = rng.gen_bool(0.5);
+    s.vectorize = rng.gen_bool(0.5);
+    repair_schedule(&mut s, prog, accel);
+    s
+}
+
+/// Mutates one schedule gene in place, then repairs feasibility.
+pub fn mutate_schedule(
+    s: &mut Schedule,
+    prog: &MappedProgram,
+    accel: &AcceleratorSpec,
+    rng: &mut impl Rng,
+) {
+    let axes = prog.axes();
+    let gene = rng.gen_range(0..7);
+    match gene {
+        6 => {
+            let red: Vec<usize> = (0..axes.len())
+                .filter(|&i| !axes[i].kind.is_spatial())
+                .collect();
+            if let Some(&i) = red.choose(rng) {
+                s.split_k[i] = if rng.gen_bool(0.5) {
+                    (s.split_k[i] * 2).min(axes[i].extent)
+                } else {
+                    (s.split_k[i] / 2).max(1)
+                };
+            }
+        }
+        0 => {
+            // Grow or shrink a grid split.
+            let spatial: Vec<usize> = (0..axes.len())
+                .filter(|&i| axes[i].kind.is_spatial())
+                .collect();
+            if let Some(&i) = spatial.choose(rng) {
+                s.grid[i] = if rng.gen_bool(0.5) {
+                    (s.grid[i] * 2).min(axes[i].extent)
+                } else {
+                    (s.grid[i] / 2).max(1)
+                };
+            }
+        }
+        1 => {
+            let tile_sp: Vec<usize> = (0..axes.len())
+                .filter(|&i| matches!(axes[i].kind, AxisKind::TileSpatial(_)))
+                .collect();
+            if let Some(&i) = tile_sp.choose(rng) {
+                s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
+            }
+        }
+        2 => {
+            let red: Vec<usize> = (0..axes.len())
+                .filter(|&i| matches!(axes[i].kind, AxisKind::TileReduction(_)))
+                .collect();
+            if let Some(&i) = red.choose(rng) {
+                s.stage[i] = (*[1i64, 2, 4].choose(rng).expect("nonempty")).min(axes[i].extent);
+            }
+        }
+        3 => s.double_buffer = !s.double_buffer,
+        4 => s.unroll = !s.unroll,
+        _ => s.vectorize = !s.vectorize,
+    }
+    repair_schedule(s, prog, accel);
+}
+
+/// Shrinks footprint-heavy genes until the schedule validates.
+fn repair_schedule(s: &mut Schedule, prog: &MappedProgram, accel: &AcceleratorSpec) {
+    for _ in 0..16 {
+        if s.validate(prog, accel).is_ok() {
+            return;
+        }
+        let shrunk_split = s.split_k.iter().any(|&k| k > 1);
+        for k in &mut s.split_k {
+            *k = (*k / 2).max(1);
+        }
+        if shrunk_split {
+            continue;
+        }
+        let shrunk_warp = s.warp.iter().any(|&w| w > 1);
+        for w in &mut s.warp {
+            *w = (*w / 2).max(1);
+        }
+        if !shrunk_warp {
+            let shrunk_stage = s.stage.iter().any(|&x| x > 1);
+            for x in &mut s.stage {
+                *x = (*x / 2).max(1);
+            }
+            if !shrunk_stage {
+                if s.double_buffer {
+                    s.double_buffer = false;
+                } else {
+                    // Last resort: fall back to the naive schedule.
+                    *s = Schedule::naive(prog);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn random_pow2_at_most(max: i64, rng: &mut impl Rng) -> i64 {
+    if max <= 1 {
+        return 1;
+    }
+    let max_exp = 63 - (max as u64).leading_zeros();
+    1i64 << rng.gen_range(0..=max_exp)
+}
+
+// ---- model-quality metrics (Figure 5) --------------------------------------
+
+/// Pairwise ranking accuracy between predicted and measured scores: the
+/// fraction of candidate pairs the model orders the same way the ground truth
+/// does (1.0 = perfect ranking).
+pub fn pairwise_accuracy(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let dp = pairs[i].0 - pairs[j].0;
+            let dm = pairs[i].1 - pairs[j].1;
+            if dm == 0.0 {
+                continue;
+            }
+            total += 1;
+            if dp == 0.0 || (dp > 0.0) == (dm > 0.0) {
+                agree += if dp == 0.0 { 0 } else { 1 };
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+/// Recall of the measured top fraction within the predicted top fraction:
+/// how many of the truly best `rate` of candidates the model also ranks in
+/// its best `rate` (paper reports 91.4% at rate 0.4).
+pub fn top_rate_recall(pairs: &[(f64, f64)], rate: f64) -> f64 {
+    let n = pairs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let k = ((n as f64 * rate).ceil() as usize).clamp(1, n);
+    let mut by_pred: Vec<usize> = (0..n).collect();
+    by_pred.sort_by(|&a, &b| pairs[a].0.total_cmp(&pairs[b].0));
+    let mut by_meas: Vec<usize> = (0..n).collect();
+    by_meas.sort_by(|&a, &b| pairs[a].1.total_cmp(&pairs[b].1));
+    let pred_top: std::collections::BTreeSet<usize> = by_pred[..k].iter().copied().collect();
+    let hits = by_meas[..k].iter().filter(|i| pred_top.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+
+    fn conv2d_small() -> ComputeDef {
+        let mut b = ComputeBuilder::new("c2d");
+        let n = b.spatial("n", 8);
+        let k = b.spatial("k", 64);
+        let p = b.spatial("p", 14);
+        let q = b.spatial("q", 14);
+        let c = b.reduce("c", 64);
+        let r = b.reduce("r", 3);
+        let s = b.reduce("s", 3);
+        let img = b.input("image", &[8, 64, 16, 16], DType::F16);
+        let wt = b.input("weight", &[64, 64, 3, 3], DType::F16);
+        let out = b.output("out", &[8, 64, 14, 14], DType::F32);
+        b.mul_acc(
+            out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+            img.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+            wt.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn explorer_finds_a_mapping_and_beats_naive() {
+        let def = conv2d_small();
+        let accel = catalog::v100();
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 16,
+            generations: 4,
+            survivors: 4,
+            measure_top: 3,
+            seed: 7,
+        });
+        let result = explorer.explore(&def, &accel).unwrap();
+        assert_eq!(result.num_mappings, 35);
+        assert!(!result.evaluations.is_empty());
+
+        // The winner must beat the naive schedule of its own mapping.
+        let naive = Schedule::naive(&result.best_program);
+        let naive_cycles = simulate(&result.best_program, &naive, &accel)
+            .unwrap()
+            .cycles;
+        assert!(result.cycles() <= naive_cycles);
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_seed() {
+        let def = conv2d_small();
+        let accel = catalog::v100();
+        let e = Explorer::with_config(ExplorerConfig {
+            population: 8,
+            generations: 2,
+            survivors: 3,
+            measure_top: 2,
+            seed: 99,
+        });
+        let a = e.explore(&def, &accel).unwrap();
+        let b = e.explore(&def, &accel).unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn heterogeneous_accelerator_picks_the_better_unit() {
+        use amos_hw::catalog;
+        let npu = catalog::ascend_npu();
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 12,
+            generations: 3,
+            survivors: 4,
+            measure_top: 3,
+            seed: 77,
+        });
+
+        // A large square GEMM belongs on the cube unit.
+        let gemm = {
+            let mut b = ComputeBuilder::new("gemm");
+            let i = b.spatial("i", 1024);
+            let j = b.spatial("j", 1024);
+            let k = b.reduce("k", 1024);
+            let a = b.input("a", &[1024, 1024], DType::F16);
+            let w = b.input("b", &[1024, 1024], DType::F16);
+            let c = b.output("c", &[1024, 1024], DType::F32);
+            b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+            b.finish().unwrap()
+        };
+        let r = explorer.explore_multi(&gemm, &npu).unwrap();
+        assert_eq!(r.best_program.intrinsic().name, "cube_mma");
+
+        // A matrix-vector product cannot fill the cube's second spatial
+        // axis; the vector unit wins.
+        let gemv = {
+            let mut b = ComputeBuilder::new("gemv");
+            let i = b.spatial("i", 4096);
+            let k = b.reduce("k", 4096);
+            let a = b.input("a", &[4096, 4096], DType::F16);
+            let x = b.input("x", &[4096], DType::F16);
+            let o = b.output("o", &[4096], DType::F32);
+            b.mul_acc(o.at([i]), a.at([i, k]), x.at([k]));
+            b.finish().unwrap()
+        };
+        let r = explorer.explore_multi(&gemv, &npu).unwrap();
+        assert_eq!(r.best_program.intrinsic().name, "vec_mac");
+    }
+
+    #[test]
+    fn explore_multi_errors_when_no_unit_maps() {
+        use amos_hw::catalog;
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+        let e = Explorer::new();
+        assert!(matches!(
+            e.explore_multi(&def, &catalog::ascend_npu()),
+            Err(ExploreError::NoValidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn no_mapping_is_an_error() {
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+        let e = Explorer::new();
+        assert!(matches!(
+            e.explore(&def, &catalog::v100()),
+            Err(ExploreError::NoValidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn random_schedules_always_validate() {
+        let def = conv2d_small();
+        let accel = catalog::v100();
+        let gen = MappingGenerator::new();
+        let mapping = &gen.enumerate(&def, &accel.intrinsic)[0];
+        let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = random_schedule(&prog, &accel, &mut rng);
+            s.validate(&prog, &accel).unwrap();
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_schedules_valid() {
+        let def = conv2d_small();
+        let accel = catalog::v100();
+        let gen = MappingGenerator::new();
+        let mapping = &gen.enumerate(&def, &accel.intrinsic)[0];
+        let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = random_schedule(&prog, &accel, &mut rng);
+        for _ in 0..100 {
+            mutate_schedule(&mut s, &prog, &accel, &mut rng);
+            s.validate(&prog, &accel).unwrap();
+        }
+    }
+
+    #[test]
+    fn pairwise_accuracy_extremes() {
+        let perfect = vec![(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)];
+        assert_eq!(pairwise_accuracy(&perfect), 1.0);
+        let inverted = vec![(3.0, 10.0), (2.0, 20.0), (1.0, 30.0)];
+        assert_eq!(pairwise_accuracy(&inverted), 0.0);
+        assert_eq!(pairwise_accuracy(&[]), 1.0);
+    }
+
+    #[test]
+    fn top_rate_recall_behaviour() {
+        let pairs = vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)];
+        assert_eq!(top_rate_recall(&pairs, 0.5), 1.0);
+        let scrambled = vec![(4.0, 1.0), (3.0, 2.0), (2.0, 3.0), (1.0, 4.0)];
+        assert_eq!(top_rate_recall(&scrambled, 0.5), 0.0);
+        assert_eq!(top_rate_recall(&[], 0.4), 1.0);
+    }
+
+    #[test]
+    fn random_pow2_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = random_pow2_at_most(48, &mut rng);
+            assert!((1..=48).contains(&v));
+            assert_eq!(v.count_ones(), 1);
+        }
+        assert_eq!(random_pow2_at_most(1, &mut rng), 1);
+    }
+}

@@ -1,0 +1,623 @@
+//! Mapping generation (paper §5.1) — the exhaustive, fully automatic
+//! enumeration of valid software–hardware mappings.
+//!
+//! The generator follows the paper's two-step flow. The *virtual* step is
+//! signature matching: every software iteration's access signature (which
+//! operands reference it) must equal the `Z` column of the intrinsic
+//! iteration it fuses into — this is exactly what Algorithm 1 certifies, so
+//! candidates are constructed per-column and the full matrix check runs as a
+//! final belt-and-braces pass. The *physical* step (problem-size `mod`
+//! restriction, tiling, padding) happens at lowering in [`Mapping::lower`].
+//!
+//! Beyond Algorithm 1, three generation rules shape the space (reverse
+//! engineered from the paper's Table 6 counts; see DESIGN.md §5):
+//!
+//! 1. **Addressability** — an iteration occurring under floor-division or
+//!    modulo in an access (or in a predicate) cannot be given base-plus-
+//!    stride addresses by a memory intrinsic, unless it directly addresses an
+//!    output axis; such iterations stay outer. This yields T2D = 7.
+//! 2. **No singleton-window reduction groups** — a reduction axis must not be
+//!    fed by a single window iteration (one participating in a compound index
+//!    such as `p + r`). This yields C2D = 35, C3D = 180, C1D = 6.
+//! 3. **Mandatory coverage** — an intrinsic axis with a non-empty candidate
+//!    pool must receive at least one iteration; axes with no candidates are
+//!    padded to extent 1 (GMV still maps with `i2` empty).
+//!
+//! Mappings that are mirror images under operand-slot permutation (swapping
+//! `Src1`/`Src2` of a commutative multiply-add) are deduplicated.
+
+use crate::mapping::Mapping;
+use crate::validate::validate_mapping;
+use amos_hw::Intrinsic;
+use amos_ir::{ComputeDef, IterId, IterKind};
+use amos_sim::FusedGroup;
+use std::collections::BTreeSet;
+
+/// Tunable generation rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingPolicy {
+    /// Rule 2 above.
+    pub forbid_singleton_window_reduction: bool,
+    /// Rule 3 above.
+    pub require_nonempty_axes: bool,
+    /// Require fragment-layout coherence for compound intrinsic operand
+    /// dimensions (window engines): iterations fused into a compound
+    /// dimension must align with a software window expression.
+    pub enforce_fragment_coherence: bool,
+    /// Safety cap on the number of generated mappings.
+    pub max_mappings: usize,
+}
+
+impl Default for MappingPolicy {
+    fn default() -> Self {
+        MappingPolicy {
+            forbid_singleton_window_reduction: true,
+            require_nonempty_axes: true,
+            enforce_fragment_coherence: true,
+            max_mappings: 100_000,
+        }
+    }
+}
+
+/// Enumerates valid software–hardware mappings for a computation on an
+/// intrinsic.
+#[derive(Debug, Clone, Default)]
+pub struct MappingGenerator {
+    policy: MappingPolicy,
+}
+
+impl MappingGenerator {
+    /// Generator with the default (paper-matching) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generator with a custom policy.
+    pub fn with_policy(policy: MappingPolicy) -> Self {
+        MappingGenerator { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &MappingPolicy {
+        &self.policy
+    }
+
+    /// Enumerates all valid mappings of `def` onto `intrinsic`,
+    /// deduplicated up to operand-slot mirror symmetry, in a deterministic
+    /// order.
+    pub fn enumerate(&self, def: &ComputeDef, intrinsic: &Intrinsic) -> Vec<Mapping> {
+        let num_inputs = def.inputs().len();
+        if def.op() != intrinsic.compute.op() || num_inputs != intrinsic.compute.num_srcs() {
+            return Vec::new();
+        }
+        let z = intrinsic.compute.access_matrix();
+        let num_t = intrinsic.compute.iters().len();
+
+        // Canonical key of each access for mirror deduplication: identical
+        // accesses (same tensor, same indices) share a key.
+        let access_keys: Vec<usize> = def
+            .inputs()
+            .iter()
+            .map(|a| {
+                def.inputs()
+                    .iter()
+                    .position(|b| b == a)
+                    .expect("access equals itself")
+            })
+            .collect();
+
+        let compound = def.compound_participants();
+        let non_addressable: BTreeSet<IterId> = def
+            .div_mod_participants()
+            .into_iter()
+            .chain(
+                def.predicates()
+                    .iter()
+                    .flat_map(|e| e.vars().into_iter()),
+            )
+            .filter(|&s| !def.anchored_in_output(s))
+            .collect();
+
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+
+        for corr in permutations(num_inputs) {
+            // Candidate intrinsic axes per software iteration.
+            let candidates: Vec<Vec<usize>> = def
+                .iter_ids()
+                .map(|s| {
+                    if non_addressable.contains(&s) {
+                        return Vec::new();
+                    }
+                    let sig = def.iter_signature(s); // input-slot order + output
+                    (0..num_t)
+                        .filter(|&t| {
+                            (0..z.rows()).all(|row| {
+                                let soft = if row + 1 == z.rows() {
+                                    sig[num_inputs] // output
+                                } else {
+                                    sig[corr[row]]
+                                };
+                                z[(row, t)] == soft
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Axis pools: which iterations could feed each intrinsic axis.
+            let mut pool_nonempty = vec![false; num_t];
+            for cands in &candidates {
+                for &t in cands {
+                    pool_nonempty[t] = true;
+                }
+            }
+
+            // Enumerate assignments: each iteration picks one candidate axis
+            // or stays outer.
+            let iters: Vec<IterId> = def.iter_ids().collect();
+            let mut assignment: Vec<Option<usize>> = vec![None; iters.len()];
+            self.assign(
+                def,
+                intrinsic,
+                &corr,
+                &candidates,
+                &pool_nonempty,
+                &compound,
+                &access_keys,
+                &iters,
+                0,
+                &mut assignment,
+                &mut seen,
+                &mut out,
+            );
+            if out.len() >= self.policy.max_mappings {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of valid mappings (the quantity reported in paper Table 6).
+    pub fn count(&self, def: &ComputeDef, intrinsic: &Intrinsic) -> usize {
+        self.enumerate(def, intrinsic).len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &self,
+        def: &ComputeDef,
+        intrinsic: &Intrinsic,
+        corr: &[usize],
+        candidates: &[Vec<usize>],
+        pool_nonempty: &[bool],
+        compound: &BTreeSet<IterId>,
+        access_keys: &[usize],
+        iters: &[IterId],
+        idx: usize,
+        assignment: &mut Vec<Option<usize>>,
+        seen: &mut BTreeSet<String>,
+        out: &mut Vec<Mapping>,
+    ) {
+        if out.len() >= self.policy.max_mappings {
+            return;
+        }
+        if idx == iters.len() {
+            self.finish_assignment(
+                def,
+                intrinsic,
+                corr,
+                pool_nonempty,
+                compound,
+                access_keys,
+                assignment,
+                seen,
+                out,
+            );
+            return;
+        }
+        // Option: stay outer.
+        assignment[idx] = None;
+        self.assign(
+            def,
+            intrinsic,
+            corr,
+            candidates,
+            pool_nonempty,
+            compound,
+            access_keys,
+            iters,
+            idx + 1,
+            assignment,
+            seen,
+            out,
+        );
+        for &t in &candidates[idx] {
+            assignment[idx] = Some(t);
+            self.assign(
+                def,
+                intrinsic,
+                corr,
+                candidates,
+                pool_nonempty,
+                compound,
+                access_keys,
+                iters,
+                idx + 1,
+                assignment,
+                seen,
+                out,
+            );
+        }
+        assignment[idx] = None;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_assignment(
+        &self,
+        def: &ComputeDef,
+        intrinsic: &Intrinsic,
+        corr: &[usize],
+        pool_nonempty: &[bool],
+        compound: &BTreeSet<IterId>,
+        access_keys: &[usize],
+        assignment: &[Option<usize>],
+        seen: &mut BTreeSet<String>,
+        out: &mut Vec<Mapping>,
+    ) {
+        let num_t = intrinsic.compute.iters().len();
+        // Axes participating in a compound operand dimension are window axes
+        // of the intrinsic itself; rule 2 does not apply to them (mapping a
+        // software window iteration alone onto a hardware window axis is the
+        // intended use of a convolution engine).
+        let compound_axis: Vec<bool> = (0..num_t)
+            .map(|t| {
+                intrinsic
+                    .compute
+                    .operand_refs()
+                    .into_iter()
+                    .any(|r| {
+                        intrinsic.compute.operand(r).dims.iter().any(|e| {
+                            e.uses(IterId(t as u32)) && e.vars().len() >= 2
+                        })
+                    })
+            })
+            .collect();
+        let mut groups: Vec<FusedGroup> = vec![FusedGroup::empty(); num_t];
+        let mut any = false;
+        for (s, a) in assignment.iter().enumerate() {
+            if let Some(t) = a {
+                groups[*t].iters.push(IterId(s as u32));
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        for (t, g) in groups.iter().enumerate() {
+            let kind = intrinsic.compute.iters()[t].kind;
+            if self.policy.require_nonempty_axes && pool_nonempty[t] && g.iters.is_empty() {
+                return;
+            }
+            if self.policy.forbid_singleton_window_reduction
+                && kind == IterKind::Reduction
+                && !compound_axis[t]
+                && g.iters.len() == 1
+                && compound.contains(&g.iters[0])
+            {
+                return;
+            }
+        }
+        let mapping = Mapping {
+            groups,
+            correspondence: corr.to_vec(),
+        };
+        if !validate_mapping(def, intrinsic, &mapping) {
+            return;
+        }
+        if self.policy.enforce_fragment_coherence
+            && !fragment_coherent(def, intrinsic, &mapping)
+        {
+            return;
+        }
+        let key = canonical_key(def, intrinsic, &mapping, access_keys);
+        if seen.insert(key) {
+            out.push(mapping);
+        }
+    }
+}
+
+/// Checks that iterations fused into *compound* intrinsic operand dimensions
+/// (e.g. the `i2 + r2` line buffer of a convolution engine) line up with a
+/// software window expression: each such axis carries at most one software
+/// iteration, and the corresponding software access contains an index whose
+/// coefficients over those iterations match the intrinsic dimension's
+/// coefficients.
+pub fn fragment_coherent(def: &ComputeDef, intrinsic: &Intrinsic, mapping: &Mapping) -> bool {
+    let num_t = intrinsic.compute.iters().len();
+    for (m, spec) in intrinsic.compute.srcs().iter().enumerate() {
+        let access = &def.inputs()[mapping.correspondence[m]];
+        for dim in &spec.dims {
+            let (gamma, _) = dim
+                .affine_coefficients(num_t)
+                .expect("intrinsic dims are affine");
+            let vars: Vec<usize> = (0..num_t).filter(|&t| gamma[t] != 0).collect();
+            if vars.len() < 2 {
+                continue; // single-iteration dimension: always coherent
+            }
+            // Each participating axis must carry at most one iteration.
+            for &t in &vars {
+                if mapping.groups[t].iters.len() > 1 {
+                    return false;
+                }
+            }
+            let mapped: Vec<(usize, IterId)> = vars
+                .iter()
+                .filter_map(|&t| mapping.groups[t].iters.first().map(|&s| (t, s)))
+                .collect();
+            if mapped.len() < 2 {
+                continue; // at most one live axis: degenerates to single-var
+            }
+            // The software access must contain an index expression matching
+            // the intrinsic coefficients on exactly these iterations.
+            let found = access.indices.iter().any(|e| {
+                let Some((alpha, _)) = e.affine_coefficients(def.iters().len()) else {
+                    return false;
+                };
+                mapped
+                    .iter()
+                    .all(|&(t, s)| alpha[s.index()] == gamma[t])
+                    // No other *mapped* iteration may share the expression.
+                    && mapping
+                        .mapped_iters()
+                        .iter()
+                        .all(|&other| {
+                            mapped.iter().any(|&(_, s)| s == other)
+                                || alpha[other.index()] == 0
+                        })
+            });
+            if !found {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Mirror-invariant canonical key of a mapping: for every intrinsic axis, the
+/// software-side identity of the operands that use it (via the
+/// correspondence) plus the fused group.
+fn canonical_key(
+    def: &ComputeDef,
+    intrinsic: &Intrinsic,
+    mapping: &Mapping,
+    access_keys: &[usize],
+) -> String {
+    let z = intrinsic.compute.access_matrix();
+    let num_t = intrinsic.compute.iters().len();
+    let num_srcs = intrinsic.compute.num_srcs();
+    let mut elems: Vec<String> = (0..num_t)
+        .map(|t| {
+            let mut ops: Vec<String> = Vec::new();
+            for row in 0..z.rows() {
+                if !z[(row, t)] {
+                    continue;
+                }
+                let (id, compound) = if row < num_srcs {
+                    let spec = &intrinsic.compute.srcs()[row];
+                    let compound = spec
+                        .dims
+                        .iter()
+                        .any(|e| e.uses(IterId(t as u32)) && e.vars().len() >= 2);
+                    (access_keys[mapping.correspondence[row]], compound)
+                } else {
+                    let spec = intrinsic.compute.dst();
+                    let compound = spec
+                        .dims
+                        .iter()
+                        .any(|e| e.uses(IterId(t as u32)) && e.vars().len() >= 2);
+                    (usize::MAX, compound)
+                };
+                ops.push(format!("{id}:{compound}"));
+            }
+            ops.sort();
+            let group: Vec<String> = mapping.groups[t]
+                .iters
+                .iter()
+                .map(|s| def.iter_var(*s).name.clone())
+                .collect();
+            format!("[{}]<-({})", ops.join(","), group.join(","))
+        })
+        .collect();
+    elems.sort();
+    elems.join(";")
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    permute(&mut items, 0, &mut out);
+    out.sort();
+    out
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, out);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+
+    fn conv2d() -> ComputeDef {
+        let mut b = ComputeBuilder::new("c2d");
+        let n = b.spatial("n", 4);
+        let k = b.spatial("k", 8);
+        let p = b.spatial("p", 6);
+        let q = b.spatial("q", 6);
+        let c = b.reduce("c", 8);
+        let r = b.reduce("r", 3);
+        let s = b.reduce("s", 3);
+        let img = b.input("image", &[4, 8, 8, 8], DType::F16);
+        let wt = b.input("weight", &[8, 8, 3, 3], DType::F16);
+        let out = b.output("out", &[4, 8, 6, 6], DType::F32);
+        b.mul_acc(
+            out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+            img.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+            wt.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+        );
+        b.finish().unwrap()
+    }
+
+    fn gemm() -> ComputeDef {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 32);
+        let j = b.spatial("j", 32);
+        let k = b.reduce("k", 32);
+        let a = b.input("a", &[32, 32], DType::F16);
+        let w = b.input("b", &[32, 32], DType::F16);
+        let c = b.output("c", &[32, 32], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+        b.finish().unwrap()
+    }
+
+    fn gemv() -> ComputeDef {
+        let mut b = ComputeBuilder::new("gemv");
+        let i = b.spatial("i", 32);
+        let k = b.reduce("k", 32);
+        let a = b.input("a", &[32, 32], DType::F16);
+        let x = b.input("x", &[32], DType::F16);
+        let o = b.output("o", &[32], DType::F32);
+        b.mul_acc(o.at([i]), a.at([i, k]), x.at([k]));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gemm_has_exactly_one_mapping_on_tensor_core() {
+        let g = MappingGenerator::new();
+        assert_eq!(g.count(&gemm(), &catalog::wmma_16x16x16()), 1);
+    }
+
+    #[test]
+    fn gemv_has_exactly_one_mapping_on_tensor_core() {
+        let g = MappingGenerator::new();
+        let maps = g.enumerate(&gemv(), &catalog::wmma_16x16x16());
+        assert_eq!(maps.len(), 1);
+        // One intrinsic axis stays empty (padded).
+        assert!(maps[0].groups.iter().any(|g| g.iters.is_empty()));
+    }
+
+    #[test]
+    fn conv2d_has_35_mappings_on_tensor_core() {
+        // The headline count of paper §5.2 / Table 6.
+        let g = MappingGenerator::new();
+        assert_eq!(g.count(&conv2d(), &catalog::wmma_16x16x16()), 35);
+    }
+
+    #[test]
+    fn conv2d_mappings_are_all_algorithm1_valid() {
+        let g = MappingGenerator::new();
+        let def = conv2d();
+        let intr = catalog::wmma_16x16x16();
+        for m in g.enumerate(&def, &intr) {
+            assert!(validate_mapping(&def, &intr, &m), "{}", m.describe(&def, &intr));
+        }
+    }
+
+    #[test]
+    fn relaxing_window_rule_grows_the_space() {
+        let policy = MappingPolicy {
+            forbid_singleton_window_reduction: false,
+            ..MappingPolicy::default()
+        };
+        let g = MappingGenerator::with_policy(policy);
+        // 7 x 1 x 7 = 49 assignments without rule 2.
+        assert_eq!(g.count(&conv2d(), &catalog::wmma_16x16x16()), 49);
+    }
+
+    #[test]
+    fn op_mismatch_yields_no_mappings() {
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+        let g = MappingGenerator::new();
+        assert_eq!(g.count(&def, &catalog::wmma_16x16x16()), 0);
+    }
+
+    #[test]
+    fn permutations_enumerate_in_order() {
+        assert_eq!(permutations(1), vec![vec![0]]);
+        assert_eq!(permutations(2), vec![vec![0, 1], vec![1, 0]]);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(3)[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn same_tensor_in_both_slots_deduplicates() {
+        // A symmetric product out[i,j] += a[i,k] * a[k,j]: the operand-slot
+        // swap produces a mirror mapping that must collapse to one.
+        let mut b = ComputeBuilder::new("sym");
+        let i = b.spatial("i", 16);
+        let j = b.spatial("j", 16);
+        let k = b.reduce("k", 16);
+        let a = b.input("a", &[16, 16], DType::F16);
+        let o = b.output("o", &[16, 16], DType::F32);
+        let acc1 = a.at([i, k]);
+        let acc2 = a.at([k, j]);
+        b.mul_acc(o.at([i, j]), acc1, acc2);
+        let def = b.finish().unwrap();
+        let g = MappingGenerator::new();
+        assert_eq!(g.count(&def, &catalog::wmma_16x16x16()), 1);
+    }
+
+    #[test]
+    fn vnni_maps_conv2d_through_its_matrix_vector_form() {
+        // Two mapping families exist on the matrix-vector unit: the image as
+        // the per-lane matrix with the weight broadcast (i1 from {n,p,q}:
+        // 7 x 5 reduction choices) and the transposed role with the output
+        // channels in the lanes (i1 = {k}: 1 x 5).
+        let g = MappingGenerator::new();
+        assert_eq!(g.count(&conv2d(), &catalog::avx512_vnni()), 40);
+    }
+
+    #[test]
+    fn conv_unit_requires_window_alignment() {
+        // 1D conv on the window engine: out[a,x] += img[c, x+w] * wt[a,c,w].
+        let mut b = ComputeBuilder::new("c1d");
+        let a = b.spatial("a", 8);
+        let x = b.spatial("x", 8);
+        let c = b.reduce("c", 8);
+        let w = b.reduce("w", 3);
+        let img = b.input("img", &[8, 10], DType::F16);
+        let wt = b.input("wt", &[8, 8, 3], DType::F16);
+        let o = b.output("o", &[8, 8], DType::F32);
+        b.mul_acc(
+            o.at([a.ex(), x.ex()]),
+            img.at([c.ex(), x.ex() + w.ex()]),
+            wt.at([a.ex(), c.ex(), w.ex()]),
+        );
+        let def = b.finish().unwrap();
+        let g = MappingGenerator::new();
+        let maps = g.enumerate(&def, &catalog::conv_unit());
+        assert!(!maps.is_empty(), "direct window mapping must exist");
+        // Every surviving mapping respects fragment coherence.
+        for m in &maps {
+            assert!(fragment_coherent(&def, &catalog::conv_unit(), m));
+        }
+    }
+}

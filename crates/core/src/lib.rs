@@ -1,0 +1,76 @@
+//! # amos-core — automatic mapping of tensor computations onto spatial
+//! accelerators
+//!
+//! The primary contribution of the AMOS paper (ISCA 2022), rebuilt in Rust:
+//!
+//! * [`Mapping`] — software–hardware mappings (Def 4.3) with matching
+//!   matrices,
+//! * [`validate`] — Algorithm 1 (binary-matrix mapping validation, §5.2),
+//! * [`MappingGenerator`] — exhaustive valid-mapping enumeration (§5.1,
+//!   Table 6),
+//! * [`memory_map`] — virtual and physical memory mappings (Fig 3 e–h),
+//! * [`perf_model`] — the hierarchical analytic performance model (§5.3),
+//! * [`Explorer`] — the genetic (mapping × schedule) search combining model
+//!   screening with ground-truth measurement (§5.3),
+//! * [`codegen`] — lowering to the `Compute`/`Memory` IR of Table 4 (§6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use amos_core::{Explorer, ExplorerConfig, MappingGenerator};
+//! use amos_hw::catalog;
+//! use amos_ir::{ComputeBuilder, DType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // GEMM: out[i, j] += a[i, k] * b[k, j]
+//! let mut b = ComputeBuilder::new("gemm");
+//! let i = b.spatial("i", 256);
+//! let j = b.spatial("j", 256);
+//! let k = b.reduce("k", 256);
+//! let a = b.input("a", &[256, 256], DType::F16);
+//! let w = b.input("b", &[256, 256], DType::F16);
+//! let c = b.output("c", &[256, 256], DType::F32);
+//! b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+//! let gemm = b.finish()?;
+//!
+//! // GEMM has exactly one valid mapping onto Tensor Core (paper Table 6).
+//! let v100 = catalog::v100();
+//! let generator = MappingGenerator::new();
+//! assert_eq!(generator.count(&gemm, &v100.intrinsic), 1);
+//!
+//! // Explore schedules and report the best measured candidate.
+//! let explorer = Explorer::with_config(ExplorerConfig {
+//!     population: 8,
+//!     generations: 2,
+//!     survivors: 3,
+//!     measure_top: 2,
+//!     seed: 1,
+//! });
+//! let result = explorer.explore(&gemm, &v100)?;
+//! assert!(result.cycles() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod explore;
+mod generate;
+mod mapping;
+
+pub mod codegen;
+pub mod cuda_like;
+pub mod memory_map;
+pub mod perf_model;
+pub mod report;
+pub mod validate;
+
+pub use explore::{
+    mutate_schedule, pairwise_accuracy, random_schedule, random_schedule_with, top_rate_recall,
+    ExplorationResult,
+    ExploreError, Explorer, ExplorerConfig,
+};
+pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
+pub use report::MappingReport;
+pub use mapping::Mapping;

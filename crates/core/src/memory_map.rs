@@ -1,0 +1,323 @@
+//! Memory mapping: the base-address and stride assignment of paper Def 4.3,
+//! in both its *virtual* (Fig 3 e/f) and *physical* (Fig 3 g/h) forms.
+//!
+//! The virtual mapping assumes the whole reformed operand matrices live in
+//! registers: base addresses are zero and strides come from the full fused
+//! shapes. The physical mapping tiles each operand by the intrinsic problem
+//! size: the software iterations *not* consumed by the `mod` restriction
+//! locate the tile (`(fused / P) * group_stride`), and strides shrink to the
+//! fragment row length.
+
+use amos_hw::OperandRef;
+use amos_sim::MappedProgram;
+
+/// Address assignment for one operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandAddress {
+    /// Operand display name (`Src1`, `Dst`, ...).
+    pub operand: String,
+    /// Software tensor name backing the operand.
+    pub tensor: String,
+    /// Rendered base-address expression over software iterations.
+    pub base: String,
+    /// Stride per operand dimension (innermost stride omitted; it is 1).
+    pub strides: Vec<i64>,
+}
+
+/// The full memory mapping of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMapping {
+    /// One entry per intrinsic operand, sources first.
+    pub operands: Vec<OperandAddress>,
+}
+
+impl std::fmt::Display for MemoryMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for o in &self.operands {
+            writeln!(
+                f,
+                "addr({}/{}) <- {} ; strides {:?}",
+                o.operand, o.tensor, o.base, o.strides
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the fused index expression of a group, e.g. `n * 4 + p * 2 + q`.
+fn fused_expr(prog: &MappedProgram, t: usize) -> String {
+    let g = &prog.groups()[t];
+    if g.iters.is_empty() {
+        return "0".to_string();
+    }
+    let extents = prog.group_extents(t);
+    let mut terms = Vec::new();
+    let mut stride = 1i64;
+    for d in (0..g.iters.len()).rev() {
+        let name = &prog.def().iter_var(g.iters[d]).name;
+        if stride == 1 {
+            terms.push(name.clone());
+        } else {
+            terms.push(format!("{name} * {stride}"));
+        }
+        stride *= extents[d];
+    }
+    terms.reverse();
+    terms.join(" + ")
+}
+
+/// Intrinsic iterations used by an operand, in its dimension order (compound
+/// dimensions contribute every participating iteration).
+fn operand_iter_dims(prog: &MappedProgram, r: OperandRef) -> Vec<usize> {
+    let mut out = Vec::new();
+    for e in &prog.intrinsic().compute.operand(r).dims {
+        for v in e.vars() {
+            let t = v.index();
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+fn tensor_name(prog: &MappedProgram, r: OperandRef) -> String {
+    let def = prog.def();
+    match r {
+        OperandRef::Src(m) => {
+            let access = &def.inputs()[prog.correspondence()[m]];
+            def.tensor(access.tensor).name.clone()
+        }
+        OperandRef::Dst => def.tensor(def.output().tensor).name.clone(),
+    }
+}
+
+/// The virtual memory mapping (paper Fig 3 f): the whole reformed operands
+/// are register-resident, so bases are zero and strides come from the fused
+/// shapes.
+pub fn virtual_memory_mapping(prog: &MappedProgram) -> MemoryMapping {
+    let intr = prog.intrinsic();
+    let operands = intr
+        .compute
+        .operand_refs()
+        .into_iter()
+        .map(|r| {
+            let dims = operand_iter_dims(prog, r);
+            // Row-major strides over the fused extents; innermost omitted.
+            let mut strides = Vec::new();
+            for d in 0..dims.len().saturating_sub(1) {
+                let inner: i64 = dims[d + 1..]
+                    .iter()
+                    .map(|&t| prog.fused_extent(t))
+                    .product();
+                strides.push(inner);
+            }
+            OperandAddress {
+                operand: intr.compute.operand(r).name.clone(),
+                tensor: tensor_name(prog, r),
+                base: "0".to_string(),
+                strides,
+            }
+        })
+        .collect();
+    MemoryMapping { operands }
+}
+
+/// The physical memory mapping (paper Fig 3 h): operands are tiled by the
+/// intrinsic problem size; the tile index `(fused / P)` of each dimension is
+/// scaled by its group stride (inner tile count x fragment elements), and
+/// strides are fragment row lengths.
+pub fn physical_memory_mapping(prog: &MappedProgram) -> MemoryMapping {
+    let intr = prog.intrinsic();
+    let problem = intr.compute.problem_size();
+    let operands = intr
+        .compute
+        .operand_refs()
+        .into_iter()
+        .map(|r| {
+            let dims = operand_iter_dims(prog, r);
+            let frag_elems: i64 = dims.iter().map(|&t| problem[t]).product();
+            // Group stride of dimension d: inner tile counts x fragment size.
+            let mut terms = Vec::new();
+            for (d, &t) in dims.iter().enumerate() {
+                let inner_tiles: i64 = dims[d + 1..].iter().map(|&tt| prog.tiles(tt)).product();
+                let group_stride = inner_tiles * frag_elems;
+                let fused = fused_expr(prog, t);
+                let p = problem[t];
+                let tile = if prog.fused_extent(t) <= p {
+                    // Single tile along this dimension: no contribution.
+                    continue;
+                } else if prog.groups()[t].iters.len() == 1 {
+                    format!("{fused} / {p}")
+                } else {
+                    format!("({fused}) / {p}")
+                };
+                terms.push(format!("{tile} * {group_stride}"));
+            }
+            let base = if terms.is_empty() {
+                "0".to_string()
+            } else {
+                terms.join(" + ")
+            };
+            // Fragment strides: row length of each non-innermost dimension.
+            let mut strides = Vec::new();
+            for d in 0..dims.len().saturating_sub(1) {
+                let inner: i64 = dims[d + 1..].iter().map(|&t| problem[t]).product();
+                strides.push(inner);
+            }
+            OperandAddress {
+                operand: intr.compute.operand(r).name.clone(),
+                tensor: tensor_name(prog, r),
+                base,
+                strides,
+            }
+        })
+        .collect();
+    MemoryMapping { operands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+    use amos_sim::FusedGroup;
+
+    /// The paper's Figure 3 running example.
+    fn fig3_program() -> MappedProgram {
+        let mut b = ComputeBuilder::new("conv2d_fig3");
+        let n = b.spatial("n", 1);
+        let k = b.spatial("k", 4);
+        let p = b.spatial("p", 2);
+        let q = b.spatial("q", 2);
+        let c = b.reduce("c", 1);
+        let r = b.reduce("r", 3);
+        let s = b.reduce("s", 3);
+        let image = b.input("image", &[1, 1, 4, 4], DType::F32);
+        let weight = b.input("weight", &[4, 1, 3, 3], DType::F32);
+        let out = b.output("out", &[1, 4, 2, 2], DType::F32);
+        b.mul_acc(
+            out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+            image.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+            weight.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+        );
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[0], ids[2], ids[3]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[4], ids[5], ids[6]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn virtual_mapping_matches_figure3f() {
+        let mm = virtual_memory_mapping(&fig3_program());
+        // stride_a <- 9, stride_b <- 4, stride_c <- 4; all bases zero.
+        assert_eq!(mm.operands[0].base, "0");
+        assert_eq!(mm.operands[0].strides, vec![9]);
+        assert_eq!(mm.operands[1].strides, vec![4]);
+        assert_eq!(mm.operands[2].strides, vec![4]);
+        assert_eq!(mm.operands[0].tensor, "image");
+        assert_eq!(mm.operands[2].tensor, "out");
+    }
+
+    #[test]
+    fn physical_mapping_matches_figure3h() {
+        let mm = physical_memory_mapping(&fig3_program());
+        // addr_a <- (n*4 + p*2 + q)/2 * 20 + (c*9 + r*3 + s)/2 * 4
+        assert_eq!(
+            mm.operands[0].base,
+            "(n * 4 + p * 2 + q) / 2 * 20 + (c * 9 + r * 3 + s) / 2 * 4"
+        );
+        // addr_b <- (c*9 + r*3 + s)/2 * 8 + k/2 * 4
+        assert_eq!(
+            mm.operands[1].base,
+            "(c * 9 + r * 3 + s) / 2 * 8 + k / 2 * 4"
+        );
+        // addr_c <- (n*4 + p*2 + q)/2 * 8 + k/2 * 4
+        assert_eq!(mm.operands[2].base, "(n * 4 + p * 2 + q) / 2 * 8 + k / 2 * 4");
+        // stride 2 everywhere (fragment row length).
+        assert_eq!(mm.operands[0].strides, vec![2]);
+        assert_eq!(mm.operands[1].strides, vec![2]);
+        assert_eq!(mm.operands[2].strides, vec![2]);
+    }
+
+    #[test]
+    fn broadcast_operand_has_scalar_addressing() {
+        // VNNI's Src2 is a vector indexed by r1 only: its base address uses
+        // just the reduction tile index and it has no row stride.
+        let mut b = ComputeBuilder::new("matvec");
+        let i = b.spatial("i", 32);
+        let k = b.reduce("k", 12);
+        let a = b.input("a", &[32, 12], DType::F16);
+        let x = b.input("x", &[12], DType::F16);
+        let o = b.output("o", &[32], DType::F32);
+        b.mul_acc(o.at([i.ex()]), a.at([i.ex(), k.ex()]), x.at([k.ex()]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::avx512_vnni(),
+            vec![
+                FusedGroup::of(vec![ids[0]]),
+                FusedGroup::of(vec![ids[1]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mm = physical_memory_mapping(&prog);
+        // Src1 (matrix): tiles along both axes; stride = r1 problem size.
+        assert_eq!(mm.operands[0].base, "i / 16 * 192 + k / 4 * 64");
+        assert_eq!(mm.operands[0].strides, vec![4]);
+        // Src2 (vector): only the reduction tile locates it; no strides.
+        assert_eq!(mm.operands[1].base, "k / 4 * 4");
+        assert!(mm.operands[1].strides.is_empty());
+        // Dst: lanes only.
+        assert_eq!(mm.operands[2].base, "i / 16 * 16");
+    }
+
+    #[test]
+    fn single_tile_axes_contribute_no_base_terms() {
+        // Extents below the problem size: one tile everywhere, base 0.
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 2);
+        let j = b.spatial("j", 2);
+        let k = b.reduce("k", 2);
+        let a = b.input("a", &[2, 2], DType::F16);
+        let w = b.input("b", &[2, 2], DType::F16);
+        let c = b.output("c", &[2, 2], DType::F32);
+        b.mul_acc(c.at([i.ex(), j.ex()]), a.at([i.ex(), k.ex()]), w.at([k.ex(), j.ex()]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::wmma_16x16x16(),
+            vec![
+                FusedGroup::of(vec![ids[0]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[2]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mm = physical_memory_mapping(&prog);
+        for op in &mm.operands {
+            assert_eq!(op.base, "0", "{} should not move", op.operand);
+        }
+    }
+
+    #[test]
+    fn display_renders_all_operands() {
+        let text = physical_memory_mapping(&fig3_program()).to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("Src1/image"));
+        assert!(text.contains("Dst/out"));
+    }
+}

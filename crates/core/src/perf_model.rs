@@ -1,0 +1,238 @@
+//! The analytic performance model of paper §5.3.
+//!
+//! ```text
+//! Perf = L_{L-1},  L the number of hardware levels
+//! L_l  = (Π S_l) · max(L_{l-1}, R_{l-1}, W_{l-1})    l > 0
+//! L_0  = (Π S_0) · latency_of_intrinsic
+//! R_l  = DataIn_l / in_bw_l        W_l = DataOut_l / out_bw_l
+//! ```
+//!
+//! The model predicts cycles from the same schedule-derived data volumes the
+//! timing simulator uses, but deliberately omits the second-order effects the
+//! simulator has (wave quantisation, pipeline fill, launch overhead, staging
+//! barriers, issue/bandwidth derating) — it is a *screening* model, fast and
+//! rank-accurate, exactly the role it plays in the paper's exploration loop
+//! (Figure 5 quantifies the gap).
+
+use amos_hw::{AcceleratorSpec, OperandRef};
+use amos_sim::{AxisKind, MappedProgram, Schedule, SimError};
+
+/// A per-level breakdown of the prediction, for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBreakdown {
+    /// Predicted total cycles (`Perf` in the paper).
+    pub cycles: f64,
+    /// Compute term at level 0 (intrinsic issue).
+    pub l0_compute: f64,
+    /// Read term into the register level.
+    pub r_register: f64,
+    /// Read term into the staging (shared) level.
+    pub r_shared: f64,
+    /// Read term from device memory.
+    pub r_device: f64,
+    /// Write term back to device memory.
+    pub w_device: f64,
+    /// Sequential factor at the device level (waves of blocks, unquantised).
+    pub s_device: f64,
+}
+
+/// Predicts execution cycles for a mapped program under a schedule.
+///
+/// # Errors
+///
+/// Returns the schedule-validation error when the schedule is malformed
+/// (capacity violations are *not* model errors — the model is also used to
+/// score slightly-infeasible candidates during mutation — so only structural
+/// mismatches are rejected).
+pub fn predict(
+    prog: &MappedProgram,
+    schedule: &Schedule,
+    accel: &AcceleratorSpec,
+) -> Result<PerfBreakdown, SimError> {
+    let axes = prog.axes();
+    if schedule.grid.len() != axes.len() {
+        return Err(SimError::InvalidSchedule {
+            detail: "schedule does not match program axes".into(),
+        });
+    }
+    let intr = prog.intrinsic();
+    let num_srcs = intr.compute.num_srcs();
+
+    // ---- level 0: intrinsic issue ----------------------------------------
+    let mut calls_per_subcore = 1f64;
+    for i in 0..axes.len() {
+        calls_per_subcore *= schedule.subcore_chunk(&axes, i) as f64;
+    }
+    let l0 = calls_per_subcore * intr.initiation_interval as f64;
+
+    // ---- register-level read ----------------------------------------------
+    let mut register_bytes = 0f64;
+    for m in 0..num_srcs {
+        let mut reuse = 1i64;
+        for (i, a) in axes.iter().enumerate() {
+            if matches!(a.kind, AxisKind::TileSpatial(_)) && !prog.operand_uses_axis(m, a) {
+                reuse *= schedule.warp[i].min(schedule.subcore_chunk(&axes, i));
+            }
+        }
+        register_bytes += calls_per_subcore / reuse.max(1) as f64
+            * intr.fragment_bytes(OperandRef::Src(m)) as f64;
+    }
+    let reg_bw = accel.levels[0].memory.load_bytes_per_cycle;
+    let r_register = if reg_bw > 0.0 {
+        register_bytes / reg_bw
+    } else {
+        0.0
+    };
+
+    // ---- staging-level read -----------------------------------------------
+    let block_read: f64 = (0..num_srcs)
+        .map(|m| schedule.block_read_bytes(prog, m) as f64)
+        .sum();
+    let shared_level = accel.shared_level();
+    let shared_bw = accel.levels[shared_level].memory.load_bytes_per_cycle;
+    let r_shared = if shared_bw > 0.0 {
+        block_read / shared_bw
+    } else {
+        0.0
+    };
+
+    // ---- device-level read/write ------------------------------------------
+    let cores = accel.total_units(shared_level) as f64;
+    let blocks = schedule.blocks() as f64;
+    let active = blocks.min(cores);
+    let device = accel.levels.last().expect("levels");
+    let r_device = block_read / (device.memory.load_bytes_per_cycle / active);
+
+    let dst_row = num_srcs;
+    let mut dst_tiles = 1f64;
+    for (i, a) in axes.iter().enumerate() {
+        if prog.operand_uses_axis(dst_row, a) && a.kind.is_spatial() {
+            dst_tiles *= schedule.block_chunk(&axes, i) as f64;
+        }
+    }
+    let write_bytes = dst_tiles * intr.fragment_bytes(OperandRef::Dst) as f64;
+    let w_device = write_bytes / (device.memory.store_bytes_per_cycle / active);
+
+    // ---- hierarchy recursion ------------------------------------------------
+    // L_1 (sub-core) = max(L_0, R_0, W_0); L_2 (core) folds staging; the
+    // device level multiplies by the sequential wave factor.
+    let l1 = l0.max(r_register);
+    let l2 = l1.max(r_shared).max(r_device).max(w_device);
+    let s_device = blocks / cores; // unquantised sequential factor
+    let cycles = s_device.max(1.0) * l2;
+
+    Ok(PerfBreakdown {
+        cycles,
+        l0_compute: l0,
+        r_register,
+        r_shared,
+        r_device,
+        w_device,
+        s_device,
+    })
+}
+
+/// Convenience wrapper returning only the predicted cycle count.
+pub fn predict_cycles(
+    prog: &MappedProgram,
+    schedule: &Schedule,
+    accel: &AcceleratorSpec,
+) -> Result<f64, SimError> {
+    predict(prog, schedule, accel).map(|b| b.cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+    use amos_sim::FusedGroup;
+
+    fn gemm_prog(m: i64, n: i64, k: i64) -> MappedProgram {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", m);
+        let j = b.spatial("j", n);
+        let kk = b.reduce("k", k);
+        let a = b.input("a", &[m, k], DType::F16);
+        let w = b.input("b", &[k, n], DType::F16);
+        let c = b.output("c", &[m, n], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, kk]), w.at([kk, j]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        MappedProgram::new(
+            def,
+            catalog::wmma_16x16x16(),
+            vec![
+                FusedGroup::of(vec![ids[0]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[2]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prediction_tracks_simulation_direction() {
+        let prog = gemm_prog(2048, 2048, 512);
+        let accel = catalog::v100();
+        let naive = Schedule::naive(&prog);
+        let good = Schedule::balanced(&prog, &accel);
+        let p_naive = predict_cycles(&prog, &naive, &accel).unwrap();
+        let p_good = predict_cycles(&prog, &good, &accel).unwrap();
+        assert!(p_good < p_naive, "model must prefer the better schedule");
+
+        let s_naive = amos_sim::simulate(&prog, &naive, &accel).unwrap().cycles;
+        let s_good = amos_sim::simulate(&prog, &good, &accel).unwrap().cycles;
+        assert!(s_good < s_naive);
+    }
+
+    #[test]
+    fn model_underestimates_the_simulator() {
+        // The model omits launch overhead, fill and barriers, so it should
+        // not exceed the simulator for the same configuration.
+        let prog = gemm_prog(1024, 1024, 256);
+        let accel = catalog::v100();
+        let s = Schedule::balanced(&prog, &accel);
+        let predicted = predict_cycles(&prog, &s, &accel).unwrap();
+        let simulated = amos_sim::simulate(&prog, &s, &accel).unwrap().cycles;
+        assert!(predicted <= simulated);
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let prog = gemm_prog(1024, 1024, 1024);
+        let mut accel = catalog::v100();
+        let s = Schedule::balanced(&prog, &accel);
+        let base = predict_cycles(&prog, &s, &accel).unwrap();
+        accel
+            .levels
+            .last_mut()
+            .unwrap()
+            .memory
+            .load_bytes_per_cycle *= 2.0;
+        let faster = predict_cycles(&prog, &s, &accel).unwrap();
+        assert!(faster <= base);
+    }
+
+    #[test]
+    fn breakdown_terms_are_nonnegative() {
+        let prog = gemm_prog(256, 256, 256);
+        let accel = catalog::a100();
+        let b = predict(&prog, &Schedule::naive(&prog), &accel).unwrap();
+        assert!(b.l0_compute > 0.0);
+        assert!(b.r_register >= 0.0);
+        assert!(b.r_shared >= 0.0);
+        assert!(b.r_device >= 0.0);
+        assert!(b.w_device >= 0.0);
+        assert!(b.cycles >= b.l0_compute.min(b.r_device));
+    }
+
+    #[test]
+    fn mismatched_schedule_rejected() {
+        let prog = gemm_prog(256, 256, 256);
+        let mut s = Schedule::naive(&prog);
+        s.grid.pop();
+        assert!(predict_cycles(&prog, &s, &catalog::v100()).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Mapping validation — paper §5.2, Algorithm 1.
+//!
+//! A mapping is valid when the binary matching matrix `Y` transports the
+//! intrinsic access relationship `Z` onto the software access relationship
+//! `X` and back:
+//!
+//! ```text
+//! Z ★ Y  = X      (software access relationship preserved)
+//! X ★ Yᵀ = Z      (hardware access relationship preserved)
+//! ```
+//!
+//! where ★ is the boolean matrix product. `X` is restricted to the *mapped*
+//! software iterations, and every empty intrinsic axis is represented by a
+//! synthetic unit iteration whose access column equals the axis's `Z`
+//! column — after padding, that degenerate dimension genuinely exists in the
+//! software loop nest.
+
+use crate::mapping::Mapping;
+use amos_hw::Intrinsic;
+use amos_ir::{BinMatrix, ComputeDef};
+
+/// Raw Algorithm 1 on explicit matrices.
+///
+/// ```
+/// use amos_core::validate::algorithm1;
+/// use amos_ir::BinMatrix;
+///
+/// // The paper's Figure 4 matrices: conv2d onto the mma intrinsic.
+/// let x = BinMatrix::from_rows(&[
+///     &[1, 0, 1, 1, 1, 1, 1], // image
+///     &[0, 1, 0, 0, 1, 1, 1], // weight
+///     &[1, 1, 1, 1, 0, 0, 0], // out
+/// ]);
+/// let y = BinMatrix::from_rows(&[
+///     &[1, 0, 1, 1, 0, 0, 0], // i1 <- n, p, q
+///     &[0, 1, 0, 0, 0, 0, 0], // i2 <- k
+///     &[0, 0, 0, 0, 1, 1, 1], // r1 <- c, r, s
+/// ]);
+/// let z = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 0]]);
+/// assert!(algorithm1(&x, &y, &z));
+/// ```
+///
+/// * `x` — software access matrix (operand-slot rows, mapped-iteration cols),
+/// * `y` — matching matrix (intrinsic-iteration rows, mapped-iteration cols),
+/// * `z` — intrinsic access matrix (operand-slot rows, intrinsic-iter cols).
+pub fn algorithm1(x: &BinMatrix, y: &BinMatrix, z: &BinMatrix) -> bool {
+    if z.cols() != y.rows() || x.cols() != y.cols() || x.rows() != z.rows() {
+        return false;
+    }
+    let x_prime = z.bool_mul(y);
+    let z_prime = x.bool_mul(&y.transpose());
+    x_prime == *x && z_prime == *z
+}
+
+/// Builds the Algorithm-1 inputs for a mapping and runs the check.
+///
+/// The software access matrix is constructed in *intrinsic operand order*
+/// using the mapping's correspondence (row `m` is the input access feeding
+/// source slot `m`; the last row is the output), so a single algorithm covers
+/// every operand permutation.
+pub fn validate_mapping(def: &ComputeDef, intrinsic: &Intrinsic, mapping: &Mapping) -> bool {
+    if mapping.correspondence.len() != def.inputs().len()
+        || mapping.correspondence.len() != intrinsic.compute.num_srcs()
+        || mapping.groups.len() != intrinsic.compute.iters().len()
+    {
+        return false;
+    }
+    let z = intrinsic.compute.access_matrix();
+    let num_iters = intrinsic.compute.iters().len();
+
+    // Mapped software iterations, in declaration order.
+    let mapped = mapping.mapped_iters();
+    if mapped.is_empty() {
+        return false;
+    }
+    let empty_axes: Vec<usize> = (0..num_iters)
+        .filter(|&t| mapping.groups[t].iters.is_empty())
+        .collect();
+    let cols = mapped.len() + empty_axes.len();
+
+    // Software access matrix X, rows in operand-slot order.
+    let mut x = BinMatrix::zeros(z.rows(), cols);
+    for (m, &input_idx) in mapping.correspondence.iter().enumerate() {
+        let access = &def.inputs()[input_idx];
+        for (col, &s) in mapped.iter().enumerate() {
+            x[(m, col)] = access.indices.iter().any(|e| e.uses(s));
+        }
+    }
+    let dst_row = z.rows() - 1;
+    for (col, &s) in mapped.iter().enumerate() {
+        x[(dst_row, col)] = def.output().indices.iter().any(|e| e.uses(s));
+    }
+    // Synthetic unit iterations for empty axes: their column equals the
+    // axis's Z column.
+    for (k, &t) in empty_axes.iter().enumerate() {
+        let col = mapped.len() + k;
+        for row in 0..z.rows() {
+            x[(row, col)] = z[(row, t)];
+        }
+    }
+
+    // Matching matrix Y over the same columns.
+    let mut y = BinMatrix::zeros(num_iters, cols);
+    for (t, g) in mapping.groups.iter().enumerate() {
+        for &s in &g.iters {
+            let col = mapped
+                .binary_search(&s)
+                .expect("mapped iteration is in the mapped list");
+            y[(t, col)] = true;
+        }
+    }
+    for (k, &t) in empty_axes.iter().enumerate() {
+        y[(t, mapped.len() + k)] = true;
+    }
+
+    algorithm1(&x, &y, &z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_ir::BinMatrix;
+
+    /// The exact matrices of paper Figure 4.
+    fn paper_matrices() -> (BinMatrix, BinMatrix, BinMatrix) {
+        let x = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 1, 1, 1], // image
+            &[0, 1, 0, 0, 1, 1, 1], // weight
+            &[1, 1, 1, 1, 0, 0, 0], // out
+        ]);
+        let y = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 0, 0, 0], // i1 <- n, p, q
+            &[0, 1, 0, 0, 0, 0, 0], // i2 <- k
+            &[0, 0, 0, 0, 1, 1, 1], // r1 <- c, r, s
+        ]);
+        let z = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 0]]);
+        (x, y, z)
+    }
+
+    #[test]
+    fn figure4_mapping_is_valid() {
+        let (x, y, z) = paper_matrices();
+        assert!(algorithm1(&x, &y, &z));
+    }
+
+    #[test]
+    fn mapping_n_and_k_to_same_axis_is_invalid() {
+        // The §5.2 counter-example: n and k share i1.
+        let (x, _, z) = paper_matrices();
+        let y = BinMatrix::from_rows(&[
+            &[1, 1, 1, 1, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 1],
+        ]);
+        assert!(!algorithm1(&x, &y, &z));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_invalid() {
+        let (x, y, z) = paper_matrices();
+        let bad_z = BinMatrix::zeros(3, 2);
+        assert!(!algorithm1(&x, &y, &bad_z));
+        let bad_x = BinMatrix::zeros(2, 7);
+        assert!(!algorithm1(&bad_x, &y, &z));
+    }
+
+    #[test]
+    fn swapping_spatial_and_reduction_is_invalid() {
+        // Map c, r, s to i1 and n, p, q to r1: the output would be indexed by
+        // reduction iterations.
+        let (x, _, z) = paper_matrices();
+        let y = BinMatrix::from_rows(&[
+            &[0, 0, 0, 0, 1, 1, 1],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[1, 0, 1, 1, 0, 0, 0],
+        ]);
+        assert!(!algorithm1(&x, &y, &z));
+    }
+}

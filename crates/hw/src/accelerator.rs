@@ -1,0 +1,194 @@
+//! Spatial accelerator specifications: the hierarchical hardware model of
+//! paper Figure 1a (PE array → sub-core → core → device), with the memory
+//! capacities and bandwidths that constrain mappings and feed both the
+//! analytic performance model and the timing simulator.
+
+use crate::intrinsic::Intrinsic;
+use std::fmt;
+
+/// Memory attached to one hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySpec {
+    /// Capacity per unit at this level, in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained read bandwidth into this level, bytes per cycle per unit.
+    pub load_bytes_per_cycle: f64,
+    /// Sustained write bandwidth out of this level, bytes per cycle per unit.
+    pub store_bytes_per_cycle: f64,
+}
+
+impl MemorySpec {
+    /// A memory with symmetric load/store bandwidth.
+    pub fn symmetric(capacity_bytes: u64, bytes_per_cycle: f64) -> Self {
+        MemorySpec {
+            capacity_bytes,
+            load_bytes_per_cycle: bytes_per_cycle,
+            store_bytes_per_cycle: bytes_per_cycle,
+        }
+    }
+}
+
+/// One level of the accelerator hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// Display name (`pe-array`, `sub-core`, `core`, `device`).
+    pub name: String,
+    /// How many units of the *previous* (inner) level one unit of this level
+    /// contains; the innermost level uses 1.
+    pub inner_units: u64,
+    /// Memory attached to one unit of this level.
+    pub memory: MemorySpec,
+}
+
+/// A spatial accelerator: hierarchy plus the intrinsic it exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Accelerator name (`v100`, `a100`, ...).
+    pub name: String,
+    /// Levels from innermost (level 0, the PE array with its register
+    /// fragments) to outermost (the device with global memory).
+    pub levels: Vec<Level>,
+    /// The primary compute intrinsic exposed by the PE array.
+    pub intrinsic: Intrinsic,
+    /// Additional intrinsics on accelerators with heterogeneous units
+    /// (e.g. an Ascend-style NPU exposes both a cube unit and a vector
+    /// unit). The explorer considers every intrinsic and keeps the best
+    /// mapping across them.
+    pub extra_intrinsics: Vec<Intrinsic>,
+    /// Clock frequency in GHz; converts cycles to seconds for reporting.
+    pub clock_ghz: f64,
+    /// Scalar (non-tensor) multiply-add throughput per core per cycle, used
+    /// when a baseline fails to map an operator onto the spatial unit and
+    /// falls back to the general-purpose units.
+    pub scalar_ops_per_core_cycle: f64,
+}
+
+impl AcceleratorSpec {
+    /// Number of hierarchy levels (`L` in the performance model).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// All intrinsics of the accelerator: the primary one first, then any
+    /// heterogeneous extras.
+    pub fn all_intrinsics(&self) -> impl Iterator<Item = &Intrinsic> {
+        std::iter::once(&self.intrinsic).chain(self.extra_intrinsics.iter())
+    }
+
+    /// Total parallel units of level `l` on the whole device: the product of
+    /// `inner_units` of every level *above* `l`.
+    pub fn total_units(&self, l: usize) -> u64 {
+        self.levels[l + 1..].iter().map(|lv| lv.inner_units).product()
+    }
+
+    /// Total parallel PE arrays (units of level 0) on the device — the
+    /// hardware parallelism a mapping's spatial loops can be bound to.
+    pub fn total_pe_arrays(&self) -> u64 {
+        self.total_units(0)
+    }
+
+    /// The level holding on-chip staging buffers (shared memory): the
+    /// innermost level with finite capacity above the register level.
+    pub fn shared_level(&self) -> usize {
+        // By convention level 0 carries the register-fragment capacity and
+        // the first level above it with non-zero capacity is the staging one.
+        (1..self.levels.len())
+            .find(|&l| self.levels[l].memory.capacity_bytes > 0)
+            .unwrap_or(self.levels.len() - 1)
+    }
+
+    /// Cycles corresponding to one second at the accelerator clock.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Peak tensor throughput of the whole device in scalar ops/cycle.
+    pub fn peak_tensor_ops_per_cycle(&self) -> f64 {
+        self.intrinsic.ops_per_cycle() * self.total_pe_arrays() as f64
+    }
+
+    /// Converts a cycle count to GFLOPS (counting 2 flops per multiply-add)
+    /// for a computation of the given scalar multiply-add count.
+    pub fn gflops(&self, scalar_ops: i64, cycles: f64) -> f64 {
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        let seconds = cycles / self.cycles_per_second();
+        (2.0 * scalar_ops as f64) / seconds / 1e9
+    }
+}
+
+impl fmt::Display for AcceleratorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} @ {:.2} GHz, intrinsic {}",
+            self.name, self.clock_ghz, self.intrinsic.name
+        )?;
+        for (l, lv) in self.levels.iter().enumerate() {
+            writeln!(
+                f,
+                "  level {l}: {} x{} (cap {} B, bw {:.0}/{:.0} B/cyc)",
+                lv.name,
+                self.total_units(l),
+                lv.memory.capacity_bytes,
+                lv.memory.load_bytes_per_cycle,
+                lv.memory.store_bytes_per_cycle
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    #[test]
+    fn v100_hierarchy_shape() {
+        let v100 = catalog::v100();
+        assert_eq!(v100.num_levels(), 4);
+        // 80 SMs x 4 sub-cores = 320 PE arrays.
+        assert_eq!(v100.total_pe_arrays(), 320);
+        assert_eq!(v100.total_units(2), 80); // SMs on the device
+        assert!(v100.peak_tensor_ops_per_cycle() > 0.0);
+        assert_eq!(v100.shared_level(), 2); // shared memory lives on the SM
+    }
+
+    #[test]
+    fn a100_is_bigger_than_v100() {
+        let (v, a) = (catalog::v100(), catalog::a100());
+        assert!(a.total_pe_arrays() > v.total_pe_arrays());
+        assert!(a.peak_tensor_ops_per_cycle() > v.peak_tensor_ops_per_cycle());
+        assert!(
+            a.levels.last().unwrap().memory.load_bytes_per_cycle
+                > v.levels.last().unwrap().memory.load_bytes_per_cycle
+        );
+    }
+
+    #[test]
+    fn gflops_conversion() {
+        let v100 = catalog::v100();
+        // 1e9 MACs in 1 second worth of cycles => 2 GFLOPS.
+        let cycles = v100.cycles_per_second();
+        let g = v100.gflops(1_000_000_000, cycles);
+        assert!((g - 2.0).abs() < 1e-9);
+        assert_eq!(v100.gflops(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn all_intrinsics_lists_heterogeneous_units() {
+        let npu = catalog::ascend_npu();
+        let names: Vec<&str> = npu.all_intrinsics().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["cube_mma", "vec_mac"]);
+        let v100 = catalog::v100();
+        assert_eq!(v100.all_intrinsics().count(), 1);
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let text = catalog::v100().to_string();
+        assert!(text.contains("level 0"));
+        assert!(text.contains("mma_sync"));
+    }
+}

@@ -1,0 +1,736 @@
+//! Catalog of intrinsics and accelerators used in the AMOS evaluation.
+//!
+//! The commercial accelerators are parameterised from their public
+//! whitepapers (V100/A100 SM counts, shared-memory sizes, DRAM bandwidths);
+//! the intrinsic latencies follow published microbenchmarking (Jia et al.,
+//! "Dissecting the NVIDIA Volta GPU Architecture"). The three *virtual*
+//! accelerators (AXPY/GEMV/CONV units) reproduce paper §7.5.
+//!
+//! All figures drive a simulator, not silicon; see DESIGN.md §2 for the
+//! substitution rationale.
+
+use crate::abstraction::{ComputeAbstraction, IntrinsicIter, OperandSpec};
+use crate::accelerator::{AcceleratorSpec, Level, MemorySpec};
+use crate::intrinsic::Intrinsic;
+use crate::memory::MemoryAbstraction;
+use amos_ir::{DType, Expr, IterId, IterKind, OpKind};
+
+fn iter(name: &str, extent: i64, kind: IterKind) -> IntrinsicIter {
+    IntrinsicIter {
+        name: name.into(),
+        extent,
+        kind,
+    }
+}
+
+/// The `mma_sync` WMMA intrinsic: a 16x16x16 f16 matrix multiply-accumulate
+/// with explicit `load_matrix_sync`/`store_matrix_sync` memory intrinsics.
+pub fn wmma_16x16x16() -> Intrinsic {
+    wmma_with_timing(64, 32)
+}
+
+/// WMMA with explicit pipeline timing, used to differentiate GPU generations.
+pub fn wmma_with_timing(latency: u64, initiation_interval: u64) -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 16, IterKind::Spatial),
+            iter("i2", 16, IterKind::Spatial),
+            iter("r1", 16, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 2]),
+            OperandSpec::simple("Src2", &[2, 1]),
+        ],
+        OperandSpec::simple("Dst", &[0, 1]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "mma_sync".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_matrix_sync", "store_matrix_sync"),
+        latency,
+        initiation_interval,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    }
+}
+
+/// The simplified 2x2x2 Tensor Core of the paper's Figure 3 running example.
+pub fn mini_mma_2x2x2() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 2, IterKind::Spatial),
+            iter("i2", 2, IterKind::Spatial),
+            iter("r1", 2, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 2]),
+            OperandSpec::simple("Src2", &[2, 1]),
+        ],
+        OperandSpec::simple("Dst", &[0, 1]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "mini_mma".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_matrix", "store_matrix"),
+        latency: 4,
+        initiation_interval: 2,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    }
+}
+
+/// The AVX-512 VNNI `_mm512_dpbusds_epi32` intrinsic used as the paper does
+/// (§7.5): a 16x4 *matrix-vector* multiply-accumulate. Lane `i1` holds row
+/// `Src1[i1, r1]`; the second operand is the 4-element vector `Src2[r1]`
+/// replicated across lanes (the replication is a register-layout detail that
+/// the memory mapping performs).
+pub fn avx512_vnni() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 16, IterKind::Spatial),
+            iter("r1", 4, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 1]),
+            OperandSpec::simple("Src2", &[1]),
+        ],
+        OperandSpec::simple("Dst", &[0]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "_mm512_dpbusds_epi32".into(),
+        compute,
+        memory: MemoryAbstraction::implicit_style(2),
+        latency: 5,
+        initiation_interval: 1,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    }
+}
+
+/// The Mali Bifrost `arm_dot` intrinsic: one 4-element i8 dot product
+/// accumulated into a scalar i32, with no explicit memory intrinsics.
+pub fn arm_dot4() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![iter("r1", 4, IterKind::Reduction)],
+        vec![
+            OperandSpec::simple("Src1", &[0]),
+            OperandSpec::simple("Src2", &[0]),
+        ],
+        OperandSpec::scalar("Dst"),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "arm_dot".into(),
+        compute,
+        memory: MemoryAbstraction::implicit_style(2),
+        latency: 4,
+        initiation_interval: 1,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    }
+}
+
+/// §7.5 virtual accelerator intrinsic: a BLAS-1 AXPY unit
+/// `Dst[i1] += Src1[] * Src2[i1]` over 32 lanes (Src1 is a broadcast scalar).
+pub fn axpy_unit() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![iter("i1", 32, IterKind::Spatial)],
+        vec![OperandSpec::scalar("Src1"), OperandSpec::simple("Src2", &[0])],
+        OperandSpec::simple("Dst", &[0]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "axpy32".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_vec", "store_vec"),
+        latency: 8,
+        initiation_interval: 2,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    }
+}
+
+/// §7.5 virtual accelerator intrinsic: a BLAS-2 GEMV unit
+/// `Dst[i1] += Src1[i1, r1] * Src2[r1]` (16x16 matrix times 16-vector).
+pub fn gemv_unit() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 16, IterKind::Spatial),
+            iter("r1", 16, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 1]),
+            OperandSpec::simple("Src2", &[1]),
+        ],
+        OperandSpec::simple("Dst", &[0]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "gemv16".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_tile", "store_tile"),
+        latency: 16,
+        initiation_interval: 8,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    }
+}
+
+/// §7.5 virtual accelerator intrinsic: a BLAS-3-style 1D convolution engine
+/// `Dst[i1, i2] += Src1[r1, i2 + r2] * Src2[i1, r1, r2]` — output channels
+/// `i1`, output positions `i2`, input channels `r1` and a 3-tap window `r2`.
+pub fn conv_unit() -> Intrinsic {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 8, IterKind::Spatial),
+            iter("i2", 8, IterKind::Spatial),
+            iter("r1", 8, IterKind::Reduction),
+            iter("r2", 3, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec {
+                name: "Src1".into(),
+                dims: vec![
+                    Expr::Var(IterId(2)),
+                    Expr::Var(IterId(1)) + Expr::Var(IterId(3)),
+                ],
+            },
+            OperandSpec::simple("Src2", &[0, 2, 3]),
+        ],
+        OperandSpec::simple("Dst", &[0, 1]),
+        OpKind::MulAcc,
+    );
+    Intrinsic {
+        name: "conv8x8x3".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_line", "store_line"),
+        latency: 24,
+        initiation_interval: 12,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    }
+}
+
+/// NVIDIA V100 (Volta): 80 SMs x 4 sub-cores, 96 KiB shared memory per SM,
+/// ~900 GB/s HBM2 at 1.53 GHz.
+pub fn v100() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "v100".into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                // 64 KiB register file per sub-core; shared->reg ~128 B/cyc.
+                memory: MemorySpec::symmetric(64 * 1024, 128.0),
+            },
+            Level {
+                name: "sub-core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(0, 0.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 4,
+                // 96 KiB shared memory per SM, ~128 B/cyc from L2/DRAM side.
+                memory: MemorySpec::symmetric(96 * 1024, 128.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 80,
+                // 900 GB/s / 1.53 GHz ≈ 588 B/cycle aggregate.
+                memory: MemorySpec::symmetric(16 << 30, 588.0),
+            },
+        ],
+        intrinsic: wmma_with_timing(64, 32),
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 1.53,
+        scalar_ops_per_core_cycle: 64.0, // fp32 FMAs per SM per cycle
+    }
+}
+
+/// NVIDIA A100 (Ampere): 108 SMs x 4 sub-cores, 164 KiB shared memory per
+/// SM, ~1555 GB/s HBM2e at 1.41 GHz, third-generation Tensor Cores with
+/// twice the per-subcore WMMA throughput.
+pub fn a100() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "a100".into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(64 * 1024, 256.0),
+            },
+            Level {
+                name: "sub-core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(0, 0.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 4,
+                memory: MemorySpec::symmetric(164 * 1024, 256.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 108,
+                // 1555 GB/s / 1.41 GHz ≈ 1103 B/cycle aggregate.
+                memory: MemorySpec::symmetric(40u64 << 30, 1103.0),
+            },
+        ],
+        intrinsic: wmma_with_timing(32, 16),
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 1.41,
+        scalar_ops_per_core_cycle: 64.0,
+    }
+}
+
+/// Intel Xeon Silver 4110-class CPU with AVX-512 VNNI: 8 cores, 32 KiB L1D,
+/// ~2.1 GHz, ~100 GB/s socket bandwidth.
+pub fn xeon_avx512() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "xeon-avx512".into(),
+        levels: vec![
+            Level {
+                name: "vector-unit".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(2 * 1024, 128.0), // zmm register file
+            },
+            Level {
+                name: "port".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(0, 0.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(32 * 1024, 64.0), // L1D
+            },
+            Level {
+                name: "socket".into(),
+                inner_units: 8,
+                // ~100 GB/s / 2.1 GHz ≈ 48 B/cycle.
+                memory: MemorySpec::symmetric(64u64 << 30, 48.0),
+            },
+        ],
+        intrinsic: avx512_vnni(),
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 2.1,
+        scalar_ops_per_core_cycle: 16.0, // AVX2 fp32 FMA fallback
+    }
+}
+
+/// ARM Mali G76 (Bifrost): 12 cores x 3 execution engines with `arm_dot`,
+/// ~0.8 GHz, ~15 GB/s LPDDR bandwidth.
+pub fn mali_g76() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "mali-g76".into(),
+        levels: vec![
+            Level {
+                name: "dot-unit".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(1024, 32.0),
+            },
+            Level {
+                name: "engine".into(),
+                inner_units: 3,
+                memory: MemorySpec::symmetric(0, 0.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(16 * 1024, 16.0), // load/store cache
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 12,
+                // ~15 GB/s / 0.8 GHz ≈ 19 B/cycle.
+                memory: MemorySpec::symmetric(4u64 << 30, 19.0),
+            },
+        ],
+        intrinsic: arm_dot4(),
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 0.8,
+        scalar_ops_per_core_cycle: 8.0,
+    }
+}
+
+/// The tiny accelerator of the Figure 3 running example: a 2x2x2 matrix
+/// unit with just enough staging memory to exercise every constraint.
+pub fn mini_accel() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "mini".into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(256, 8.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 2,
+                memory: MemorySpec::symmetric(1024, 8.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 2,
+                memory: MemorySpec::symmetric(1 << 20, 16.0),
+            },
+        ],
+        intrinsic: mini_mma_2x2x2(),
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 1.0,
+    }
+}
+
+fn virtual_accel(name: &str, intrinsic: Intrinsic) -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: name.into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(16 * 1024, 64.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 4,
+                memory: MemorySpec::symmetric(64 * 1024, 64.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 16,
+                memory: MemorySpec::symmetric(8u64 << 30, 256.0),
+            },
+        ],
+        intrinsic,
+        extra_intrinsics: Vec::new(),
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 4.0,
+    }
+}
+
+/// NVIDIA T4 (Turing): 40 SMs x 4 sub-cores, 64 KiB shared memory per SM,
+/// ~320 GB/s GDDR6 at 1.35 GHz — a smaller Tensor Core part that stresses
+/// the schedule space differently from V100/A100.
+pub fn t4() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "t4".into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(64 * 1024, 128.0),
+            },
+            Level {
+                name: "sub-core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(0, 0.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 4,
+                memory: MemorySpec::symmetric(64 * 1024, 128.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 40,
+                // 320 GB/s / 1.35 GHz = 237 B/cycle aggregate.
+                memory: MemorySpec::symmetric(16u64 << 30, 237.0),
+            },
+        ],
+        intrinsic: wmma_with_timing(64, 32),
+        clock_ghz: 1.35,
+        scalar_ops_per_core_cycle: 64.0,
+        extra_intrinsics: Vec::new(),
+    }
+}
+
+/// A TPU-v1-style device (the paper's canonical systolic example): one huge
+/// 128x128x128 matrix unit per core, few cores, large unified buffer. The
+/// giant problem size makes padding the dominant effect for small operators.
+pub fn tpu_like() -> AcceleratorSpec {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 128, IterKind::Spatial),
+            iter("i2", 128, IterKind::Spatial),
+            iter("r1", 128, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 2]),
+            OperandSpec::simple("Src2", &[2, 1]),
+        ],
+        OperandSpec::simple("Dst", &[0, 1]),
+        OpKind::MulAcc,
+    );
+    let mxu = Intrinsic {
+        name: "mxu_128x128".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "load_tile", "store_tile"),
+        latency: 256,
+        initiation_interval: 128,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    };
+    AcceleratorSpec {
+        name: "tpu-like".into(),
+        levels: vec![
+            Level {
+                name: "mxu".into(),
+                inner_units: 1,
+                // Accumulators + weight FIFO.
+                memory: MemorySpec::symmetric(256 * 1024, 512.0),
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 1,
+                // 24 MiB unified buffer.
+                memory: MemorySpec::symmetric(24 * 1024 * 1024, 256.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 2,
+                memory: MemorySpec::symmetric(8u64 << 30, 128.0),
+            },
+        ],
+        intrinsic: mxu,
+        clock_ghz: 0.7,
+        scalar_ops_per_core_cycle: 4.0,
+        extra_intrinsics: Vec::new(),
+    }
+}
+
+/// A Gemmini-style INT8 systolic array (16x16x16), the paper's example of an
+/// academic generator-produced accelerator.
+pub fn gemmini_like() -> AcceleratorSpec {
+    let compute = ComputeAbstraction::new(
+        vec![
+            iter("i1", 16, IterKind::Spatial),
+            iter("i2", 16, IterKind::Spatial),
+            iter("r1", 16, IterKind::Reduction),
+        ],
+        vec![
+            OperandSpec::simple("Src1", &[0, 2]),
+            OperandSpec::simple("Src2", &[2, 1]),
+        ],
+        OperandSpec::simple("Dst", &[0, 1]),
+        OpKind::MulAcc,
+    );
+    let systolic = Intrinsic {
+        name: "gemmini_matmul".into(),
+        compute,
+        memory: MemoryAbstraction::fragment_style(2, "mvin", "mvout"),
+        latency: 48,
+        initiation_interval: 16,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    };
+    AcceleratorSpec {
+        name: "gemmini-like".into(),
+        levels: vec![
+            Level {
+                name: "systolic-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(64 * 1024, 64.0), // accumulator SRAM
+            },
+            Level {
+                name: "core".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(256 * 1024, 64.0), // scratchpad
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(4u64 << 30, 32.0),
+            },
+        ],
+        intrinsic: systolic,
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 2.0,
+        extra_intrinsics: Vec::new(),
+    }
+}
+
+/// An Ascend-910-style NPU with *heterogeneous* units (paper Fig 1 cites
+/// Ascend's cube and vector units): a 16x16x16 cube matrix engine as the
+/// primary intrinsic plus a 32-lane vector MAC unit. The explorer picks the
+/// better unit per operator via `Explorer::explore_multi`.
+pub fn ascend_npu() -> AcceleratorSpec {
+    let cube = Intrinsic {
+        name: "cube_mma".into(),
+        ..wmma_with_timing(48, 24)
+    };
+    let vector = Intrinsic {
+        name: "vec_mac".into(),
+        compute: ComputeAbstraction::new(
+            vec![
+                iter("i1", 32, IterKind::Spatial),
+                iter("r1", 4, IterKind::Reduction),
+            ],
+            vec![
+                OperandSpec::simple("Src1", &[0, 1]),
+                OperandSpec::simple("Src2", &[1]),
+            ],
+            OperandSpec::simple("Dst", &[0]),
+            OpKind::MulAcc,
+        ),
+        memory: MemoryAbstraction::implicit_style(2),
+        latency: 6,
+        initiation_interval: 1,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    };
+    AcceleratorSpec {
+        name: "ascend-npu".into(),
+        levels: vec![
+            Level {
+                name: "pe-array".into(),
+                inner_units: 1,
+                memory: MemorySpec::symmetric(64 * 1024, 256.0),
+            },
+            Level {
+                name: "ai-core".into(),
+                inner_units: 2,
+                memory: MemorySpec::symmetric(192 * 1024, 256.0),
+            },
+            Level {
+                name: "device".into(),
+                inner_units: 32,
+                memory: MemorySpec::symmetric(32u64 << 30, 800.0),
+            },
+        ],
+        intrinsic: cube,
+        extra_intrinsics: vec![vector],
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 16.0,
+    }
+}
+
+/// §7.5 virtual spatial accelerator built around the AXPY unit.
+pub fn virtual_axpy() -> AcceleratorSpec {
+    virtual_accel("virtual-axpy", axpy_unit())
+}
+
+/// §7.5 virtual spatial accelerator built around the GEMV unit.
+pub fn virtual_gemv() -> AcceleratorSpec {
+    virtual_accel("virtual-gemv", gemv_unit())
+}
+
+/// §7.5 virtual spatial accelerator built around the CONV unit.
+pub fn virtual_conv() -> AcceleratorSpec {
+    virtual_accel("virtual-conv", conv_unit())
+}
+
+/// Every accelerator in the catalog, for sweep-style tests and benches.
+pub fn all_accelerators() -> Vec<AcceleratorSpec> {
+    vec![
+        v100(),
+        a100(),
+        t4(),
+        xeon_avx512(),
+        mali_g76(),
+        mini_accel(),
+        ascend_npu(),
+        tpu_like(),
+        gemmini_like(),
+        virtual_axpy(),
+        virtual_gemv(),
+        virtual_conv(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::OperandRef;
+    use amos_ir::BinMatrix;
+
+    #[test]
+    fn vnni_access_matrix() {
+        let z = avx512_vnni().compute.access_matrix();
+        // Rows Src1, Src2, Dst; cols i1, r1 (Src2 is the broadcast vector).
+        assert_eq!(z, BinMatrix::from_rows(&[&[1, 1], &[0, 1], &[1, 0]]));
+    }
+
+    #[test]
+    fn arm_dot_is_scalar_output() {
+        let d = arm_dot4();
+        assert_eq!(d.compute.fragment_len(OperandRef::Dst), 1);
+        assert_eq!(d.scalar_ops(), 4);
+        assert!(d.memory.statements().iter().all(|s| s.intrinsic.is_none()));
+    }
+
+    #[test]
+    fn conv_unit_has_window_fragment() {
+        let c = conv_unit();
+        // Src1 line buffer holds i2 + r2 - 1 = 10 positions per channel.
+        assert_eq!(c.compute.fragment_shape(OperandRef::Src(0)), vec![8, 10]);
+        assert_eq!(c.scalar_ops(), 8 * 8 * 8 * 3);
+    }
+
+    #[test]
+    fn gemv_and_axpy_shapes() {
+        assert_eq!(gemv_unit().scalar_ops(), 256);
+        assert_eq!(axpy_unit().scalar_ops(), 32);
+        assert_eq!(
+            axpy_unit().compute.fragment_len(OperandRef::Src(0)),
+            1,
+            "axpy scalar operand"
+        );
+    }
+
+    #[test]
+    fn catalog_accelerators_are_well_formed() {
+        for acc in all_accelerators() {
+            assert!(acc.num_levels() >= 3, "{} too shallow", acc.name);
+            assert!(acc.total_pe_arrays() >= 1);
+            assert!(acc.clock_ghz > 0.0);
+            // Fragments must fit the innermost memory.
+            assert!(
+                acc.intrinsic.total_fragment_bytes() <= acc.levels[0].memory.capacity_bytes,
+                "{}: fragments do not fit register capacity",
+                acc.name
+            );
+            // Shared staging must exist and be larger than a fragment set.
+            let shared = acc.shared_level();
+            assert!(
+                acc.levels[shared].memory.capacity_bytes
+                    >= acc.intrinsic.total_fragment_bytes(),
+                "{}: shared level too small",
+                acc.name
+            );
+        }
+    }
+
+    #[test]
+    fn tpu_mxu_dwarfs_the_tensor_core_tile() {
+        let tpu = tpu_like();
+        assert_eq!(tpu.intrinsic.compute.problem_size(), vec![128, 128, 128]);
+        assert_eq!(tpu.intrinsic.scalar_ops(), 128 * 128 * 128);
+        // i8 fragments fit the MXU-side memory.
+        assert!(tpu.intrinsic.total_fragment_bytes() <= tpu.levels[0].memory.capacity_bytes);
+    }
+
+    #[test]
+    fn t4_sits_between_nothing_and_v100() {
+        let (t4, v) = (t4(), v100());
+        assert!(t4.total_pe_arrays() < v.total_pe_arrays());
+        assert!(t4.peak_tensor_ops_per_cycle() < v.peak_tensor_ops_per_cycle());
+    }
+
+    #[test]
+    fn gemmini_is_a_single_core_device() {
+        let g = gemmini_like();
+        assert_eq!(g.total_pe_arrays(), 1);
+        assert_eq!(g.intrinsic.name, "gemmini_matmul");
+    }
+
+    #[test]
+    fn wmma_throughput_scales_between_generations() {
+        let (v, a) = (v100(), a100());
+        assert!(a.intrinsic.ops_per_cycle() > v.intrinsic.ops_per_cycle());
+    }
+}

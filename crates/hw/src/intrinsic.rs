@@ -1,0 +1,100 @@
+//! A complete intrinsic: compute abstraction + memory abstraction + timing
+//! and type metadata.
+
+use crate::abstraction::{ComputeAbstraction, OperandRef};
+use crate::memory::MemoryAbstraction;
+use amos_ir::DType;
+use std::fmt;
+
+/// A spatial-accelerator instruction described through the hardware
+/// abstraction of paper §4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intrinsic {
+    /// Name of the compute intrinsic (e.g. `mma_sync`).
+    pub name: String,
+    /// Scalar-format compute behaviour (Def 4.1).
+    pub compute: ComputeAbstraction,
+    /// Scoped transfer statements (Def 4.2).
+    pub memory: MemoryAbstraction,
+    /// Issue-to-retire latency of one call, in cycles.
+    pub latency: u64,
+    /// Pipelined initiation interval: sustained cycles per call when the
+    /// unit is saturated. `latency >= initiation_interval >= 1`.
+    pub initiation_interval: u64,
+    /// Element type the sources are consumed in.
+    pub src_dtype: DType,
+    /// Element type of the accumulator/destination.
+    pub acc_dtype: DType,
+}
+
+impl Intrinsic {
+    /// Scalar multiply-accumulates executed per call.
+    pub fn scalar_ops(&self) -> i64 {
+        self.compute.scalar_ops()
+    }
+
+    /// Bytes of one operand fragment, using the intrinsic's dtypes.
+    pub fn fragment_bytes(&self, r: OperandRef) -> u64 {
+        let dtype = match r {
+            OperandRef::Dst => self.acc_dtype,
+            OperandRef::Src(_) => self.src_dtype,
+        };
+        self.compute.fragment_len(r) as u64 * dtype.bytes()
+    }
+
+    /// Total register bytes needed to hold one fragment of every operand.
+    pub fn total_fragment_bytes(&self) -> u64 {
+        self.compute
+            .operand_refs()
+            .into_iter()
+            .map(|r| self.fragment_bytes(r))
+            .sum()
+    }
+
+    /// Peak throughput in scalar operations per cycle.
+    pub fn ops_per_cycle(&self) -> f64 {
+        self.scalar_ops() as f64 / self.initiation_interval as f64
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} -> {}, latency {} cyc, II {} cyc)",
+            self.name,
+            self.compute.statement_string(),
+            self.src_dtype,
+            self.acc_dtype,
+            self.latency,
+            self.initiation_interval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn wmma_fragment_accounting() {
+        let wmma = catalog::wmma_16x16x16();
+        // f16 sources: 16*16*2 bytes each; f32 accumulator: 16*16*4 bytes.
+        assert_eq!(wmma.fragment_bytes(OperandRef::Src(0)), 512);
+        assert_eq!(wmma.fragment_bytes(OperandRef::Src(1)), 512);
+        assert_eq!(wmma.fragment_bytes(OperandRef::Dst), 1024);
+        assert_eq!(wmma.total_fragment_bytes(), 2048);
+        assert_eq!(wmma.scalar_ops(), 4096);
+        assert!(wmma.ops_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_types_and_latency() {
+        let wmma = catalog::wmma_16x16x16();
+        let s = wmma.to_string();
+        assert!(s.contains("mma_sync"));
+        assert!(s.contains("f16 -> f32"));
+        assert!(s.contains("latency"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # amos-hw — hardware abstraction for spatial accelerators
+//!
+//! The hardware side of the AMOS mapping problem (paper §4): intrinsics are
+//! rewritten into analysable scalar form.
+//!
+//! * [`ComputeAbstraction`] — `Dst[ĩ] = F(Src1[j̃₁], ...)` with iteration
+//!   ranges (Def 4.1), constraint matrices and the access matrix `Z`,
+//! * [`MemoryAbstraction`] — scoped fragment transfers (Def 4.2),
+//! * [`Intrinsic`] — the two abstractions plus latency and dtypes,
+//! * [`AcceleratorSpec`] — the hierarchical machine of paper Fig 1a,
+//! * [`catalog`] — Tensor Core (V100/A100), AVX-512 VNNI, Mali `arm_dot`,
+//!   the Figure-3 mini accelerator, and the §7.5 virtual AXPY/GEMV/CONV
+//!   accelerators.
+//!
+//! ## Example
+//!
+//! ```
+//! use amos_hw::catalog;
+//!
+//! let wmma = catalog::wmma_16x16x16();
+//! assert_eq!(
+//!     wmma.compute.statement_string(),
+//!     "Dst[i1, i2] = multiply-add(Src1[i1, r1], Src2[r1, i2])"
+//! );
+//! assert_eq!(wmma.compute.problem_size(), vec![16, 16, 16]);
+//!
+//! let v100 = catalog::v100();
+//! assert_eq!(v100.total_pe_arrays(), 320); // 80 SMs x 4 sub-cores
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod abstraction;
+mod accelerator;
+mod intrinsic;
+mod memory;
+
+pub mod catalog;
+
+pub use abstraction::{ComputeAbstraction, IntrinsicIter, OperandRef, OperandSpec};
+pub use accelerator::{AcceleratorSpec, Level, MemorySpec};
+pub use intrinsic::Intrinsic;
+pub use memory::{MemStatement, MemoryAbstraction, TransferDir};

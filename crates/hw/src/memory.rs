@@ -1,0 +1,172 @@
+//! Hardware **memory abstraction** (paper Def 4.2).
+//!
+//! A memory abstraction is a list of scoped transfer statements. Each
+//! statement moves one operand between two scopes; the source address is
+//! parameterised by a base address and per-dimension strides that the
+//! compiler fills in during memory mapping:
+//!
+//! ```text
+//! reg.Src1[i1, r1]  = shared.Src1[addr_a + i1*stride_a + r1]
+//! reg.Src2[r1, i2]  = shared.Src2[addr_b + r1*stride_b + i2]
+//! global.Dst[addr_c + i1*stride_c + i2] = reg.Dst[i1, i2]
+//! ```
+
+use crate::abstraction::OperandRef;
+use amos_ir::nodes::Scope;
+use std::fmt;
+
+/// Direction of a memory statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Load an operand fragment toward the PE array (e.g. shared → reg).
+    Load,
+    /// Store an operand fragment away from the PE array (e.g. reg → global).
+    Store,
+}
+
+/// One statement of the memory abstraction: a scoped fragment transfer for a
+/// single operand, implemented by one memory intrinsic (or fused into the
+/// compute intrinsic on accelerators like Mali that have no explicit
+/// load/store intrinsics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemStatement {
+    /// Which operand moves.
+    pub operand: OperandRef,
+    /// Scope the data comes from.
+    pub from: Scope,
+    /// Scope the data goes to.
+    pub to: Scope,
+    /// Load or store (relative to the PE array).
+    pub dir: TransferDir,
+    /// Name of the memory intrinsic implementing the transfer; `None` when
+    /// the transfer is implicit in the compute intrinsic.
+    pub intrinsic: Option<String>,
+}
+
+/// The full memory abstraction of one intrinsic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryAbstraction {
+    statements: Vec<MemStatement>,
+}
+
+impl MemoryAbstraction {
+    /// Creates a memory abstraction from statements.
+    pub fn new(statements: Vec<MemStatement>) -> Self {
+        MemoryAbstraction { statements }
+    }
+
+    /// The conventional shape used by register-fragment accelerators
+    /// (Tensor Core): every source loads shared → reg via `load_intrinsic`,
+    /// the destination stores reg → global via `store_intrinsic`.
+    pub fn fragment_style(num_srcs: usize, load_intrinsic: &str, store_intrinsic: &str) -> Self {
+        let mut statements: Vec<MemStatement> = (0..num_srcs)
+            .map(|m| MemStatement {
+                operand: OperandRef::Src(m),
+                from: Scope::Shared,
+                to: Scope::Register,
+                dir: TransferDir::Load,
+                intrinsic: Some(load_intrinsic.to_string()),
+            })
+            .collect();
+        statements.push(MemStatement {
+            operand: OperandRef::Dst,
+            from: Scope::Register,
+            to: Scope::Global,
+            dir: TransferDir::Store,
+            intrinsic: Some(store_intrinsic.to_string()),
+        });
+        MemoryAbstraction::new(statements)
+    }
+
+    /// The shape used by accelerators whose compute intrinsic reads operands
+    /// from registers directly without explicit memory intrinsics (AVX-512,
+    /// Mali `arm_dot`): transfers exist but have no named intrinsic.
+    pub fn implicit_style(num_srcs: usize) -> Self {
+        let mut statements: Vec<MemStatement> = (0..num_srcs)
+            .map(|m| MemStatement {
+                operand: OperandRef::Src(m),
+                from: Scope::Shared,
+                to: Scope::Register,
+                dir: TransferDir::Load,
+                intrinsic: None,
+            })
+            .collect();
+        statements.push(MemStatement {
+            operand: OperandRef::Dst,
+            from: Scope::Register,
+            to: Scope::Global,
+            dir: TransferDir::Store,
+            intrinsic: None,
+        });
+        MemoryAbstraction::new(statements)
+    }
+
+    /// All statements.
+    pub fn statements(&self) -> &[MemStatement] {
+        &self.statements
+    }
+
+    /// The statement transferring a given operand, if any.
+    pub fn statement_for(&self, operand: OperandRef) -> Option<&MemStatement> {
+        self.statements.iter().find(|s| s.operand == operand)
+    }
+}
+
+impl fmt::Display for MemoryAbstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.statements {
+            let name = s.operand.to_string();
+            match s.dir {
+                TransferDir::Load => writeln!(
+                    f,
+                    "{}.{}[j̃] = {}.{}[addr + j̃·stride]",
+                    s.to, name, s.from, name
+                )?,
+                TransferDir::Store => writeln!(
+                    f,
+                    "{}.{}[addr + ĩ·stride] = {}.{}[ĩ]",
+                    s.to, name, s.from, name
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_style_matches_wmma_pattern() {
+        let m = MemoryAbstraction::fragment_style(2, "load_matrix_sync", "store_matrix_sync");
+        assert_eq!(m.statements().len(), 3);
+        let s0 = m.statement_for(OperandRef::Src(0)).unwrap();
+        assert_eq!(s0.from, Scope::Shared);
+        assert_eq!(s0.to, Scope::Register);
+        assert_eq!(s0.dir, TransferDir::Load);
+        assert_eq!(s0.intrinsic.as_deref(), Some("load_matrix_sync"));
+
+        let d = m.statement_for(OperandRef::Dst).unwrap();
+        assert_eq!(d.from, Scope::Register);
+        assert_eq!(d.to, Scope::Global);
+        assert_eq!(d.dir, TransferDir::Store);
+        assert_eq!(d.intrinsic.as_deref(), Some("store_matrix_sync"));
+    }
+
+    #[test]
+    fn implicit_style_has_no_intrinsics() {
+        let m = MemoryAbstraction::implicit_style(2);
+        assert!(m.statements().iter().all(|s| s.intrinsic.is_none()));
+        assert_eq!(m.statements().len(), 3);
+    }
+
+    #[test]
+    fn display_shows_scoped_statements() {
+        let m = MemoryAbstraction::fragment_style(1, "ld", "st");
+        let text = m.to_string();
+        assert!(text.contains("reg.Src1"));
+        assert!(text.contains("shared.Src1"));
+        assert!(text.contains("global.Dst"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Builder DSL for [`ComputeDef`]s, mirroring the paper's high-level DSL
+//! (Figure 3a):
+//!
+//! ```
+//! use amos_ir::{ComputeBuilder, DType};
+//!
+//! # fn main() -> Result<(), amos_ir::IrError> {
+//! let mut b = ComputeBuilder::new("conv2d");
+//! let n = b.spatial("n", 1);
+//! let k = b.spatial("k", 4);
+//! let p = b.spatial("p", 2);
+//! let q = b.spatial("q", 2);
+//! let c = b.reduce("c", 1);
+//! let r = b.reduce("r", 3);
+//! let s = b.reduce("s", 3);
+//! let image = b.input("image", &[1, 1, 4, 4], DType::F32);
+//! let weight = b.input("weight", &[4, 1, 3, 3], DType::F32);
+//! let out = b.output("out", &[1, 4, 2, 2], DType::F32);
+//! b.mul_acc(
+//!     out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+//!     image.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+//!     weight.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+//! );
+//! let def = b.finish()?;
+//! assert_eq!(def.iters().len(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::compute::{ComputeDef, OpKind};
+use crate::error::IrError;
+use crate::expr::Expr;
+use crate::iter::{IterId, IterKind, IterVar};
+use crate::tensor::{Access, DType, TensorDecl, TensorId, TensorRole};
+
+/// Handle to a declared iteration variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterHandle {
+    id: IterId,
+}
+
+impl IterHandle {
+    /// The underlying id.
+    pub fn id(self) -> IterId {
+        self.id
+    }
+
+    /// This iteration as an expression (shorthand for `Expr::Var`).
+    pub fn ex(self) -> Expr {
+        Expr::Var(self.id)
+    }
+}
+
+impl From<IterHandle> for Expr {
+    fn from(h: IterHandle) -> Expr {
+        h.ex()
+    }
+}
+
+/// Handle to a declared tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorHandle {
+    id: TensorId,
+}
+
+impl TensorHandle {
+    /// The underlying id.
+    pub fn id(self) -> TensorId {
+        self.id
+    }
+
+    /// Builds an access `tensor[indices...]`.
+    pub fn at<I>(self, indices: I) -> Access
+    where
+        I: IntoIterator,
+        I::Item: Into<Expr>,
+    {
+        Access::new(self.id, indices.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Incremental builder for a [`ComputeDef`].
+#[derive(Debug, Clone)]
+pub struct ComputeBuilder {
+    name: String,
+    iters: Vec<IterVar>,
+    tensors: Vec<TensorDecl>,
+    statement: Option<(Access, Vec<Access>, OpKind)>,
+    predicates: Vec<Expr>,
+}
+
+impl ComputeBuilder {
+    /// Starts a new computation with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ComputeBuilder {
+            name: name.into(),
+            iters: Vec::new(),
+            tensors: Vec::new(),
+            statement: None,
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Adds a guard: iteration points participate only when `expr == 0`.
+    ///
+    /// Strided scatter patterns (transposed convolution) use this to mask
+    /// non-divisible positions, e.g. `require_zero((p - r + pad).rem(2))`.
+    pub fn require_zero(&mut self, expr: Expr) -> &mut Self {
+        self.predicates.push(expr);
+        self
+    }
+
+    /// Declares a spatial loop axis.
+    pub fn spatial(&mut self, name: impl Into<String>, extent: i64) -> IterHandle {
+        self.push_iter(name, extent, IterKind::Spatial)
+    }
+
+    /// Declares a reduction loop axis.
+    pub fn reduce(&mut self, name: impl Into<String>, extent: i64) -> IterHandle {
+        self.push_iter(name, extent, IterKind::Reduction)
+    }
+
+    fn push_iter(&mut self, name: impl Into<String>, extent: i64, kind: IterKind) -> IterHandle {
+        let id = IterId(self.iters.len() as u32);
+        self.iters.push(IterVar::new(name, extent, kind));
+        IterHandle { id }
+    }
+
+    /// Declares an input tensor.
+    pub fn input(&mut self, name: impl Into<String>, shape: &[i64], dtype: DType) -> TensorHandle {
+        self.push_tensor(name, shape, dtype, TensorRole::Input)
+    }
+
+    /// Declares a compile-time constant tensor (e.g. a ones vector or a
+    /// triangular mask).
+    pub fn constant(
+        &mut self,
+        name: impl Into<String>,
+        shape: &[i64],
+        dtype: DType,
+    ) -> TensorHandle {
+        self.push_tensor(name, shape, dtype, TensorRole::Constant)
+    }
+
+    /// Declares the output tensor.
+    pub fn output(&mut self, name: impl Into<String>, shape: &[i64], dtype: DType) -> TensorHandle {
+        self.push_tensor(name, shape, dtype, TensorRole::Output)
+    }
+
+    fn push_tensor(
+        &mut self,
+        name: impl Into<String>,
+        shape: &[i64],
+        dtype: DType,
+        role: TensorRole,
+    ) -> TensorHandle {
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDecl {
+            name: name.into(),
+            shape: shape.to_vec(),
+            dtype,
+            role,
+        });
+        TensorHandle { id }
+    }
+
+    /// Sets the statement `dst += a * b`.
+    pub fn mul_acc(&mut self, dst: Access, a: Access, b: Access) -> &mut Self {
+        self.statement = Some((dst, vec![a, b], OpKind::MulAcc));
+        self
+    }
+
+    /// Sets the statement `dst += a`.
+    pub fn add_acc(&mut self, dst: Access, a: Access) -> &mut Self {
+        self.statement = Some((dst, vec![a], OpKind::AddAcc));
+        self
+    }
+
+    /// Sets the statement `dst = max(dst, a)`.
+    pub fn max_acc(&mut self, dst: Access, a: Access) -> &mut Self {
+        self.statement = Some((dst, vec![a], OpKind::MaxAcc));
+        self
+    }
+
+    /// Validates and produces the [`ComputeDef`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] when extents or shapes are non-positive, an access
+    /// rank mismatches its tensor, tensor names collide, or no statement was
+    /// set.
+    pub fn finish(&self) -> Result<ComputeDef, IrError> {
+        let (output, inputs, op) = self
+            .statement
+            .clone()
+            .ok_or_else(|| IrError::MissingStatement {
+                name: self.name.clone(),
+            })?;
+        ComputeDef::new(
+            self.name.clone(),
+            self.iters.clone(),
+            self.tensors.clone(),
+            output,
+            inputs,
+            op,
+            self.predicates.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_gemm() {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 8);
+        let j = b.spatial("j", 8);
+        let k = b.reduce("k", 8);
+        let a = b.input("a", &[8, 8], DType::F16);
+        let w = b.input("b", &[8, 8], DType::F16);
+        let c = b.output("c", &[8, 8], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+        let def = b.finish().unwrap();
+        assert_eq!(def.name(), "gemm");
+        assert_eq!(def.iters().len(), 3);
+        assert_eq!(def.tensors().len(), 3);
+        assert_eq!(def.statement_string(), "c[i, j] += a[i, k] * b[k, j]");
+    }
+
+    #[test]
+    fn missing_statement_is_an_error() {
+        let b = ComputeBuilder::new("empty");
+        assert!(matches!(b.finish(), Err(IrError::MissingStatement { .. })));
+    }
+
+    #[test]
+    fn duplicate_tensor_names_rejected() {
+        let mut b = ComputeBuilder::new("dup");
+        let i = b.spatial("i", 2);
+        let a = b.input("a", &[2], DType::F32);
+        let a2 = b.input("a", &[2], DType::F32);
+        let o = b.output("o", &[2], DType::F32);
+        b.mul_acc(o.at([i]), a.at([i]), a2.at([i]));
+        assert!(matches!(b.finish(), Err(IrError::DuplicateTensor { .. })));
+    }
+
+    #[test]
+    fn iter_handle_converts_into_expr() {
+        let mut b = ComputeBuilder::new("x");
+        let i = b.spatial("i", 2);
+        let e: Expr = i.into();
+        assert_eq!(e, Expr::Var(i.id()));
+    }
+
+    #[test]
+    fn constant_tensors_have_constant_role() {
+        let mut b = ComputeBuilder::new("mean");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let ones = b.constant("ones", &[4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.mul_acc(o.at([i]), a.at([i, k]), ones.at([k]));
+        let def = b.finish().unwrap();
+        assert_eq!(def.tensor(ones.id()).role, TensorRole::Constant);
+    }
+}

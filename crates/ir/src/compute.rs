@@ -1,0 +1,510 @@
+//! The tensor computation definition: a perfectly nested loop with one
+//! accumulate statement, the software side of the mapping problem.
+
+use crate::error::IrError;
+use crate::iter::{IterId, IterVar};
+use crate::matrix::BinMatrix;
+use crate::tensor::{Access, TensorDecl, TensorId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Arithmetic combination applied to the source operands before accumulation
+/// (the function `F` of the compute abstraction, Def 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `out[...] += in1[...] * in2[...]` — the multiply-accumulate pattern
+    /// covering GEMM, convolutions and friends.
+    MulAcc,
+    /// `out[...] += in1[...]` — plain accumulation (sum reductions).
+    AddAcc,
+    /// `out[...] = max(out[...], in1[...])` — max reductions (pooling).
+    MaxAcc,
+}
+
+impl OpKind {
+    /// Number of source operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::MulAcc => 2,
+            OpKind::AddAcc | OpKind::MaxAcc => 1,
+        }
+    }
+
+    /// Identity element of the accumulation.
+    pub fn identity(self) -> f64 {
+        match self {
+            OpKind::MulAcc | OpKind::AddAcc => 0.0,
+            OpKind::MaxAcc => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Applies the accumulation step.
+    pub fn accumulate(self, acc: f64, srcs: &[f64]) -> f64 {
+        match self {
+            OpKind::MulAcc => acc + srcs[0] * srcs[1],
+            OpKind::AddAcc => acc + srcs[0],
+            OpKind::MaxAcc => acc.max(srcs[0]),
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::MulAcc => write!(f, "multiply-add"),
+            OpKind::AddAcc => write!(f, "add"),
+            OpKind::MaxAcc => write!(f, "max"),
+        }
+    }
+}
+
+/// A complete tensor computation: iteration domain, tensor declarations and
+/// the single accumulate statement
+/// `output[ĩ] ⊕= F(inputs[0][j̃₀], inputs[1][j̃₁], ...)`.
+///
+/// Construct with [`ComputeBuilder`](crate::builder::ComputeBuilder); the
+/// constructor validates extents, ranks and name uniqueness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeDef {
+    name: String,
+    iters: Vec<IterVar>,
+    tensors: Vec<TensorDecl>,
+    output: Access,
+    inputs: Vec<Access>,
+    op: OpKind,
+    /// Guard expressions: an iteration point participates only when every
+    /// predicate evaluates to zero. Used for strided scatter patterns such as
+    /// transposed convolution (`(p - r + pad) mod stride == 0`).
+    predicates: Vec<crate::expr::Expr>,
+}
+
+impl ComputeDef {
+    /// Validating constructor; prefer the builder DSL.
+    pub fn new(
+        name: String,
+        iters: Vec<IterVar>,
+        tensors: Vec<TensorDecl>,
+        output: Access,
+        inputs: Vec<Access>,
+        op: OpKind,
+        predicates: Vec<crate::expr::Expr>,
+    ) -> Result<Self, IrError> {
+        for it in &iters {
+            if it.extent <= 0 {
+                return Err(IrError::InvalidExtent {
+                    name: it.name.clone(),
+                    extent: it.extent,
+                });
+            }
+        }
+        for e in &predicates {
+            for v in e.vars() {
+                if v.index() >= iters.len() {
+                    return Err(IrError::UnknownIter { id: v.0 });
+                }
+            }
+        }
+        // A spatial iteration must address the output; a reduction iteration
+        // must not (it would otherwise overwrite rather than accumulate).
+        for (idx, it) in iters.iter().enumerate() {
+            let in_output = output
+                .indices
+                .iter()
+                .any(|e| e.uses(IterId(idx as u32)));
+            match it.kind {
+                crate::iter::IterKind::Spatial if !in_output => {
+                    return Err(IrError::IterKindMismatch {
+                        name: it.name.clone(),
+                        detail: "spatial iteration missing from output access".into(),
+                    })
+                }
+                crate::iter::IterKind::Reduction if in_output => {
+                    return Err(IrError::IterKindMismatch {
+                        name: it.name.clone(),
+                        detail: "reduction iteration appears in output access".into(),
+                    })
+                }
+                _ => {}
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for t in &tensors {
+            if t.shape.is_empty() || t.shape.iter().any(|&d| d <= 0) {
+                return Err(IrError::InvalidShape {
+                    name: t.name.clone(),
+                    shape: t.shape.clone(),
+                });
+            }
+            if !seen.insert(t.name.clone()) {
+                return Err(IrError::DuplicateTensor {
+                    name: t.name.clone(),
+                });
+            }
+        }
+        for acc in std::iter::once(&output).chain(inputs.iter()) {
+            let decl = &tensors[acc.tensor.index()];
+            if acc.indices.len() != decl.rank() {
+                return Err(IrError::RankMismatch {
+                    tensor: decl.name.clone(),
+                    rank: decl.rank(),
+                    indices: acc.indices.len(),
+                });
+            }
+            for e in &acc.indices {
+                for v in e.vars() {
+                    if v.index() >= iters.len() {
+                        return Err(IrError::UnknownIter { id: v.0 });
+                    }
+                }
+            }
+        }
+        Ok(ComputeDef {
+            name,
+            iters,
+            tensors,
+            output,
+            inputs,
+            op,
+            predicates,
+        })
+    }
+
+    /// Guard expressions; a point is active only when all evaluate to zero.
+    pub fn predicates(&self) -> &[crate::expr::Expr] {
+        &self.predicates
+    }
+
+    /// True when the iteration point participates in the computation (every
+    /// predicate evaluates to zero).
+    pub fn point_active(&self, env: &[i64]) -> bool {
+        self.predicates.iter().all(|e| e.eval(env) == 0)
+    }
+
+    /// Computation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop axes in canonical (declaration) order.
+    pub fn iters(&self) -> &[IterVar] {
+        &self.iters
+    }
+
+    /// Looks up one iteration variable.
+    pub fn iter_var(&self, id: IterId) -> &IterVar {
+        &self.iters[id.index()]
+    }
+
+    /// All tensor declarations (inputs, constants and output).
+    pub fn tensors(&self) -> &[TensorDecl] {
+        &self.tensors
+    }
+
+    /// Looks up one tensor declaration.
+    pub fn tensor(&self, id: TensorId) -> &TensorDecl {
+        &self.tensors[id.index()]
+    }
+
+    /// The output access.
+    pub fn output(&self) -> &Access {
+        &self.output
+    }
+
+    /// The input accesses, in operand order.
+    pub fn inputs(&self) -> &[Access] {
+        &self.inputs
+    }
+
+    /// The accumulation operation.
+    pub fn op(&self) -> OpKind {
+        self.op
+    }
+
+    /// Ids of all iteration variables in order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = IterId> + '_ {
+        (0..self.iters.len() as u32).map(IterId)
+    }
+
+    /// Extents of all iteration variables in order.
+    pub fn extents(&self) -> Vec<i64> {
+        self.iters.iter().map(|v| v.extent).collect()
+    }
+
+    /// Total number of software iterations (product of extents).
+    pub fn domain_size(&self) -> i64 {
+        self.iters.iter().map(|v| v.extent).product()
+    }
+
+    /// Number of multiply(-add) scalar operations, i.e. the domain size; used
+    /// for FLOP accounting.
+    pub fn scalar_ops(&self) -> i64 {
+        self.domain_size()
+    }
+
+    /// All accesses: inputs first (operand order), then the output.
+    pub fn all_accesses(&self) -> Vec<&Access> {
+        self.inputs.iter().chain(std::iter::once(&self.output)).collect()
+    }
+
+    /// The software access matrix `X` (paper Fig 4): rows are the *operand
+    /// slots* — one per input access, then the output — and columns are
+    /// iteration variables; entry is set when the iteration appears in any
+    /// index of that operand.
+    ///
+    /// Rows are operand slots rather than tensors so that computations reading
+    /// the same tensor twice (e.g. `out[i] += a[i,k] * a[i,k]`) still line up
+    /// with the intrinsic operand list.
+    pub fn access_matrix(&self) -> BinMatrix {
+        let accesses = self.all_accesses();
+        let mut m = BinMatrix::zeros(accesses.len(), self.iters.len());
+        for (row, acc) in accesses.iter().enumerate() {
+            for e in &acc.indices {
+                for v in e.vars() {
+                    m[(row, v.index())] = true;
+                }
+            }
+        }
+        m
+    }
+
+    /// Access signature of one iteration: which operand slots (inputs...,
+    /// output) reference it.
+    pub fn iter_signature(&self, id: IterId) -> Vec<bool> {
+        self.all_accesses()
+            .iter()
+            .map(|acc| acc.indices.iter().any(|e| e.uses(id)))
+            .collect()
+    }
+
+    /// Iterations that occur in an index expression together with at least
+    /// one other iteration (e.g. `r` and `p` in `image[.., p + r, ..]`).
+    ///
+    /// These are the *window participants*; the mapping generator forbids a
+    /// reduction group made of a single such iteration (see DESIGN.md §5).
+    pub fn compound_participants(&self) -> BTreeSet<IterId> {
+        let mut out = BTreeSet::new();
+        for acc in self.all_accesses() {
+            for e in &acc.indices {
+                let vars = e.vars();
+                if vars.len() >= 2 {
+                    out.extend(vars);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterations appearing under floor-division or modulo in any access.
+    /// Such iterations cannot be given affine base-plus-stride addresses by a
+    /// memory intrinsic unless they are anchored by the output.
+    pub fn div_mod_participants(&self) -> BTreeSet<IterId> {
+        let mut out = BTreeSet::new();
+        for acc in self.all_accesses() {
+            for e in &acc.indices {
+                out.extend(e.vars_under_div_mod());
+            }
+        }
+        out
+    }
+
+    /// True when some index of the output is exactly this single iteration
+    /// (possibly scaled), i.e. the iteration directly addresses an output
+    /// axis. Used to decide whether div/mod participants are still fusible.
+    pub fn anchored_in_output(&self, id: IterId) -> bool {
+        self.output.indices.iter().any(|e| {
+            let vars = e.vars();
+            vars.len() == 1 && vars.contains(&id) && e.is_affine()
+        })
+    }
+
+    /// Runs `f` for every point of the iteration domain, passing the
+    /// iteration values in declaration order. Iterates in row-major order.
+    pub fn for_each_point<F: FnMut(&[i64])>(&self, mut f: F) {
+        let extents = self.extents();
+        let mut point = vec![0i64; extents.len()];
+        if extents.is_empty() {
+            f(&point);
+            return;
+        }
+        loop {
+            f(&point);
+            // Increment like an odometer.
+            let mut dim = extents.len();
+            loop {
+                if dim == 0 {
+                    return;
+                }
+                dim -= 1;
+                point[dim] += 1;
+                if point[dim] < extents[dim] {
+                    break;
+                }
+                point[dim] = 0;
+            }
+        }
+    }
+
+    /// Renders the statement in paper-style notation for diagnostics.
+    pub fn statement_string(&self) -> String {
+        let name_of = |id: IterId| self.iters[id.index()].name.clone();
+        let fmt_access = |acc: &Access| {
+            let idx: Vec<String> = acc
+                .indices
+                .iter()
+                .map(|e| e.display_with(&name_of).to_string())
+                .collect();
+            format!("{}[{}]", self.tensors[acc.tensor.index()].name, idx.join(", "))
+        };
+        let srcs: Vec<String> = self.inputs.iter().map(&fmt_access).collect();
+        let op = match self.op {
+            OpKind::MulAcc => format!("{} * {}", srcs[0], srcs[1]),
+            OpKind::AddAcc => srcs[0].clone(),
+            OpKind::MaxAcc => format!("max({})", srcs[0]),
+        };
+        format!("{} += {}", fmt_access(&self.output), op)
+    }
+}
+
+impl fmt::Display for ComputeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.statement_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputeBuilder;
+    use crate::tensor::DType;
+
+    /// The paper's Figure 3a running example: a small 2D convolution.
+    fn fig3_conv() -> ComputeDef {
+        let mut b = ComputeBuilder::new("conv2d_fig3");
+        let n = b.spatial("n", 1);
+        let k = b.spatial("k", 4);
+        let p = b.spatial("p", 2);
+        let q = b.spatial("q", 2);
+        let c = b.reduce("c", 1);
+        let r = b.reduce("r", 3);
+        let s = b.reduce("s", 3);
+        let image = b.input("image", &[1, 1, 4, 4], DType::F32);
+        let weight = b.input("weight", &[4, 1, 3, 3], DType::F32);
+        let out = b.output("out", &[1, 4, 2, 2], DType::F32);
+        b.mul_acc(
+            out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+            image.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+            weight.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn access_matrix_matches_figure4() {
+        let def = fig3_conv();
+        let x = def.access_matrix();
+        // Rows: image, weight, out. Columns: n k p q c r s.
+        let expected = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 1, 1, 1],
+            &[0, 1, 0, 0, 1, 1, 1],
+            &[1, 1, 1, 1, 0, 0, 0],
+        ]);
+        assert_eq!(x, expected);
+    }
+
+    #[test]
+    fn signatures_partition_iterations() {
+        let def = fig3_conv();
+        // n, p, q share the (image, out) signature.
+        let sig_n = def.iter_signature(IterId(0));
+        assert_eq!(sig_n, vec![true, false, true]);
+        assert_eq!(def.iter_signature(IterId(2)), sig_n);
+        assert_eq!(def.iter_signature(IterId(3)), sig_n);
+        // k has (weight, out).
+        assert_eq!(def.iter_signature(IterId(1)), vec![false, true, true]);
+        // c, r, s have (image, weight).
+        assert_eq!(def.iter_signature(IterId(4)), vec![true, true, false]);
+    }
+
+    #[test]
+    fn compound_participants_are_the_window_iters_and_their_anchors() {
+        let def = fig3_conv();
+        let parts = def.compound_participants();
+        // p+r and q+s involve p, q, r, s.
+        let names: Vec<&str> = parts
+            .iter()
+            .map(|id| def.iter_var(*id).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["p", "q", "r", "s"]);
+        assert!(def.div_mod_participants().is_empty());
+    }
+
+    #[test]
+    fn anchored_in_output_distinguishes_p_from_r() {
+        let def = fig3_conv();
+        assert!(def.anchored_in_output(IterId(2))); // p
+        assert!(!def.anchored_in_output(IterId(5))); // r
+    }
+
+    #[test]
+    fn domain_size_and_statement() {
+        let def = fig3_conv();
+        assert_eq!(def.domain_size(), 4 * 2 * 2 * 3 * 3);
+        assert_eq!(
+            def.statement_string(),
+            "out[n, k, p, q] += image[n, c, p + r, q + s] * weight[k, c, r, s]"
+        );
+        assert!(def.to_string().starts_with("conv2d_fig3:"));
+    }
+
+    #[test]
+    fn for_each_point_visits_whole_domain_in_order() {
+        let mut b = ComputeBuilder::new("tiny");
+        let i = b.spatial("i", 2);
+        let j = b.reduce("j", 3);
+        let a = b.input("a", &[2, 3], DType::F32);
+        let out = b.output("o", &[2], DType::F32);
+        b.add_acc(out.at([i.ex()]), a.at([i.ex(), j.ex()]));
+        let def = b.finish().unwrap();
+
+        let mut points = Vec::new();
+        def.for_each_point(|p| points.push(p.to_vec()));
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0], vec![0, 0]);
+        assert_eq!(points[1], vec![0, 1]);
+        assert_eq!(points[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn op_kind_semantics() {
+        assert_eq!(OpKind::MulAcc.arity(), 2);
+        assert_eq!(OpKind::AddAcc.arity(), 1);
+        assert_eq!(OpKind::MulAcc.accumulate(1.0, &[2.0, 3.0]), 7.0);
+        assert_eq!(OpKind::AddAcc.accumulate(1.0, &[2.0]), 3.0);
+        assert_eq!(OpKind::MaxAcc.accumulate(1.0, &[5.0]), 5.0);
+        assert_eq!(OpKind::MaxAcc.identity(), f64::NEG_INFINITY);
+        assert_eq!(OpKind::MulAcc.to_string(), "multiply-add");
+    }
+
+    #[test]
+    fn invalid_extent_rejected() {
+        let mut b = ComputeBuilder::new("bad");
+        let i = b.spatial("i", 0);
+        let a = b.input("a", &[1], DType::F32);
+        let out = b.output("o", &[1], DType::F32);
+        b.add_acc(out.at([i.ex()]), a.at([i.ex()]));
+        assert!(matches!(
+            b.finish(),
+            Err(IrError::InvalidExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut b = ComputeBuilder::new("bad");
+        let i = b.spatial("i", 2);
+        let a = b.input("a", &[2, 2], DType::F32);
+        let out = b.output("o", &[2], DType::F32);
+        b.add_acc(out.at([i.ex()]), a.at([i.ex()]));
+        assert!(matches!(b.finish(), Err(IrError::RankMismatch { .. })));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for the tensor IR.
+
+use std::fmt;
+
+/// Errors produced while constructing or analysing tensor IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum IrError {
+    /// An iteration variable was declared with a non-positive extent.
+    InvalidExtent { name: String, extent: i64 },
+    /// A tensor was declared with an empty shape or a non-positive dimension.
+    InvalidShape { name: String, shape: Vec<i64> },
+    /// An access used a different number of indices than the tensor rank.
+    RankMismatch {
+        tensor: String,
+        rank: usize,
+        indices: usize,
+    },
+    /// A computation was finished without defining its statement.
+    MissingStatement { name: String },
+    /// An expression referenced an iteration variable that does not exist.
+    UnknownIter { id: u32 },
+    /// A tensor index evaluated outside the declared shape.
+    OutOfBounds {
+        tensor: String,
+        dim: usize,
+        index: i64,
+        extent: i64,
+    },
+    /// Two tensors with the same name were declared in one computation.
+    DuplicateTensor { name: String },
+    /// A spatial iteration is missing from the output access, or a reduction
+    /// iteration appears in it.
+    IterKindMismatch { name: String, detail: String },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::InvalidExtent { name, extent } => {
+                write!(f, "iteration `{name}` has non-positive extent {extent}")
+            }
+            IrError::InvalidShape { name, shape } => {
+                write!(f, "tensor `{name}` has invalid shape {shape:?}")
+            }
+            IrError::RankMismatch {
+                tensor,
+                rank,
+                indices,
+            } => write!(
+                f,
+                "tensor `{tensor}` has rank {rank} but was accessed with {indices} indices"
+            ),
+            IrError::MissingStatement { name } => {
+                write!(f, "computation `{name}` has no statement")
+            }
+            IrError::UnknownIter { id } => write!(f, "unknown iteration variable id {id}"),
+            IrError::OutOfBounds {
+                tensor,
+                dim,
+                index,
+                extent,
+            } => write!(
+                f,
+                "index {index} out of bounds for dimension {dim} of tensor `{tensor}` (extent {extent})"
+            ),
+            IrError::DuplicateTensor { name } => {
+                write!(f, "tensor `{name}` declared more than once")
+            }
+            IrError::IterKindMismatch { name, detail } => {
+                write!(f, "iteration `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::InvalidExtent {
+            name: "n".into(),
+            extent: -1,
+        };
+        assert_eq!(e.to_string(), "iteration `n` has non-positive extent -1");
+
+        let e = IrError::RankMismatch {
+            tensor: "a".into(),
+            rank: 2,
+            indices: 3,
+        };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("3 indices"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! Integer index expressions.
+//!
+//! Tensor access indices are quasi-affine expressions over iteration
+//! variables: sums and products with constants, plus floor division and
+//! modulo (needed for transposed convolutions and for the physical-mapping
+//! `mod` restriction of paper §5.1).
+
+use crate::iter::IterId;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A quasi-affine integer expression over iteration variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An iteration variable.
+    Var(IterId),
+    /// An integer constant.
+    Const(i64),
+    /// `lhs + rhs`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `lhs - rhs`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `lhs * rhs`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `lhs / rhs`, rounding toward negative infinity.
+    FloorDiv(Box<Expr>, Box<Expr>),
+    /// `lhs mod rhs`, result in `[0, rhs)` for positive `rhs`.
+    Mod(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for [`Expr::Var`].
+    pub fn var(id: IterId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// Shorthand for [`Expr::Const`].
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Floor division by `rhs` (rounds toward negative infinity).
+    pub fn floor_div(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::FloorDiv(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// Euclidean-style modulo by `rhs` (non-negative for positive `rhs`).
+    #[allow(clippy::should_implement_trait)] // builds an AST node, not arithmetic
+    pub fn rem(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Mod(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// Evaluates the expression under an environment mapping each iteration
+    /// variable (by index) to a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable id is out of range for `env`, or on division by
+    /// zero. Expressions are validated against their computation before
+    /// evaluation in all public pipelines.
+    pub fn eval(&self, env: &[i64]) -> i64 {
+        match self {
+            Expr::Var(id) => env[id.index()],
+            Expr::Const(v) => *v,
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::FloorDiv(a, b) => a.eval(env).div_euclid(b.eval(env)),
+            Expr::Mod(a, b) => a.eval(env).rem_euclid(b.eval(env)),
+        }
+    }
+
+    /// Collects the iteration variables referenced by this expression.
+    pub fn vars(&self) -> BTreeSet<IterId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<IterId>) {
+        match self {
+            Expr::Var(id) => {
+                out.insert(*id);
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::FloorDiv(a, b)
+            | Expr::Mod(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// True if the expression contains the given variable.
+    pub fn uses(&self, id: IterId) -> bool {
+        match self {
+            Expr::Var(v) => *v == id,
+            Expr::Const(_) => false,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::FloorDiv(a, b)
+            | Expr::Mod(a, b) => a.uses(id) || b.uses(id),
+        }
+    }
+
+    /// True if the expression is affine in its variables: sums of variables
+    /// scaled by constants plus a constant, with no floor division or modulo
+    /// and no variable-by-variable products.
+    pub fn is_affine(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => true,
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.is_affine() && b.is_affine(),
+            Expr::Mul(a, b) => {
+                (a.is_affine() && b.vars().is_empty() && b.is_affine())
+                    || (b.is_affine() && a.vars().is_empty() && a.is_affine())
+            }
+            Expr::FloorDiv(..) | Expr::Mod(..) => false,
+        }
+    }
+
+    /// Collects variables that occur inside a [`Expr::FloorDiv`] or
+    /// [`Expr::Mod`] sub-expression. Such variables cannot be given
+    /// base-plus-stride addresses by a memory intrinsic.
+    pub fn vars_under_div_mod(&self) -> BTreeSet<IterId> {
+        let mut out = BTreeSet::new();
+        self.collect_div_mod_vars(false, &mut out);
+        out
+    }
+
+    fn collect_div_mod_vars(&self, under: bool, out: &mut BTreeSet<IterId>) {
+        match self {
+            Expr::Var(id) => {
+                if under {
+                    out.insert(*id);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_div_mod_vars(under, out);
+                b.collect_div_mod_vars(under, out);
+            }
+            Expr::FloorDiv(a, b) | Expr::Mod(a, b) => {
+                a.collect_div_mod_vars(true, out);
+                b.collect_div_mod_vars(true, out);
+            }
+        }
+    }
+
+    /// If the expression is affine, returns `(coefficients, constant)` where
+    /// `coefficients[i]` multiplies the variable with id `i` (length
+    /// `num_iters`). Returns `None` for non-affine expressions.
+    pub fn affine_coefficients(&self, num_iters: usize) -> Option<(Vec<i64>, i64)> {
+        let mut coeffs = vec![0i64; num_iters];
+        let mut constant = 0i64;
+        if self.accumulate_affine(1, &mut coeffs, &mut constant) {
+            Some((coeffs, constant))
+        } else {
+            None
+        }
+    }
+
+    fn accumulate_affine(&self, scale: i64, coeffs: &mut [i64], constant: &mut i64) -> bool {
+        match self {
+            Expr::Var(id) => {
+                if id.index() >= coeffs.len() {
+                    return false;
+                }
+                coeffs[id.index()] += scale;
+                true
+            }
+            Expr::Const(v) => {
+                *constant += scale * v;
+                true
+            }
+            Expr::Add(a, b) => {
+                a.accumulate_affine(scale, coeffs, constant)
+                    && b.accumulate_affine(scale, coeffs, constant)
+            }
+            Expr::Sub(a, b) => {
+                a.accumulate_affine(scale, coeffs, constant)
+                    && b.accumulate_affine(-scale, coeffs, constant)
+            }
+            Expr::Mul(a, b) => {
+                if let Expr::Const(c) = **b {
+                    a.accumulate_affine(scale * c, coeffs, constant)
+                } else if let Expr::Const(c) = **a {
+                    b.accumulate_affine(scale * c, coeffs, constant)
+                } else {
+                    false
+                }
+            }
+            Expr::FloorDiv(..) | Expr::Mod(..) => false,
+        }
+    }
+
+    /// Renders the expression with a custom variable-name lookup.
+    pub fn display_with<'a, F>(&'a self, names: F) -> DisplayExpr<'a, F>
+    where
+        F: Fn(IterId) -> String,
+    {
+        DisplayExpr { expr: self, names }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<IterId> for Expr {
+    fn from(id: IterId) -> Expr {
+        Expr::Var(id)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl<R: Into<Expr>> $trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, Add);
+impl_binop!(Sub, sub, Sub);
+impl_binop!(Mul, mul, Mul);
+
+/// Helper returned by [`Expr::display_with`].
+pub struct DisplayExpr<'a, F> {
+    expr: &'a Expr,
+    names: F,
+}
+
+impl<F> fmt::Debug for DisplayExpr<'_, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DisplayExpr").field("expr", self.expr).finish()
+    }
+}
+
+impl<F> fmt::Display for DisplayExpr<'_, F>
+where
+    F: Fn(IterId) -> String,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.expr, &self.names, f, 0)
+    }
+}
+
+/// Precedence-aware printing: 0 = additive context, 1 = multiplicative.
+fn fmt_expr<F>(e: &Expr, names: &F, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result
+where
+    F: Fn(IterId) -> String,
+{
+    match e {
+        Expr::Var(id) => write!(f, "{}", names(*id)),
+        Expr::Const(v) => write!(f, "{v}"),
+        Expr::Add(a, b) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            fmt_expr(a, names, f, 0)?;
+            write!(f, " + ")?;
+            fmt_expr(b, names, f, 0)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Sub(a, b) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            fmt_expr(a, names, f, 0)?;
+            write!(f, " - ")?;
+            fmt_expr(b, names, f, 1)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Mul(a, b) => {
+            fmt_expr(a, names, f, 1)?;
+            write!(f, " * ")?;
+            fmt_expr(b, names, f, 1)
+        }
+        Expr::FloorDiv(a, b) => {
+            fmt_expr(a, names, f, 1)?;
+            write!(f, " / ")?;
+            fmt_expr(b, names, f, 1)
+        }
+        Expr::Mod(a, b) => {
+            fmt_expr(a, names, f, 1)?;
+            write!(f, " mod ")?;
+            fmt_expr(b, names, f, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Expr {
+        Expr::Var(IterId(i))
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        // p*2 + r with p=3, r=1 -> 7
+        let e = v(0) * 2 + v(1);
+        assert_eq!(e.eval(&[3, 1]), 7);
+
+        let e = (v(0) + 5) - v(1);
+        assert_eq!(e.eval(&[2, 4]), 3);
+    }
+
+    #[test]
+    fn eval_floor_div_and_mod_are_euclidean() {
+        let e = v(0).clone().floor_div(2);
+        assert_eq!(e.eval(&[-3]), -2); // floor(-1.5) = -2
+        let e = v(0).rem(4);
+        assert_eq!(e.eval(&[-3]), 1); // euclidean remainder
+        assert_eq!(Expr::int(7).rem(4).eval(&[]), 3);
+    }
+
+    #[test]
+    fn vars_collects_unique_ids() {
+        let e = v(0) * 9 + v(2) * 3 + v(0);
+        let vs: Vec<_> = e.vars().into_iter().collect();
+        assert_eq!(vs, vec![IterId(0), IterId(2)]);
+        assert!(e.uses(IterId(2)));
+        assert!(!e.uses(IterId(1)));
+    }
+
+    #[test]
+    fn affine_analysis() {
+        let e = v(0) * 4 + v(1) * 2 + v(2) + 7;
+        assert!(e.is_affine());
+        let (coeffs, c) = e.affine_coefficients(3).unwrap();
+        assert_eq!(coeffs, vec![4, 2, 1]);
+        assert_eq!(c, 7);
+
+        let nonaff = v(0) * v(1);
+        assert!(!nonaff.is_affine());
+        assert!(nonaff.affine_coefficients(2).is_none());
+
+        let div = v(0).clone().floor_div(2);
+        assert!(!div.is_affine());
+    }
+
+    #[test]
+    fn affine_with_subtraction_and_nested_scale() {
+        let e = (v(0) - v(1)) * 3 + 1;
+        let (coeffs, c) = e.affine_coefficients(2).unwrap();
+        assert_eq!(coeffs, vec![3, -3]);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn vars_under_div_mod_detects_nonaddressable_vars() {
+        // (p - r) / 2 + c: p and r are under the division, c is not.
+        let e = (v(0) - v(1)).floor_div(2) + v(2);
+        let under: Vec<_> = e.vars_under_div_mod().into_iter().collect();
+        assert_eq!(under, vec![IterId(0), IterId(1)]);
+
+        let plain = v(0) + v(1);
+        assert!(plain.vars_under_div_mod().is_empty());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let names = |id: IterId| ["n", "p", "q"][id.index()].to_string();
+        let e = (v(0) * 4 + v(1) * 2 + v(2)).rem(16);
+        assert_eq!(
+            e.display_with(names).to_string(),
+            "(n * 4 + p * 2 + q) mod 16"
+        );
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let names = |id: IterId| ["a", "b"][id.index()].to_string();
+        let e = (v(0) + 1) * 2;
+        assert_eq!(e.display_with(names).to_string(), "(a + 1) * 2");
+        let e2 = v(0) * 2 + 1;
+        assert_eq!(
+            e2.display_with(|id| ["a"][id.index()].to_string()).to_string(),
+            "a * 2 + 1"
+        );
+    }
+}

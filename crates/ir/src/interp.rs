@@ -1,0 +1,339 @@
+//! Reference scalar interpreter.
+//!
+//! Executes a [`ComputeDef`] point-by-point over real data. This is the
+//! semantic ground truth: a software-hardware mapping is correct exactly when
+//! the lowered program computes the same output as this interpreter.
+
+use crate::compute::ComputeDef;
+use crate::error::IrError;
+use crate::tensor::{TensorDecl, TensorId, TensorRole};
+
+/// A dense row-major tensor of `f64` values used by the interpreters and
+/// simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorData {
+    /// Dimension extents.
+    pub shape: Vec<i64>,
+    /// Row-major element storage; length is the product of `shape`.
+    pub data: Vec<f64>,
+}
+
+impl TensorData {
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: &[i64]) -> Self {
+        let len: i64 = shape.iter().product();
+        TensorData {
+            shape: shape.to_vec(),
+            data: vec![0.0; len as usize],
+        }
+    }
+
+    /// Tensor filled with one value.
+    pub fn filled(shape: &[i64], value: f64) -> Self {
+        let len: i64 = shape.iter().product();
+        TensorData {
+            shape: shape.to_vec(),
+            data: vec![value; len as usize],
+        }
+    }
+
+    /// Tensor matching a declaration, filled by `f(flat_index)`.
+    pub fn from_fn(shape: &[i64], f: impl Fn(usize) -> f64) -> Self {
+        let len: i64 = shape.iter().product();
+        TensorData {
+            shape: shape.to_vec(),
+            data: (0..len as usize).map(f).collect(),
+        }
+    }
+
+    /// Deterministic pseudo-random small-integer data; integer values keep
+    /// float accumulation exact so equality checks can be bitwise.
+    pub fn sequence(shape: &[i64], seed: u64) -> Self {
+        Self::from_fn(shape, |i| {
+            // Simple SplitMix64-style hash truncated to a small range.
+            let mut z = seed.wrapping_add(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            ((z >> 59) as i64 - 16) as f64 // values in [-16, 15]
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Maximum absolute difference to another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &TensorData) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Materialises the value of a [`TensorRole::Constant`] tensor.
+///
+/// Two constants are recognised by name convention:
+/// * tensors named `ones*` become all-ones,
+/// * tensors named `lower_tri*` / `upper_tri*` become triangular 0/1 masks
+///   (used to express scan/cumulative-sum as a GEMM, after Dakkak et al.).
+pub fn constant_value(decl: &TensorDecl) -> TensorData {
+    if decl.name.starts_with("ones") {
+        TensorData::filled(&decl.shape, 1.0)
+    } else if decl.name.starts_with("lower_tri") || decl.name.starts_with("upper_tri") {
+        assert_eq!(decl.rank(), 2, "triangular constants must be matrices");
+        let (n, m) = (decl.shape[0], decl.shape[1]);
+        let lower = decl.name.starts_with("lower_tri");
+        TensorData::from_fn(&decl.shape, |flat| {
+            let i = flat as i64 / m;
+            let j = flat as i64 % m;
+            let keep = if lower { i >= j } else { i <= j };
+            debug_assert!(i < n);
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    } else {
+        TensorData::zeros(&decl.shape)
+    }
+}
+
+/// Generates a full input binding for a computation: deterministic data for
+/// inputs, materialised constants, zeros for the output.
+pub fn make_inputs(def: &ComputeDef, seed: u64) -> Vec<TensorData> {
+    def.tensors()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t.role {
+            TensorRole::Input => TensorData::sequence(&t.shape, seed.wrapping_add(i as u64 * 7919)),
+            TensorRole::Constant => constant_value(t),
+            TensorRole::Output => TensorData::zeros(&t.shape),
+        })
+        .collect()
+}
+
+/// Executes the computation over the given tensor binding (one entry per
+/// declared tensor, in declaration order) and returns the output tensor.
+///
+/// The output entry of `tensors` provides the initial accumulator values
+/// (normally zeros).
+///
+/// # Errors
+///
+/// Returns [`IrError::OutOfBounds`] when an index expression escapes a tensor
+/// shape, and [`IrError::RankMismatch`] when a binding's shape rank differs
+/// from its declaration.
+pub fn execute(def: &ComputeDef, tensors: &[TensorData]) -> Result<TensorData, IrError> {
+    for (decl, data) in def.tensors().iter().zip(tensors.iter()) {
+        if decl.shape != data.shape {
+            return Err(IrError::InvalidShape {
+                name: decl.name.clone(),
+                shape: data.shape.clone(),
+            });
+        }
+    }
+    let out_id: TensorId = def.output().tensor;
+    let out_decl = def.tensor(out_id).clone();
+    let mut out = tensors[out_id.index()].clone();
+
+    let op = def.op();
+    let mut error = None;
+    def.for_each_point(|env| {
+        if error.is_some() || !def.point_active(env) {
+            return;
+        }
+        // Gather source values.
+        let mut srcs = [0.0f64; 4];
+        for (si, acc) in def.inputs().iter().enumerate() {
+            let decl = def.tensor(acc.tensor);
+            match checked_offset(acc, decl, env) {
+                Ok(off) => srcs[si] = tensors[acc.tensor.index()].data[off],
+                Err(e) => {
+                    error = Some(e);
+                    return;
+                }
+            }
+        }
+        match checked_offset(def.output(), &out_decl, env) {
+            Ok(off) => {
+                out.data[off] = op.accumulate(out.data[off], &srcs[..def.inputs().len()]);
+            }
+            Err(e) => error = Some(e),
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+fn checked_offset(
+    acc: &crate::tensor::Access,
+    decl: &TensorDecl,
+    env: &[i64],
+) -> Result<usize, IrError> {
+    let strides = decl.strides();
+    let mut off = 0i64;
+    for (dim, (e, s)) in acc.indices.iter().zip(strides.iter()).enumerate() {
+        let idx = e.eval(env);
+        if idx < 0 || idx >= decl.shape[dim] {
+            return Err(IrError::OutOfBounds {
+                tensor: decl.name.clone(),
+                dim,
+                index: idx,
+                extent: decl.shape[dim],
+            });
+        }
+        off += idx * s;
+    }
+    Ok(off as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputeBuilder;
+    use crate::tensor::DType;
+
+    fn gemm(m: i64, n: i64, k: i64) -> ComputeDef {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", m);
+        let j = b.spatial("j", n);
+        let kk = b.reduce("k", k);
+        let a = b.input("a", &[m, k], DType::F32);
+        let w = b.input("b", &[k, n], DType::F32);
+        let c = b.output("c", &[m, n], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, kk]), w.at([kk, j]));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gemm_against_manual_reference() {
+        let def = gemm(3, 4, 5);
+        let a = TensorData::from_fn(&[3, 5], |i| (i % 7) as f64);
+        let b = TensorData::from_fn(&[5, 4], |i| (i % 5) as f64 - 2.0);
+        let c = TensorData::zeros(&[3, 4]);
+        let out = execute(&def, &[a.clone(), b.clone(), c]).unwrap();
+        for i in 0..3usize {
+            for j in 0..4usize {
+                let mut acc = 0.0;
+                for k in 0..5usize {
+                    acc += a.data[i * 5 + k] * b.data[k * 4 + j];
+                }
+                assert_eq!(out.data[i * 4 + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_valid_padding_stays_in_bounds() {
+        let mut b = ComputeBuilder::new("c2d");
+        let p = b.spatial("p", 3);
+        let r = b.reduce("r", 2);
+        let img = b.input("img", &[4], DType::F32);
+        let o = b.output("o", &[3], DType::F32);
+        b.add_acc(o.at([p.ex()]), img.at([p.ex() + r.ex()]));
+        let def = b.finish().unwrap();
+        let img = TensorData::from_fn(&[4], |i| i as f64);
+        let out = execute(&def, &[img, TensorData::zeros(&[3])]).unwrap();
+        assert_eq!(out.data, vec![1.0, 3.0, 5.0]); // sliding pair sums
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut b = ComputeBuilder::new("oob");
+        let p = b.spatial("p", 3);
+        let img = b.input("img", &[2], DType::F32);
+        let o = b.output("o", &[3], DType::F32);
+        b.add_acc(o.at([p.ex()]), img.at([p.ex()]));
+        let def = b.finish().unwrap();
+        let err = execute(
+            &def,
+            &[TensorData::zeros(&[2]), TensorData::zeros(&[3])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let def = gemm(2, 2, 2);
+        let err = execute(
+            &def,
+            &[
+                TensorData::zeros(&[2, 3]),
+                TensorData::zeros(&[2, 2]),
+                TensorData::zeros(&[2, 2]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::InvalidShape { .. }));
+    }
+
+    #[test]
+    fn constants_materialise_by_name() {
+        let ones = constant_value(&TensorDecl {
+            name: "ones_k".into(),
+            shape: vec![3],
+            dtype: DType::F32,
+            role: TensorRole::Constant,
+        });
+        assert_eq!(ones.data, vec![1.0, 1.0, 1.0]);
+
+        let tri = constant_value(&TensorDecl {
+            name: "upper_tri".into(),
+            shape: vec![2, 2],
+            dtype: DType::F32,
+            role: TensorRole::Constant,
+        });
+        assert_eq!(tri.data, vec![1.0, 1.0, 0.0, 1.0]);
+
+        let lower = constant_value(&TensorDecl {
+            name: "lower_tri".into(),
+            shape: vec![2, 2],
+            dtype: DType::F32,
+            role: TensorRole::Constant,
+        });
+        assert_eq!(lower.data, vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn make_inputs_is_deterministic_and_integral() {
+        let def = gemm(2, 2, 2);
+        let a = make_inputs(&def, 42);
+        let b = make_inputs(&def, 42);
+        assert_eq!(a, b);
+        for t in &a {
+            for &v in &t.data {
+                assert_eq!(v, v.trunc(), "sequence data must be integral");
+            }
+        }
+        let c = make_inputs(&def, 43);
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_mismatch() {
+        let a = TensorData::filled(&[2], 1.0);
+        let mut b = a.clone();
+        b.data[1] = 3.0;
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Iteration variables: the loop axes of a tensor computation.
+//!
+//! A tensor computation is a perfectly nested loop; *software iterations* (paper
+//! §4.3) are the instances of these loops. Every loop axis is an [`IterVar`]
+//! with a compile-time extent and a [`IterKind`] telling whether the axis
+//! produces distinct output elements (`Spatial`) or accumulates into the same
+//! output element (`Reduction`).
+
+use std::fmt;
+
+/// Identifier of an iteration variable inside one computation.
+///
+/// The id is an index into the computation's iteration list, assigned by the
+/// builder in declaration order (which is also the canonical loop-nest order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IterId(pub u32);
+
+impl IterId {
+    /// Index into per-computation arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "it{}", self.0)
+    }
+}
+
+/// Whether a loop axis is parallel over the output or a reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterKind {
+    /// Each value of the iterator addresses distinct output elements.
+    Spatial,
+    /// All values of the iterator accumulate into the same output elements.
+    Reduction,
+}
+
+impl fmt::Display for IterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IterKind::Spatial => write!(f, "spatial"),
+            IterKind::Reduction => write!(f, "reduction"),
+        }
+    }
+}
+
+/// One loop axis of a tensor computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IterVar {
+    /// Human-readable name (`n`, `k`, `p`, ...). Unique within a computation.
+    pub name: String,
+    /// Trip count of the loop; always positive.
+    pub extent: i64,
+    /// Spatial or reduction axis.
+    pub kind: IterKind,
+}
+
+impl IterVar {
+    /// Creates a new iteration variable.
+    ///
+    /// Extent validation happens in the builder so that the error can carry
+    /// computation context.
+    pub fn new(name: impl Into<String>, extent: i64, kind: IterKind) -> Self {
+        IterVar {
+            name: name.into(),
+            extent,
+            kind,
+        }
+    }
+
+    /// True for [`IterKind::Reduction`] axes.
+    pub fn is_reduction(&self) -> bool {
+        self.kind == IterKind::Reduction
+    }
+
+    /// True for [`IterKind::Spatial`] axes.
+    pub fn is_spatial(&self) -> bool {
+        self.kind == IterKind::Spatial
+    }
+}
+
+impl fmt::Display for IterVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}; {}]", self.name, self.extent, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_var_accessors() {
+        let v = IterVar::new("n", 16, IterKind::Spatial);
+        assert!(v.is_spatial());
+        assert!(!v.is_reduction());
+        assert_eq!(v.extent, 16);
+        assert_eq!(v.to_string(), "n[16; spatial]");
+
+        let r = IterVar::new("c", 64, IterKind::Reduction);
+        assert!(r.is_reduction());
+        assert_eq!(r.to_string(), "c[64; reduction]");
+    }
+
+    #[test]
+    fn iter_id_ordering_follows_declaration_order() {
+        assert!(IterId(0) < IterId(1));
+        assert_eq!(IterId(3).index(), 3);
+        assert_eq!(IterId(3).to_string(), "it3");
+    }
+}

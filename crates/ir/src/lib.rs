@@ -1,0 +1,62 @@
+//! # amos-ir — tensor IR for the AMOS-rs compiler
+//!
+//! This crate is the software side of the AMOS mapping problem (ISCA 2022):
+//! tensor computations as perfectly nested loops with quasi-affine accesses.
+//! It provides
+//!
+//! * [`Expr`] — quasi-affine index expressions with affine analysis,
+//! * [`IterVar`]/[`IterKind`] — loop axes (spatial vs reduction),
+//! * [`TensorDecl`]/[`Access`] — buffers and their accesses,
+//! * [`ComputeDef`] + [`ComputeBuilder`] — the high-level DSL of paper Fig 3a,
+//! * [`BinMatrix`] — binary matrices with the boolean ★ product of
+//!   Algorithm 1,
+//! * the reference [`interp`] executor used as semantic ground truth,
+//! * the lowered-statement [`nodes`] of paper Table 4.
+//!
+//! ## Example
+//!
+//! ```
+//! use amos_ir::{ComputeBuilder, DType, interp};
+//!
+//! # fn main() -> Result<(), amos_ir::IrError> {
+//! // out[i, j] += a[i, k] * b[k, j]
+//! let mut b = ComputeBuilder::new("gemm");
+//! let i = b.spatial("i", 4);
+//! let j = b.spatial("j", 4);
+//! let k = b.reduce("k", 4);
+//! let a = b.input("a", &[4, 4], DType::F16);
+//! let w = b.input("b", &[4, 4], DType::F16);
+//! let c = b.output("c", &[4, 4], DType::F32);
+//! b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+//! let gemm = b.finish()?;
+//!
+//! let tensors = interp::make_inputs(&gemm, 7);
+//! let out = interp::execute(&gemm, &tensors)?;
+//! assert_eq!(out.shape, vec![4, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod compute;
+mod error;
+mod expr;
+mod iter;
+mod matrix;
+mod tensor;
+
+pub mod interp;
+pub mod nodes;
+pub mod simplify;
+
+pub use builder::{ComputeBuilder, IterHandle, TensorHandle};
+pub use compute::{ComputeDef, OpKind};
+pub use error::IrError;
+pub use expr::Expr;
+pub use interp::TensorData;
+pub use iter::{IterId, IterKind, IterVar};
+pub use matrix::BinMatrix;
+pub use tensor::{Access, DType, TensorDecl, TensorId, TensorRole};

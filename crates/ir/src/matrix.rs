@@ -1,0 +1,230 @@
+//! Binary (boolean) matrices and the boolean matrix product ★ used by the
+//! mapping-validation algorithm (paper §5.2, Algorithm 1).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense binary-valued matrix.
+///
+/// Rows conventionally index tensors/operands and columns index iteration
+/// variables, matching the access matrices of paper Figure 4.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BinMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<bool>,
+}
+
+impl BinMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BinMatrix {
+            rows,
+            cols,
+            data: vec![false; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major rows of 0/1 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = BinMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "inconsistent row lengths");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v != 0;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Boolean matrix product: `(A ★ B)[i][j] = OR_k (A[i][k] AND B[k][j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn bool_mul(&self, rhs: &BinMatrix) -> BinMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} ★ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = BinMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                if self[(i, k)] {
+                    for j in 0..rhs.cols {
+                        if rhs[(k, j)] {
+                            out[(i, j)] = true;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> BinMatrix {
+        let mut out = BinMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// The column at `j` as a boolean vector (a per-iteration access
+    /// signature in mapping terms).
+    pub fn column(&self, j: usize) -> Vec<bool> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The row at `i` as a boolean vector.
+    pub fn row(&self, i: usize) -> Vec<bool> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Returns a matrix keeping only the listed columns, in the given order.
+    pub fn select_columns(&self, cols: &[usize]) -> BinMatrix {
+        let mut out = BinMatrix::zeros(self.rows, cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            for i in 0..self.rows {
+                out[(i, jj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Count of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+}
+
+impl Index<(usize, usize)> for BinMatrix {
+    type Output = bool;
+    fn index(&self, (i, j): (usize, usize)) -> &bool {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for BinMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut bool {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for BinMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{}", if self[(i, j)] { '1' } else { '0' })?;
+                if j + 1 < self.cols {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_mul_matches_figure4_example() {
+        // Z: intrinsic access matrix for mma (rows Src1, Src2, Dst).
+        let z = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 0]]);
+        // Y: matching matrix for conv2d -> mma from paper Fig 4
+        // (rows i1,i2,r1; cols n,k,p,q,c,r,s).
+        let y = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 0, 0, 0],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 1],
+        ]);
+        // X: access matrix for conv2d (rows image, weight, out).
+        let x = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 1, 1, 1],
+            &[0, 1, 0, 0, 1, 1, 1],
+            &[1, 1, 1, 1, 0, 0, 0],
+        ]);
+
+        assert_eq!(z.bool_mul(&y), x);
+        assert_eq!(x.bool_mul(&y.transpose()), z);
+    }
+
+    #[test]
+    fn bool_mul_invalid_mapping_is_detected() {
+        let z = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 0]]);
+        // Invalid: map both n and k to i1 (paper's §5.2 counter-example).
+        let y = BinMatrix::from_rows(&[
+            &[1, 1, 1, 1, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 1],
+        ]);
+        let x = BinMatrix::from_rows(&[
+            &[1, 0, 1, 1, 1, 1, 1],
+            &[0, 1, 0, 0, 1, 1, 1],
+            &[1, 1, 1, 1, 0, 0, 0],
+        ]);
+        assert_ne!(z.bool_mul(&y), x);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().rows(), 3);
+        assert_eq!(m.transpose().cols(), 2);
+    }
+
+    #[test]
+    fn column_and_row_extraction() {
+        let m = BinMatrix::from_rows(&[&[1, 0], &[0, 1], &[1, 1]]);
+        assert_eq!(m.column(0), vec![true, false, true]);
+        assert_eq!(m.row(2), vec![true, true]);
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let m = BinMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 0]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s, BinMatrix::from_rows(&[&[1, 1], &[0, 0]]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = BinMatrix::from_rows(&[&[1, 0]]);
+        assert_eq!(m.to_string(), "1 0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bool_mul_dimension_mismatch_panics() {
+        let a = BinMatrix::zeros(2, 3);
+        let b = BinMatrix::zeros(2, 3);
+        let _ = a.bool_mul(&b);
+    }
+}

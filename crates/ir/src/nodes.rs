@@ -1,0 +1,257 @@
+//! The compiler IR nodes of paper Table 4.
+//!
+//! AMOS adds two nodes, `Compute` and `Memory`, on top of basic nodes
+//! (`Expr`, `BufferLoad`, `Tensor`, `Array`, `String`). A `Compute` node
+//! stands for the small loop nest matched by a compute intrinsic; a `Memory`
+//! node stands for a memory intrinsic with an explicit scope. Lowering a
+//! physical mapping produces a tree of these statements; the pretty printer
+//! renders the program a human would read, and the simulator executes an
+//! equivalent instruction stream.
+
+use crate::expr::Expr;
+use crate::iter::IterId;
+use std::fmt;
+
+/// Memory scope of a buffer (the `String` attribute of a `Memory` node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Off-chip global memory.
+    Global,
+    /// On-chip shared buffer of a sub-core.
+    Shared,
+    /// Register fragments of the PE array.
+    Register,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Global => write!(f, "global"),
+            Scope::Shared => write!(f, "shared"),
+            Scope::Register => write!(f, "reg"),
+        }
+    }
+}
+
+/// A multi-dimensional load from a named buffer (`BufferLoad` basic node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferRef {
+    /// Buffer (tensor) name.
+    pub tensor: String,
+    /// Scope the buffer lives in.
+    pub scope: Scope,
+    /// Index expressions over loop variables of the surrounding `Stmt::Loop`s.
+    pub indices: Vec<Expr>,
+}
+
+/// A statement of the lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Sequential or parallel loop over `extent` values of a named variable.
+    Loop {
+        /// Loop variable name (for display; bound to [`IterId`] slots).
+        var: String,
+        /// Variable slot referenced by child expressions.
+        id: IterId,
+        /// Trip count.
+        extent: i64,
+        /// `true` when the loop is bound to parallel hardware units.
+        parallel: bool,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `Compute(Tensor, Expr, Array<Expr>)`: one compute-intrinsic call.
+    Compute {
+        /// Name of the intrinsic being invoked.
+        intrinsic: String,
+        /// Destination fragment.
+        dst: BufferRef,
+        /// Source fragments.
+        srcs: Vec<BufferRef>,
+    },
+    /// `Memory(Tensor, String, BufferLoad)`: one memory-intrinsic call
+    /// moving a tile between scopes.
+    Memory {
+        /// Name of the memory intrinsic.
+        intrinsic: String,
+        /// Destination tile.
+        dst: BufferRef,
+        /// Source tile.
+        src: BufferRef,
+    },
+    /// Zero-fill of a destination fragment (accumulator initialisation).
+    Fill {
+        /// Target fragment.
+        dst: BufferRef,
+        /// Fill value.
+        value: f64,
+    },
+}
+
+impl Stmt {
+    /// Number of statements in the subtree (loops count as one each).
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Loop { body, .. } => 1 + body.iter().map(Stmt::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+/// Pretty-prints a statement list as indented pseudo-code.
+pub fn render_program(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    // Collect variable names reachable anywhere so nested exprs can resolve.
+    fn names(stmts: &[Stmt], map: &mut Vec<(IterId, String)>) {
+        for s in stmts {
+            if let Stmt::Loop { var, id, body, .. } = s {
+                map.push((*id, var.clone()));
+                names(body, map);
+            }
+        }
+    }
+    let mut map = Vec::new();
+    names(stmts, &mut map);
+    let lookup = move |id: IterId| {
+        map.iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("it{}", id.0))
+    };
+    fn buf(b: &BufferRef, lookup: &impl Fn(IterId) -> String) -> String {
+        let idx: Vec<String> = b
+            .indices
+            .iter()
+            .map(|e| e.display_with(lookup).to_string())
+            .collect();
+        format!("{}.{}[{}]", b.scope, b.tensor, idx.join(", "))
+    }
+    fn go(
+        stmts: &[Stmt],
+        depth: usize,
+        out: &mut String,
+        lookup: &impl Fn(IterId) -> String,
+    ) {
+        for s in stmts {
+            let pad = "  ".repeat(depth);
+            match s {
+                Stmt::Loop {
+                    var,
+                    extent,
+                    parallel,
+                    body,
+                    ..
+                } => {
+                    let kw = if *parallel { "parallel" } else { "for" };
+                    out.push_str(&format!("{pad}{kw} {var} in 0..{extent} {{\n"));
+                    go(body, depth + 1, out, lookup);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+                Stmt::Compute {
+                    intrinsic,
+                    dst,
+                    srcs,
+                } => {
+                    let srcs: Vec<String> = srcs.iter().map(|s| buf(s, lookup)).collect();
+                    out.push_str(&format!(
+                        "{pad}{intrinsic}({}, {})\n",
+                        buf(dst, lookup),
+                        srcs.join(", ")
+                    ));
+                }
+                Stmt::Memory {
+                    intrinsic,
+                    dst,
+                    src,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}{intrinsic}({} <- {})\n",
+                        buf(dst, lookup),
+                        buf(src, lookup)
+                    ));
+                }
+                Stmt::Fill { dst, value } => {
+                    out.push_str(&format!("{pad}fill({}, {value})\n", buf(dst, lookup)));
+                }
+            }
+        }
+    }
+    go(stmts, 0, &mut out, &lookup);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_nested_program() {
+        let prog = vec![Stmt::Loop {
+            var: "bo".into(),
+            id: IterId(0),
+            extent: 4,
+            parallel: true,
+            body: vec![
+                Stmt::Fill {
+                    dst: BufferRef {
+                        tensor: "acc".into(),
+                        scope: Scope::Register,
+                        indices: vec![Expr::Var(IterId(0))],
+                    },
+                    value: 0.0,
+                },
+                Stmt::Loop {
+                    var: "ko".into(),
+                    id: IterId(1),
+                    extent: 2,
+                    parallel: false,
+                    body: vec![
+                        Stmt::Memory {
+                            intrinsic: "load_matrix_sync".into(),
+                            dst: BufferRef {
+                                tensor: "a_frag".into(),
+                                scope: Scope::Register,
+                                indices: vec![],
+                            },
+                            src: BufferRef {
+                                tensor: "a".into(),
+                                scope: Scope::Shared,
+                                indices: vec![
+                                    Expr::Var(IterId(0)),
+                                    Expr::Var(IterId(1)),
+                                ],
+                            },
+                        },
+                        Stmt::Compute {
+                            intrinsic: "mma_sync".into(),
+                            dst: BufferRef {
+                                tensor: "acc".into(),
+                                scope: Scope::Register,
+                                indices: vec![],
+                            },
+                            srcs: vec![BufferRef {
+                                tensor: "a_frag".into(),
+                                scope: Scope::Register,
+                                indices: vec![],
+                            }],
+                        },
+                    ],
+                },
+            ],
+        }];
+        let text = render_program(&prog);
+        assert!(text.contains("parallel bo in 0..4 {"));
+        assert!(text.contains("for ko in 0..2 {"));
+        assert!(text.contains("load_matrix_sync(reg.a_frag[] <- shared.a[bo, ko])"));
+        assert!(text.contains("mma_sync(reg.acc[], reg.a_frag[])"));
+        assert!(text.contains("fill(reg.acc[bo], 0)"));
+        assert_eq!(prog[0].size(), 5);
+    }
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(Scope::Global.to_string(), "global");
+        assert_eq!(Scope::Shared.to_string(), "shared");
+        assert_eq!(Scope::Register.to_string(), "reg");
+    }
+}

@@ -1,0 +1,273 @@
+//! Expression simplification.
+//!
+//! The physical-mapping rewrite (paper §5.1) produces index expressions full
+//! of `mod`/`div` by problem sizes, multiplications by strides and additions
+//! of zero bases. This module normalises them: constant folding, identity
+//! elimination, affine-term collection, and range-based `mod`/`div`
+//! elimination (`e mod p == e` when `0 <= e < p` — exactly the case when a
+//! fused extent fits the intrinsic problem size).
+
+use crate::expr::Expr;
+use crate::iter::IterId;
+
+/// Value range of an expression, for range-based simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest possible value.
+    pub lo: i64,
+    /// Largest possible value.
+    pub hi: i64,
+}
+
+impl Range {
+    /// A constant's range.
+    pub fn point(v: i64) -> Range {
+        Range { lo: v, hi: v }
+    }
+}
+
+/// Computes the value range of an expression given per-variable extents
+/// (variable `i` ranges over `0..extents[i]`). Returns `None` when a
+/// variable is out of range of `extents` or a divisor may be zero.
+pub fn range_of(e: &Expr, extents: &[i64]) -> Option<Range> {
+    match e {
+        Expr::Var(id) => {
+            let ext = *extents.get(id.index())?;
+            Some(Range {
+                lo: 0,
+                hi: ext - 1,
+            })
+        }
+        Expr::Const(v) => Some(Range::point(*v)),
+        Expr::Add(a, b) => {
+            let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
+            Some(Range {
+                lo: ra.lo + rb.lo,
+                hi: ra.hi + rb.hi,
+            })
+        }
+        Expr::Sub(a, b) => {
+            let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
+            Some(Range {
+                lo: ra.lo - rb.hi,
+                hi: ra.hi - rb.lo,
+            })
+        }
+        Expr::Mul(a, b) => {
+            let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
+            let candidates = [
+                ra.lo * rb.lo,
+                ra.lo * rb.hi,
+                ra.hi * rb.lo,
+                ra.hi * rb.hi,
+            ];
+            Some(Range {
+                lo: *candidates.iter().min().expect("nonempty"),
+                hi: *candidates.iter().max().expect("nonempty"),
+            })
+        }
+        Expr::FloorDiv(a, b) => {
+            let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
+            if rb.lo <= 0 {
+                return None; // divisor not provably positive
+            }
+            Some(Range {
+                lo: ra.lo.div_euclid(rb.hi),
+                hi: ra.hi.div_euclid(rb.lo),
+            })
+        }
+        Expr::Mod(a, b) => {
+            let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
+            if rb.lo <= 0 {
+                return None;
+            }
+            if ra.lo >= 0 && ra.hi < rb.lo {
+                return Some(ra); // modulo is the identity on this range
+            }
+            Some(Range {
+                lo: 0,
+                hi: rb.hi - 1,
+            })
+        }
+    }
+}
+
+/// Simplifies an expression: constant folding, `+0`/`*1`/`*0` elimination,
+/// and range-based `mod`/`div` elimination using the variable extents.
+pub fn simplify(e: &Expr, extents: &[i64]) -> Expr {
+    match e {
+        Expr::Var(_) | Expr::Const(_) => e.clone(),
+        Expr::Add(a, b) => {
+            let (a, b) = (simplify(a, extents), simplify(b, extents));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x + y),
+                (Expr::Const(0), _) => b,
+                (_, Expr::Const(0)) => a,
+                _ => a + b,
+            }
+        }
+        Expr::Sub(a, b) => {
+            let (a, b) = (simplify(a, extents), simplify(b, extents));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x - y),
+                (_, Expr::Const(0)) => a,
+                _ if a == b => Expr::Const(0),
+                _ => a - b,
+            }
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (simplify(a, extents), simplify(b, extents));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x * y),
+                (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
+                (Expr::Const(1), _) => b,
+                (_, Expr::Const(1)) => a,
+                _ => a * b,
+            }
+        }
+        Expr::FloorDiv(a, b) => {
+            let (a, b) = (simplify(a, extents), simplify(b, extents));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
+                    Expr::Const(x.div_euclid(*y))
+                }
+                (_, Expr::Const(1)) => a,
+                _ => {
+                    // e / d == 0 when 0 <= e < d.
+                    if let (Some(ra), Some(rb)) =
+                        (range_of(&a, extents), range_of(&b, extents))
+                    {
+                        if ra.lo >= 0 && ra.hi < rb.lo.max(1) && rb.lo > 0 {
+                            return Expr::Const(0);
+                        }
+                    }
+                    a.floor_div(b)
+                }
+            }
+        }
+        Expr::Mod(a, b) => {
+            let (a, b) = (simplify(a, extents), simplify(b, extents));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
+                    Expr::Const(x.rem_euclid(*y))
+                }
+                (_, Expr::Const(1)) => Expr::Const(0),
+                _ => {
+                    // e mod d == e when 0 <= e < d.
+                    if let (Some(ra), Some(rb)) =
+                        (range_of(&a, extents), range_of(&b, extents))
+                    {
+                        if ra.lo >= 0 && ra.hi < rb.lo.max(1) && rb.lo > 0 {
+                            return a;
+                        }
+                    }
+                    a.rem(b)
+                }
+            }
+        }
+    }
+}
+
+/// Builds the canonical fused-index expression of a group of iterations with
+/// the given extents: `s1*E2*…*Eg + … + sg` (first iteration most
+/// significant), simplified.
+pub fn fused_index(iters: &[IterId], extents: &[i64], all_extents: &[i64]) -> Expr {
+    debug_assert_eq!(iters.len(), extents.len());
+    let mut expr = Expr::Const(0);
+    for (id, _) in iters.iter().zip(extents) {
+        let trailing: i64 = extents[iters.iter().position(|x| x == id).expect("member") + 1..]
+            .iter()
+            .product();
+        expr = expr + Expr::Var(*id) * trailing;
+    }
+    simplify(&expr, all_extents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Expr {
+        Expr::Var(IterId(i))
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = (Expr::int(3) + 4) * 2;
+        assert_eq!(simplify(&e, &[]), Expr::Const(14));
+        let e = Expr::int(7).rem(Expr::int(4));
+        assert_eq!(simplify(&e, &[]), Expr::Const(3));
+        let e = Expr::int(-7).floor_div(Expr::int(2));
+        assert_eq!(simplify(&e, &[]), Expr::Const(-4));
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)]
+    fn identity_elimination() {
+        let extents = [8];
+        assert_eq!(simplify(&(v(0) + 0), &extents), v(0));
+        assert_eq!(simplify(&(v(0) * 1), &extents), v(0));
+        assert_eq!(simplify(&(v(0) * 0), &extents), Expr::Const(0));
+        assert_eq!(simplify(&(v(0) - v(0)), &extents), Expr::Const(0));
+        assert_eq!(simplify(&v(0).clone().floor_div(1), &extents), v(0));
+        assert_eq!(simplify(&v(0).rem(1), &extents), Expr::Const(0));
+    }
+
+    #[test]
+    fn range_based_mod_elimination() {
+        // x in [0, 8): x mod 16 == x, x / 16 == 0, but x mod 4 stays.
+        let extents = [8];
+        assert_eq!(simplify(&v(0).rem(16), &extents), v(0));
+        assert_eq!(simplify(&v(0).clone().floor_div(16), &extents), Expr::Const(0));
+        assert_eq!(simplify(&v(0).rem(4), &extents), v(0).rem(4));
+    }
+
+    #[test]
+    fn range_analysis() {
+        // x in [0,4), y in [0,3): x*3 + y in [0, 11].
+        let extents = [4, 3];
+        let e = v(0) * 3 + v(1);
+        assert_eq!(range_of(&e, &extents), Some(Range { lo: 0, hi: 11 }));
+        let e = v(0) - v(1);
+        assert_eq!(range_of(&e, &extents), Some(Range { lo: -2, hi: 3 }));
+        let e = (v(0) * 3 + v(1)).floor_div(4);
+        assert_eq!(range_of(&e, &extents), Some(Range { lo: 0, hi: 2 }));
+    }
+
+    #[test]
+    fn range_of_mod_identity_window() {
+        let extents = [4];
+        let e = v(0).rem(8);
+        assert_eq!(range_of(&e, &extents), Some(Range { lo: 0, hi: 3 }));
+        let e = v(0).rem(3);
+        assert_eq!(range_of(&e, &extents), Some(Range { lo: 0, hi: 2 }));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics() {
+        // Exhaustive check over the domain for a messy expression.
+        let extents = [5, 3];
+        let e = ((v(0) * 3 + v(1)) + 0).rem(16) + (v(0) - v(0)) * 7
+            + (v(1) * 1).floor_div(32);
+        let s = simplify(&e, &extents);
+        for x in 0..5 {
+            for y in 0..3 {
+                assert_eq!(e.eval(&[x, y]), s.eval(&[x, y]), "at ({x},{y})");
+            }
+        }
+        // And it actually got simpler: the mod and div vanished.
+        assert!(s.vars_under_div_mod().is_empty());
+    }
+
+    #[test]
+    fn fused_index_builds_mixed_radix() {
+        // Iterations (a, b) with extents (4, 3): fused = a*3 + b.
+        let iters = [IterId(0), IterId(1)];
+        let e = fused_index(&iters, &[4, 3], &[4, 3]);
+        assert_eq!(e.eval(&[2, 1]), 7);
+        assert_eq!(e.eval(&[0, 2]), 2);
+        // Single iteration fuses to itself.
+        let e = fused_index(&[IterId(1)], &[3], &[4, 3]);
+        assert_eq!(e, Expr::Var(IterId(1)));
+    }
+}

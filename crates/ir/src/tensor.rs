@@ -1,0 +1,210 @@
+//! Tensor declarations and tensor accesses.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The functional simulator computes in `f64` regardless; the dtype matters
+/// for intrinsic matching (e.g. Tensor Core WMMA consumes f16 inputs) and for
+/// byte-accounting in the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 16-bit IEEE float.
+    F16,
+    /// 32-bit IEEE float.
+    F32,
+    /// 8-bit signed integer.
+    I8,
+    /// 32-bit signed integer.
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+            DType::I8 => 1,
+            DType::I32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F16 => write!(f, "f16"),
+            DType::F32 => write!(f, "f32"),
+            DType::I8 => write!(f, "i8"),
+            DType::I32 => write!(f, "i32"),
+        }
+    }
+}
+
+/// Identifier of a tensor inside one computation (index into the tensor list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TensorId(pub u32);
+
+impl TensorId {
+    /// Index into per-computation arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// How a tensor participates in a computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorRole {
+    /// Read-only input provided by the caller.
+    Input,
+    /// The accumulated output.
+    Output,
+    /// A compile-time constant input (e.g. the ones vector used to express a
+    /// row-mean as a matrix-vector product, or the triangular mask of a scan).
+    Constant,
+}
+
+/// An n-dimensional data buffer declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorDecl {
+    /// Name, unique within a computation.
+    pub name: String,
+    /// Positive dimension extents.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+    /// Input, output, or constant.
+    pub role: TensorRole,
+}
+
+impl TensorDecl {
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// True when the tensor has zero elements (never for validated decls).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides of the tensor.
+    pub fn strides(&self) -> Vec<i64> {
+        let mut strides = vec![1i64; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.shape[i + 1];
+        }
+        strides
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * self.dtype.bytes()
+    }
+}
+
+impl fmt::Display for TensorDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}{:?}", self.name, self.dtype, self.shape)
+    }
+}
+
+/// A read or write of a tensor at quasi-affine indices, e.g.
+/// `image[n, c, p + r, q + s]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Which tensor is accessed.
+    pub tensor: TensorId,
+    /// One index expression per tensor dimension.
+    pub indices: Vec<Expr>,
+}
+
+impl Access {
+    /// Creates an access; rank checking happens when the computation is built.
+    pub fn new(tensor: TensorId, indices: Vec<Expr>) -> Self {
+        Access { tensor, indices }
+    }
+
+    /// Evaluates the flat row-major offset of this access for an iteration
+    /// point, given the tensor's declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access rank does not match the declaration (validated at
+    /// build time).
+    pub fn flat_offset(&self, decl: &TensorDecl, env: &[i64]) -> i64 {
+        debug_assert_eq!(self.indices.len(), decl.rank());
+        let strides = decl.strides();
+        self.indices
+            .iter()
+            .zip(strides.iter())
+            .map(|(e, s)| e.eval(env) * s)
+            .sum()
+    }
+
+    /// Evaluates every index expression for an iteration point.
+    pub fn eval_indices(&self, env: &[i64]) -> Vec<i64> {
+        self.indices.iter().map(|e| e.eval(env)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::iter::IterId;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I8.bytes(), 1);
+        assert_eq!(DType::I32.bytes(), 4);
+        assert_eq!(DType::F16.to_string(), "f16");
+    }
+
+    #[test]
+    fn tensor_strides_are_row_major() {
+        let t = TensorDecl {
+            name: "a".into(),
+            shape: vec![2, 3, 4],
+            dtype: DType::F32,
+            role: TensorRole::Input,
+        };
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.bytes(), 96);
+        assert_eq!(t.rank(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn access_flat_offset() {
+        let t = TensorDecl {
+            name: "a".into(),
+            shape: vec![4, 5],
+            dtype: DType::F32,
+            role: TensorRole::Input,
+        };
+        // a[i, j + 1] at i=2, j=3 -> 2*5 + 4 = 14
+        let acc = Access::new(
+            TensorId(0),
+            vec![Expr::Var(IterId(0)), Expr::Var(IterId(1)) + 1],
+        );
+        assert_eq!(acc.flat_offset(&t, &[2, 3]), 14);
+        assert_eq!(acc.eval_indices(&[2, 3]), vec![2, 4]);
+    }
+}

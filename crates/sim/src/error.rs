@@ -1,0 +1,90 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised while building, checking or executing a mapped program.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum SimError {
+    /// A software iteration appears in more than one fused group / outer
+    /// position, or is missing entirely.
+    MalformedMapping { detail: String },
+    /// Two intrinsic iteration points demanded different software elements at
+    /// the same fragment position — the mapping is not implementable by the
+    /// intrinsic's data layout.
+    IncoherentFragment {
+        operand: String,
+        position: Vec<i64>,
+    },
+    /// A schedule exceeds a memory capacity of the accelerator.
+    CapacityExceeded {
+        level: String,
+        needed_bytes: u64,
+        available_bytes: u64,
+    },
+    /// A schedule parameter is out of its legal range.
+    InvalidSchedule { detail: String },
+    /// Underlying IR error (e.g. out-of-bounds access).
+    Ir(amos_ir::IrError),
+    /// The operation kind cannot be executed by the intrinsic.
+    UnsupportedOp { detail: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MalformedMapping { detail } => write!(f, "malformed mapping: {detail}"),
+            SimError::IncoherentFragment { operand, position } => write!(
+                f,
+                "incoherent fragment for operand `{operand}` at position {position:?}"
+            ),
+            SimError::CapacityExceeded {
+                level,
+                needed_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "capacity exceeded at level `{level}`: need {needed_bytes} bytes, have {available_bytes}"
+            ),
+            SimError::InvalidSchedule { detail } => write!(f, "invalid schedule: {detail}"),
+            SimError::Ir(e) => write!(f, "ir error: {e}"),
+            SimError::UnsupportedOp { detail } => write!(f, "unsupported operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amos_ir::IrError> for SimError {
+    fn from(e: amos_ir::IrError) -> Self {
+        SimError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SimError::Ir(amos_ir::IrError::UnknownIter { id: 3 });
+        assert!(e.to_string().contains("ir error"));
+        assert!(e.source().is_some());
+
+        let e = SimError::CapacityExceeded {
+            level: "core".into(),
+            needed_bytes: 10,
+            available_bytes: 5,
+        };
+        assert!(e.to_string().contains("need 10 bytes"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,660 @@
+//! Functional execution of a mapped program.
+//!
+//! Interprets the tiled structure of a [`MappedProgram`] with *explicit
+//! fragment semantics*: source tiles are staged into register fragments
+//! through the operand index expressions of the compute abstraction, the
+//! intrinsic is executed scalar-by-scalar over its full problem size
+//! (including padding lanes), and destination fragments are scattered back
+//! with padding dropped.
+//!
+//! Executing through the fragments — rather than reading software tensors
+//! directly per scalar operation — means mappings that are not implementable
+//! by the intrinsic's data layout produce either an
+//! [`SimError::IncoherentFragment`] error or numerically wrong output, which
+//! the equivalence tests against the reference interpreter catch.
+
+use crate::error::SimError;
+use crate::program::MappedProgram;
+use amos_hw::OperandRef;
+use amos_ir::{IterKind, OpKind, TensorData};
+
+/// Execution statistics gathered by the functional run; cross-validated
+/// against the analytic counts of [`MappedProgram`] in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Compute-intrinsic invocations.
+    pub intrinsic_calls: u64,
+    /// Scalar multiply-accumulate lanes executed, including padding.
+    pub total_lanes: u64,
+    /// Lanes that carried a real (non-padded, predicate-active) operation.
+    pub active_lanes: u64,
+    /// Source-fragment stagings (one per operand per call).
+    pub fragment_loads: u64,
+}
+
+impl ExecStats {
+    /// Fraction of lanes doing useful work.
+    pub fn lane_efficiency(&self) -> f64 {
+        if self.total_lanes == 0 {
+            return 1.0;
+        }
+        self.active_lanes as f64 / self.total_lanes as f64
+    }
+}
+
+/// Staged fragment content: which software element each position holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    /// Not written by any intrinsic point.
+    Unset,
+    /// Zero-padding.
+    Pad,
+    /// A real element, identified by its flat offset in the source tensor.
+    Elem(usize),
+}
+
+/// Runs `f` over every point of a mixed-radix space.
+pub(crate) fn odometer(extents: &[i64], mut f: impl FnMut(&[i64])) {
+    let mut point = vec![0i64; extents.len()];
+    if extents.iter().any(|&e| e <= 0) {
+        return;
+    }
+    loop {
+        f(&point);
+        let mut dim = extents.len();
+        loop {
+            if dim == 0 {
+                return;
+            }
+            dim -= 1;
+            point[dim] += 1;
+            if point[dim] < extents[dim] {
+                break;
+            }
+            point[dim] = 0;
+        }
+    }
+}
+
+/// Executes a mapped program over concrete data (one tensor per declared
+/// tensor, in declaration order; the output entry provides initial
+/// accumulator values) and returns the output tensor.
+///
+/// # Errors
+///
+/// * [`SimError::IncoherentFragment`] when two intrinsic points demand
+///   different software elements at one fragment position,
+/// * [`SimError::UnsupportedOp`] for accumulations the intrinsic cannot
+///   perform (max-reduction),
+/// * [`SimError::Ir`] for out-of-bounds accesses.
+pub fn execute_mapped(
+    prog: &MappedProgram,
+    tensors: &[TensorData],
+) -> Result<TensorData, SimError> {
+    execute_mapped_with_stats(prog, tensors).map(|(out, _)| out)
+}
+
+/// Like [`execute_mapped`], additionally returning execution statistics.
+///
+/// # Errors
+///
+/// Same as [`execute_mapped`].
+pub fn execute_mapped_with_stats(
+    prog: &MappedProgram,
+    tensors: &[TensorData],
+) -> Result<(TensorData, ExecStats), SimError> {
+    let def = prog.def();
+    let intr = prog.intrinsic();
+    let op = def.op();
+    if op == OpKind::MaxAcc {
+        return Err(SimError::UnsupportedOp {
+            detail: "max accumulation cannot be lowered to a multiply-add intrinsic".into(),
+        });
+    }
+    if op != intr.compute.op() {
+        return Err(SimError::UnsupportedOp {
+            detail: format!(
+                "software op {} does not match intrinsic op {}",
+                op,
+                intr.compute.op()
+            ),
+        });
+    }
+    for (decl, data) in def.tensors().iter().zip(tensors.iter()) {
+        if decl.shape != data.shape {
+            return Err(SimError::Ir(amos_ir::IrError::InvalidShape {
+                name: decl.name.clone(),
+                shape: data.shape.clone(),
+            }));
+        }
+    }
+
+    let num_iters = intr.compute.iters().len();
+    let problem: Vec<i64> = intr.compute.problem_size();
+    let spatial_t: Vec<usize> = (0..num_iters)
+        .filter(|&t| intr.compute.iters()[t].kind == IterKind::Spatial)
+        .collect();
+    let reduction_t: Vec<usize> = (0..num_iters)
+        .filter(|&t| intr.compute.iters()[t].kind == IterKind::Reduction)
+        .collect();
+
+    // Outer software loops split by kind.
+    let outer_sp: Vec<_> = prog
+        .outer()
+        .iter()
+        .copied()
+        .filter(|&id| def.iter_var(id).kind == IterKind::Spatial)
+        .collect();
+    let outer_red: Vec<_> = prog
+        .outer()
+        .iter()
+        .copied()
+        .filter(|&id| def.iter_var(id).kind == IterKind::Reduction)
+        .collect();
+
+    let num_srcs = intr.compute.num_srcs();
+    let frag_shapes: Vec<Vec<i64>> = (0..num_srcs)
+        .map(|m| intr.compute.fragment_shape(OperandRef::Src(m)))
+        .collect();
+    let dst_shape = intr.compute.fragment_shape(OperandRef::Dst);
+    let dst_len: i64 = dst_shape.iter().product();
+
+    let mut out = tensors[def.output().tensor.index()].clone();
+
+    // Extents of the sequential spaces.
+    let sp_extents: Vec<i64> = outer_sp
+        .iter()
+        .map(|&id| def.iter_var(id).extent)
+        .chain(spatial_t.iter().map(|&t| prog.tiles(t)))
+        .collect();
+    let red_extents: Vec<i64> = outer_red
+        .iter()
+        .map(|&id| def.iter_var(id).extent)
+        .chain(reduction_t.iter().map(|&t| prog.tiles(t)))
+        .collect();
+
+    let mut stats = ExecStats::default();
+    let mut result: Result<(), SimError> = Ok(());
+    odometer(&sp_extents, |sp| {
+        if result.is_err() {
+            return;
+        }
+        // Split the spatial odometer point.
+        let (outer_sp_vals, sp_tiles) = sp.split_at(outer_sp.len());
+
+        let mut dst_frag = vec![0.0f64; dst_len as usize];
+
+        odometer(&red_extents, |red| {
+            if result.is_err() {
+                return;
+            }
+            let (outer_red_vals, red_tiles) = red.split_at(outer_red.len());
+
+            // Tile coordinate for every intrinsic iteration.
+            let mut tile = vec![0i64; num_iters];
+            for (ti, &t) in spatial_t.iter().enumerate() {
+                tile[t] = sp_tiles[ti];
+            }
+            for (ti, &t) in reduction_t.iter().enumerate() {
+                tile[t] = red_tiles[ti];
+            }
+
+            // Stage the source fragments.
+            let mut frags: Vec<Vec<Slot>> = frag_shapes
+                .iter()
+                .map(|s| vec![Slot::Unset; s.iter().product::<i64>() as usize])
+                .collect();
+
+            odometer(&problem, |j| {
+                if result.is_err() {
+                    return;
+                }
+                // Build the software environment for this intrinsic point.
+                let env = build_env(
+                    prog,
+                    &tile,
+                    j,
+                    &outer_sp,
+                    outer_sp_vals,
+                    &outer_red,
+                    outer_red_vals,
+                )
+                // Predicate-inactive points stage padding: their product
+                // term must vanish, exactly like a masked scalar iteration.
+                .filter(|env| def.point_active(env));
+                for m in 0..num_srcs {
+                    let pos = frag_position(prog, OperandRef::Src(m), j, &frag_shapes[m]);
+                    let slot = match &env {
+                        None => Slot::Pad,
+                        Some(env) => {
+                            let access = &def.inputs()[prog.correspondence()[m]];
+                            let decl = def.tensor(access.tensor);
+                            match checked_flat(access, decl, env) {
+                                Ok(off) => Slot::Elem(off),
+                                Err(e) => {
+                                    result = Err(e);
+                                    return;
+                                }
+                            }
+                        }
+                    };
+                    let cur = frags[m][pos];
+                    match (cur, slot) {
+                        (Slot::Unset, s) => frags[m][pos] = s,
+                        (Slot::Pad, s @ Slot::Elem(_)) => frags[m][pos] = s,
+                        (Slot::Elem(_), Slot::Pad) | (Slot::Pad, Slot::Pad) => {}
+                        (Slot::Elem(a), Slot::Elem(b)) if a == b => {}
+                        (Slot::Elem(_), Slot::Elem(_)) => {
+                            result = Err(SimError::IncoherentFragment {
+                                operand: intr.compute.srcs()[m].name.clone(),
+                                position: unflatten(pos as i64, &frag_shapes[m]),
+                            });
+                        }
+                        (_, Slot::Unset) => unreachable!("slots are never written Unset"),
+                    }
+                }
+            });
+            if result.is_err() {
+                return;
+            }
+
+            // Materialise fragment values.
+            let frag_vals: Vec<Vec<f64>> = frags
+                .iter()
+                .enumerate()
+                .map(|(m, frag)| {
+                    let input = &tensors[def.inputs()[prog.correspondence()[m]].tensor.index()];
+                    frag.iter()
+                        .map(|slot| match slot {
+                            Slot::Elem(off) => input.data[*off],
+                            _ => 0.0,
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Execute the intrinsic over its full problem size. Padding
+            // lanes read staged zeros and contribute nothing.
+            stats.intrinsic_calls += 1;
+            stats.fragment_loads += num_srcs as u64;
+            odometer(&problem, |j| {
+                stats.total_lanes += 1;
+                let active = build_env(
+                    prog,
+                    &tile,
+                    j,
+                    &outer_sp,
+                    outer_sp_vals,
+                    &outer_red,
+                    outer_red_vals,
+                )
+                .map(|env| def.point_active(&env))
+                .unwrap_or(false);
+                if active {
+                    stats.active_lanes += 1;
+                }
+                let dpos = frag_position(prog, OperandRef::Dst, j, &dst_shape);
+                let mut srcs = [0.0f64; 4];
+                for (m, vals) in frag_vals.iter().enumerate() {
+                    let pos = frag_position(prog, OperandRef::Src(m), j, &frag_shapes[m]);
+                    srcs[m] = vals[pos];
+                }
+                // Reduction-padding lanes must contribute zero; they do,
+                // because at least one operand position is uniquely padded.
+                dst_frag[dpos] = op.accumulate(dst_frag[dpos], &srcs[..num_srcs]);
+            });
+        });
+        if result.is_err() {
+            return;
+        }
+
+        // Scatter the destination fragment, dropping spatial padding.
+        let mut spatial_space: Vec<i64> = vec![1; num_iters];
+        for &t in &spatial_t {
+            spatial_space[t] = problem[t];
+        }
+        odometer(&spatial_space, |j| {
+            if result.is_err() {
+                return;
+            }
+            let mut tile = vec![0i64; num_iters];
+            for (ti, &t) in spatial_t.iter().enumerate() {
+                tile[t] = sp_tiles[ti];
+            }
+            let env = build_env(prog, &tile, j, &outer_sp, outer_sp_vals, &[], &[]);
+            let Some(env) = env else { return }; // spatial padding lane
+            let dpos = frag_position(prog, OperandRef::Dst, j, &dst_shape);
+            let decl = def.tensor(def.output().tensor);
+            match checked_flat(def.output(), decl, &env) {
+                Ok(off) => out.data[off] += dst_frag[dpos],
+                Err(e) => result = Err(e),
+            }
+        });
+    });
+    result.map(|()| (out, stats))
+}
+
+/// Builds the software iteration environment for one intrinsic point, or
+/// `None` when any *decoded* group lands in a padding region. Iterations not
+/// supplied (e.g. reductions during scatter) default to zero.
+#[allow(clippy::too_many_arguments)]
+fn build_env(
+    prog: &MappedProgram,
+    tile: &[i64],
+    j: &[i64],
+    outer_sp: &[amos_ir::IterId],
+    outer_sp_vals: &[i64],
+    outer_red: &[amos_ir::IterId],
+    outer_red_vals: &[i64],
+) -> Option<Vec<i64>> {
+    let def = prog.def();
+    let problem = prog.intrinsic().compute.problem_size();
+    let mut env = vec![0i64; def.iters().len()];
+    for (t, p) in problem.iter().enumerate() {
+        // During scatter only the spatial sub-space is supplied; reduction
+        // groups decode their zero point, which is always valid.
+        let fused = tile[t] * p + j[t];
+        let decoded = prog.decode_group(t, fused)?;
+        for (id, v) in decoded {
+            env[id.index()] = v;
+        }
+    }
+    for (id, v) in outer_sp.iter().zip(outer_sp_vals) {
+        env[id.index()] = *v;
+    }
+    for (id, v) in outer_red.iter().zip(outer_red_vals) {
+        env[id.index()] = *v;
+    }
+    Some(env)
+}
+
+/// Flat fragment position of one operand at intrinsic point `j`.
+fn frag_position(prog: &MappedProgram, r: OperandRef, j: &[i64], shape: &[i64]) -> usize {
+    let dims = &prog.intrinsic().compute.operand(r).dims;
+    let mut pos = 0i64;
+    for (e, &extent) in dims.iter().zip(shape.iter()) {
+        let v = e.eval(j);
+        debug_assert!(v >= 0 && v < extent, "fragment position out of range");
+        pos = pos * extent + v;
+    }
+    pos as usize
+}
+
+fn unflatten(mut pos: i64, shape: &[i64]) -> Vec<i64> {
+    let mut out = vec![0i64; shape.len()];
+    for d in (0..shape.len()).rev() {
+        out[d] = pos % shape[d];
+        pos /= shape[d];
+    }
+    out
+}
+
+fn checked_flat(
+    acc: &amos_ir::Access,
+    decl: &amos_ir::TensorDecl,
+    env: &[i64],
+) -> Result<usize, SimError> {
+    let strides = decl.strides();
+    let mut off = 0i64;
+    for (dim, (e, s)) in acc.indices.iter().zip(strides.iter()).enumerate() {
+        let idx = e.eval(env);
+        if idx < 0 || idx >= decl.shape[dim] {
+            return Err(SimError::Ir(amos_ir::IrError::OutOfBounds {
+                tensor: decl.name.clone(),
+                dim,
+                index: idx,
+                extent: decl.shape[dim],
+            }));
+        }
+        off += idx * s;
+    }
+    Ok(off as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FusedGroup, MappedProgram};
+    use amos_hw::catalog;
+    use amos_ir::{interp, ComputeBuilder, DType};
+
+    fn fig3_def() -> amos_ir::ComputeDef {
+        let mut b = ComputeBuilder::new("conv2d_fig3");
+        let n = b.spatial("n", 1);
+        let k = b.spatial("k", 4);
+        let p = b.spatial("p", 2);
+        let q = b.spatial("q", 2);
+        let c = b.reduce("c", 1);
+        let r = b.reduce("r", 3);
+        let s = b.reduce("s", 3);
+        let image = b.input("image", &[1, 1, 4, 4], DType::F32);
+        let weight = b.input("weight", &[4, 1, 3, 3], DType::F32);
+        let out = b.output("out", &[1, 4, 2, 2], DType::F32);
+        b.mul_acc(
+            out.at([n.ex(), k.ex(), p.ex(), q.ex()]),
+            image.at([n.ex(), c.ex(), p.ex() + r.ex(), q.ex() + s.ex()]),
+            weight.at([k.ex(), c.ex(), r.ex(), s.ex()]),
+        );
+        b.finish().unwrap()
+    }
+
+    fn run_equivalence(prog: &MappedProgram, seed: u64) {
+        let tensors = interp::make_inputs(prog.def(), seed);
+        let reference = interp::execute(prog.def(), &tensors).unwrap();
+        let mapped = execute_mapped(prog, &tensors).unwrap();
+        assert_eq!(
+            reference.max_abs_diff(&mapped),
+            0.0,
+            "mapped execution diverged for {}",
+            prog.mapping_string()
+        );
+    }
+
+    #[test]
+    fn fig3_mapping_is_numerically_exact() {
+        let def = fig3_def();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[0], ids[2], ids[3]]), // n, p, q -> i1
+                FusedGroup::of(vec![ids[1]]),                 // k -> i2
+                FusedGroup::of(vec![ids[4], ids[5], ids[6]]), // c, r, s -> r1
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        run_equivalence(&prog, 3);
+    }
+
+    #[test]
+    fn partial_mapping_with_outer_loops_is_exact() {
+        // Map only q -> i1, k -> i2, s -> r1; n, p, c, r stay outer.
+        let def = fig3_def();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[3]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[6]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        run_equivalence(&prog, 11);
+    }
+
+    #[test]
+    fn empty_intrinsic_axis_is_padded() {
+        // GEMV-style: out[i] += a[i,k] * x[k] on the 2x2x2 mma; i2 is empty.
+        let mut b = ComputeBuilder::new("gemv");
+        let i = b.spatial("i", 5);
+        let k = b.reduce("k", 3);
+        let a = b.input("a", &[5, 3], DType::F32);
+        let x = b.input("x", &[3], DType::F32);
+        let o = b.output("o", &[5], DType::F32);
+        b.mul_acc(o.at([i]), a.at([i, k]), x.at([k]));
+        let def = b.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[0]]),
+                FusedGroup::empty(),
+                FusedGroup::of(vec![ids[1]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        run_equivalence(&prog, 5);
+    }
+
+    #[test]
+    fn swapped_correspondence_is_exact() {
+        // weight -> Src1, image -> Src2: k fuses into i1, (n,p,q) into i2.
+        let def = fig3_def();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[1]]),                 // k -> i1
+                FusedGroup::of(vec![ids[0], ids[2], ids[3]]), // n,p,q -> i2
+                FusedGroup::of(vec![ids[4], ids[5], ids[6]]), // c,r,s -> r1
+            ],
+            vec![1, 0],
+        )
+        .unwrap();
+        run_equivalence(&prog, 17);
+    }
+
+    #[test]
+    fn invalid_mapping_produces_wrong_numerics_or_error() {
+        // Map n and k to the same intrinsic axis i1 — the paper's §5.2
+        // counter-example. The fragment staging becomes incoherent or the
+        // result diverges from the reference.
+        let def = fig3_def();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def.clone(),
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[0], ids[1]]), // n, k -> i1 (WRONG)
+                FusedGroup::of(vec![ids[2], ids[3]]), // p, q -> i2
+                FusedGroup::of(vec![ids[4], ids[5], ids[6]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let tensors = interp::make_inputs(&def, 23);
+        let reference = interp::execute(&def, &tensors).unwrap();
+        match execute_mapped(&prog, &tensors) {
+            Err(_) => {}
+            Ok(out) => assert!(
+                out.max_abs_diff(&reference) > 0.0,
+                "invalid mapping must not reproduce the reference"
+            ),
+        }
+    }
+
+    #[test]
+    fn vnni_style_intrinsic_executes() {
+        // out[i] += a[i,k] * v[k] on the VNNI matrix-vector abstraction.
+        let mut bld = ComputeBuilder::new("matvec");
+        let i = bld.spatial("i", 20);
+        let k = bld.reduce("k", 7);
+        let a = bld.input("a", &[20, 7], DType::F32);
+        let b2 = bld.input("v", &[7], DType::F32);
+        let o = bld.output("o", &[20], DType::F32);
+        bld.mul_acc(o.at([i]), a.at([i, k]), b2.at([k]));
+        let def = bld.finish().unwrap();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let mut intr = catalog::avx512_vnni();
+        // The functional path is dtype-agnostic; reuse as-is.
+        intr.name = "vnni_test".into();
+        let prog = MappedProgram::new(
+            def,
+            intr,
+            vec![FusedGroup::of(vec![ids[0]]), FusedGroup::of(vec![ids[1]])],
+            vec![0, 1],
+        )
+        .unwrap();
+        run_equivalence(&prog, 31);
+    }
+
+    #[test]
+    fn stats_match_the_analytic_counts() {
+        // Functional instruction counts must agree with the analytic tile
+        // arithmetic of MappedProgram: the two halves of the simulator
+        // describe the same execution.
+        let def = fig3_def();
+        let ids: Vec<_> = def.iter_ids().collect();
+        let prog = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::of(vec![ids[0], ids[2], ids[3]]),
+                FusedGroup::of(vec![ids[1]]),
+                FusedGroup::of(vec![ids[4], ids[5], ids[6]]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        let tensors = interp::make_inputs(prog.def(), 9);
+        let (_, stats) = execute_mapped_with_stats(&prog, &tensors).unwrap();
+        assert_eq!(stats.intrinsic_calls as i64, prog.total_calls());
+        assert_eq!(
+            stats.total_lanes as i64,
+            prog.total_calls() * prog.intrinsic().scalar_ops()
+        );
+        // Every real scalar operation executes exactly once.
+        assert_eq!(stats.active_lanes as i64, prog.def().domain_size());
+        // Lane efficiency equals the analytic padding efficiency.
+        assert!(
+            (stats.lane_efficiency() - prog.padding_efficiency()).abs() < 1e-12,
+            "functional {} vs analytic {}",
+            stats.lane_efficiency(),
+            prog.padding_efficiency()
+        );
+        assert_eq!(stats.fragment_loads, 2 * stats.intrinsic_calls);
+    }
+
+    #[test]
+    fn odometer_empty_and_zero() {
+        let mut count = 0;
+        odometer(&[], |_| count += 1);
+        assert_eq!(count, 1, "empty space has exactly one point");
+        let mut count = 0;
+        odometer(&[3, 0], |_| count += 1);
+        assert_eq!(count, 0, "zero extent yields no points");
+    }
+
+    #[test]
+    fn op_mismatch_rejected() {
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 2);
+        let k = b.reduce("k", 2);
+        let a = b.input("a", &[2, 2], DType::F32);
+        let o = b.output("o", &[2], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+        // mini mma is MulAcc with 2 sources; AddAcc def has 1 input, so the
+        // correspondence length check fires first.
+        let err = MappedProgram::new(
+            def,
+            catalog::mini_mma_2x2x2(),
+            vec![
+                FusedGroup::empty(),
+                FusedGroup::empty(),
+                FusedGroup::empty(),
+            ],
+            vec![0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::MalformedMapping { .. }));
+    }
+}

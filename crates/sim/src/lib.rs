@@ -1,0 +1,33 @@
+//! # amos-sim — functional and timing simulation of spatial accelerators
+//!
+//! The AMOS paper evaluates on real Tensor Core GPUs, AVX-512 CPUs and Mali
+//! GPUs; this crate is the substitute substrate (DESIGN.md §2): it executes
+//! *mapped programs* — tensor computations bound to an intrinsic through a
+//! compute mapping — both functionally (exact numerics through explicit
+//! register-fragment staging) and temporally (a hierarchical cycle model that
+//! serves as ground truth for mapping exploration).
+//!
+//! * [`MappedProgram`] — the tiled physical form of paper §5.1,
+//! * [`functional::execute_mapped`] — numerics; compared bit-for-bit against
+//!   the reference interpreter in tests,
+//! * [`Schedule`] — the optimisation schedule space of paper Table 3a,
+//! * [`timing::simulate`] — cycle-level ground truth with wave quantisation,
+//!   pipeline fill and launch overhead,
+//! * [`timing::scalar_fallback_cycles`] — the general-purpose-unit fallback
+//!   used by baseline compilers when mapping fails.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod program;
+mod schedule;
+
+pub mod functional;
+pub mod timing;
+
+pub use error::SimError;
+pub use functional::{execute_mapped, execute_mapped_with_stats, ExecStats};
+pub use program::{div_ceil, Axis, AxisKind, FusedGroup, MappedProgram};
+pub use schedule::{subcores_per_core, Schedule};
+pub use timing::{scalar_fallback_cycles, simulate, TimingReport};

@@ -1,0 +1,335 @@
+//! Operator configurations of the AMOS evaluation: the 113 shapes of §7.3
+//! (7–8 per operator family, extracted from the cited real-world networks)
+//! and the twelve ResNet-18 convolution layers C0–C11 of Table 5.
+
+use crate::ops::{self, ConvShape};
+use amos_ir::ComputeDef;
+
+/// One benchmark configuration: an operator family, a label and the built
+/// computation.
+#[derive(Debug, Clone)]
+pub struct OpConfig {
+    /// Operator family (Table 6 name, e.g. `C2D`).
+    pub family: &'static str,
+    /// Human-readable shape label.
+    pub label: String,
+    /// The computation.
+    pub def: ComputeDef,
+}
+
+fn cfg(family: &'static str, label: impl Into<String>, def: ComputeDef) -> OpConfig {
+    OpConfig {
+        family,
+        label: label.into(),
+        def,
+    }
+}
+
+/// The ResNet-18 convolution layers C0–C11 exactly as paper Table 5
+/// (batch 16).
+pub fn resnet18_conv_layers(batch: i64) -> Vec<(String, ConvShape)> {
+    let rows: [(i64, i64, i64, i64, i64, i64, i64); 12] = [
+        // c, k, p, q, r, s, stride
+        (3, 64, 112, 112, 7, 7, 2),   // C0
+        (64, 64, 56, 56, 3, 3, 1),    // C1
+        (64, 64, 56, 56, 1, 1, 1),    // C2
+        (64, 128, 28, 28, 3, 3, 2),   // C3
+        (64, 128, 28, 28, 1, 1, 2),   // C4
+        (128, 128, 28, 28, 3, 3, 1),  // C5
+        (128, 256, 14, 14, 3, 3, 2),  // C6
+        (128, 256, 14, 14, 1, 1, 2),  // C7
+        (256, 256, 14, 14, 3, 3, 1),  // C8
+        (256, 512, 7, 7, 3, 3, 2),    // C9
+        (256, 512, 7, 7, 1, 1, 2),    // C10
+        (512, 512, 7, 7, 3, 3, 1),    // C11
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(idx, &(c, k, p, q, r, s, stride))| {
+            (
+                format!("C{idx}"),
+                ConvShape {
+                    n: batch,
+                    c,
+                    k,
+                    p,
+                    q,
+                    r,
+                    s,
+                    stride,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The 113 operator configurations of §7.3 (batch-1 single-operator
+/// evaluation, Figure 6 a/b). Shapes are drawn from ResNet/MobileNet/
+/// ShuffleNet/Bert/CapsNet/CondConv/WeightNet/DeepLab-style layers.
+pub fn operator_configs() -> Vec<OpConfig> {
+    let mut out = Vec::new();
+
+    // GMV (8): transformer/LSTM linear layers at batch 1.
+    for (i, k) in [
+        (768, 768),
+        (768, 3072),
+        (3072, 768),
+        (1024, 1024),
+        (4096, 1024),
+        (512, 2048),
+        (256, 256),
+        (1000, 512),
+    ] {
+        out.push(cfg("GMV", format!("{i}x{k}"), ops::gmv(i, k)));
+    }
+
+    // GMM (8): Bert-base/large projection shapes.
+    for (m, n, k) in [
+        (128, 768, 768),
+        (128, 3072, 768),
+        (128, 768, 3072),
+        (512, 768, 768),
+        (64, 1024, 1024),
+        (256, 1024, 4096),
+        (1024, 1024, 1024),
+        (128, 64, 128),
+    ] {
+        out.push(cfg("GMM", format!("{m}x{n}x{k}"), ops::gmm(m, n, k)));
+    }
+
+    // C1D (8): WaveNet/TCN-style temporal convolutions.
+    for (c, k, q, s) in [
+        (64, 64, 256, 3),
+        (128, 128, 128, 3),
+        (64, 128, 512, 5),
+        (256, 256, 64, 3),
+        (32, 64, 1024, 3),
+        (128, 256, 256, 5),
+        (512, 512, 32, 3),
+        (96, 96, 300, 7),
+    ] {
+        out.push(cfg(
+            "C1D",
+            format!("c{c}k{k}q{q}s{s}"),
+            ops::c1d(1, c, k, q, s, 1),
+        ));
+    }
+
+    // C2D (8): ResNet-18 layers at batch 1 (Table 5 shapes).
+    for (label, mut sh) in resnet18_conv_layers(1).into_iter().take(8) {
+        sh.n = 1;
+        out.push(cfg("C2D", label, ops::c2d(sh)));
+    }
+
+    // C3D (7): video/medical 3D convolutions (C3D/I3D-style).
+    for (c, k, d, p, q) in [
+        (16, 32, 8, 28, 28),
+        (32, 64, 8, 14, 14),
+        (64, 64, 4, 14, 14),
+        (64, 128, 4, 7, 7),
+        (8, 16, 16, 56, 56),
+        (128, 128, 2, 7, 7),
+        (16, 16, 8, 14, 14),
+    ] {
+        out.push(cfg(
+            "C3D",
+            format!("c{c}k{k}d{d}p{p}"),
+            ops::c3d(1, c, k, d, p, q, 3, 3, 3),
+        ));
+    }
+
+    // T2D (7): decoder/upsampling layers (DCGAN/segmentation-style).
+    for (c, k, h, w) in [
+        (64, 32, 14, 14),
+        (128, 64, 7, 7),
+        (32, 16, 28, 28),
+        (256, 128, 7, 7),
+        (64, 64, 14, 14),
+        (16, 8, 56, 56),
+        (512, 256, 4, 4),
+    ] {
+        out.push(cfg(
+            "T2D",
+            format!("c{c}k{k}h{h}"),
+            ops::t2d(1, c, k, h, w, 3, 3),
+        ));
+    }
+
+    // GRP (7): ShuffleNet grouped 1x1/3x3 convolutions.
+    for (g, c, k, p, r) in [
+        (8, 30, 30, 28, 1),
+        (8, 60, 60, 14, 1),
+        (4, 34, 34, 28, 3),
+        (8, 120, 120, 7, 1),
+        (4, 68, 68, 14, 3),
+        (2, 58, 58, 28, 3),
+        (8, 12, 30, 56, 1),
+    ] {
+        out.push(cfg(
+            "GRP",
+            format!("g{g}c{c}k{k}p{p}"),
+            ops::grp(1, g, c, k, p, p, r, r),
+        ));
+    }
+
+    // DIL (7): DeepLab atrous convolutions.
+    for (c, k, p) in [
+        (64, 64, 56),
+        (128, 128, 28),
+        (256, 256, 14),
+        (512, 512, 7),
+        (64, 128, 28),
+        (128, 256, 14),
+        (32, 32, 56),
+    ] {
+        out.push(cfg("DIL", format!("c{c}k{k}p{p}"), ops::dil(1, c, k, p, p, 3, 3)));
+    }
+
+    // DEP (8): MobileNet-V1/V2 depthwise layers.
+    for (c, p) in [
+        (32, 112),
+        (64, 112),
+        (128, 56),
+        (256, 28),
+        (512, 14),
+        (1024, 7),
+        (96, 56),
+        (144, 28),
+    ] {
+        out.push(cfg("DEP", format!("c{c}p{p}"), ops::dep(1, c, p, p, 3, 3)));
+    }
+
+    // CAP (7): capsule convolution layers (EM-routing CapsNet).
+    for (c, k, p) in [
+        (8, 16, 6),
+        (16, 16, 6),
+        (8, 32, 4),
+        (16, 32, 4),
+        (4, 8, 12),
+        (32, 32, 2),
+        (8, 8, 8),
+    ] {
+        out.push(cfg(
+            "CAP",
+            format!("c{c}k{k}p{p}"),
+            ops::cap(1, c, k, p, p, 3, 3, 4),
+        ));
+    }
+
+    // BCV (7): CondConv batched convolutions.
+    for (n, c, k, p) in [
+        (8, 16, 16, 28),
+        (8, 32, 32, 14),
+        (16, 16, 32, 14),
+        (8, 64, 64, 7),
+        (16, 32, 64, 7),
+        (4, 16, 16, 56),
+        (8, 8, 16, 28),
+    ] {
+        out.push(cfg(
+            "BCV",
+            format!("n{n}c{c}k{k}p{p}"),
+            ops::bcv(n, c, k, p, p, 3, 3),
+        ));
+    }
+
+    // GFC (7): WeightNet grouped fully-connected layers.
+    for (g, k, c) in [
+        (4, 64, 64),
+        (8, 32, 64),
+        (16, 16, 64),
+        (4, 128, 128),
+        (8, 64, 128),
+        (2, 256, 256),
+        (16, 32, 32),
+    ] {
+        out.push(cfg("GFC", format!("g{g}k{k}c{c}"), ops::gfc(16, g, k, c)));
+    }
+
+    // MEN (8): layer-norm row means over transformer hidden sizes.
+    for (i, k) in [
+        (128, 768),
+        (512, 768),
+        (128, 1024),
+        (512, 1024),
+        (64, 512),
+        (256, 2048),
+        (1024, 768),
+        (32, 4096),
+    ] {
+        out.push(cfg("MEN", format!("{i}x{k}"), ops::men(i, k)));
+    }
+
+    // VAR (8): matching variances.
+    for (i, k) in [
+        (128, 768),
+        (512, 768),
+        (128, 1024),
+        (512, 1024),
+        (64, 512),
+        (256, 2048),
+        (1024, 768),
+        (32, 4096),
+    ] {
+        out.push(cfg("VAR", format!("{i}x{k}"), ops::var(i, k)));
+    }
+
+    // SCN (8): scan/prefix-sum workloads (Dakkak et al.).
+    for (i, j) in [
+        (256, 256),
+        (512, 256),
+        (1024, 128),
+        (128, 512),
+        (2048, 64),
+        (64, 1024),
+        (512, 512),
+        (256, 128),
+    ] {
+        out.push(cfg("SCN", format!("{i}x{j}"), ops::scn(i, j)));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_113_configurations() {
+        // §7.1: "We test 113 different configurations (7-8 for each operator
+        // on average)".
+        assert_eq!(operator_configs().len(), 113);
+    }
+
+    #[test]
+    fn every_family_has_7_or_8_configs() {
+        let configs = operator_configs();
+        for family in crate::ops::OPERATOR_NAMES {
+            let n = configs.iter().filter(|c| c.family == family).count();
+            assert!(
+                (7..=8).contains(&n),
+                "{family} has {n} configs, expected 7-8"
+            );
+        }
+    }
+
+    #[test]
+    fn resnet18_table5_shapes() {
+        let layers = resnet18_conv_layers(16);
+        assert_eq!(layers.len(), 12);
+        let (label, c0) = &layers[0];
+        assert_eq!(label, "C0");
+        assert_eq!((c0.c, c0.k, c0.p, c0.stride), (3, 64, 112, 2));
+        let (_, c9) = &layers[9];
+        assert_eq!((c9.c, c9.k, c9.p, c9.r, c9.stride), (256, 512, 7, 3, 2));
+        assert!(layers.iter().all(|(_, sh)| sh.n == 16));
+    }
+
+    #[test]
+    fn all_configs_build() {
+        for c in operator_configs() {
+            assert!(c.def.domain_size() > 0, "{} {} is empty", c.family, c.label);
+        }
+    }
+}

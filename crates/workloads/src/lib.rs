@@ -1,0 +1,24 @@
+//! # amos-workloads — the tensor operators and networks of the AMOS
+//! evaluation
+//!
+//! * [`ops`] — the fifteen operator families of §7.3 (GMV … SCN),
+//! * [`configs`] — the 113 operator configurations and the ResNet-18
+//!   convolution layers C0–C11 of Table 5,
+//! * [`networks`] — the Table 2 / Figure 7 network inventories
+//!   (ShuffleNet, ResNet-18/50, MobileNet-V1, Bert-base, MI-LSTM).
+//!
+//! ```
+//! use amos_workloads::{configs, networks, ops};
+//!
+//! assert_eq!(configs::operator_configs().len(), 113);
+//! assert_eq!(networks::bert_base().total_ops(), 204);
+//! let gemm = ops::gmm(128, 768, 768);
+//! assert_eq!(gemm.iters().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod configs;
+pub mod networks;
+pub mod ops;

@@ -1,0 +1,572 @@
+//! The fifteen tensor operators of the AMOS evaluation (§7.3):
+//! GMV, GMM, C1D, C2D, C3D, T2D, GRP, DIL, DEP, CAP, BCV, GFC, MEN, VAR, SCN.
+//!
+//! Every constructor returns a [`ComputeDef`] in the canonical NCHW-style
+//! layout the paper uses. Reductions that are not multiply-accumulate in
+//! their natural form are expressed through constant operands so that they
+//! remain tensorizable, following the tricks the paper cites: row mean and
+//! variance multiply by a ones vector (Dakkak et al.), and scan multiplies by
+//! a triangular mask.
+
+use amos_ir::{ComputeBuilder, ComputeDef, DType, Expr};
+
+/// Matrix-vector multiply `out[i] += a[i, k] * x[k]`.
+pub fn gmv(i: i64, k: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("gmv");
+    let iv = b.spatial("i", i);
+    let kv = b.reduce("k", k);
+    let a = b.input("a", &[i, k], DType::F16);
+    let x = b.input("x", &[k], DType::F16);
+    let o = b.output("out", &[i], DType::F32);
+    b.mul_acc(o.at([iv]), a.at([iv, kv]), x.at([kv]));
+    b.finish().expect("gmv is well-formed")
+}
+
+/// Matrix multiply `out[i, j] += a[i, k] * b[k, j]`.
+pub fn gmm(i: i64, j: i64, k: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("gmm");
+    let iv = b.spatial("i", i);
+    let jv = b.spatial("j", j);
+    let kv = b.reduce("k", k);
+    let a = b.input("a", &[i, k], DType::F16);
+    let w = b.input("b", &[k, j], DType::F16);
+    let o = b.output("out", &[i, j], DType::F32);
+    b.mul_acc(o.at([iv, jv]), a.at([iv, kv]), w.at([kv, jv]));
+    b.finish().expect("gmm is well-formed")
+}
+
+/// Shape of a convolution-style operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Batch.
+    pub n: i64,
+    /// Input channels.
+    pub c: i64,
+    /// Output channels.
+    pub k: i64,
+    /// Output height.
+    pub p: i64,
+    /// Output width.
+    pub q: i64,
+    /// Kernel height.
+    pub r: i64,
+    /// Kernel width.
+    pub s: i64,
+    /// Stride.
+    pub stride: i64,
+}
+
+impl ConvShape {
+    /// Input spatial height for "valid" padding.
+    pub fn in_h(&self) -> i64 {
+        (self.p - 1) * self.stride + self.r
+    }
+
+    /// Input spatial width for "valid" padding.
+    pub fn in_w(&self) -> i64 {
+        (self.q - 1) * self.stride + self.s
+    }
+}
+
+/// 1D convolution `out[n,k,q] += img[n,c,q*stride+s] * wt[k,c,s]`.
+pub fn c1d(n: i64, c: i64, k: i64, q: i64, s: i64, stride: i64) -> ComputeDef {
+    let in_w = (q - 1) * stride + s;
+    let mut b = ComputeBuilder::new("c1d");
+    let nv = b.spatial("n", n);
+    let kv = b.spatial("k", k);
+    let qv = b.spatial("q", q);
+    let cv = b.reduce("c", c);
+    let sv = b.reduce("s", s);
+    let img = b.input("image", &[n, c, in_w], DType::F16);
+    let wt = b.input("weight", &[k, c, s], DType::F16);
+    let o = b.output("out", &[n, k, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), qv.ex()]),
+        img.at([nv.ex(), cv.ex(), qv.ex() * stride + sv.ex()]),
+        wt.at([kv.ex(), cv.ex(), sv.ex()]),
+    );
+    b.finish().expect("c1d is well-formed")
+}
+
+/// 2D convolution (NCHW, valid padding)
+/// `out[n,k,p,q] += img[n,c,p*stride+r,q*stride+s] * wt[k,c,r,s]`.
+pub fn c2d(sh: ConvShape) -> ComputeDef {
+    let mut b = ComputeBuilder::new("c2d");
+    let nv = b.spatial("n", sh.n);
+    let kv = b.spatial("k", sh.k);
+    let pv = b.spatial("p", sh.p);
+    let qv = b.spatial("q", sh.q);
+    let cv = b.reduce("c", sh.c);
+    let rv = b.reduce("r", sh.r);
+    let sv = b.reduce("s", sh.s);
+    let img = b.input("image", &[sh.n, sh.c, sh.in_h(), sh.in_w()], DType::F16);
+    let wt = b.input("weight", &[sh.k, sh.c, sh.r, sh.s], DType::F16);
+    let o = b.output("out", &[sh.n, sh.k, sh.p, sh.q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), pv.ex(), qv.ex()]),
+        img.at([
+            nv.ex(),
+            cv.ex(),
+            pv.ex() * sh.stride + rv.ex(),
+            qv.ex() * sh.stride + sv.ex(),
+        ]),
+        wt.at([kv.ex(), cv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("c2d is well-formed")
+}
+
+/// 3D convolution over (depth, height, width).
+#[allow(clippy::too_many_arguments)]
+pub fn c3d(n: i64, c: i64, k: i64, d: i64, p: i64, q: i64, t: i64, r: i64, s: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("c3d");
+    let nv = b.spatial("n", n);
+    let kv = b.spatial("k", k);
+    let dv = b.spatial("d", d);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let cv = b.reduce("c", c);
+    let tv = b.reduce("t", t);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input(
+        "image",
+        &[n, c, d + t - 1, p + r - 1, q + s - 1],
+        DType::F16,
+    );
+    let wt = b.input("weight", &[k, c, t, r, s], DType::F16);
+    let o = b.output("out", &[n, k, d, p, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), dv.ex(), pv.ex(), qv.ex()]),
+        img.at([
+            nv.ex(),
+            cv.ex(),
+            dv.ex() + tv.ex(),
+            pv.ex() + rv.ex(),
+            qv.ex() + sv.ex(),
+        ]),
+        wt.at([kv.ex(), cv.ex(), tv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("c3d is well-formed")
+}
+
+/// Transposed 2D convolution with stride 2 (gather form): the input pixel is
+/// `(p - r + pad) / 2`, guarded by divisibility and range predicates.
+pub fn t2d(n: i64, c: i64, k: i64, in_h: i64, in_w: i64, r: i64, s: i64) -> ComputeDef {
+    let stride = 2i64;
+    let out_h = (in_h - 1) * stride + r;
+    let out_w = (in_w - 1) * stride + s;
+    let mut b = ComputeBuilder::new("t2d");
+    let nv = b.spatial("n", n);
+    let kv = b.spatial("k", k);
+    let pv = b.spatial("p", out_h);
+    let qv = b.spatial("q", out_w);
+    let cv = b.reduce("c", c);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input("image", &[n, c, in_h, in_w], DType::F16);
+    let wt = b.input("weight", &[k, c, r, s], DType::F16);
+    let o = b.output("out", &[n, k, out_h, out_w], DType::F32);
+    // Source pixel: (p - r) must be non-negative, even, and within bounds.
+    let h_idx = (pv.ex() - rv.ex()).floor_div(stride);
+    let w_idx = (qv.ex() - sv.ex()).floor_div(stride);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), pv.ex(), qv.ex()]),
+        img.at([nv.ex(), cv.ex(), h_idx.clone(), w_idx.clone()]),
+        wt.at([kv.ex(), cv.ex(), rv.ex(), sv.ex()]),
+    );
+    // Active only when p >= r, (p - r) divisible by the stride, and the
+    // source pixel within range (analogously for the width).
+    b.require_zero((pv.ex() - rv.ex() + Expr::int(stride * out_h)).rem(stride));
+    b.require_zero(
+        (pv.ex() - rv.ex() + Expr::int(stride * out_h)).floor_div(stride * out_h)
+            - Expr::int(1),
+    );
+    b.require_zero(h_idx.floor_div(in_h));
+    b.require_zero((qv.ex() - sv.ex() + Expr::int(stride * out_w)).rem(stride));
+    b.require_zero(
+        (qv.ex() - sv.ex() + Expr::int(stride * out_w)).floor_div(stride * out_w)
+            - Expr::int(1),
+    );
+    b.require_zero(w_idx.floor_div(in_w));
+    b.finish().expect("t2d is well-formed")
+}
+
+/// Grouped convolution: channels split into `g` groups.
+#[allow(clippy::too_many_arguments)]
+pub fn grp(n: i64, g: i64, c: i64, k: i64, p: i64, q: i64, r: i64, s: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("grp");
+    let nv = b.spatial("n", n);
+    let gv = b.spatial("g", g);
+    let kv = b.spatial("k", k);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let cv = b.reduce("c", c);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input("image", &[n, g, c, p + r - 1, q + s - 1], DType::F16);
+    let wt = b.input("weight", &[g, k, c, r, s], DType::F16);
+    let o = b.output("out", &[n, g, k, p, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), gv.ex(), kv.ex(), pv.ex(), qv.ex()]),
+        img.at([
+            nv.ex(),
+            gv.ex(),
+            cv.ex(),
+            pv.ex() + rv.ex(),
+            qv.ex() + sv.ex(),
+        ]),
+        wt.at([gv.ex(), kv.ex(), cv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("grp is well-formed")
+}
+
+/// Dilated convolution (dilation 2).
+#[allow(clippy::too_many_arguments)]
+pub fn dil(n: i64, c: i64, k: i64, p: i64, q: i64, r: i64, s: i64) -> ComputeDef {
+    let dilation = 2i64;
+    let mut b = ComputeBuilder::new("dil");
+    let nv = b.spatial("n", n);
+    let kv = b.spatial("k", k);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let cv = b.reduce("c", c);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input(
+        "image",
+        &[n, c, p + dilation * (r - 1), q + dilation * (s - 1)],
+        DType::F16,
+    );
+    let wt = b.input("weight", &[k, c, r, s], DType::F16);
+    let o = b.output("out", &[n, k, p, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), pv.ex(), qv.ex()]),
+        img.at([
+            nv.ex(),
+            cv.ex(),
+            pv.ex() + rv.ex() * dilation,
+            qv.ex() + sv.ex() * dilation,
+        ]),
+        wt.at([kv.ex(), cv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("dil is well-formed")
+}
+
+/// Depthwise convolution: one filter per channel.
+pub fn dep(n: i64, c: i64, p: i64, q: i64, r: i64, s: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("dep");
+    let nv = b.spatial("n", n);
+    let cv = b.spatial("ch", c);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input("image", &[n, c, p + r - 1, q + s - 1], DType::F16);
+    let wt = b.input("weight", &[c, r, s], DType::F16);
+    let o = b.output("out", &[n, c, p, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), cv.ex(), pv.ex(), qv.ex()]),
+        img.at([nv.ex(), cv.ex(), pv.ex() + rv.ex(), qv.ex() + sv.ex()]),
+        wt.at([cv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("dep is well-formed")
+}
+
+/// Capsule convolution (Hinton et al.): conv over 4x4 matrix capsules,
+/// `out[n,p,q,ko,a,bb] += img[n,p+r,q+s,c,a,k] * wt[r,s,c,ko,k,bb]`.
+#[allow(clippy::too_many_arguments)]
+pub fn cap(n: i64, c: i64, k: i64, p: i64, q: i64, r: i64, s: i64, cdim: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("cap");
+    let nv = b.spatial("n", n);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let kv = b.spatial("ko", k);
+    let av = b.spatial("a", cdim);
+    let bv = b.spatial("b", cdim);
+    let cv = b.reduce("c", c);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let kk = b.reduce("kk", cdim);
+    let img = b.input(
+        "image",
+        &[n, p + r - 1, q + s - 1, c, cdim, cdim],
+        DType::F16,
+    );
+    let wt = b.input("weight", &[r, s, c, k, cdim, cdim], DType::F16);
+    let o = b.output("out", &[n, p, q, k, cdim, cdim], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), pv.ex(), qv.ex(), kv.ex(), av.ex(), bv.ex()]),
+        img.at([
+            nv.ex(),
+            pv.ex() + rv.ex(),
+            qv.ex() + sv.ex(),
+            cv.ex(),
+            av.ex(),
+            kk.ex(),
+        ]),
+        wt.at([rv.ex(), sv.ex(), cv.ex(), kv.ex(), kk.ex(), bv.ex()]),
+    );
+    b.finish().expect("cap is well-formed")
+}
+
+/// Batched (conditionally parameterised) convolution: per-sample weights
+/// (CondConv), `out[n,k,p,q] += img[n,c,p+r,q+s] * wt[n,k,c,r,s]`.
+#[allow(clippy::too_many_arguments)]
+pub fn bcv(n: i64, c: i64, k: i64, p: i64, q: i64, r: i64, s: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("bcv");
+    let nv = b.spatial("n", n);
+    let kv = b.spatial("k", k);
+    let pv = b.spatial("p", p);
+    let qv = b.spatial("q", q);
+    let cv = b.reduce("c", c);
+    let rv = b.reduce("r", r);
+    let sv = b.reduce("s", s);
+    let img = b.input("image", &[n, c, p + r - 1, q + s - 1], DType::F16);
+    let wt = b.input("weight", &[n, k, c, r, s], DType::F16);
+    let o = b.output("out", &[n, k, p, q], DType::F32);
+    b.mul_acc(
+        o.at([nv.ex(), kv.ex(), pv.ex(), qv.ex()]),
+        img.at([nv.ex(), cv.ex(), pv.ex() + rv.ex(), qv.ex() + sv.ex()]),
+        wt.at([nv.ex(), kv.ex(), cv.ex(), rv.ex(), sv.ex()]),
+    );
+    b.finish().expect("bcv is well-formed")
+}
+
+/// Grouped fully-connected layer (WeightNet):
+/// `out[b,g,k] += in[b,g,c] * wt[g,k,c]`.
+pub fn gfc(batch: i64, g: i64, k: i64, c: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("gfc");
+    let bv = b.spatial("b", batch);
+    let gv = b.spatial("g", g);
+    let kv = b.spatial("k", k);
+    let cv = b.reduce("c", c);
+    let x = b.input("in", &[batch, g, c], DType::F16);
+    let wt = b.input("weight", &[g, k, c], DType::F16);
+    let o = b.output("out", &[batch, g, k], DType::F32);
+    b.mul_acc(
+        o.at([bv.ex(), gv.ex(), kv.ex()]),
+        x.at([bv.ex(), gv.ex(), cv.ex()]),
+        wt.at([gv.ex(), kv.ex(), cv.ex()]),
+    );
+    b.finish().expect("gfc is well-formed")
+}
+
+/// Matrix row mean expressed as a matrix–ones product
+/// `out[i] += a[i, k] * ones[k]` (the 1/K scaling is a scalar epilogue).
+pub fn men(i: i64, k: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("men");
+    let iv = b.spatial("i", i);
+    let kv = b.reduce("k", k);
+    let a = b.input("a", &[i, k], DType::F16);
+    let ones = b.constant("ones", &[k], DType::F16);
+    let o = b.output("out", &[i], DType::F32);
+    b.mul_acc(o.at([iv]), a.at([iv, kv]), ones.at([kv]));
+    b.finish().expect("men is well-formed")
+}
+
+/// Matrix row variance: the tensorizable part is the sum of squares,
+/// `out[i] += a2[i, k] * ones[k]`, where `a2` is the centred-and-squared
+/// input (a scalar prologue).
+pub fn var(i: i64, k: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("var");
+    let iv = b.spatial("i", i);
+    let kv = b.reduce("k", k);
+    let a2 = b.input("a_sq", &[i, k], DType::F16);
+    let ones = b.constant("ones", &[k], DType::F16);
+    let o = b.output("out", &[i], DType::F32);
+    b.mul_acc(o.at([iv]), a2.at([iv, kv]), ones.at([kv]));
+    b.finish().expect("var is well-formed")
+}
+
+/// Scan (prefix sum) along rows via a triangular mask (Dakkak et al.):
+/// `out[i, j] += a[i, k] * upper_tri[k, j]`.
+pub fn scn(i: i64, j: i64) -> ComputeDef {
+    let mut b = ComputeBuilder::new("scn");
+    let iv = b.spatial("i", i);
+    let jv = b.spatial("j", j);
+    let kv = b.reduce("k", j);
+    let a = b.input("a", &[i, j], DType::F16);
+    let tri = b.constant("upper_tri", &[j, j], DType::F16);
+    let o = b.output("out", &[i, j], DType::F32);
+    b.mul_acc(o.at([iv, jv]), a.at([iv, kv]), tri.at([kv, jv]));
+    b.finish().expect("scn is well-formed")
+}
+
+/// The operator family names in the order of paper Table 6.
+pub const OPERATOR_NAMES: [&str; 15] = [
+    "GMV", "GMM", "C1D", "C2D", "C3D", "T2D", "GRP", "DIL", "DEP", "CAP", "BCV", "GFC", "MEN",
+    "VAR", "SCN",
+];
+
+/// A small representative instance of every operator family, in Table 6
+/// order — used for mapping-count experiments where the extents are
+/// irrelevant (the mapping space depends only on the access structure).
+pub fn representative_ops() -> Vec<ComputeDef> {
+    vec![
+        gmv(64, 64),
+        gmm(64, 64, 64),
+        c1d(4, 16, 16, 14, 3, 1),
+        c2d(ConvShape {
+            n: 4,
+            c: 16,
+            k: 16,
+            p: 14,
+            q: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }),
+        c3d(2, 8, 8, 6, 6, 6, 3, 3, 3),
+        t2d(2, 8, 8, 7, 7, 3, 3),
+        grp(2, 4, 8, 8, 7, 7, 3, 3),
+        dil(2, 8, 8, 7, 7, 3, 3),
+        dep(2, 16, 7, 7, 3, 3),
+        cap(1, 4, 4, 6, 6, 3, 3, 4),
+        bcv(4, 8, 8, 7, 7, 3, 3),
+        gfc(8, 4, 16, 16),
+        men(64, 64),
+        var(64, 64),
+        scn(32, 32),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_ir::interp;
+
+    #[test]
+    fn all_representative_ops_build_and_execute() {
+        for def in representative_ops() {
+            let tensors = interp::make_inputs(&def, 11);
+            let out = interp::execute(&def, &tensors)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", def.name()));
+            assert!(!out.data.is_empty(), "{} produced no output", def.name());
+        }
+    }
+
+    #[test]
+    fn operator_list_matches_table6_order() {
+        let ops = representative_ops();
+        assert_eq!(ops.len(), OPERATOR_NAMES.len());
+        for (def, name) in ops.iter().zip(OPERATOR_NAMES) {
+            assert_eq!(def.name().to_uppercase(), name, "order mismatch");
+        }
+    }
+
+    #[test]
+    fn conv_shape_helper() {
+        let sh = ConvShape {
+            n: 1,
+            c: 3,
+            k: 64,
+            p: 112,
+            q: 112,
+            r: 7,
+            s: 7,
+            stride: 2,
+        };
+        assert_eq!(sh.in_h(), 229);
+        assert_eq!(sh.in_w(), 229);
+    }
+
+    #[test]
+    fn t2d_matches_manual_transposed_conv() {
+        // Compare the predicate-guarded gather form against a direct
+        // scatter-style reference computation.
+        let n = 1;
+        let (c, k) = (2, 2);
+        let (in_h, in_w, r, s) = (3, 3, 3, 3);
+        let def = t2d(n, c, k, in_h, in_w, r, s);
+        let tensors = interp::make_inputs(&def, 5);
+        let out = interp::execute(&def, &tensors).unwrap();
+
+        let stride = 2;
+        let out_h = (in_h - 1) * stride + r;
+        let out_w = (in_w - 1) * stride + s;
+        let img = &tensors[0];
+        let wt = &tensors[1];
+        let mut expect = vec![0.0f64; (n * k * out_h * out_w) as usize];
+        for nn in 0..n {
+            for cc in 0..c {
+                for y in 0..in_h {
+                    for x in 0..in_w {
+                        let v = img.data
+                            [((nn * c + cc) * in_h * in_w + y * in_w + x) as usize];
+                        for kk in 0..k {
+                            for rr in 0..r {
+                                for ss in 0..s {
+                                    let oy = y * stride + rr;
+                                    let ox = x * stride + ss;
+                                    let w = wt.data[(((kk * c + cc) * r + rr) * s + ss)
+                                        as usize];
+                                    expect[((nn * k + kk) * out_h * out_w
+                                        + oy * out_w
+                                        + ox)
+                                        as usize] += v * w;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(out.data, expect, "gather T2D must equal scatter reference");
+    }
+
+    #[test]
+    fn scan_computes_prefix_sums() {
+        let def = scn(2, 4);
+        let mut tensors = interp::make_inputs(&def, 0);
+        tensors[0].data = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let out = interp::execute(&def, &tensors).unwrap();
+        assert_eq!(out.data[..4], [1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(out.data[4..], [10.0, 30.0, 60.0, 100.0]);
+    }
+
+    #[test]
+    fn mean_sums_rows() {
+        let def = men(2, 3);
+        let mut tensors = interp::make_inputs(&def, 0);
+        tensors[0].data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let out = interp::execute(&def, &tensors).unwrap();
+        assert_eq!(out.data, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn dilated_conv_samples_every_other_pixel() {
+        // 1-channel dilated conv with an identity-ish kernel: output pixel p
+        // sums image[p], image[p+2], image[p+4] (dilation 2, 3 taps).
+        let def = dil(1, 1, 1, 3, 3, 3, 1);
+        let mut tensors = interp::make_inputs(&def, 0);
+        tensors[0].data = (0..tensors[0].data.len()).map(|i| i as f64).collect();
+        tensors[1].data = vec![1.0, 1.0, 1.0]; // 3x1 kernel of ones
+        let out = interp::execute(&def, &tensors).unwrap();
+        // image is 7x3 (p + 2*(r-1) = 7 rows); out[p,q] = img[p,q] +
+        // img[p+2,q] + img[p+4,q].
+        let w = 3usize;
+        for p in 0..3usize {
+            for q in 0..3usize {
+                let expect = (p * w + q) as f64
+                    + ((p + 2) * w + q) as f64
+                    + ((p + 4) * w + q) as f64;
+                assert_eq!(out.data[p * 3 + q], expect, "at ({p},{q})");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_conv_keeps_groups_independent() {
+        let def = grp(1, 2, 1, 1, 2, 2, 1, 1);
+        let tensors = interp::make_inputs(&def, 3);
+        let out = interp::execute(&def, &tensors).unwrap();
+        // 1x1 kernel, 1 channel per group: out = img * wt per group.
+        let img = &tensors[0];
+        let wt = &tensors[1];
+        for g in 0..2usize {
+            for px in 0..4usize {
+                assert_eq!(out.data[g * 4 + px], img.data[g * 4 + px] * wt.data[g]);
+            }
+        }
+    }
+}

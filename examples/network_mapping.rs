@@ -1,0 +1,60 @@
+//! Network operator coverage (paper Table 2).
+//!
+//! For the five DNNs the paper profiles, counts how many operators the
+//! fragile XLA-style template matcher maps to the tensor unit versus how
+//! many AMOS's automatic mapping generation covers.
+//!
+//! Run with: `cargo run --example network_mapping`
+
+use amos::baselines::TemplateMatcher;
+use amos::core::MappingGenerator;
+use amos::hw::catalog;
+use amos::workloads::networks;
+
+fn main() {
+    let matcher = TemplateMatcher::new();
+    let generator = MappingGenerator::new();
+    let wmma = catalog::wmma_16x16x16();
+
+    println!(
+        "{:<14} {:>9} {:>11} {:>12}   failed example (XLA)",
+        "network", "total ops", "XLA mapped", "AMOS mapped"
+    );
+    for net in [
+        networks::shufflenet(),
+        networks::resnet50(),
+        networks::mobilenet_v1(),
+        networks::bert_base(),
+        networks::mi_lstm(),
+    ] {
+        let mut xla = 0usize;
+        let mut amos = 0usize;
+        let mut failed_example: Option<&str> = None;
+        for grp in &net.groups {
+            let Some(def) = grp.op.compute_def(1) else {
+                continue;
+            };
+            let x = matcher.matches(&def);
+            let a = generator.count(&def, &wmma) > 0;
+            if x {
+                xla += grp.count;
+            }
+            if a {
+                amos += grp.count;
+            }
+            if !x && a && failed_example.is_none() {
+                failed_example = Some(grp.name);
+            }
+        }
+        println!(
+            "{:<14} {:>9} {:>11} {:>12}   {}",
+            net.name,
+            net.total_ops(),
+            xla,
+            amos,
+            failed_example.unwrap_or("-")
+        );
+    }
+    println!("\npaper Table 2: ShuffleNet 70/6/50, ResNet-50 71/15/54,");
+    println!("MobileNet 30/7/29, Bert 204/42/84, MI-LSTM 11/0/9");
+}

@@ -1,0 +1,36 @@
+//! # amos — automatic mapping for tensor computations on spatial accelerators
+//!
+//! A Rust reproduction of **AMOS** (Zheng et al., ISCA 2022): a compilation
+//! framework that maps tensor computations onto spatial accelerators through
+//! a hardware abstraction of their intrinsics, with fully automatic mapping
+//! generation, validation and exploration.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`ir`] — tensor IR, access matrices, reference interpreter,
+//! * [`hw`] — compute/memory abstraction, intrinsic + accelerator catalog,
+//! * [`sim`] — functional and timing simulation (the hardware substitute),
+//! * [`core`] — mapping generation/validation/exploration (the paper's
+//!   contribution),
+//! * [`workloads`] — the §7 operators and networks,
+//! * [`baselines`] — template matcher, fixed mappings, library models.
+//!
+//! ```
+//! use amos::core::MappingGenerator;
+//! use amos::hw::catalog;
+//! use amos::workloads::ops;
+//!
+//! // Paper §5.2: 2D convolution has 35 valid mappings onto Tensor Core.
+//! let c2d = ops::c2d(ops::ConvShape {
+//!     n: 4, c: 16, k: 16, p: 14, q: 14, r: 3, s: 3, stride: 1,
+//! });
+//! let count = MappingGenerator::new().count(&c2d, &catalog::wmma_16x16x16());
+//! assert_eq!(count, 35);
+//! ```
+
+pub use amos_baselines as baselines;
+pub use amos_core as core;
+pub use amos_hw as hw;
+pub use amos_ir as ir;
+pub use amos_sim as sim;
+pub use amos_workloads as workloads;

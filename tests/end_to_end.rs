@@ -1,0 +1,202 @@
+//! End-to-end exploration pipeline: DSL → mapping enumeration → genetic
+//! exploration with model screening → simulated measurement → comparison
+//! against the baseline systems.
+
+use amos::baselines::{evaluate, System};
+use amos::core::{pairwise_accuracy, top_rate_recall, Explorer, ExplorerConfig};
+use amos::hw::catalog;
+use amos::workloads::configs;
+use amos::workloads::ops::{self, ConvShape};
+
+fn small_budget(seed: u64) -> ExplorerConfig {
+    ExplorerConfig {
+        population: 16,
+        generations: 4,
+        survivors: 4,
+        measure_top: 3,
+        seed,
+    }
+}
+
+#[test]
+fn exploration_beats_every_fixed_mapping_strategy_on_c2d() {
+    // The §7.6 claim: the flexible mapping space beats both fixed mappings.
+    let def = ops::c2d(ConvShape {
+        n: 16,
+        c: 64,
+        k: 128,
+        p: 28,
+        q: 28,
+        r: 3,
+        s: 3,
+        stride: 2,
+    });
+    let accel = catalog::a100();
+    let amos = evaluate(System::Amos, &def, &accel, 5);
+    let unit = evaluate(System::Unit, &def, &accel, 5);
+    let expert = evaluate(System::AutoTvmExpert, &def, &accel, 5);
+    assert!(amos.mapped && unit.mapped && expert.mapped);
+    assert!(amos.cycles <= unit.cycles, "AMOS must not lose to UNIT");
+    assert!(
+        amos.cycles <= expert.cycles * 1.01,
+        "AMOS must not lose to the expert fixed template"
+    );
+}
+
+#[test]
+fn explored_mapping_is_among_the_enumerated_set() {
+    let def = ops::c2d(ConvShape {
+        n: 4,
+        c: 32,
+        k: 32,
+        p: 14,
+        q: 14,
+        r: 3,
+        s: 3,
+        stride: 1,
+    });
+    let accel = catalog::v100();
+    let explorer = Explorer::with_config(small_budget(3));
+    let result = explorer.explore(&def, &accel).unwrap();
+    assert_eq!(result.num_mappings, 35);
+    let all = amos::core::MappingGenerator::new().enumerate(&def, &accel.intrinsic);
+    assert!(all.contains(&result.best_mapping));
+}
+
+#[test]
+fn perf_model_ranks_candidates_well() {
+    // The Figure 5 property: pairwise accuracy and top-40% recall of the
+    // analytic model against the timing simulator must be high.
+    let def = ops::c2d(ConvShape {
+        n: 16,
+        c: 64,
+        k: 64,
+        p: 56,
+        q: 56,
+        r: 3,
+        s: 3,
+        stride: 1,
+    });
+    let accel = catalog::v100();
+    let explorer = Explorer::with_config(ExplorerConfig {
+        population: 24,
+        generations: 6,
+        survivors: 6,
+        measure_top: 4,
+        seed: 11,
+    });
+    let result = explorer.explore(&def, &accel).unwrap();
+    assert!(
+        result.evaluations.len() >= 10,
+        "need a meaningful sample, got {}",
+        result.evaluations.len()
+    );
+    let acc = pairwise_accuracy(&result.evaluations);
+    let recall = top_rate_recall(&result.evaluations, 0.4);
+    assert!(acc >= 0.6, "pairwise accuracy too low: {acc}");
+    assert!(recall >= 0.5, "top-40% recall too low: {recall}");
+}
+
+#[test]
+fn every_resnet18_layer_explores_successfully() {
+    let accel = catalog::a100();
+    let explorer = Explorer::with_config(small_budget(1));
+    for (label, sh) in configs::resnet18_conv_layers(16) {
+        let def = ops::c2d(sh);
+        let result = explorer
+            .explore(&def, &accel)
+            .unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        assert!(result.cycles() > 0.0, "{label} has zero cost");
+        assert!(result.num_mappings >= 1, "{label} found no mappings");
+    }
+}
+
+#[test]
+fn different_layers_prefer_different_mappings() {
+    // Table 5's observation: AMOS picks several distinct mapping types
+    // across the ResNet-18 layers (8 types over 12 layers in the paper).
+    let accel = catalog::a100();
+    let explorer = Explorer::with_config(small_budget(17));
+    let mut styles = std::collections::BTreeSet::new();
+    for (_, sh) in configs::resnet18_conv_layers(16) {
+        let def = ops::c2d(sh);
+        let result = explorer.explore(&def, &accel).unwrap();
+        let prog = &result.best_program;
+        styles.insert(prog.mapping_string());
+    }
+    assert!(
+        styles.len() >= 2,
+        "exploration collapsed to a single mapping style"
+    );
+}
+
+#[test]
+fn cross_accelerator_portability() {
+    // The same DSL input maps to the GPU, the VNNI CPU, the Mali dot unit
+    // and the virtual accelerators without any per-target template.
+    let gemm = ops::gmm(128, 128, 128);
+    for accel in [
+        catalog::v100(),
+        catalog::a100(),
+        catalog::xeon_avx512(),
+        catalog::mali_g76(),
+        catalog::virtual_gemv(),
+    ] {
+        let explorer = Explorer::with_config(small_budget(23));
+        let result = explorer
+            .explore(&gemm, &accel)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", accel.name));
+        assert!(result.cycles() > 0.0, "{}", accel.name);
+    }
+}
+
+#[test]
+fn explorer_discovers_split_k_on_skinny_reductions() {
+    // A 32x32x16384 GEMM has two spatial tiles and 1024 reduction tiles:
+    // without split-K the device idles. The explorer must find a schedule
+    // with a reduction split.
+    let def = ops::gmm(32, 32, 16384);
+    let accel = catalog::v100();
+    let explorer = Explorer::with_config(ExplorerConfig {
+        population: 32,
+        generations: 8,
+        survivors: 8,
+        measure_top: 6,
+        seed: 404,
+    });
+    let result = explorer.explore(&def, &accel).unwrap();
+    assert!(
+        result.best_schedule.split_k_factor() > 1,
+        "expected a split-K schedule, got {:?}",
+        result.best_schedule.split_k
+    );
+    // And it must beat the best non-split schedule the same search finds.
+    let naive = amos::sim::Schedule::naive(&result.best_program);
+    let serial = amos::sim::simulate(&result.best_program, &naive, &accel)
+        .unwrap()
+        .cycles;
+    assert!(result.cycles() < serial);
+}
+
+#[test]
+fn mapping_report_summarises_the_winner() {
+    let def = ops::c2d(ConvShape {
+        n: 4,
+        c: 32,
+        k: 32,
+        p: 14,
+        q: 14,
+        r: 3,
+        s: 3,
+        stride: 1,
+    });
+    let accel = catalog::a100();
+    let explorer = Explorer::with_config(small_budget(77));
+    let result = explorer.explore(&def, &accel).unwrap();
+    let report = amos::core::MappingReport::from_result(&result, &accel);
+    assert_eq!(report.num_mappings, 35);
+    assert!(report.padding_efficiency > 0.0 && report.padding_efficiency <= 1.0);
+    assert!(report.microseconds > 0.0);
+    let text = report.to_string();
+    assert!(text.contains("mapping space    : 35 candidates"));
+}
