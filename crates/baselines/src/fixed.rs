@@ -23,11 +23,7 @@ pub enum FixedKind {
 
 /// Selects the fixed mapping of the given kind from the valid-mapping space,
 /// or `None` when the operator has no valid mapping at all.
-pub fn fixed_mapping(
-    def: &ComputeDef,
-    intrinsic: &Intrinsic,
-    kind: FixedKind,
-) -> Option<Mapping> {
+pub fn fixed_mapping(def: &ComputeDef, intrinsic: &Intrinsic, kind: FixedKind) -> Option<Mapping> {
     let all = MappingGenerator::new().enumerate(def, intrinsic);
     if all.is_empty() {
         return None;
@@ -43,18 +39,14 @@ pub fn fixed_mapping(
             // Prefer: leading spatial candidate (the batch-like dimension)
             // unmapped, and no *reduction-side* window iterations fused.
             // Fall back to the minimal mapping.
-            let batch_like = def
-                .iter_ids()
-                .find(|&id| def.iter_var(id).is_spatial());
+            let batch_like = def.iter_ids().find(|&id| def.iter_var(id).is_spatial());
             all.iter()
                 .filter(|m| {
                     let mapped = m.mapped_iters();
-                    let no_batch = batch_like
-                        .map(|b| !mapped.contains(&b))
-                        .unwrap_or(true);
-                    let no_window = mapped.iter().all(|s| {
-                        def.iter_var(*s).is_spatial() || !compound.contains(s)
-                    });
+                    let no_batch = batch_like.map(|b| !mapped.contains(&b)).unwrap_or(true);
+                    let no_window = mapped
+                        .iter()
+                        .all(|s| def.iter_var(*s).is_spatial() || !compound.contains(s));
                     no_batch && no_window
                 })
                 .max_by_key(|m| m.num_mapped())

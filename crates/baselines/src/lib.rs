@@ -19,9 +19,9 @@ pub mod network;
 pub mod systems;
 
 pub use fixed::{fixed_mapping, FixedKind};
-pub use network::{NetworkCost, NetworkEvaluator};
 pub use matcher::TemplateMatcher;
+pub use network::{NetworkCost, NetworkEvaluator};
 pub use systems::{
-    akg_supported, evaluate, geomean, library_tensor_supported, System, SystemCost,
-    SCALAR_OP_CYCLES,
+    akg_supported, evaluate, evaluate_cached, geomean, library_tensor_supported, System,
+    SystemCost, SCALAR_OP_CYCLES,
 };

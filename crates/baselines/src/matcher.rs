@@ -82,10 +82,7 @@ impl TemplateMatcher {
         if image.indices.len() != 4 {
             return false;
         }
-        let last = image
-            .indices
-            .last()
-            .expect("4-D access has a last index");
+        let last = image.indices.last().expect("4-D access has a last index");
         let channels_last = match last {
             Expr::Var(id) => def.iter_var(*id).is_reduction(),
             _ => false,
@@ -110,7 +107,7 @@ impl TemplateMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amos_workloads::networks::{c2d_nhwc, batch_matmul};
+    use amos_workloads::networks::{batch_matmul, c2d_nhwc};
     use amos_workloads::ops::{self, ConvShape};
 
     fn shape(stride: i64) -> ConvShape {

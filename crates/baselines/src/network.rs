@@ -5,16 +5,21 @@
 //! glue operators (ReLU, pooling, softmax, ...) cost the same flat amount
 //! for every system.
 
-use crate::systems::{evaluate, System, SCALAR_OP_CYCLES};
+use crate::systems::{evaluate_cached, System, SCALAR_OP_CYCLES};
+use amos_core::{shape_fingerprint, CacheStats, ExplorationCache};
 use amos_hw::AcceleratorSpec;
 use amos_workloads::networks::Network;
-use std::collections::HashMap;
 
-/// Per-(system, op, accelerator) evaluation cache. Exploration is
-/// deterministic per key, so caching is purely a speedup.
+/// Network evaluator sharing one structural [`ExplorationCache`] across every
+/// exploration the underlying systems run. Entries are keyed by workload
+/// *shape* (not layer name — ResNet repeats a handful of conv shapes across
+/// its blocks, and those are explored once and replayed everywhere else).
+///
+/// Exploration is deterministic per key, so caching is purely a speedup:
+/// a warm evaluation returns bit-identical costs to a cold one.
 #[derive(Debug, Default)]
 pub struct NetworkEvaluator {
-    cache: HashMap<(System, String, String), f64>,
+    explored: ExplorationCache,
 }
 
 /// Cost breakdown of one network under one system.
@@ -56,34 +61,11 @@ impl NetworkEvaluator {
         for grp in &net.groups {
             match grp.op.compute_def(batch) {
                 Some(def) => {
-                    let key = (
-                        system,
-                        format!("{}/{}/b{batch}", net.name, grp.name),
-                        accel.name.clone(),
-                    );
-                    let seed = fnv(&key.1);
-                    let sc = if let Some(&c) = self.cache.get(&key) {
-                        // Re-derive mapped-ness cheaply from the cached cost
-                        // by re-evaluating only on a miss; cache stores cost
-                        // and the mapped flag is folded into the bucket
-                        // below via a second cache entry.
-                        crate::systems::SystemCost {
-                            cycles: c,
-                            mapped: self
-                                .cache
-                                .get(&(key.0, format!("{}#mapped", key.1), key.2.clone()))
-                                .map(|&m| m > 0.5)
-                                .unwrap_or(false),
-                        }
-                    } else {
-                        let sc = evaluate(system, &def, accel, seed);
-                        self.cache.insert(key.clone(), sc.cycles);
-                        self.cache.insert(
-                            (key.0, format!("{}#mapped", key.1), key.2.clone()),
-                            if sc.mapped { 1.0 } else { 0.0 },
-                        );
-                        sc
-                    };
+                    // Shape-derived seed: two groups with the same layer
+                    // shape run the same search, so the shared cache answers
+                    // the second one and both cost the same.
+                    let seed = fnv(&shape_fingerprint(&def));
+                    let sc = evaluate_cached(system, &def, accel, seed, Some(&self.explored));
                     let cycles = sc.cycles * grp.count as f64;
                     cost.total_cycles += cycles;
                     if sc.mapped {
@@ -101,6 +83,13 @@ impl NetworkEvaluator {
             }
         }
         cost
+    }
+
+    /// Hit/miss counters of the shared exploration cache. Hits appear as
+    /// soon as a network repeats a layer shape (or two systems tune the same
+    /// frozen mapping over the same shape).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.explored.stats()
     }
 
     /// Speedup of `a` over `b` on a network.

@@ -10,7 +10,7 @@
 
 use crate::fixed::{fixed_mapping, FixedKind};
 use crate::matcher::TemplateMatcher;
-use amos_core::{Explorer, ExplorerConfig};
+use amos_core::{ExplorationCache, Explorer, ExplorerConfig};
 use amos_hw::AcceleratorSpec;
 use amos_ir::{ComputeDef, OpKind, TensorRole};
 use amos_sim::{scalar_fallback_cycles, simulate, Schedule};
@@ -85,11 +85,7 @@ pub fn library_tensor_supported(def: &ComputeDef) -> bool {
     if def.op() != OpKind::MulAcc || def.inputs().len() != 2 {
         return false;
     }
-    if def
-        .tensors()
-        .iter()
-        .any(|t| t.role == TensorRole::Constant)
-    {
+    if def.tensors().iter().any(|t| t.role == TensorRole::Constant) {
         return false;
     }
     let n = def.iters().len();
@@ -109,7 +105,7 @@ pub fn library_tensor_supported(def: &ComputeDef) -> bool {
 /// fallback model's throughput).
 fn scalar_factor(system: System) -> f64 {
     match system {
-        System::Ansor => 1.0,          // best-tuned CUDA-core code
+        System::Ansor => 1.0, // best-tuned CUDA-core code
         System::Tvm => 1.05,
         System::AutoTvm | System::AutoTvmExpert | System::Unit | System::Akg => 1.1,
         System::PyTorch | System::CuDnn => 1.2, // eager kernel overheads
@@ -133,6 +129,7 @@ pub fn tuning_budget(seed: u64) -> ExplorerConfig {
         survivors: 4,
         measure_top: 3,
         seed,
+        jobs: 0,
     }
 }
 
@@ -141,16 +138,21 @@ fn explore_fixed(
     accel: &AcceleratorSpec,
     kind: FixedKind,
     seed: u64,
+    cache: Option<&ExplorationCache>,
 ) -> Option<SystemCost> {
     let mapping = fixed_mapping(def, &accel.intrinsic, kind)?;
     let explorer = Explorer::with_config(tuning_budget(seed));
-    explorer
-        .explore_mappings(def, accel, Some(vec![mapping]))
-        .ok()
-        .map(|r| SystemCost {
-            cycles: r.cycles(),
-            mapped: true,
-        })
+    let run = || explorer.explore_mappings(def, accel, Some(vec![mapping.clone()]));
+    let result = match cache {
+        // The fixed kind keys the entry: Im2col and FuseHw freeze different
+        // mappings over the same shape.
+        Some(c) => c.explore_tagged(&format!("fixed:{kind:?}"), &explorer, def, accel, run),
+        None => run(),
+    };
+    result.ok().map(|r| SystemCost {
+        cycles: r.cycles(),
+        mapped: true,
+    })
 }
 
 fn library_kernel(def: &ComputeDef, accel: &AcceleratorSpec) -> Option<SystemCost> {
@@ -193,6 +195,20 @@ pub fn evaluate(
     accel: &AcceleratorSpec,
     seed: u64,
 ) -> SystemCost {
+    evaluate_cached(system, def, accel, seed, None)
+}
+
+/// [`evaluate`] with a shared [`ExplorationCache`]: every exploration run
+/// (AMOS's full search and the baselines' frozen-mapping tuning alike) is
+/// memoised by workload shape, so network sweeps with repeated layer shapes
+/// pay for each distinct shape once.
+pub fn evaluate_cached(
+    system: System,
+    def: &ComputeDef,
+    accel: &AcceleratorSpec,
+    seed: u64,
+    cache: Option<&ExplorationCache>,
+) -> SystemCost {
     match system {
         System::Amos => {
             // AMOS searches the full mapping space, so it gets a deeper
@@ -204,13 +220,18 @@ pub fn evaluate(
                 survivors: 8,
                 measure_top: 6,
                 seed,
+                jobs: 0,
             });
             // AMOS measures candidates on the ground truth, so it also knows
             // when the scalar units beat the best tensor mapping (e.g. tiny
             // depthwise layers whose padded lanes waste the tensor unit) and
             // keeps the faster backend.
             let scalar = scalar_cost(system, def, accel);
-            match explorer.explore(def, accel) {
+            let result = match cache {
+                Some(c) => c.explore(&explorer, def, accel),
+                None => explorer.explore(def, accel),
+            };
+            match result {
                 Ok(r) if r.cycles() <= scalar.cycles => SystemCost {
                     cycles: r.cycles(),
                     mapped: true,
@@ -218,18 +239,16 @@ pub fn evaluate(
                 Ok(_) | Err(_) => scalar,
             }
         }
-        System::PyTorch | System::CuDnn => {
-            library_kernel(def, accel).unwrap_or_else(|| {
-                let mut c = scalar_cost(system, def, accel);
-                c.cycles += EAGER_OVERHEAD_CYCLES;
-                c
-            })
-        }
+        System::PyTorch | System::CuDnn => library_kernel(def, accel).unwrap_or_else(|| {
+            let mut c = scalar_cost(system, def, accel);
+            c.cycles += EAGER_OVERHEAD_CYCLES;
+            c
+        }),
         System::AutoTvm => {
             // Stock templates: NHWC convolutions and GEMM only.
             let matcher = TemplateMatcher::new();
             if matcher.matches(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed)
+                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -239,7 +258,7 @@ pub fn evaluate(
             // Expert template: the library pattern set, fixed im2col mapping,
             // full schedule tuning.
             if library_tensor_supported(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed)
+                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -248,7 +267,7 @@ pub fn evaluate(
         System::Ansor => scalar_cost(system, def, accel),
         System::Unit => {
             if library_tensor_supported(def) {
-                explore_fixed(def, accel, FixedKind::FuseHw, seed)
+                explore_fixed(def, accel, FixedKind::FuseHw, seed, cache)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -256,7 +275,7 @@ pub fn evaluate(
         }
         System::Akg => {
             if akg_supported(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed)
+                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -297,7 +316,9 @@ mod tests {
     fn library_support_classification() {
         assert!(library_tensor_supported(&ops::gmm(64, 64, 64)));
         assert!(library_tensor_supported(&c2d_small()));
-        assert!(library_tensor_supported(&ops::c3d(1, 8, 8, 4, 6, 6, 3, 3, 3)));
+        assert!(library_tensor_supported(&ops::c3d(
+            1, 8, 8, 4, 6, 6, 3, 3, 3
+        )));
         // Grouped/depthwise/batched-weight/constant-operand families do not
         // get tensor-unit library kernels.
         assert!(!library_tensor_supported(&ops::dep(1, 32, 14, 14, 3, 3)));

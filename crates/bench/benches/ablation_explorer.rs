@@ -60,6 +60,7 @@ fn print_ablation() {
             survivors: 6,
             measure_top: 4,
             seed,
+            jobs: 0,
         });
         let guided = explorer.explore(&def, &accel).expect("explores");
         // Equalise the measurement budget to what the explorer spent.
@@ -75,14 +76,82 @@ fn print_ablation() {
     }
 }
 
+/// Wall-clock scaling of the parallel engine: the same search at jobs=1 and
+/// jobs=N returns bit-identical winners (asserted here), only faster.
+fn print_jobs_scaling() {
+    // At least 2 so the parallel leg differs from the serial one even on a
+    // single-core host (where the speedup honestly reports ~1x or below).
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    amos_bench::banner(&format!(
+        "Parallel engine: exploration wall clock, jobs=1 vs jobs={n} (A100)"
+    ));
+    let accel = catalog::a100();
+    let def = ops::c2d(configs::resnet18_conv_layers(16)[6].1);
+    let config = |jobs| ExplorerConfig {
+        population: 24,
+        generations: 5,
+        survivors: 6,
+        measure_top: 4,
+        seed: 6,
+        jobs,
+    };
+    let time_one = |jobs: usize| {
+        let explorer = Explorer::with_config(config(jobs));
+        let start = std::time::Instant::now();
+        let result = explorer.explore(&def, &accel).expect("explores");
+        (start.elapsed(), result)
+    };
+    let (t1, r1) = time_one(1);
+    let (tn, rn) = time_one(n);
+    assert_eq!(
+        r1.best_schedule, rn.best_schedule,
+        "jobs must not change the winner"
+    );
+    assert_eq!(
+        r1.cycles(),
+        rn.cycles(),
+        "jobs must not change measured cycles"
+    );
+    println!(
+        "jobs=1: {t1:>10.2?}   jobs={n}: {tn:>10.2?}   speedup: {:.2}x (same winner)",
+        t1.as_secs_f64() / tn.as_secs_f64()
+    );
+}
+
 fn bench(c: &mut Criterion) {
     print_ablation();
+    print_jobs_scaling();
     let accel = catalog::a100();
     let def = ops::c2d(configs::resnet18_conv_layers(16)[6].1);
     let mut group = c.benchmark_group("ablation_explorer");
     group.sample_size(10);
     group.bench_function("random_search_50_measurements", |b| {
         b.iter(|| random_search(&def, &accel, 50, 6))
+    });
+    group.bench_function("explore_jobs_1", |b| {
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 16,
+            generations: 3,
+            survivors: 4,
+            measure_top: 3,
+            seed: 6,
+            jobs: 1,
+        });
+        b.iter(|| explorer.explore(&def, &accel).expect("explores"))
+    });
+    group.bench_function("explore_jobs_all_cores", |b| {
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 16,
+            generations: 3,
+            survivors: 4,
+            measure_top: 3,
+            seed: 6,
+            jobs: 0,
+        });
+        b.iter(|| explorer.explore(&def, &accel).expect("explores"))
     });
     group.finish();
 }

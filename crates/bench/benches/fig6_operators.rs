@@ -47,7 +47,9 @@ fn part_ab(cache: &mut EvalCache) {
 }
 
 fn part_c(cache: &mut EvalCache) {
-    amos_bench::banner("Figure 6c: ResNet-18 C2D layers vs compilers, A100 (batch 16), relative to cuDNN");
+    amos_bench::banner(
+        "Figure 6c: ResNet-18 C2D layers vs compilers, A100 (batch 16), relative to cuDNN",
+    );
     let accel = catalog::a100();
     let systems = [
         System::CuDnn,
@@ -81,7 +83,9 @@ fn part_c(cache: &mut EvalCache) {
         print!(" {:>14.2}", geomean(r));
     }
     println!();
-    println!("\npaper (AMOS speedup over): CuDNN 2.38x, Ansor 1.79x, AutoTVM-Expert 1.30x, UNIT 4.96x");
+    println!(
+        "\npaper (AMOS speedup over): CuDNN 2.38x, Ansor 1.79x, AutoTVM-Expert 1.30x, UNIT 4.96x"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -19,7 +19,10 @@ fn parts_a_to_d(ev: &mut NetworkEvaluator) {
                 "Figure 7: network speedup vs PyTorch, {} (batch {batch})",
                 accel.name
             ));
-            println!("{:<14} {:>10} {:>16}", "network", "speedup", "AMOS tensor ops");
+            println!(
+                "{:<14} {:>10} {:>16}",
+                "network", "speedup", "AMOS tensor ops"
+            );
             for net in networks::all_networks() {
                 let torch = ev.evaluate(System::PyTorch, &net, batch, &accel);
                 let amos = ev.evaluate(System::Amos, &net, batch, &accel);

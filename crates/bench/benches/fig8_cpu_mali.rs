@@ -30,7 +30,11 @@ fn part_a() {
         speedups.push(s);
         println!("{:<6} {:>10.2} {:>12.2}", label, 1.0, s);
     }
-    println!("GEO    {:>10.2} {:>12.2}  (paper: 1.37x)", 1.0, geomean(&speedups));
+    println!(
+        "GEO    {:>10.2} {:>12.2}  (paper: 1.37x)",
+        1.0,
+        geomean(&speedups)
+    );
 }
 
 /// AutoTVM's Bifrost template, including the internal errors the paper

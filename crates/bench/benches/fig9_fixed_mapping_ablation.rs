@@ -19,11 +19,14 @@ fn amos_budget(seed: u64) -> ExplorerConfig {
         survivors: 6,
         measure_top: 4,
         seed,
+        jobs: 0,
     }
 }
 
 fn print_figure() {
-    amos_bench::banner("Figure 9: cuDNN vs AMOS-fixM1 vs AMOS-fixM2 vs AMOS (A100, bs16), relative to cuDNN");
+    amos_bench::banner(
+        "Figure 9: cuDNN vs AMOS-fixM1 vs AMOS-fixM2 vs AMOS (A100, bs16), relative to cuDNN",
+    );
     let accel = catalog::a100();
     println!(
         "{:<6} {:>8} {:>12} {:>12} {:>8}",
@@ -85,8 +88,7 @@ fn print_occupancy_discussion() {
     let def = ops::c2d(sh);
 
     // Library configuration: im2col mapping + the heuristic schedule.
-    let lib_mapping = fixed_mapping(&def, &accel.intrinsic, FixedKind::Im2col)
-        .expect("C2D maps");
+    let lib_mapping = fixed_mapping(&def, &accel.intrinsic, FixedKind::Im2col).expect("C2D maps");
     let lib_prog = lib_mapping.lower(&def, &accel.intrinsic).expect("lowers");
     let lib_schedule = amos_sim::Schedule::balanced(&lib_prog, &accel);
     let lib = amos_sim::simulate(&lib_prog, &lib_schedule, &accel).expect("simulates");

@@ -12,7 +12,11 @@ fn print_section() {
     amos_bench::banner("Section 7.5: C3D mapping counts on virtual accelerators");
     let generator = MappingGenerator::new();
     let c3d = ops::c3d(2, 8, 8, 6, 6, 6, 3, 3, 3);
-    let paper = [("virtual-axpy", 15), ("virtual-gemv", 7), ("virtual-conv", 31)];
+    let paper = [
+        ("virtual-axpy", 15),
+        ("virtual-gemv", 7),
+        ("virtual-conv", 31),
+    ];
     println!("{:<16} {:>6}  paper", "accelerator", "ours");
     for (accel, (_, p)) in [
         catalog::virtual_axpy(),
@@ -42,6 +46,7 @@ fn print_section() {
             survivors: 4,
             measure_top: 3,
             seed: 75,
+            jobs: 0,
         });
         match explorer.explore(&c3d, &accel) {
             Ok(r) => println!(
@@ -63,7 +68,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec75");
     group.sample_size(20);
     group.bench_function("enumerate_c3d_on_conv_unit", |b| {
-        b.iter(|| generator.enumerate(std::hint::black_box(&c3d), &conv_unit).len())
+        b.iter(|| {
+            generator
+                .enumerate(std::hint::black_box(&c3d), &conv_unit)
+                .len()
+        })
     });
     group.finish();
 }

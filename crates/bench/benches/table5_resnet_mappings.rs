@@ -35,6 +35,7 @@ fn print_table() -> Vec<String> {
         survivors: 6,
         measure_top: 4,
         seed: 55,
+        jobs: 0,
     });
     let mut chosen = Vec::new();
     println!("{:<5} {:<62} paper", "layer", "ours");
@@ -68,6 +69,7 @@ fn bench(c: &mut Criterion) {
                 survivors: 4,
                 measure_top: 3,
                 seed: 55,
+                jobs: 0,
             });
             explorer.explore(&def, &accel).unwrap().cycles()
         })

@@ -7,17 +7,20 @@
 
 #![warn(missing_docs)]
 
-use amos_baselines::{evaluate, System, SystemCost};
+use amos_baselines::{evaluate_cached, System, SystemCost};
+use amos_core::{CacheStats, ExplorationCache};
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
 use std::collections::HashMap;
 
-/// Evaluation cache: (system, op name+label, accelerator) -> cost. The same
-/// operator shape appears in several tables; exploring it once keeps the
+/// Evaluation cache: a label-keyed memo of final costs, backed by the
+/// structural [`ExplorationCache`] so that the same operator shape appearing
+/// under several labels (or several tables) is explored once; this keeps the
 /// whole suite fast and deterministic.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     entries: HashMap<(System, String, String), SystemCost>,
+    explored: ExplorationCache,
 }
 
 impl EvalCache {
@@ -38,9 +41,14 @@ impl EvalCache {
         if let Some(c) = self.entries.get(&k) {
             return *c;
         }
-        let cost = evaluate(system, def, accel, stable_seed(key));
+        let cost = evaluate_cached(system, def, accel, stable_seed(key), Some(&self.explored));
         self.entries.insert(k, cost);
         cost
+    }
+
+    /// Hit/miss counters of the underlying structural exploration cache.
+    pub fn explore_stats(&self) -> CacheStats {
+        self.explored.stats()
     }
 }
 

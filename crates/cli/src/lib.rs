@@ -15,6 +15,9 @@
 //! Operator specs are `family:dims`, e.g. `gmm:512x512x256`,
 //! `gmv:1024x1024`, `c2d:n16,c64,k64,p56,q56,r3,s3,st1`, `dep:c128,p28,r3`,
 //! `c3d:n2,c8,k8,d6,p6,q6`.
+//!
+//! `--jobs N` sets the explorer's worker-thread count (0 or omitted: one per
+//! CPU). Results are bit-identical for every value — only wall clock changes.
 
 #![warn(missing_docs)]
 
@@ -249,6 +252,12 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         .map(|s| s.parse().map_err(|_| err("bad --batch")))
         .transpose()?
         .unwrap_or(1);
+    // Worker threads for exploration; 0 (the default) means one per CPU.
+    // The result is bit-identical for every value — only wall clock changes.
+    let jobs: usize = take_flag(&mut args, "--jobs")?
+        .map(|s| s.parse().map_err(|_| err("bad --jobs")))
+        .transpose()?
+        .unwrap_or(0);
 
     let io = |e: std::io::Error| err(format!("io error: {e}"));
     match args.first().map(String::as_str) {
@@ -298,6 +307,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             let accel = parse_accelerator(&accel_name)?;
             let explorer = Explorer::with_config(ExplorerConfig {
                 seed,
+                jobs,
                 ..ExplorerConfig::default()
             });
             let result = explorer
@@ -321,6 +331,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 survivors: 4,
                 measure_top: 3,
                 seed,
+                jobs,
             });
             let result = explorer
                 .explore(&def, &accel)
@@ -339,6 +350,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 survivors: 4,
                 measure_top: 3,
                 seed,
+                jobs,
             });
             let result = explorer
                 .explore(&def, &accel)
@@ -387,6 +399,13 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 torch.total_cycles / amos.total_cycles
             )
             .map_err(io)?;
+            let stats = ev.cache_stats();
+            writeln!(
+                out,
+                "  explorations cached: {} hits, {} misses (distinct layer shapes)",
+                stats.hits, stats.misses
+            )
+            .map_err(io)?;
             Ok(())
         }
         Some("table6") => {
@@ -405,7 +424,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|table6|network> [args] [--accel NAME] [--seed N] [--batch N]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N]",
         )),
     }
 }
@@ -489,7 +508,11 @@ mod tests {
     #[test]
     fn table6_command_prints_counts() {
         let out = run_to_string(&["table6"]).unwrap();
-        assert!(out.lines().any(|l| l.starts_with("C2D") && l.ends_with("35")), "{out}");
+        assert!(
+            out.lines()
+                .any(|l| l.starts_with("C2D") && l.ends_with("35")),
+            "{out}"
+        );
     }
 
     #[test]

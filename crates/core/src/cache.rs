@@ -1,0 +1,296 @@
+//! Cross-layer memoisation of exploration results.
+//!
+//! Real networks repeat layer shapes heavily (most ResNet residual blocks
+//! share a handful of distinct convolution shapes), and the explorer is a
+//! deterministic function of `(workload shape, accelerator, config)` — so a
+//! network-level sweep only needs to pay the search cost once per distinct
+//! shape and can replay the winner everywhere else.
+//!
+//! The cache is keyed by a *structural* fingerprint: the computation's
+//! iteration space, tensor shapes, access patterns, operator and predicates
+//! (but not its name, so `conv3` and `conv7` with identical shapes share an
+//! entry), the full accelerator description, and every explorer knob except
+//! [`ExplorerConfig::jobs`] — results are bit-identical for every thread
+//! count, so `jobs` must not split entries.
+
+use crate::explore::{ExplorationResult, ExploreError, Explorer, ExplorerConfig};
+use amos_hw::AcceleratorSpec;
+use amos_ir::ComputeDef;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of an [`ExplorationCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to run the explorer.
+    pub misses: usize,
+}
+
+/// A thread-safe memo table for exploration runs.
+///
+/// Failed explorations (`Err`) are cached too: a shape with no valid mapping
+/// stays unmappable, and network sweeps probe such shapes repeatedly.
+#[derive(Debug, Default)]
+pub struct ExplorationCache {
+    entries: Mutex<HashMap<String, Result<ExplorationResult, ExploreError>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ExplorationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the explorer so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (shape, accelerator, config) entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`Explorer::explore`] with memoisation.
+    pub fn explore(
+        &self,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let key = fingerprint("explore", explorer.config(), def, accel);
+        self.run_keyed(key, || explorer.explore(def, accel))
+    }
+
+    /// [`Explorer::explore_multi`] with memoisation.
+    pub fn explore_multi(
+        &self,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let key = fingerprint("multi", explorer.config(), def, accel);
+        self.run_keyed(key, || explorer.explore_multi(def, accel))
+    }
+
+    /// Memoises an arbitrary exploration flavour under an extra `tag`
+    /// (e.g. a fixed-mapping baseline's template name). The tag keeps
+    /// different flavours over the same shape from colliding.
+    pub fn explore_tagged(
+        &self,
+        tag: &str,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let key = fingerprint(tag, explorer.config(), def, accel);
+        self.run_keyed(key, run)
+    }
+
+    fn run_keyed(
+        &self,
+        key: String,
+        run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        if let Some(cached) = self.entries.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        // The lock is NOT held while exploring: a search can take seconds and
+        // other layers (other threads) must be able to probe the cache. Two
+        // threads racing on the same key both run the (deterministic) search
+        // and store identical results — wasteful but correct.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = run();
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, result.clone());
+        result
+    }
+}
+
+/// Structural identity of one exploration request.
+///
+/// Deliberately *excludes* the computation's name (same-shape layers must
+/// share an entry) and `config.jobs` (results are thread-count-invariant).
+fn fingerprint(
+    tag: &str,
+    config: &ExplorerConfig,
+    def: &ComputeDef,
+    accel: &AcceleratorSpec,
+) -> String {
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{tag};cfg:{}/{}/{}/{}/{};{};",
+        config.population,
+        config.generations,
+        config.survivors,
+        config.measure_top,
+        config.seed,
+        shape_fingerprint(def),
+    );
+    // The full accelerator description (hierarchy, memories, intrinsics) —
+    // derived Debug covers every field, so two distinct machines never
+    // collide.
+    let _ = write!(s, "accel:{accel:?}");
+    s
+}
+
+/// Structural identity of a computation alone: iteration space, tensor
+/// shapes, access patterns, operator and predicates — but not the
+/// computation's name, so same-shape layers of a network share it. Callers
+/// that need shape-keyed bookkeeping of their own (e.g. deriving one seed per
+/// distinct layer shape) can reuse it.
+pub fn shape_fingerprint(def: &ComputeDef) -> String {
+    let mut s = String::with_capacity(256);
+    for it in def.iters() {
+        let _ = write!(s, "i:{}:{}:{:?};", it.name, it.extent, it.kind);
+    }
+    for t in def.tensors() {
+        let _ = write!(s, "t:{:?}:{:?}:{:?};", t.shape, t.dtype, t.role);
+    }
+    let _ = write!(s, "out:{:?};", def.output());
+    for a in def.inputs() {
+        let _ = write!(s, "in:{:?};", a);
+    }
+    let _ = write!(s, "op:{:?};preds:{:?}", def.op(), def.predicates());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+
+    fn gemm(name: &str, m: i64, n: i64, k: i64) -> ComputeDef {
+        let mut b = ComputeBuilder::new(name);
+        let i = b.spatial("i", m);
+        let j = b.spatial("j", n);
+        let r = b.reduce("k", k);
+        let a = b.input("a", &[m, k], DType::F16);
+        let w = b.input("b", &[k, n], DType::F16);
+        let c = b.output("c", &[m, n], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, r]), w.at([r, j]));
+        b.finish().unwrap()
+    }
+
+    fn small_explorer(seed: u64) -> Explorer {
+        Explorer::with_config(ExplorerConfig {
+            population: 8,
+            generations: 2,
+            survivors: 3,
+            measure_top: 2,
+            seed,
+            jobs: 1,
+        })
+    }
+
+    #[test]
+    fn repeated_shape_hits_regardless_of_name() {
+        let cache = ExplorationCache::new();
+        let e = small_explorer(11);
+        let accel = catalog::v100();
+        let cold = cache
+            .explore(&e, &gemm("g_one", 64, 64, 64), &accel)
+            .unwrap();
+        let warm = cache
+            .explore(&e, &gemm("g_two", 64, 64, 64), &accel)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cold.cycles(), warm.cycles());
+        assert_eq!(cold.best_schedule, warm.best_schedule);
+    }
+
+    #[test]
+    fn distinct_shapes_seeds_and_accels_miss() {
+        let cache = ExplorationCache::new();
+        let e = small_explorer(11);
+        cache
+            .explore(&e, &gemm("g", 64, 64, 64), &catalog::v100())
+            .unwrap();
+        // Different extent.
+        cache
+            .explore(&e, &gemm("g", 128, 64, 64), &catalog::v100())
+            .unwrap();
+        // Different machine.
+        cache
+            .explore(&e, &gemm("g", 64, 64, 64), &catalog::a100())
+            .unwrap();
+        // Different seed.
+        cache
+            .explore(
+                &small_explorer(12),
+                &gemm("g", 64, 64, 64),
+                &catalog::v100(),
+            )
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 4 });
+    }
+
+    #[test]
+    fn jobs_does_not_split_entries() {
+        let cache = ExplorationCache::new();
+        let mut cfg = small_explorer(5).config().clone();
+        let accel = catalog::v100();
+        cfg.jobs = 1;
+        cache
+            .explore(
+                &Explorer::with_config(cfg.clone()),
+                &gemm("g", 64, 64, 64),
+                &accel,
+            )
+            .unwrap();
+        cfg.jobs = 4;
+        cache
+            .explore(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn failed_explorations_are_cached() {
+        // A pure reduction has no valid Tensor Core mapping.
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        let def = b.finish().unwrap();
+
+        let cache = ExplorationCache::new();
+        let e = small_explorer(1);
+        let accel = catalog::v100();
+        assert!(cache.explore(&e, &def, &accel).is_err());
+        assert!(cache.explore(&e, &def, &accel).is_err());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+}

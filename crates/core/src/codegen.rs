@@ -82,7 +82,9 @@ pub fn emit_ir(prog: &MappedProgram, schedule: &Schedule) -> Vec<Stmt> {
     body.push(Stmt::Compute {
         intrinsic: intr.name.clone(),
         dst: operand_ref(OperandRef::Dst),
-        srcs: (0..num_srcs).map(|m| operand_ref(OperandRef::Src(m))).collect(),
+        srcs: (0..num_srcs)
+            .map(|m| operand_ref(OperandRef::Src(m)))
+            .collect(),
     });
 
     // Wrap reduction axes around the body.
@@ -112,7 +114,9 @@ pub fn emit_ir(prog: &MappedProgram, schedule: &Schedule) -> Vec<Stmt> {
     let store_name = store_stmt
         .and_then(|s| s.intrinsic.clone())
         .unwrap_or_else(|| "store".to_string());
-    debug_assert!(store_stmt.map(|s| s.dir == TransferDir::Store).unwrap_or(true));
+    debug_assert!(store_stmt
+        .map(|s| s.dir == TransferDir::Store)
+        .unwrap_or(true));
     let dst_indices: Vec<Expr> = axes
         .iter()
         .enumerate()
@@ -122,11 +126,7 @@ pub fn emit_ir(prog: &MappedProgram, schedule: &Schedule) -> Vec<Stmt> {
     spatial_body.push(Stmt::Memory {
         intrinsic: store_name,
         dst: BufferRef {
-            tensor: prog
-                .def()
-                .tensor(prog.def().output().tensor)
-                .name
-                .clone(),
+            tensor: prog.def().tensor(prog.def().output().tensor).name.clone(),
             scope: Scope::Global,
             indices: dst_indices,
         },
@@ -220,10 +220,19 @@ mod tests {
         .unwrap();
         let ir = emit_ir(&prog, &Schedule::naive(&prog));
         let text = render_program(&ir);
-        assert!(text.contains("load(reg.Src1_frag[] <- shared.a[i1_o, r1_o])"), "{text}");
-        assert!(text.contains("load(reg.Src2_frag[] <- shared.x[r1_o])"), "{text}");
+        assert!(
+            text.contains("load(reg.Src1_frag[] <- shared.a[i1_o, r1_o])"),
+            "{text}"
+        );
+        assert!(
+            text.contains("load(reg.Src2_frag[] <- shared.x[r1_o])"),
+            "{text}"
+        );
         assert!(text.contains("_mm512_dpbusds_epi32("), "{text}");
-        assert!(text.contains("store(global.o[i1_o] <- reg.Dst_frag[])"), "{text}");
+        assert!(
+            text.contains("store(global.o[i1_o] <- reg.Dst_frag[])"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -236,7 +245,11 @@ mod tests {
         let a = b.input("a", &[4, 64], DType::F16);
         let w = b.input("b", &[64, 64], DType::F16);
         let c = b.output("c", &[4, 64], DType::F32);
-        b.mul_acc(c.at([i.ex(), j.ex()]), a.at([i.ex(), k.ex()]), w.at([k.ex(), j.ex()]));
+        b.mul_acc(
+            c.at([i.ex(), j.ex()]),
+            a.at([i.ex(), k.ex()]),
+            w.at([k.ex(), j.ex()]),
+        );
         let def = b.finish().unwrap();
         let ids: Vec<_> = def.iter_ids().collect();
         let prog = MappedProgram::new(

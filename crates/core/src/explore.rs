@@ -7,6 +7,7 @@
 
 use crate::generate::MappingGenerator;
 use crate::mapping::Mapping;
+use crate::parallel::parallel_map;
 use crate::perf_model::predict_cycles;
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
@@ -14,7 +15,7 @@ use amos_sim::{simulate, AxisKind, MappedProgram, Schedule, SimError, TimingRepo
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Exploration failure modes.
@@ -23,7 +24,10 @@ use std::fmt;
 pub enum ExploreError {
     /// No valid software-hardware mapping exists for the computation on the
     /// accelerator's intrinsic; callers typically fall back to scalar units.
-    NoValidMapping { computation: String, intrinsic: String },
+    NoValidMapping {
+        computation: String,
+        intrinsic: String,
+    },
     /// A simulator error escaped candidate repair.
     Sim(SimError),
 }
@@ -61,6 +65,11 @@ pub struct ExplorerConfig {
     pub measure_top: usize,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Worker threads for candidate evaluation; `0` means one per available
+    /// CPU. The search is bit-identical for every value of `jobs`: each
+    /// candidate slot draws from its own RNG stream derived from
+    /// `(seed, generation, slot)`, and results are reduced in slot order.
+    pub jobs: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -71,6 +80,21 @@ impl Default for ExplorerConfig {
             survivors: 8,
             measure_top: 4,
             seed: 0x5eed,
+            jobs: 0,
+        }
+    }
+}
+
+impl ExplorerConfig {
+    /// The worker-thread count after resolving `jobs == 0` to the machine's
+    /// available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
         }
     }
 }
@@ -200,6 +224,13 @@ impl Explorer {
     /// Explores with a fixed mapping set (used by the fixed-mapping baseline
     /// ablations of paper §7.6, which keep AMOS's schedule tuner but freeze
     /// the mapping).
+    ///
+    /// Candidate lowering, simulation and model screening run on
+    /// [`ExplorerConfig::jobs`] worker threads. The search is nevertheless
+    /// deterministic for a given seed: every candidate slot draws from its
+    /// own RNG stream keyed by `(seed, generation, slot)` and all reductions
+    /// walk results in slot order, so the winner is bit-identical for any
+    /// thread count.
     pub fn explore_mappings(
         &self,
         def: &ComputeDef,
@@ -217,15 +248,17 @@ impl Explorer {
                 intrinsic: intr.name.clone(),
             });
         }
-        let programs: Vec<MappedProgram> = mappings
-            .iter()
-            .map(|m| m.lower(def, intr))
-            .collect::<Result<_, _>>()?;
+        let jobs = self.config.effective_jobs();
+        // Lower every mapping concurrently; the first failure (in mapping
+        // order) aborts, matching the serial behaviour.
+        let programs: Vec<MappedProgram> =
+            parallel_map(jobs, mappings.len(), |i| mappings[i].lower(def, intr))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations: Vec<(f64, f64)> = Vec::new();
-        // Measured cache: candidate identity -> measured cycles.
-        let mut measured: BTreeMap<String, f64> = BTreeMap::new();
+        // Measured cache: (mapping, schedule) identity -> measured cycles.
+        let mut measured: HashMap<(usize, Schedule), f64> = HashMap::new();
         let mut best: Option<(usize, Schedule, TimingReport)> = None;
         // Best measured cycles per mapping, for refinement shortlisting.
         let mut best_per_mapping: BTreeMap<usize, f64> = BTreeMap::new();
@@ -237,50 +270,84 @@ impl Explorer {
         // can only improve on it.
         let seed_count = mappings.len().min(64);
         let stride = (mappings.len() / seed_count.max(1)).max(1);
-        for idx in (0..mappings.len()).step_by(stride).take(seed_count) {
-            let prog = &programs[idx];
+        let seed_idxs: Vec<usize> = (0..mappings.len())
+            .step_by(stride)
+            .take(seed_count)
+            .collect();
+        let seeded = parallel_map(jobs, seed_idxs.len(), |i| {
+            let prog = &programs[seed_idxs[i]];
             let schedule = Schedule::balanced(prog, accel);
-            if let Ok(report) = simulate(prog, &schedule, accel) {
+            simulate(prog, &schedule, accel).ok().map(|report| {
                 let predicted = predict_cycles(prog, &schedule, accel).unwrap_or(report.cycles);
-                evaluations.push((predicted, report.cycles));
-                let e = best_per_mapping.entry(idx).or_insert(f64::INFINITY);
-                *e = e.min(report.cycles);
-                let better = best
-                    .as_ref()
-                    .map(|(_, _, b)| report.cycles < b.cycles)
-                    .unwrap_or(true);
-                if better {
-                    best = Some((idx, schedule, report));
-                }
+                (schedule, predicted, report)
+            })
+        });
+        for (&idx, entry) in seed_idxs.iter().zip(seeded) {
+            let Some((schedule, predicted, report)) = entry else {
+                continue;
+            };
+            evaluations.push((predicted, report.cycles));
+            let e = best_per_mapping.entry(idx).or_insert(f64::INFINITY);
+            *e = e.min(report.cycles);
+            let better = best
+                .as_ref()
+                .map(|(_, _, b)| report.cycles < b.cycles)
+                .unwrap_or(true);
+            if better {
+                best = Some((idx, schedule, report));
             }
         }
 
         // ---- initial population --------------------------------------------
-        let mut population: Vec<Candidate> = Vec::with_capacity(self.config.population);
-        while population.len() < self.config.population {
-            let mapping_idx = rng.gen_range(0..mappings.len());
-            let prog = &programs[mapping_idx];
-            let schedule = random_schedule(prog, accel, &mut rng);
-            if let Ok(p) = predict_cycles(prog, &schedule, accel) {
-                population.push(Candidate {
-                    mapping_idx,
-                    schedule,
-                    predicted: p,
-                });
+        // One RNG stream per slot; a slot whose draws keep failing the model
+        // concedes after a bounded number of attempts, so the population is
+        // the same set for any thread count.
+        let mut population: Vec<Candidate> = parallel_map(jobs, self.config.population, |slot| {
+            let mut rng = stream_rng(self.config.seed, 0, slot as u64);
+            for _ in 0..SLOT_ATTEMPTS {
+                let mapping_idx = rng.gen_range(0..mappings.len());
+                let prog = &programs[mapping_idx];
+                let schedule = random_schedule(prog, accel, &mut rng);
+                if let Ok(predicted) = predict_cycles(prog, &schedule, accel) {
+                    return Some(Candidate {
+                        mapping_idx,
+                        schedule,
+                        predicted,
+                    });
+                }
             }
-        }
+            None
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
-        for _generation in 0..self.config.generations {
+        for generation in 0..self.config.generations {
+            // Stable sort: ties keep slot order, which is deterministic.
             population.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
 
-            // Measure the most promising candidates on the ground truth.
-            for cand in population.iter().take(self.config.measure_top) {
-                let key = candidate_key(cand);
-                if measured.contains_key(&key) {
-                    continue;
-                }
-                let prog = &programs[cand.mapping_idx];
-                match simulate(prog, &cand.schedule, accel) {
+            // Measure the most promising unmeasured candidates on the ground
+            // truth, concurrently; the reduction walks them in rank order so
+            // `best` ties resolve identically for every job count.
+            let mut batch: HashSet<(usize, Schedule)> = HashSet::new();
+            let chosen: Vec<usize> = population
+                .iter()
+                .enumerate()
+                .take(self.config.measure_top)
+                .filter(|(_, c)| {
+                    let key = (c.mapping_idx, c.schedule.clone());
+                    !measured.contains_key(&key) && batch.insert(key)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let reports = parallel_map(jobs, chosen.len(), |i| {
+                let cand = &population[chosen[i]];
+                simulate(&programs[cand.mapping_idx], &cand.schedule, accel)
+            });
+            for (&rank, outcome) in chosen.iter().zip(reports) {
+                let cand = &population[rank];
+                let key = (cand.mapping_idx, cand.schedule.clone());
+                match outcome {
                     Ok(report) => {
                         evaluations.push((cand.predicted, report.cycles));
                         measured.insert(key, report.cycles);
@@ -303,51 +370,65 @@ impl Explorer {
                 }
             }
 
-            // Selection + mutation.
+            // Selection + mutation. Children are bred in parallel, each slot
+            // on its own (seed, generation, slot) stream.
             population.truncate(self.config.survivors.max(1));
-            while population.len() < self.config.population {
-                let parent = population[..self.config.survivors.max(1).min(population.len())]
-                    .choose(&mut rng)
-                    .expect("survivors retained")
-                    .clone();
-                let mut mapping_idx = parent.mapping_idx;
-                // Occasionally jump to a different mapping entirely.
-                if rng.gen_bool(0.2) {
-                    mapping_idx = rng.gen_range(0..mappings.len());
-                }
-                let prog = &programs[mapping_idx];
-                let mut schedule = if mapping_idx == parent.mapping_idx {
-                    parent.schedule.clone()
-                } else {
-                    random_schedule(prog, accel, &mut rng)
-                };
-                mutate_schedule(&mut schedule, prog, accel, &mut rng);
-                if let Ok(p) = predict_cycles(prog, &schedule, accel) {
-                    population.push(Candidate {
-                        mapping_idx,
-                        schedule,
-                        predicted: p,
-                    });
-                }
+            if population.is_empty() {
+                continue;
             }
+            let parents = population.clone();
+            let wanted = self.config.population.saturating_sub(parents.len());
+            let children = parallel_map(jobs, wanted, |slot| {
+                let mut rng = stream_rng(self.config.seed, generation as u64 + 1, slot as u64);
+                for _ in 0..SLOT_ATTEMPTS {
+                    let parent = &parents[rng.gen_range(0..parents.len())];
+                    let mut mapping_idx = parent.mapping_idx;
+                    // Occasionally jump to a different mapping entirely.
+                    if rng.gen_bool(0.2) {
+                        mapping_idx = rng.gen_range(0..mappings.len());
+                    }
+                    let prog = &programs[mapping_idx];
+                    let mut schedule = if mapping_idx == parent.mapping_idx {
+                        parent.schedule.clone()
+                    } else {
+                        random_schedule(prog, accel, &mut rng)
+                    };
+                    mutate_schedule(&mut schedule, prog, accel, &mut rng);
+                    if let Ok(predicted) = predict_cycles(prog, &schedule, accel) {
+                        return Some(Candidate {
+                            mapping_idx,
+                            schedule,
+                            predicted,
+                        });
+                    }
+                }
+                None
+            });
+            population.extend(children.into_iter().flatten());
         }
 
         // Guarantee at least one measured candidate: fall back to the
         // balanced schedule of the best-predicted mapping.
         if best.is_none() {
-            for (idx, prog) in programs.iter().enumerate() {
-                let schedule = Schedule::balanced(prog, accel);
-                if let Ok(report) = simulate(prog, &schedule, accel) {
+            let attempts = parallel_map(jobs, programs.len(), |i| {
+                let schedule = Schedule::balanced(&programs[i], accel);
+                simulate(&programs[i], &schedule, accel).ok().map(|report| {
                     let predicted =
-                        predict_cycles(prog, &schedule, accel).unwrap_or(report.cycles);
-                    evaluations.push((predicted, report.cycles));
-                    let better = best
-                        .as_ref()
-                        .map(|(_, _, b)| report.cycles < b.cycles)
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((idx, schedule, report));
-                    }
+                        predict_cycles(&programs[i], &schedule, accel).unwrap_or(report.cycles);
+                    (schedule, predicted, report)
+                })
+            });
+            for (idx, entry) in attempts.into_iter().enumerate() {
+                let Some((schedule, predicted, report)) = entry else {
+                    continue;
+                };
+                evaluations.push((predicted, report.cycles));
+                let better = best
+                    .as_ref()
+                    .map(|(_, _, b)| report.cycles < b.cycles)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((idx, schedule, report));
                 }
             }
         }
@@ -366,20 +447,14 @@ impl Explorer {
         // AMOS's search a strict superset of the fixed-mapping ablations
         // (paper §7.6).
         if mappings.len() > 1 {
-            let mut shortlist: Vec<(usize, f64)> = best_per_mapping
-                .iter()
-                .map(|(&i, &c)| (i, c))
-                .collect();
+            let mut shortlist: Vec<(usize, f64)> =
+                best_per_mapping.iter().map(|(&i, &c)| (i, c)).collect();
             shortlist.sort_by(|a, b| a.1.total_cmp(&b.1));
             shortlist.truncate(3);
             for (round, (ridx, _)) in shortlist.into_iter().enumerate() {
                 let refine = Explorer {
                     config: ExplorerConfig {
-                        seed: self
-                            .config
-                            .seed
-                            .wrapping_add(round as u64)
-                            ^ 0x9e3779b97f4a7c15,
+                        seed: self.config.seed.wrapping_add(round as u64) ^ 0x9e3779b97f4a7c15,
                         ..self.config.clone()
                     },
                     generator: self.generator.clone(),
@@ -408,19 +483,27 @@ impl Explorer {
     }
 }
 
-fn candidate_key(c: &Candidate) -> String {
-    format!(
-        "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}{}{}",
-        c.mapping_idx,
-        c.schedule.grid,
-        c.schedule.split_k,
-        c.schedule.subcore,
-        c.schedule.stage,
-        c.schedule.warp,
-        c.schedule.double_buffer,
-        c.schedule.unroll,
-        c.schedule.vectorize
-    )
+/// Attempts a candidate slot gets before conceding. The analytic model
+/// rejects very few schedules, so this bound is almost never hit; it exists
+/// so every slot's RNG stream has bounded length and the population is a
+/// deterministic function of `(seed, generation)` alone.
+const SLOT_ATTEMPTS: usize = 8;
+
+/// An independent RNG stream for candidate slot `slot` of `generation`.
+///
+/// SplitMix64-style finalisation over the mixed key; distinct
+/// `(generation, slot)` pairs land in distinct streams because `slot` is
+/// always far smaller than the odd multiplier applied to `generation`.
+fn stream_rng(seed: u64, generation: u64, slot: u64) -> StdRng {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let key = mix(seed ^ 0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(generation.wrapping_mul(0xd134_2543_de82_ef95))
+        .wrapping_add(slot);
+    StdRng::seed_from_u64(mix(key))
 }
 
 /// Samples a random legal schedule for a program.
@@ -448,7 +531,7 @@ pub fn random_schedule_with(
                 s.grid[i] = random_pow2_at_most(a.extent, rng);
             }
             AxisKind::TileReduction(_) => {
-                s.stage[i] = *[1i64, 2, 4].choose(rng).expect("nonempty") .min(&a.extent);
+                s.stage[i] = *[1i64, 2, 4].choose(rng).expect("nonempty").min(&a.extent);
                 if allow_split_k && rng.gen_bool(0.25) {
                     s.split_k[i] = random_pow2_at_most(a.extent.min(8), rng);
                 }
@@ -667,6 +750,7 @@ mod tests {
             survivors: 4,
             measure_top: 3,
             seed: 7,
+            jobs: 2,
         });
         let result = explorer.explore(&def, &accel).unwrap();
         assert_eq!(result.num_mappings, 35);
@@ -690,6 +774,7 @@ mod tests {
             survivors: 3,
             measure_top: 2,
             seed: 99,
+            jobs: 1,
         });
         let a = e.explore(&def, &accel).unwrap();
         let b = e.explore(&def, &accel).unwrap();
@@ -707,6 +792,7 @@ mod tests {
             survivors: 4,
             measure_top: 3,
             seed: 77,
+            jobs: 2,
         });
 
         // A large square GEMM belongs on the cube unit.

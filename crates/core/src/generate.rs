@@ -110,11 +110,7 @@ impl MappingGenerator {
         let non_addressable: BTreeSet<IterId> = def
             .div_mod_participants()
             .into_iter()
-            .chain(
-                def.predicates()
-                    .iter()
-                    .flat_map(|e| e.vars().into_iter()),
-            )
+            .chain(def.predicates().iter().flat_map(|e| e.vars().into_iter()))
             .filter(|&s| !def.anchored_in_output(s))
             .collect();
 
@@ -272,15 +268,14 @@ impl MappingGenerator {
         // intended use of a convolution engine).
         let compound_axis: Vec<bool> = (0..num_t)
             .map(|t| {
-                intrinsic
-                    .compute
-                    .operand_refs()
-                    .into_iter()
-                    .any(|r| {
-                        intrinsic.compute.operand(r).dims.iter().any(|e| {
-                            e.uses(IterId(t as u32)) && e.vars().len() >= 2
-                        })
-                    })
+                intrinsic.compute.operand_refs().into_iter().any(|r| {
+                    intrinsic
+                        .compute
+                        .operand(r)
+                        .dims
+                        .iter()
+                        .any(|e| e.uses(IterId(t as u32)) && e.vars().len() >= 2)
+                })
             })
             .collect();
         let mut groups: Vec<FusedGroup> = vec![FusedGroup::empty(); num_t];
@@ -315,9 +310,7 @@ impl MappingGenerator {
         if !validate_mapping(def, intrinsic, &mapping) {
             return;
         }
-        if self.policy.enforce_fragment_coherence
-            && !fragment_coherent(def, intrinsic, &mapping)
-        {
+        if self.policy.enforce_fragment_coherence && !fragment_coherent(def, intrinsic, &mapping) {
             return;
         }
         let key = canonical_key(def, intrinsic, &mapping, access_keys);
@@ -531,7 +524,11 @@ mod tests {
         let def = conv2d();
         let intr = catalog::wmma_16x16x16();
         for m in g.enumerate(&def, &intr) {
-            assert!(validate_mapping(&def, &intr, &m), "{}", m.describe(&def, &intr));
+            assert!(
+                validate_mapping(&def, &intr, &m),
+                "{}",
+                m.describe(&def, &intr)
+            );
         }
     }
 

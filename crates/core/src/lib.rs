@@ -45,6 +45,7 @@
 //!     survivors: 3,
 //!     measure_top: 2,
 //!     seed: 1,
+//!     jobs: 1,
 //! });
 //! let result = explorer.explore(&gemm, &v100)?;
 //! assert!(result.cycles() > 0.0);
@@ -55,9 +56,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod explore;
 mod generate;
 mod mapping;
+mod parallel;
 
 pub mod codegen;
 pub mod cuda_like;
@@ -66,11 +69,12 @@ pub mod perf_model;
 pub mod report;
 pub mod validate;
 
+pub use cache::{shape_fingerprint, CacheStats, ExplorationCache};
 pub use explore::{
     mutate_schedule, pairwise_accuracy, random_schedule, random_schedule_with, top_rate_recall,
-    ExplorationResult,
-    ExploreError, Explorer, ExplorerConfig,
+    ExplorationResult, ExploreError, Explorer, ExplorerConfig,
 };
 pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
-pub use report::MappingReport;
 pub use mapping::Mapping;
+pub use parallel::parallel_map;
+pub use report::MappingReport;

@@ -54,7 +54,11 @@ impl Mapping {
     ///
     /// Propagates [`SimError::MalformedMapping`] for inconsistent groups or
     /// correspondences.
-    pub fn lower(&self, def: &ComputeDef, intrinsic: &Intrinsic) -> Result<MappedProgram, SimError> {
+    pub fn lower(
+        &self,
+        def: &ComputeDef,
+        intrinsic: &Intrinsic,
+    ) -> Result<MappedProgram, SimError> {
         MappedProgram::new(
             def.clone(),
             intrinsic.clone(),

@@ -242,7 +242,10 @@ mod tests {
             "(c * 9 + r * 3 + s) / 2 * 8 + k / 2 * 4"
         );
         // addr_c <- (n*4 + p*2 + q)/2 * 8 + k/2 * 4
-        assert_eq!(mm.operands[2].base, "(n * 4 + p * 2 + q) / 2 * 8 + k / 2 * 4");
+        assert_eq!(
+            mm.operands[2].base,
+            "(n * 4 + p * 2 + q) / 2 * 8 + k / 2 * 4"
+        );
         // stride 2 everywhere (fragment row length).
         assert_eq!(mm.operands[0].strides, vec![2]);
         assert_eq!(mm.operands[1].strides, vec![2]);
@@ -265,10 +268,7 @@ mod tests {
         let prog = MappedProgram::new(
             def,
             catalog::avx512_vnni(),
-            vec![
-                FusedGroup::of(vec![ids[0]]),
-                FusedGroup::of(vec![ids[1]]),
-            ],
+            vec![FusedGroup::of(vec![ids[0]]), FusedGroup::of(vec![ids[1]])],
             vec![0, 1],
         )
         .unwrap();
@@ -293,7 +293,11 @@ mod tests {
         let a = b.input("a", &[2, 2], DType::F16);
         let w = b.input("b", &[2, 2], DType::F16);
         let c = b.output("c", &[2, 2], DType::F32);
-        b.mul_acc(c.at([i.ex(), j.ex()]), a.at([i.ex(), k.ex()]), w.at([k.ex(), j.ex()]));
+        b.mul_acc(
+            c.at([i.ex(), j.ex()]),
+            a.at([i.ex(), k.ex()]),
+            w.at([k.ex(), j.ex()]),
+        );
         let def = b.finish().unwrap();
         let ids: Vec<_> = def.iter_ids().collect();
         let prog = MappedProgram::new(

@@ -1,0 +1,94 @@
+//! A tiny deterministic fork–join pool over `std::thread::scope`.
+//!
+//! The sandbox has no crates.io access, so the explorer cannot lean on rayon;
+//! this module provides the one primitive it needs: map an index range
+//! through a pure function on a fixed number of workers and return the
+//! results **in index order**, so reductions over them are independent of
+//! thread count and scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `0..n` through `work` on up to `jobs` threads, returning results in
+/// index order.
+///
+/// Workers drain a shared atomic counter (dynamic load balancing — candidate
+/// simulation times vary by an order of magnitude), collect `(index, value)`
+/// pairs locally, and the pairs are merged and sorted at the end. With
+/// `jobs <= 1` (or a trivial range) the work runs inline on the caller's
+/// thread with no synchronisation at all.
+pub fn parallel_map<T, F>(jobs: usize, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, work(i)));
+                }
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the result lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected
+        .into_inner()
+        .expect("a worker panicked while holding the result lock");
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 3, 8] {
+            let out = parallel_map(jobs, 100, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_ranges() {
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items near the front are much heavier; dynamic draining must still
+        // return everything, in order.
+        let out = parallel_map(4, 64, |i| {
+            let spins = if i < 4 { 100_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
+    }
+}

@@ -205,12 +205,7 @@ mod tests {
         let mut accel = catalog::v100();
         let s = Schedule::balanced(&prog, &accel);
         let base = predict_cycles(&prog, &s, &accel).unwrap();
-        accel
-            .levels
-            .last_mut()
-            .unwrap()
-            .memory
-            .load_bytes_per_cycle *= 2.0;
+        accel.levels.last_mut().unwrap().memory.load_bytes_per_cycle *= 2.0;
         let faster = predict_cycles(&prog, &s, &accel).unwrap();
         assert!(faster <= base);
     }

@@ -77,11 +77,7 @@ impl fmt::Display for MappingReport {
         for line in self.memory_mapping.to_string().lines() {
             writeln!(f, "\n    {line}")?;
         }
-        let tiles: Vec<String> = self
-            .tiles
-            .iter()
-            .map(|(n, t)| format!("{n}:{t}"))
-            .collect();
+        let tiles: Vec<String> = self.tiles.iter().map(|(n, t)| format!("{n}:{t}")).collect();
         writeln!(f, "tiles            : {}", tiles.join(" "))?;
         writeln!(
             f,
@@ -132,6 +128,7 @@ mod tests {
             survivors: 3,
             measure_top: 2,
             seed: 3,
+            jobs: 1,
         });
         (explorer.explore(&def, &accel).unwrap(), accel)
     }
@@ -143,11 +140,14 @@ mod tests {
         assert_eq!(report.intrinsic, "mma_sync");
         assert_eq!(report.num_mappings, 1);
         // 100 is not a multiple of 16: 7 tiles per axis, padded to 112.
-        assert_eq!(report.tiles, vec![
-            ("i1".to_string(), 7),
-            ("i2".to_string(), 7),
-            ("r1".to_string(), 7),
-        ]);
+        assert_eq!(
+            report.tiles,
+            vec![
+                ("i1".to_string(), 7),
+                ("i2".to_string(), 7),
+                ("r1".to_string(), 7),
+            ]
+        );
         let expected = (100.0f64 / 112.0).powi(3);
         assert!((report.padding_efficiency - expected).abs() < 1e-12);
         assert!(report.gflops > 0.0);

@@ -78,7 +78,10 @@ impl AcceleratorSpec {
     /// Total parallel units of level `l` on the whole device: the product of
     /// `inner_units` of every level *above* `l`.
     pub fn total_units(&self, l: usize) -> u64 {
-        self.levels[l + 1..].iter().map(|lv| lv.inner_units).product()
+        self.levels[l + 1..]
+            .iter()
+            .map(|lv| lv.inner_units)
+            .product()
     }
 
     /// Total parallel PE arrays (units of level 0) on the device — the

@@ -138,7 +138,10 @@ pub fn arm_dot4() -> Intrinsic {
 pub fn axpy_unit() -> Intrinsic {
     let compute = ComputeAbstraction::new(
         vec![iter("i1", 32, IterKind::Spatial)],
-        vec![OperandSpec::scalar("Src1"), OperandSpec::simple("Src2", &[0])],
+        vec![
+            OperandSpec::scalar("Src1"),
+            OperandSpec::simple("Src2", &[0]),
+        ],
         OperandSpec::simple("Dst", &[0]),
         OpKind::MulAcc,
     );
@@ -697,8 +700,7 @@ mod tests {
             // Shared staging must exist and be larger than a fragment set.
             let shared = acc.shared_level();
             assert!(
-                acc.levels[shared].memory.capacity_bytes
-                    >= acc.intrinsic.total_fragment_bytes(),
+                acc.levels[shared].memory.capacity_bytes >= acc.intrinsic.total_fragment_bytes(),
                 "{}: shared level too small",
                 acc.name
             );

@@ -42,3 +42,11 @@ pub use abstraction::{ComputeAbstraction, IntrinsicIter, OperandRef, OperandSpec
 pub use accelerator::{AcceleratorSpec, Level, MemorySpec};
 pub use intrinsic::Intrinsic;
 pub use memory::{MemStatement, MemoryAbstraction, TransferDir};
+
+// Accelerator descriptions are shared by reference across explorer worker
+// threads; keep them free of interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AcceleratorSpec>();
+    assert_send_sync::<Intrinsic>();
+};

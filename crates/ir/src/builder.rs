@@ -190,12 +190,12 @@ impl ComputeBuilder {
     /// rank mismatches its tensor, tensor names collide, or no statement was
     /// set.
     pub fn finish(&self) -> Result<ComputeDef, IrError> {
-        let (output, inputs, op) = self
-            .statement
-            .clone()
-            .ok_or_else(|| IrError::MissingStatement {
-                name: self.name.clone(),
-            })?;
+        let (output, inputs, op) =
+            self.statement
+                .clone()
+                .ok_or_else(|| IrError::MissingStatement {
+                    name: self.name.clone(),
+                })?;
         ComputeDef::new(
             self.name.clone(),
             self.iters.clone(),

@@ -107,10 +107,7 @@ impl ComputeDef {
         // A spatial iteration must address the output; a reduction iteration
         // must not (it would otherwise overwrite rather than accumulate).
         for (idx, it) in iters.iter().enumerate() {
-            let in_output = output
-                .indices
-                .iter()
-                .any(|e| e.uses(IterId(idx as u32)));
+            let in_output = output.indices.iter().any(|e| e.uses(IterId(idx as u32)));
             match it.kind {
                 crate::iter::IterKind::Spatial if !in_output => {
                     return Err(IrError::IterKindMismatch {
@@ -243,7 +240,10 @@ impl ComputeDef {
 
     /// All accesses: inputs first (operand order), then the output.
     pub fn all_accesses(&self) -> Vec<&Access> {
-        self.inputs.iter().chain(std::iter::once(&self.output)).collect()
+        self.inputs
+            .iter()
+            .chain(std::iter::once(&self.output))
+            .collect()
     }
 
     /// The software access matrix `X` (paper Fig 4): rows are the *operand
@@ -353,7 +353,11 @@ impl ComputeDef {
                 .iter()
                 .map(|e| e.display_with(&name_of).to_string())
                 .collect();
-            format!("{}[{}]", self.tensors[acc.tensor.index()].name, idx.join(", "))
+            format!(
+                "{}[{}]",
+                self.tensors[acc.tensor.index()].name,
+                idx.join(", ")
+            )
         };
         let srcs: Vec<String> = self.inputs.iter().map(&fmt_access).collect();
         let op = match self.op {
@@ -492,10 +496,7 @@ mod tests {
         let a = b.input("a", &[1], DType::F32);
         let out = b.output("o", &[1], DType::F32);
         b.add_acc(out.at([i.ex()]), a.at([i.ex()]));
-        assert!(matches!(
-            b.finish(),
-            Err(IrError::InvalidExtent { .. })
-        ));
+        assert!(matches!(b.finish(), Err(IrError::InvalidExtent { .. })));
     }
 
     #[test]

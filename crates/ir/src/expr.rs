@@ -242,7 +242,9 @@ pub struct DisplayExpr<'a, F> {
 
 impl<F> fmt::Debug for DisplayExpr<'_, F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DisplayExpr").field("expr", self.expr).finish()
+        f.debug_struct("DisplayExpr")
+            .field("expr", self.expr)
+            .finish()
     }
 }
 
@@ -393,7 +395,8 @@ mod tests {
         assert_eq!(e.display_with(names).to_string(), "(a + 1) * 2");
         let e2 = v(0) * 2 + 1;
         assert_eq!(
-            e2.display_with(|id| ["a"][id.index()].to_string()).to_string(),
+            e2.display_with(|id| ["a"][id.index()].to_string())
+                .to_string(),
             "a * 2 + 1"
         );
     }

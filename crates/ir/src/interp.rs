@@ -261,11 +261,7 @@ mod tests {
         let o = b.output("o", &[3], DType::F32);
         b.add_acc(o.at([p.ex()]), img.at([p.ex()]));
         let def = b.finish().unwrap();
-        let err = execute(
-            &def,
-            &[TensorData::zeros(&[2]), TensorData::zeros(&[3])],
-        )
-        .unwrap_err();
+        let err = execute(&def, &[TensorData::zeros(&[2]), TensorData::zeros(&[3])]).unwrap_err();
         assert!(matches!(err, IrError::OutOfBounds { .. }));
     }
 

@@ -126,12 +126,7 @@ pub fn render_program(stmts: &[Stmt]) -> String {
             .collect();
         format!("{}.{}[{}]", b.scope, b.tensor, idx.join(", "))
     }
-    fn go(
-        stmts: &[Stmt],
-        depth: usize,
-        out: &mut String,
-        lookup: &impl Fn(IterId) -> String,
-    ) {
+    fn go(stmts: &[Stmt], depth: usize, out: &mut String, lookup: &impl Fn(IterId) -> String) {
         for s in stmts {
             let pad = "  ".repeat(depth);
             match s {
@@ -216,10 +211,7 @@ mod tests {
                             src: BufferRef {
                                 tensor: "a".into(),
                                 scope: Scope::Shared,
-                                indices: vec![
-                                    Expr::Var(IterId(0)),
-                                    Expr::Var(IterId(1)),
-                                ],
+                                indices: vec![Expr::Var(IterId(0)), Expr::Var(IterId(1))],
                             },
                         },
                         Stmt::Compute {

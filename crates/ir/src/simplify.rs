@@ -33,10 +33,7 @@ pub fn range_of(e: &Expr, extents: &[i64]) -> Option<Range> {
     match e {
         Expr::Var(id) => {
             let ext = *extents.get(id.index())?;
-            Some(Range {
-                lo: 0,
-                hi: ext - 1,
-            })
+            Some(Range { lo: 0, hi: ext - 1 })
         }
         Expr::Const(v) => Some(Range::point(*v)),
         Expr::Add(a, b) => {
@@ -55,12 +52,7 @@ pub fn range_of(e: &Expr, extents: &[i64]) -> Option<Range> {
         }
         Expr::Mul(a, b) => {
             let (ra, rb) = (range_of(a, extents)?, range_of(b, extents)?);
-            let candidates = [
-                ra.lo * rb.lo,
-                ra.lo * rb.hi,
-                ra.hi * rb.lo,
-                ra.hi * rb.hi,
-            ];
+            let candidates = [ra.lo * rb.lo, ra.lo * rb.hi, ra.hi * rb.lo, ra.hi * rb.hi];
             Some(Range {
                 lo: *candidates.iter().min().expect("nonempty"),
                 hi: *candidates.iter().max().expect("nonempty"),
@@ -128,15 +120,11 @@ pub fn simplify(e: &Expr, extents: &[i64]) -> Expr {
         Expr::FloorDiv(a, b) => {
             let (a, b) = (simplify(a, extents), simplify(b, extents));
             match (&a, &b) {
-                (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
-                    Expr::Const(x.div_euclid(*y))
-                }
+                (Expr::Const(x), Expr::Const(y)) if *y != 0 => Expr::Const(x.div_euclid(*y)),
                 (_, Expr::Const(1)) => a,
                 _ => {
                     // e / d == 0 when 0 <= e < d.
-                    if let (Some(ra), Some(rb)) =
-                        (range_of(&a, extents), range_of(&b, extents))
-                    {
+                    if let (Some(ra), Some(rb)) = (range_of(&a, extents), range_of(&b, extents)) {
                         if ra.lo >= 0 && ra.hi < rb.lo.max(1) && rb.lo > 0 {
                             return Expr::Const(0);
                         }
@@ -148,15 +136,11 @@ pub fn simplify(e: &Expr, extents: &[i64]) -> Expr {
         Expr::Mod(a, b) => {
             let (a, b) = (simplify(a, extents), simplify(b, extents));
             match (&a, &b) {
-                (Expr::Const(x), Expr::Const(y)) if *y != 0 => {
-                    Expr::Const(x.rem_euclid(*y))
-                }
+                (Expr::Const(x), Expr::Const(y)) if *y != 0 => Expr::Const(x.rem_euclid(*y)),
                 (_, Expr::Const(1)) => Expr::Const(0),
                 _ => {
                     // e mod d == e when 0 <= e < d.
-                    if let (Some(ra), Some(rb)) =
-                        (range_of(&a, extents), range_of(&b, extents))
-                    {
+                    if let (Some(ra), Some(rb)) = (range_of(&a, extents), range_of(&b, extents)) {
                         if ra.lo >= 0 && ra.hi < rb.lo.max(1) && rb.lo > 0 {
                             return a;
                         }
@@ -218,7 +202,10 @@ mod tests {
         // x in [0, 8): x mod 16 == x, x / 16 == 0, but x mod 4 stays.
         let extents = [8];
         assert_eq!(simplify(&v(0).rem(16), &extents), v(0));
-        assert_eq!(simplify(&v(0).clone().floor_div(16), &extents), Expr::Const(0));
+        assert_eq!(
+            simplify(&v(0).clone().floor_div(16), &extents),
+            Expr::Const(0)
+        );
         assert_eq!(simplify(&v(0).rem(4), &extents), v(0).rem(4));
     }
 
@@ -247,8 +234,7 @@ mod tests {
     fn simplification_preserves_semantics() {
         // Exhaustive check over the domain for a messy expression.
         let extents = [5, 3];
-        let e = ((v(0) * 3 + v(1)) + 0).rem(16) + (v(0) - v(0)) * 7
-            + (v(1) * 1).floor_div(32);
+        let e = ((v(0) * 3 + v(1)) + 0).rem(16) + (v(0) - v(0)) * 7 + (v(1) * 1).floor_div(32);
         let s = simplify(&e, &extents);
         for x in 0..5 {
             for y in 0..3 {

@@ -12,10 +12,7 @@ pub enum SimError {
     /// Two intrinsic iteration points demanded different software elements at
     /// the same fragment position — the mapping is not implementable by the
     /// intrinsic's data layout.
-    IncoherentFragment {
-        operand: String,
-        position: Vec<i64>,
-    },
+    IncoherentFragment { operand: String, position: Vec<i64> },
     /// A schedule exceeds a memory capacity of the accelerator.
     CapacityExceeded {
         level: String,

@@ -31,3 +31,14 @@ pub use functional::{execute_mapped, execute_mapped_with_stats, ExecStats};
 pub use program::{div_ceil, Axis, AxisKind, FusedGroup, MappedProgram};
 pub use schedule::{subcores_per_core, Schedule};
 pub use timing::{scalar_fallback_cycles, simulate, TimingReport};
+
+// The explorer shares programs, schedules and reports across worker threads
+// by reference; these compile-time assertions keep the types free of interior
+// mutability and other thread-hostile state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MappedProgram>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<TimingReport>();
+    assert_send_sync::<SimError>();
+};

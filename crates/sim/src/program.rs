@@ -132,10 +132,7 @@ impl MappedProgram {
                 used[it.index()] = true;
             }
         }
-        let outer: Vec<IterId> = def
-            .iter_ids()
-            .filter(|id| !used[id.index()])
-            .collect();
+        let outer: Vec<IterId> = def.iter_ids().filter(|id| !used[id.index()]).collect();
         Ok(MappedProgram {
             def,
             intrinsic,
@@ -439,7 +436,7 @@ mod tests {
         assert!(prog.operand_uses_axis(0, &axes[0])); // i1 tiles
         assert!(!prog.operand_uses_axis(0, &axes[1])); // i2 tiles
         assert!(prog.operand_uses_axis(0, &axes[2])); // r1 tiles
-        // Dst (out) uses both spatial, not reduction.
+                                                      // Dst (out) uses both spatial, not reduction.
         assert!(prog.operand_uses_axis(2, &axes[0]));
         assert!(prog.operand_uses_axis(2, &axes[1]));
         assert!(!prog.operand_uses_axis(2, &axes[2]));

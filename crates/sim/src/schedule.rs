@@ -13,7 +13,10 @@ use crate::program::{div_ceil, Axis, AxisKind, MappedProgram};
 use amos_hw::{AcceleratorSpec, OperandRef};
 
 /// A complete schedule for one mapped program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` lets the explorer key its measured-candidate cache by
+/// `(mapping index, schedule)` directly instead of formatting a string key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schedule {
     /// Per-axis split across cores (grid dimension); must be 1 on reduction
     /// axes.

@@ -157,7 +157,11 @@ pub fn simulate(
     }
 
     // ---- per-block pipeline stages ---------------------------------------
-    let issue_penalty = if schedule.unroll { 1.0 } else { NO_UNROLL_PENALTY };
+    let issue_penalty = if schedule.unroll {
+        1.0
+    } else {
+        NO_UNROLL_PENALTY
+    };
     let bw_penalty = if schedule.vectorize {
         1.0
     } else {

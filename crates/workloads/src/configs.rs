@@ -30,18 +30,18 @@ fn cfg(family: &'static str, label: impl Into<String>, def: ComputeDef) -> OpCon
 pub fn resnet18_conv_layers(batch: i64) -> Vec<(String, ConvShape)> {
     let rows: [(i64, i64, i64, i64, i64, i64, i64); 12] = [
         // c, k, p, q, r, s, stride
-        (3, 64, 112, 112, 7, 7, 2),   // C0
-        (64, 64, 56, 56, 3, 3, 1),    // C1
-        (64, 64, 56, 56, 1, 1, 1),    // C2
-        (64, 128, 28, 28, 3, 3, 2),   // C3
-        (64, 128, 28, 28, 1, 1, 2),   // C4
-        (128, 128, 28, 28, 3, 3, 1),  // C5
-        (128, 256, 14, 14, 3, 3, 2),  // C6
-        (128, 256, 14, 14, 1, 1, 2),  // C7
-        (256, 256, 14, 14, 3, 3, 1),  // C8
-        (256, 512, 7, 7, 3, 3, 2),    // C9
-        (256, 512, 7, 7, 1, 1, 2),    // C10
-        (512, 512, 7, 7, 3, 3, 1),    // C11
+        (3, 64, 112, 112, 7, 7, 2),  // C0
+        (64, 64, 56, 56, 3, 3, 1),   // C1
+        (64, 64, 56, 56, 1, 1, 1),   // C2
+        (64, 128, 28, 28, 3, 3, 2),  // C3
+        (64, 128, 28, 28, 1, 1, 2),  // C4
+        (128, 128, 28, 28, 3, 3, 1), // C5
+        (128, 256, 14, 14, 3, 3, 2), // C6
+        (128, 256, 14, 14, 1, 1, 2), // C7
+        (256, 256, 14, 14, 3, 3, 1), // C8
+        (256, 512, 7, 7, 3, 3, 2),   // C9
+        (256, 512, 7, 7, 1, 1, 2),   // C10
+        (512, 512, 7, 7, 3, 3, 1),   // C11
     ];
     rows.iter()
         .enumerate()
@@ -182,7 +182,11 @@ pub fn operator_configs() -> Vec<OpConfig> {
         (128, 256, 14),
         (32, 32, 56),
     ] {
-        out.push(cfg("DIL", format!("c{c}k{k}p{p}"), ops::dil(1, c, k, p, p, 3, 3)));
+        out.push(cfg(
+            "DIL",
+            format!("c{c}k{k}p{p}"),
+            ops::dil(1, c, k, p, p, 3, 3),
+        ));
     }
 
     // DEP (8): MobileNet-V1/V2 depthwise layers.

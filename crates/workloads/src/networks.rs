@@ -237,8 +237,27 @@ pub fn shufflenet() -> Network {
         name: "ShuffleNet",
         groups: vec![
             g("conv-nhwc", 6, conv(116, 116, 14, 1, 1, Layout::Nhwc)),
-            g("grouped-conv", 16, NetOp::Grouped { g: 8, c: 30, k: 30, p: 14, r: 1 }),
-            g("depthwise-conv", 16, NetOp::Depthwise { c: 232, p: 14, r: 3, stride: 1 }),
+            g(
+                "grouped-conv",
+                16,
+                NetOp::Grouped {
+                    g: 8,
+                    c: 30,
+                    k: 30,
+                    p: 14,
+                    r: 1,
+                },
+            ),
+            g(
+                "depthwise-conv",
+                16,
+                NetOp::Depthwise {
+                    c: 232,
+                    p: 14,
+                    r: 3,
+                    stride: 1,
+                },
+            ),
             g("conv-nchw", 8, conv(24, 58, 28, 1, 1, Layout::Nchw)),
             g("strided-conv", 3, conv(58, 116, 14, 3, 2, Layout::Nchw)),
             g("fc", 1, NetOp::MatVec { m: 1000, k: 1024 }),
@@ -296,11 +315,28 @@ pub fn mobilenet_v1() -> Network {
         groups: vec![
             g("pointwise-nhwc", 7, conv(128, 128, 28, 1, 1, Layout::Nhwc)),
             g("pointwise-nchw", 6, conv(256, 256, 14, 1, 1, Layout::Nchw)),
-            g("depthwise-conv", 13, NetOp::Depthwise { c: 256, p: 14, r: 3, stride: 1 }),
+            g(
+                "depthwise-conv",
+                13,
+                NetOp::Depthwise {
+                    c: 256,
+                    p: 14,
+                    r: 3,
+                    stride: 1,
+                },
+            ),
             g("stem-conv", 1, conv(3, 32, 112, 3, 2, Layout::Nchw)),
             g("fc", 1, NetOp::MatVec { m: 1000, k: 1024 }),
             // Too small for the template's 16-aligned tiles: AMOS-only.
-            g("classifier-gemm", 1, NetOp::Gemm { m: 8, n: 1024, k: 1024 }),
+            g(
+                "classifier-gemm",
+                1,
+                NetOp::Gemm {
+                    m: 8,
+                    n: 1024,
+                    k: 1024,
+                },
+            ),
             g("pool", 1, NetOp::Scalar("pool")),
         ],
     }
@@ -315,9 +351,26 @@ pub fn bert_base() -> Network {
         groups: vec![
             // 12 layers x (QKV fused, attn out, ffn up, ffn down) = 48 - 6
             // residual-folded = 42 canonical GEMMs.
-            g("projection-gemm", 42, NetOp::Gemm { m: 128, n: 768, k: 768 }),
+            g(
+                "projection-gemm",
+                42,
+                NetOp::Gemm {
+                    m: 128,
+                    n: 768,
+                    k: 768,
+                },
+            ),
             // 12 layers x 2 attention matmuls: scores and context.
-            g("attention-bmm", 24, NetOp::BatchMatmul { b: 12, m: 128, n: 128, k: 64 }),
+            g(
+                "attention-bmm",
+                24,
+                NetOp::BatchMatmul {
+                    b: 12,
+                    m: 128,
+                    n: 128,
+                    k: 64,
+                },
+            ),
             // 25 layer norms' row statistics (2 per layer + embedding).
             g("layernorm-stat", 18, NetOp::RowStat { i: 128, k: 768 }),
             g("softmax", 12, NetOp::Scalar("softmax")),
@@ -374,9 +427,10 @@ mod tests {
         for net in all_networks() {
             for grp in net.tensor_groups() {
                 for batch in [1, 16] {
-                    let def = grp.op.compute_def(batch).unwrap_or_else(|| {
-                        panic!("{}/{} must build", net.name, grp.name)
-                    });
+                    let def = grp
+                        .op
+                        .compute_def(batch)
+                        .unwrap_or_else(|| panic!("{}/{} must build", net.name, grp.name));
                     assert!(def.scalar_ops() > 0);
                 }
             }

@@ -178,14 +178,12 @@ pub fn t2d(n: i64, c: i64, k: i64, in_h: i64, in_w: i64, r: i64, s: i64) -> Comp
     // source pixel within range (analogously for the width).
     b.require_zero((pv.ex() - rv.ex() + Expr::int(stride * out_h)).rem(stride));
     b.require_zero(
-        (pv.ex() - rv.ex() + Expr::int(stride * out_h)).floor_div(stride * out_h)
-            - Expr::int(1),
+        (pv.ex() - rv.ex() + Expr::int(stride * out_h)).floor_div(stride * out_h) - Expr::int(1),
     );
     b.require_zero(h_idx.floor_div(in_h));
     b.require_zero((qv.ex() - sv.ex() + Expr::int(stride * out_w)).rem(stride));
     b.require_zero(
-        (qv.ex() - sv.ex() + Expr::int(stride * out_w)).floor_div(stride * out_w)
-            - Expr::int(1),
+        (qv.ex() - sv.ex() + Expr::int(stride * out_w)).floor_div(stride * out_w) - Expr::int(1),
     );
     b.require_zero(w_idx.floor_div(in_w));
     b.finish().expect("t2d is well-formed")
@@ -491,18 +489,14 @@ mod tests {
             for cc in 0..c {
                 for y in 0..in_h {
                     for x in 0..in_w {
-                        let v = img.data
-                            [((nn * c + cc) * in_h * in_w + y * in_w + x) as usize];
+                        let v = img.data[((nn * c + cc) * in_h * in_w + y * in_w + x) as usize];
                         for kk in 0..k {
                             for rr in 0..r {
                                 for ss in 0..s {
                                     let oy = y * stride + rr;
                                     let ox = x * stride + ss;
-                                    let w = wt.data[(((kk * c + cc) * r + rr) * s + ss)
-                                        as usize];
-                                    expect[((nn * k + kk) * out_h * out_w
-                                        + oy * out_w
-                                        + ox)
+                                    let w = wt.data[(((kk * c + cc) * r + rr) * s + ss) as usize];
+                                    expect[((nn * k + kk) * out_h * out_w + oy * out_w + ox)
                                         as usize] += v * w;
                                 }
                             }
@@ -547,9 +541,8 @@ mod tests {
         let w = 3usize;
         for p in 0..3usize {
             for q in 0..3usize {
-                let expect = (p * w + q) as f64
-                    + ((p + 2) * w + q) as f64
-                    + ((p + 4) * w + q) as f64;
+                let expect =
+                    (p * w + q) as f64 + ((p + 2) * w + q) as f64 + ((p + 4) * w + q) as f64;
                 assert_eq!(out.data[p * 3 + q], expect, "at ({p},{q})");
             }
         }

@@ -37,14 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             survivors: 6,
             measure_top: 4,
             seed: 7,
+            jobs: 0,
         });
         match explorer.explore(&conv, &accel) {
             Ok(result) => {
                 let acc = pairwise_accuracy(&result.evaluations);
                 let recall = top_rate_recall(&result.evaluations, 0.4);
-                println!("=== {} (intrinsic {}) ===", accel.name, accel.intrinsic.name);
+                println!(
+                    "=== {} (intrinsic {}) ===",
+                    accel.name, accel.intrinsic.name
+                );
                 println!("  mappings enumerated : {}", result.num_mappings);
-                println!("  best mapping        : {}", result.best_program.mapping_string());
+                println!(
+                    "  best mapping        : {}",
+                    result.best_program.mapping_string()
+                );
                 println!(
                     "  schedule            : {} blocks, db={} unroll={} vec={}",
                     result.best_schedule.blocks(),

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         survivors: 6,
         measure_top: 4,
         seed: 18,
+        jobs: 0,
     });
 
     println!(

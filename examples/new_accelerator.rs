@@ -125,7 +125,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ascend = catalog::ascend_npu();
     println!("\nheterogeneous accelerator `{}`:", ascend.name);
     for intr in ascend.all_intrinsics() {
-        println!("  unit {:<10} {}", intr.name, intr.compute.statement_string());
+        println!(
+            "  unit {:<10} {}",
+            intr.name,
+            intr.compute.statement_string()
+        );
     }
     for (label, def) in [
         ("GEMM 1024^3", ops::gmm(1024, 1024, 1024)),

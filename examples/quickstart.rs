@@ -39,15 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 3. mapping generation + validation (§5.1, §5.2) ------------------
     let generator = MappingGenerator::new();
     let mappings = generator.enumerate(&conv, &accel.intrinsic);
-    println!("\n{} valid mappings (paper Table 6: 35). First five:", mappings.len());
+    println!(
+        "\n{} valid mappings (paper Table 6: 35). First five:",
+        mappings.len()
+    );
     for m in mappings.iter().take(5) {
         println!("  {}", m.describe(&conv, &accel.intrinsic));
     }
 
     // ---- 4. memory mapping (Fig 3 e-h) -------------------------------------
     let prog = mappings[0].lower(&conv, &accel.intrinsic)?;
-    println!("\nvirtual memory mapping:\n{}", virtual_memory_mapping(&prog));
-    println!("physical memory mapping:\n{}", physical_memory_mapping(&prog));
+    println!(
+        "\nvirtual memory mapping:\n{}",
+        virtual_memory_mapping(&prog)
+    );
+    println!(
+        "physical memory mapping:\n{}",
+        physical_memory_mapping(&prog)
+    );
 
     // ---- 5. joint exploration (§5.3) ----------------------------------------
     let explorer = Explorer::with_config(ExplorerConfig {
@@ -56,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         survivors: 6,
         measure_top: 4,
         seed: 2022,
+        jobs: 0,
     });
     let result = explorer.explore(&conv, &accel)?;
     println!(

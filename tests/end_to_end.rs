@@ -15,6 +15,7 @@ fn small_budget(seed: u64) -> ExplorerConfig {
         survivors: 4,
         measure_top: 3,
         seed,
+        jobs: 0,
     }
 }
 
@@ -84,6 +85,7 @@ fn perf_model_ranks_candidates_well() {
         survivors: 6,
         measure_top: 4,
         seed: 11,
+        jobs: 0,
     });
     let result = explorer.explore(&def, &accel).unwrap();
     assert!(
@@ -163,6 +165,7 @@ fn explorer_discovers_split_k_on_skinny_reductions() {
         survivors: 8,
         measure_top: 6,
         seed: 404,
+        jobs: 0,
     });
     let result = explorer.explore(&def, &accel).unwrap();
     assert!(

@@ -35,11 +35,7 @@ fn table6_mapping_counts_on_tensor_core() {
         (1, 1),     // SCN
     ];
     let ops = ops::representative_ops();
-    for ((def, name), (ours, _paper)) in ops
-        .iter()
-        .zip(ops::OPERATOR_NAMES)
-        .zip(expected)
-    {
+    for ((def, name), (ours, _paper)) in ops.iter().zip(ops::OPERATOR_NAMES).zip(expected) {
         assert_eq!(
             generator.count(def, &wmma),
             ours,
@@ -126,8 +122,6 @@ fn batch_matmul_maps_with_batch_as_outer_loop() {
     let mappings = generator.enumerate(&bmm, &catalog::wmma_16x16x16());
     assert_eq!(mappings.len(), 1);
     // The batch iteration touches all three tensors and must stay outer.
-    let prog = mappings[0]
-        .lower(&bmm, &catalog::wmma_16x16x16())
-        .unwrap();
+    let prog = mappings[0].lower(&bmm, &catalog::wmma_16x16x16()).unwrap();
     assert_eq!(prog.outer().len(), 1);
 }

@@ -1,0 +1,129 @@
+//! Regression tests for the parallel exploration engine: thread count must
+//! never change the search outcome, and the structural exploration cache
+//! must answer repeated layer shapes with bit-identical results.
+
+use amos::core::{ExplorationCache, Explorer, ExplorerConfig};
+use amos::hw::catalog;
+use amos::workloads::ops::{self, ConvShape};
+
+fn budget(seed: u64, jobs: usize) -> ExplorerConfig {
+    ExplorerConfig {
+        population: 12,
+        generations: 3,
+        survivors: 4,
+        measure_top: 3,
+        seed,
+        jobs,
+    }
+}
+
+/// Same seed, different thread counts: best mapping, best schedule, measured
+/// cycles and even the raw (predicted, measured) trace must be identical.
+fn assert_jobs_invariant(def: &amos::ir::ComputeDef, seed: u64) {
+    let serial = Explorer::with_config(budget(seed, 1))
+        .explore(def, &catalog::v100())
+        .expect("serial exploration succeeds");
+    let parallel = Explorer::with_config(budget(seed, 4))
+        .explore(def, &catalog::v100())
+        .expect("parallel exploration succeeds");
+    assert_eq!(
+        serial.best_mapping, parallel.best_mapping,
+        "winning mapping differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serial.best_schedule, parallel.best_schedule,
+        "winning schedule differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serial.cycles(),
+        parallel.cycles(),
+        "measured cycles differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serial.evaluations, parallel.evaluations,
+        "ground-truth evaluation trace differs between jobs=1 and jobs=4"
+    );
+}
+
+#[test]
+fn gemm_search_is_identical_across_thread_counts() {
+    assert_jobs_invariant(&ops::gmm(256, 256, 256), 42);
+}
+
+#[test]
+fn conv_search_is_identical_across_thread_counts() {
+    let def = ops::c2d(ConvShape {
+        n: 8,
+        c: 64,
+        k: 64,
+        p: 14,
+        q: 14,
+        r: 3,
+        s: 3,
+        stride: 1,
+    });
+    assert_jobs_invariant(&def, 1234);
+}
+
+#[test]
+fn repeated_resnet_shapes_hit_the_cache_with_identical_cycles() {
+    // A ResNet-style layer list: the same residual-block shapes recur many
+    // times through the network (here 8 layers over 3 distinct shapes).
+    let block = |c, k, p, r, stride| ConvShape {
+        n: 8,
+        c,
+        k,
+        p,
+        q: p,
+        r,
+        s: r,
+        stride,
+    };
+    let layers = [
+        block(64, 64, 28, 3, 1),
+        block(64, 128, 14, 3, 2),
+        block(64, 64, 28, 3, 1),
+        block(128, 128, 14, 3, 1),
+        block(64, 64, 28, 3, 1),
+        block(128, 128, 14, 3, 1),
+        block(64, 128, 14, 3, 2),
+        block(64, 64, 28, 3, 1),
+    ];
+
+    let accel = catalog::a100();
+    let explorer = Explorer::with_config(budget(7, 0));
+
+    // Cold pass: explore every layer without a cache.
+    let cold: Vec<f64> = layers
+        .iter()
+        .map(|&sh| {
+            let def = ops::c2d(sh);
+            explorer
+                .explore(&def, &accel)
+                .expect("cold explore")
+                .cycles()
+        })
+        .collect();
+
+    // Cached pass over the same list: only the 3 distinct shapes miss.
+    let cache = ExplorationCache::new();
+    let cached: Vec<f64> = layers
+        .iter()
+        .map(|&sh| {
+            let def = ops::c2d(sh);
+            cache
+                .explore(&explorer, &def, &accel)
+                .expect("cached explore")
+                .cycles()
+        })
+        .collect();
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 3, "one miss per distinct shape");
+    assert_eq!(stats.hits, layers.len() - 3, "every repeat must hit");
+    assert!(stats.hits > 0);
+    assert_eq!(
+        cold, cached,
+        "cached per-layer cycles must equal the cold run"
+    );
+}
