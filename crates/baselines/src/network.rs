@@ -35,6 +35,10 @@ pub struct NetworkCost {
     pub mapped_ops: usize,
     /// Total operator instances.
     pub total_ops: usize,
+    /// Ground-truth simulations that failed across every exploration run for
+    /// this network (counted once per distinct layer shape, not per
+    /// instance). Deterministic and cache-stable.
+    pub sim_failures: usize,
 }
 
 impl NetworkEvaluator {
@@ -57,6 +61,7 @@ impl NetworkEvaluator {
             scalar_cycles: 0.0,
             mapped_ops: 0,
             total_ops: net.total_ops(),
+            sim_failures: 0,
         };
         for grp in &net.groups {
             match grp.op.compute_def(batch) {
@@ -68,6 +73,7 @@ impl NetworkEvaluator {
                     let sc = evaluate_cached(system, &def, accel, seed, Some(&self.explored));
                     let cycles = sc.cycles * grp.count as f64;
                     cost.total_cycles += cycles;
+                    cost.sim_failures += sc.sim_failures;
                     if sc.mapped {
                         cost.tensor_cycles += cycles;
                         cost.mapped_ops += grp.count;

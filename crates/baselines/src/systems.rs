@@ -73,6 +73,9 @@ pub struct SystemCost {
     pub cycles: f64,
     /// Whether the operator ran on the spatial (tensor) unit.
     pub mapped: bool,
+    /// Ground-truth simulations that failed during the exploration that
+    /// produced this cost (0 for library kernels and scalar fallbacks).
+    pub sim_failures: usize,
 }
 
 /// True when a hand-tuned library ships a tensor-unit kernel for this
@@ -117,6 +120,7 @@ fn scalar_cost(system: System, def: &ComputeDef, accel: &AcceleratorSpec) -> Sys
     SystemCost {
         cycles: scalar_fallback_cycles(def, accel) * scalar_factor(system),
         mapped: false,
+        sim_failures: 0,
     }
 }
 
@@ -152,6 +156,7 @@ fn explore_fixed(
     result.ok().map(|r| SystemCost {
         cycles: r.cycles(),
         mapped: true,
+        sim_failures: r.sim_failures,
     })
 }
 
@@ -165,6 +170,7 @@ fn library_kernel(def: &ComputeDef, accel: &AcceleratorSpec) -> Option<SystemCos
     simulate(&prog, &schedule, accel).ok().map(|r| SystemCost {
         cycles: r.cycles,
         mapped: true,
+        sim_failures: 0,
     })
 }
 
@@ -235,8 +241,15 @@ pub fn evaluate_cached(
                 Ok(r) if r.cycles() <= scalar.cycles => SystemCost {
                     cycles: r.cycles(),
                     mapped: true,
+                    sim_failures: r.sim_failures,
                 },
-                Ok(_) | Err(_) => scalar,
+                // The exploration still ran (and may have hit infeasible
+                // candidates) even when the scalar backend wins.
+                Ok(r) => SystemCost {
+                    sim_failures: r.sim_failures,
+                    ..scalar
+                },
+                Err(_) => scalar,
             }
         }
         System::PyTorch | System::CuDnn => library_kernel(def, accel).unwrap_or_else(|| {

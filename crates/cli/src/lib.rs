@@ -317,7 +317,18 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             writeln!(out, "accelerator: {}", accel.name).map_err(io)?;
             writeln!(out, "best       : [i1, i2, r1]-style {}", result.best_program.mapping_string())
                 .map_err(io)?;
-            let report = amos_core::MappingReport::from_result(&result, &accel);
+            let mut report = amos_core::MappingReport::from_result(&result, &accel);
+            // Run the winner through the functional simulator when the
+            // domain is small enough to finish instantly, so the report can
+            // show the compiled hot-path counters.
+            if def.domain_size() <= 1 << 22 {
+                let tensors = amos_ir::interp::make_inputs(&def, seed);
+                if let Ok((_, stats)) =
+                    amos_sim::execute_mapped_with_stats(&result.best_program, &tensors)
+                {
+                    report = report.with_exec_stats(stats);
+                }
+            }
             writeln!(out, "{report}").map_err(io)?;
             Ok(())
         }
@@ -404,6 +415,12 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 out,
                 "  explorations cached: {} hits, {} misses (distinct layer shapes)",
                 stats.hits, stats.misses
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "  infeasible candidates: {} simulation failures during AMOS exploration",
+                amos.sim_failures
             )
             .map_err(io)?;
             Ok(())

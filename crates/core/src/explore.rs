@@ -123,6 +123,10 @@ pub struct ExplorationResult {
     pub evaluations: Vec<(f64, f64)>,
     /// Size of the enumerated mapping space.
     pub num_mappings: usize,
+    /// Ground-truth simulations that failed (infeasible schedules poisoned
+    /// to `f64::INFINITY`, failed heuristic seeds and fallback attempts),
+    /// summed over refinement rounds. Deterministic for a given seed.
+    pub sim_failures: usize,
 }
 
 impl ExplorationResult {
@@ -187,6 +191,7 @@ impl Explorer {
         let mut best: Option<ExplorationResult> = None;
         let mut evaluations = Vec::new();
         let mut num_mappings = 0usize;
+        let mut sim_failures = 0usize;
         for intrinsic in accel.all_intrinsics() {
             // Re-target the hierarchy at this unit.
             let mut unit = accel.clone();
@@ -196,6 +201,7 @@ impl Explorer {
                 Ok(result) => {
                     evaluations.extend(result.evaluations.iter().copied());
                     num_mappings += result.num_mappings;
+                    sim_failures += result.sim_failures;
                     let better = best
                         .as_ref()
                         .map(|b| result.cycles() < b.cycles())
@@ -218,6 +224,7 @@ impl Explorer {
         })?;
         best.evaluations = evaluations;
         best.num_mappings = num_mappings;
+        best.sim_failures = sim_failures;
         Ok(best)
     }
 
@@ -257,6 +264,7 @@ impl Explorer {
                 .collect::<Result<_, _>>()?;
 
         let mut evaluations: Vec<(f64, f64)> = Vec::new();
+        let mut sim_failures = 0usize;
         // Measured cache: (mapping, schedule) identity -> measured cycles.
         let mut measured: HashMap<(usize, Schedule), f64> = HashMap::new();
         let mut best: Option<(usize, Schedule, TimingReport)> = None;
@@ -284,6 +292,7 @@ impl Explorer {
         });
         for (&idx, entry) in seed_idxs.iter().zip(seeded) {
             let Some((schedule, predicted, report)) = entry else {
+                sim_failures += 1;
                 continue;
             };
             evaluations.push((predicted, report.cycles));
@@ -365,6 +374,7 @@ impl Explorer {
                     }
                     Err(_) => {
                         // Infeasible on hardware; poison its predicted score.
+                        sim_failures += 1;
                         measured.insert(key, f64::INFINITY);
                     }
                 }
@@ -420,6 +430,7 @@ impl Explorer {
             });
             for (idx, entry) in attempts.into_iter().enumerate() {
                 let Some((schedule, predicted, report)) = entry else {
+                    sim_failures += 1;
                     continue;
                 };
                 evaluations.push((predicted, report.cycles));
@@ -463,6 +474,7 @@ impl Explorer {
                     refine.explore_mappings(def, accel, Some(vec![mappings[ridx].clone()]))
                 {
                     evaluations.extend(refined.evaluations.iter().copied());
+                    sim_failures += refined.sim_failures;
                     if refined.best_report.cycles < report.cycles {
                         schedule = refined.best_schedule;
                         report = refined.best_report;
@@ -479,6 +491,7 @@ impl Explorer {
             best_report: report,
             evaluations,
             num_mappings: mappings.len(),
+            sim_failures,
         })
     }
 }
@@ -544,7 +557,7 @@ pub fn random_schedule_with(
         }
         if matches!(a.kind, AxisKind::TileSpatial(_)) {
             s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
-            s.warp[i] = s.warp[i].min(s.subcore_chunk(&axes, i)).max(1);
+            s.warp[i] = s.warp[i].min(s.subcore_chunk(axes, i)).max(1);
         }
     }
     // Sub-core split on one random spatial axis.
@@ -553,7 +566,7 @@ pub fn random_schedule_with(
         .collect();
     if let Some(&i) = spatial.choose(rng) {
         let max_sub = amos_sim::subcores_per_core(accel) as i64;
-        let chunk = s.block_chunk(&axes, i);
+        let chunk = s.block_chunk(axes, i);
         s.subcore[i] = random_pow2_at_most(max_sub.min(chunk), rng);
     }
     s.double_buffer = rng.gen_bool(0.5);

@@ -30,7 +30,7 @@ impl Mapping {
         let mut y = BinMatrix::zeros(self.groups.len(), def.iters().len());
         for (t, g) in self.groups.iter().enumerate() {
             for &s in &g.iters {
-                y[(t, s.index())] = true;
+                y.set(t, s.index(), true);
             }
         }
         y

@@ -61,7 +61,7 @@ pub fn predict(
     // ---- level 0: intrinsic issue ----------------------------------------
     let mut calls_per_subcore = 1f64;
     for i in 0..axes.len() {
-        calls_per_subcore *= schedule.subcore_chunk(&axes, i) as f64;
+        calls_per_subcore *= schedule.subcore_chunk(axes, i) as f64;
     }
     let l0 = calls_per_subcore * intr.initiation_interval as f64;
 
@@ -71,7 +71,7 @@ pub fn predict(
         let mut reuse = 1i64;
         for (i, a) in axes.iter().enumerate() {
             if matches!(a.kind, AxisKind::TileSpatial(_)) && !prog.operand_uses_axis(m, a) {
-                reuse *= schedule.warp[i].min(schedule.subcore_chunk(&axes, i));
+                reuse *= schedule.warp[i].min(schedule.subcore_chunk(axes, i));
             }
         }
         register_bytes += calls_per_subcore / reuse.max(1) as f64
@@ -107,7 +107,7 @@ pub fn predict(
     let mut dst_tiles = 1f64;
     for (i, a) in axes.iter().enumerate() {
         if prog.operand_uses_axis(dst_row, a) && a.kind.is_spatial() {
-            dst_tiles *= schedule.block_chunk(&axes, i) as f64;
+            dst_tiles *= schedule.block_chunk(axes, i) as f64;
         }
     }
     let write_bytes = dst_tiles * intr.fragment_bytes(OperandRef::Dst) as f64;

@@ -6,7 +6,7 @@
 use crate::explore::ExplorationResult;
 use crate::memory_map::{physical_memory_mapping, MemoryMapping};
 use amos_hw::AcceleratorSpec;
-use amos_sim::{Schedule, TimingReport};
+use amos_sim::{ExecStats, Schedule, TimingReport};
 use std::fmt;
 
 /// A human-consumable summary of one explored mapping.
@@ -36,6 +36,15 @@ pub struct MappingReport {
     pub gflops: f64,
     /// Achieved microseconds at the accelerator clock.
     pub microseconds: f64,
+    /// Infeasible ground-truth simulations hit during the exploration.
+    pub sim_failures: usize,
+    /// Algorithm-1 validation calls performed by this process so far
+    /// (paper §5.2), snapshotted when the report was built.
+    pub validation_calls: u64,
+    /// Counters from a functional execution of the winner (lanes executed,
+    /// affine index-evaluation hit ratio); attach via
+    /// [`MappingReport::with_exec_stats`].
+    pub exec_stats: Option<ExecStats>,
 }
 
 impl MappingReport {
@@ -65,7 +74,19 @@ impl MappingReport {
             timing: result.best_report.clone(),
             gflops: result.best_report.gflops(prog, accel),
             microseconds: cycles / accel.cycles_per_second() * 1e6,
+            sim_failures: result.sim_failures,
+            validation_calls: crate::validate::validation_calls(),
+            exec_stats: None,
         }
+    }
+
+    /// Attaches functional-execution counters (from
+    /// [`amos_sim::execute_mapped_with_stats`] on the winning program) so the
+    /// report also shows lanes executed and the affine-hit ratio of the
+    /// compiled index programs.
+    pub fn with_exec_stats(mut self, stats: ExecStats) -> Self {
+        self.exec_stats = Some(stats);
+        self
     }
 }
 
@@ -86,6 +107,19 @@ impl fmt::Display for MappingReport {
             (1.0 - self.padding_efficiency) * 100.0
         )?;
         writeln!(f, "mapping space    : {} candidates", self.num_mappings)?;
+        writeln!(
+            f,
+            "exploration      : {} infeasible schedule sims, {} Algorithm-1 calls",
+            self.sim_failures, self.validation_calls
+        )?;
+        if let Some(es) = &self.exec_stats {
+            writeln!(
+                f,
+                "hot path         : {} lanes executed, {:.1}% affine index hits",
+                es.total_lanes,
+                es.affine_hit_ratio() * 100.0
+            )?;
+        }
         writeln!(
             f,
             "footprints       : {} B shared, {} B registers, {} blocks",
@@ -157,11 +191,22 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let (result, accel) = explore_gemm();
-        let text = MappingReport::from_result(&result, &accel).to_string();
+        let report = MappingReport::from_result(&result, &accel);
+        let text = report.to_string();
         assert!(text.contains("compute mapping"));
         assert!(text.contains("lane efficiency"));
         assert!(text.contains("GFLOPS"));
         assert!(text.contains("occupancy"));
         assert!(text.contains("addr(Src1/a)"));
+        assert!(text.contains("Algorithm-1 calls"));
+        assert!(!text.contains("hot path"));
+
+        // Attaching functional counters adds the hot-path line.
+        let tensors = amos_ir::interp::make_inputs(result.best_program.def(), 5);
+        let (_, stats) =
+            amos_sim::execute_mapped_with_stats(&result.best_program, &tensors).unwrap();
+        let text = report.with_exec_stats(stats).to_string();
+        assert!(text.contains("hot path"));
+        assert!(text.contains("affine index hits"));
     }
 }

@@ -18,6 +18,25 @@
 use crate::mapping::Mapping;
 use amos_hw::Intrinsic;
 use amos_ir::{BinMatrix, ComputeDef};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`algorithm1`] invocations, for the per-run
+/// validation-call counter surfaced by reports and benches.
+static VALIDATION_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`algorithm1`] calls since process start (or the last
+/// [`reset_validation_calls`]). Monotonic and thread-safe; exploration runs
+/// read it before/after a search to report how many candidates validation
+/// screened.
+pub fn validation_calls() -> u64 {
+    VALIDATION_CALLS.load(Ordering::Relaxed)
+}
+
+/// Resets the validation-call counter to zero (used by benches that measure
+/// isolated runs).
+pub fn reset_validation_calls() {
+    VALIDATION_CALLS.store(0, Ordering::Relaxed);
+}
 
 /// Raw Algorithm 1 on explicit matrices.
 ///
@@ -43,12 +62,57 @@ use amos_ir::{BinMatrix, ComputeDef};
 /// * `x` — software access matrix (operand-slot rows, mapped-iteration cols),
 /// * `y` — matching matrix (intrinsic-iteration rows, mapped-iteration cols),
 /// * `z` — intrinsic access matrix (operand-slot rows, intrinsic-iter cols).
+///
+/// The fast path never materialises `Z ★ Y` or `Yᵀ`: both checks stream over
+/// the packed `u64` rows of the bitset matrices with a single word
+/// accumulator, so a validation call performs zero heap allocations.
 pub fn algorithm1(x: &BinMatrix, y: &BinMatrix, z: &BinMatrix) -> bool {
+    VALIDATION_CALLS.fetch_add(1, Ordering::Relaxed);
     if z.cols() != y.rows() || x.cols() != y.cols() || x.rows() != z.rows() {
         return false;
     }
-    let x_prime = z.bool_mul(y);
-    let z_prime = x.bool_mul(&y.transpose());
+    // Check 1: Z ★ Y = X, word by word. (Z ★ Y)'s row i is the OR of Y's
+    // packed rows selected by Z's row i, accumulated per output word.
+    for i in 0..z.rows() {
+        for (w, &xw) in x.row_words(i).iter().enumerate() {
+            let mut acc = 0u64;
+            for (wi, &word) in z.row_words(i).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let k = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    acc |= y.row_words(k)[w];
+                }
+            }
+            if acc != xw {
+                return false;
+            }
+        }
+    }
+    // Check 2: X ★ Yᵀ = Z. Entry (i, t) is "do X's row i and Y's row t share
+    // a column?" — a word-wise AND-any over the packed rows, no transpose.
+    for i in 0..x.rows() {
+        let xi = x.row_words(i);
+        for t in 0..y.rows() {
+            let yt = y.row_words(t);
+            let overlap = xi.iter().zip(yt).any(|(&a, &b)| a & b != 0);
+            if overlap != z.get(i, t) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Reference Algorithm 1 via materialised boolean products, retained to
+/// cross-check the allocation-free fast path in tests and the ablation
+/// bench.
+pub fn algorithm1_naive(x: &BinMatrix, y: &BinMatrix, z: &BinMatrix) -> bool {
+    if z.cols() != y.rows() || x.cols() != y.cols() || x.rows() != z.rows() {
+        return false;
+    }
+    let x_prime = z.bool_mul_naive(y);
+    let z_prime = x.bool_mul_naive(&y.transpose_naive());
     x_prime == *x && z_prime == *z
 }
 
@@ -83,19 +147,19 @@ pub fn validate_mapping(def: &ComputeDef, intrinsic: &Intrinsic, mapping: &Mappi
     for (m, &input_idx) in mapping.correspondence.iter().enumerate() {
         let access = &def.inputs()[input_idx];
         for (col, &s) in mapped.iter().enumerate() {
-            x[(m, col)] = access.indices.iter().any(|e| e.uses(s));
+            x.set(m, col, access.indices.iter().any(|e| e.uses(s)));
         }
     }
     let dst_row = z.rows() - 1;
     for (col, &s) in mapped.iter().enumerate() {
-        x[(dst_row, col)] = def.output().indices.iter().any(|e| e.uses(s));
+        x.set(dst_row, col, def.output().indices.iter().any(|e| e.uses(s)));
     }
     // Synthetic unit iterations for empty axes: their column equals the
     // axis's Z column.
     for (k, &t) in empty_axes.iter().enumerate() {
         let col = mapped.len() + k;
         for row in 0..z.rows() {
-            x[(row, col)] = z[(row, t)];
+            x.set(row, col, z.get(row, t));
         }
     }
 
@@ -106,11 +170,11 @@ pub fn validate_mapping(def: &ComputeDef, intrinsic: &Intrinsic, mapping: &Mappi
             let col = mapped
                 .binary_search(&s)
                 .expect("mapped iteration is in the mapped list");
-            y[(t, col)] = true;
+            y.set(t, col, true);
         }
     }
     for (k, &t) in empty_axes.iter().enumerate() {
-        y[(t, mapped.len() + k)] = true;
+        y.set(t, mapped.len() + k, true);
     }
 
     algorithm1(&x, &y, &z)
@@ -162,6 +226,40 @@ mod tests {
         assert!(!algorithm1(&x, &y, &bad_z));
         let bad_x = BinMatrix::zeros(2, 7);
         assert!(!algorithm1(&bad_x, &y, &z));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_naive_on_figure4_suite() {
+        let (x, y, z) = paper_matrices();
+        let bad_y = BinMatrix::from_rows(&[
+            &[1, 1, 1, 1, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 1],
+        ]);
+        let swapped_y = BinMatrix::from_rows(&[
+            &[0, 0, 0, 0, 1, 1, 1],
+            &[0, 1, 0, 0, 0, 0, 0],
+            &[1, 0, 1, 1, 0, 0, 0],
+        ]);
+        let bad_z = BinMatrix::zeros(3, 2);
+        let bad_x = BinMatrix::zeros(2, 7);
+        for (xx, yy, zz) in [
+            (&x, &y, &z),
+            (&x, &bad_y, &z),
+            (&x, &swapped_y, &z),
+            (&x, &y, &bad_z),
+            (&bad_x, &y, &z),
+        ] {
+            assert_eq!(algorithm1(xx, yy, zz), algorithm1_naive(xx, yy, zz));
+        }
+    }
+
+    #[test]
+    fn validation_calls_counter_advances() {
+        let (x, y, z) = paper_matrices();
+        let before = validation_calls();
+        let _ = algorithm1(&x, &y, &z);
+        assert!(validation_calls() > before);
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl ComputeAbstraction {
         for (row, r) in refs.iter().enumerate() {
             for e in &self.operand(*r).dims {
                 for v in e.vars() {
-                    z[(row, v.index())] = true;
+                    z.set(row, v.index(), true);
                 }
             }
         }

@@ -1,0 +1,293 @@
+//! Compiled lane programs for index expressions.
+//!
+//! The functional simulator evaluates every operand index expression once per
+//! scalar lane; tree-walking [`Expr::eval`] with its per-node dispatch and
+//! boxed children is the hot path of `execute_mapped`. This module lowers an
+//! expression **once** into a [`LaneExpr`]:
+//!
+//! * an **affine table** `base + Σ stride_i · env[i]` (a sparse list of
+//!   `(var, stride)` terms) when the simplified expression is affine — the
+//!   overwhelmingly common case after `simplify` folds the physical-mapping
+//!   `mod`/`div` away, and the form that turns fragment staging into a
+//!   strided walk;
+//! * a flat postfix **bytecode** over a reusable value stack for the
+//!   non-affine residual (genuine `mod`/`div` from tiling and transposed
+//!   convolutions).
+//!
+//! Both forms evaluate with the exact semantics of [`Expr::eval`]
+//! (`div_euclid`/`rem_euclid`, same panics on out-of-range variables or zero
+//! divisors), so compiled execution is bit-identical to interpretation — the
+//! determinism guarantee the explorer relies on.
+
+use crate::expr::Expr;
+use crate::simplify::simplify;
+
+/// One postfix operation of the bytecode fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneOp {
+    /// Push `env[i]`.
+    PushVar(usize),
+    /// Push a constant.
+    PushConst(i64),
+    /// Pop two values, push their sum.
+    Add,
+    /// Pop two values, push `lhs - rhs`.
+    Sub,
+    /// Pop two values, push their product.
+    Mul,
+    /// Pop two values, push `lhs.div_euclid(rhs)`.
+    FloorDiv,
+    /// Pop two values, push `lhs.rem_euclid(rhs)`.
+    Mod,
+}
+
+/// A compiled index expression: affine table or bytecode fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneExpr {
+    /// `base + Σ terms[k].1 · env[terms[k].0]` — variables with zero
+    /// coefficient are dropped, so evaluation touches only live axes.
+    Affine {
+        /// Sparse `(variable index, stride)` pairs, in variable order.
+        terms: Vec<(usize, i64)>,
+        /// Constant offset.
+        base: i64,
+    },
+    /// Flat postfix program for non-affine residuals.
+    Bytecode {
+        /// Postfix operations, evaluated left to right.
+        ops: Vec<LaneOp>,
+        /// Deepest stack the program reaches; callers may pre-reserve it.
+        max_stack: usize,
+    },
+}
+
+impl LaneExpr {
+    /// Compiles an expression for an environment of `extents.len()`
+    /// variables, where variable `i` ranges over `0..extents[i]`. The
+    /// expression is simplified first (folding the `mod`/`div` that the
+    /// physical mapping introduces whenever the extents prove them away),
+    /// then extracted as an affine table when possible, else flattened to
+    /// bytecode.
+    pub fn compile(e: &Expr, extents: &[i64]) -> LaneExpr {
+        let s = simplify(e, extents);
+        if let Some((coeffs, base)) = s.affine_coefficients(extents.len()) {
+            let terms: Vec<(usize, i64)> = coeffs
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c != 0)
+                .collect();
+            return LaneExpr::Affine { terms, base };
+        }
+        let mut ops = Vec::new();
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        flatten(&s, &mut ops, &mut depth, &mut max_stack);
+        LaneExpr::Bytecode { ops, max_stack }
+    }
+
+    /// True when the compiled form is the affine table (the fast strided
+    /// path); used for the affine-hit-ratio counter.
+    pub fn is_affine(&self) -> bool {
+        matches!(self, LaneExpr::Affine { .. })
+    }
+
+    /// Evaluates under `env`, bit-identical to [`Expr::eval`] on the source
+    /// expression. `stack` is scratch space for the bytecode path — it is
+    /// cleared on entry and reusable across calls, so steady-state
+    /// evaluation performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `env` or on division
+    /// by zero, exactly as [`Expr::eval`] does.
+    pub fn eval(&self, env: &[i64], stack: &mut Vec<i64>) -> i64 {
+        match self {
+            LaneExpr::Affine { terms, base } => {
+                let mut acc = *base;
+                for &(i, c) in terms {
+                    acc += c * env[i];
+                }
+                acc
+            }
+            LaneExpr::Bytecode { ops, max_stack } => {
+                stack.clear();
+                stack.reserve(*max_stack);
+                for op in ops {
+                    match op {
+                        LaneOp::PushVar(i) => stack.push(env[*i]),
+                        LaneOp::PushConst(v) => stack.push(*v),
+                        LaneOp::Add => binop(stack, |a, b| a + b),
+                        LaneOp::Sub => binop(stack, |a, b| a - b),
+                        LaneOp::Mul => binop(stack, |a, b| a * b),
+                        LaneOp::FloorDiv => binop(stack, i64::div_euclid),
+                        LaneOp::Mod => binop(stack, i64::rem_euclid),
+                    }
+                }
+                stack
+                    .pop()
+                    .expect("bytecode leaves its result on the stack")
+            }
+        }
+    }
+}
+
+/// Pops the two topmost values and pushes `f(lhs, rhs)`.
+#[inline]
+fn binop(stack: &mut Vec<i64>, f: impl FnOnce(i64, i64) -> i64) {
+    let rhs = stack.pop().expect("bytecode stack underflow");
+    let lhs = stack.pop().expect("bytecode stack underflow");
+    stack.push(f(lhs, rhs));
+}
+
+/// Post-order flattening; tracks the running and maximal stack depth.
+fn flatten(e: &Expr, ops: &mut Vec<LaneOp>, depth: &mut usize, max: &mut usize) {
+    match e {
+        Expr::Var(id) => push(ops, LaneOp::PushVar(id.index()), depth, max),
+        Expr::Const(v) => push(ops, LaneOp::PushConst(*v), depth, max),
+        Expr::Add(a, b) => flatten_binop(a, b, LaneOp::Add, ops, depth, max),
+        Expr::Sub(a, b) => flatten_binop(a, b, LaneOp::Sub, ops, depth, max),
+        Expr::Mul(a, b) => flatten_binop(a, b, LaneOp::Mul, ops, depth, max),
+        Expr::FloorDiv(a, b) => flatten_binop(a, b, LaneOp::FloorDiv, ops, depth, max),
+        Expr::Mod(a, b) => flatten_binop(a, b, LaneOp::Mod, ops, depth, max),
+    }
+}
+
+fn flatten_binop(
+    a: &Expr,
+    b: &Expr,
+    op: LaneOp,
+    ops: &mut Vec<LaneOp>,
+    depth: &mut usize,
+    max: &mut usize,
+) {
+    flatten(a, ops, depth, max);
+    flatten(b, ops, depth, max);
+    ops.push(op);
+    *depth -= 1; // two operands popped, one result pushed
+}
+
+fn push(ops: &mut Vec<LaneOp>, op: LaneOp, depth: &mut usize, max: &mut usize) {
+    ops.push(op);
+    *depth += 1;
+    *max = (*max).max(*depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::IterId;
+
+    fn v(i: u32) -> Expr {
+        Expr::Var(IterId(i))
+    }
+
+    fn check_equivalence(e: &Expr, extents: &[i64]) {
+        let compiled = LaneExpr::compile(e, extents);
+        let mut stack = Vec::new();
+        let mut env = vec![0i64; extents.len()];
+        // Exhaustive odometer over the domain.
+        loop {
+            assert_eq!(
+                e.eval(&env),
+                compiled.eval(&env, &mut stack),
+                "{compiled:?} diverged at {env:?}"
+            );
+            let mut d = extents.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                env[d] += 1;
+                if env[d] < extents[d] {
+                    break;
+                }
+                env[d] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn affine_expressions_compile_to_tables() {
+        let e = v(0) * 4 + v(1) * 2 + v(2) + 7;
+        let c = LaneExpr::compile(&e, &[4, 4, 4]);
+        assert!(c.is_affine());
+        assert_eq!(
+            c,
+            LaneExpr::Affine {
+                terms: vec![(0, 4), (1, 2), (2, 1)],
+                base: 7
+            }
+        );
+        check_equivalence(&e, &[4, 4, 4]);
+    }
+
+    #[test]
+    fn provably_redundant_mod_still_compiles_affine() {
+        // x in [0, 8): (x mod 16) is the identity, so the compiled form is
+        // the affine fast path even though the source has a Mod node.
+        let e = v(0).rem(16);
+        let c = LaneExpr::compile(&e, &[8]);
+        assert!(c.is_affine());
+        check_equivalence(&e, &[8]);
+    }
+
+    #[test]
+    fn genuine_div_mod_falls_back_to_bytecode() {
+        let e = (v(0) * 3 + v(1)).rem(4) + v(1).clone().floor_div(2);
+        let c = LaneExpr::compile(&e, &[6, 5]);
+        assert!(!c.is_affine());
+        check_equivalence(&e, &[6, 5]);
+    }
+
+    #[test]
+    fn bytecode_semantics_are_euclidean() {
+        // Negative dividends: div_euclid / rem_euclid, not truncation.
+        let e = (v(0) - 7).floor_div(2) + (v(0) - 7).rem(3);
+        check_equivalence(&e, &[5]);
+    }
+
+    #[test]
+    fn zero_coefficient_terms_are_dropped() {
+        let e = v(0) - v(0) + v(1) * 2;
+        let c = LaneExpr::compile(&e, &[3, 3]);
+        assert_eq!(
+            c,
+            LaneExpr::Affine {
+                terms: vec![(1, 2)],
+                base: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stack_is_reusable_and_bounded() {
+        let e = ((v(0) + 1) * (v(1) + 2)).rem(7);
+        let c = LaneExpr::compile(&e, &[4, 4]);
+        let LaneExpr::Bytecode { ref ops, max_stack } = c else {
+            panic!("variable product must be bytecode");
+        };
+        assert!(!ops.is_empty());
+        let mut stack = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                assert_eq!(c.eval(&[x, y], &mut stack), e.eval(&[x, y]));
+                assert!(stack.capacity() >= max_stack);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_expression_compiles_to_base_only() {
+        let e = Expr::int(3) * 4 + 2;
+        let c = LaneExpr::compile(&e, &[]);
+        assert_eq!(
+            c,
+            LaneExpr::Affine {
+                terms: vec![],
+                base: 14
+            }
+        );
+        assert_eq!(c.eval(&[], &mut Vec::new()), 14);
+    }
+}

@@ -260,7 +260,7 @@ impl ComputeDef {
         for (row, acc) in accesses.iter().enumerate() {
             for e in &acc.indices {
                 for v in e.vars() {
-                    m[(row, v.index())] = true;
+                    m.set(row, v.index(), true);
                 }
             }
         }

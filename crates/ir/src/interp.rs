@@ -18,31 +18,63 @@ pub struct TensorData {
     pub data: Vec<f64>,
 }
 
+/// Validated element count of a shape: every extent non-negative and the
+/// product representable as `usize`.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on a negative extent or an overflowing
+/// product — previously these wrapped through `as usize` into absurd (or
+/// tiny) allocations.
+fn checked_len(shape: &[i64]) -> usize {
+    let mut len: usize = 1;
+    for &d in shape {
+        let d = usize::try_from(d)
+            .unwrap_or_else(|_| panic!("negative extent {d} in tensor shape {shape:?}"));
+        len = len
+            .checked_mul(d)
+            .unwrap_or_else(|| panic!("tensor shape {shape:?} overflows the address space"));
+    }
+    len
+}
+
 impl TensorData {
     /// All-zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a negative extent or its product overflows
+    /// `usize`.
     pub fn zeros(shape: &[i64]) -> Self {
-        let len: i64 = shape.iter().product();
         TensorData {
             shape: shape.to_vec(),
-            data: vec![0.0; len as usize],
+            data: vec![0.0; checked_len(shape)],
         }
     }
 
     /// Tensor filled with one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a negative extent or its product overflows
+    /// `usize`.
     pub fn filled(shape: &[i64], value: f64) -> Self {
-        let len: i64 = shape.iter().product();
         TensorData {
             shape: shape.to_vec(),
-            data: vec![value; len as usize],
+            data: vec![value; checked_len(shape)],
         }
     }
 
     /// Tensor matching a declaration, filled by `f(flat_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a negative extent or its product overflows
+    /// `usize`.
     pub fn from_fn(shape: &[i64], f: impl Fn(usize) -> f64) -> Self {
-        let len: i64 = shape.iter().product();
         TensorData {
             shape: shape.to_vec(),
-            data: (0..len as usize).map(f).collect(),
+            data: (0..checked_len(shape)).map(f).collect(),
         }
     }
 
@@ -320,6 +352,16 @@ mod tests {
         }
         let c = make_inputs(&def, 43);
         assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine_but_negative_extents_panic() {
+        assert!(TensorData::zeros(&[0, 5]).is_empty());
+        assert_eq!(TensorData::zeros(&[]).len(), 1); // rank-0 scalar
+        let bad = std::panic::catch_unwind(|| TensorData::zeros(&[3, -2]));
+        assert!(bad.is_err(), "negative extent must panic, not wrap");
+        let huge = std::panic::catch_unwind(|| TensorData::filled(&[i64::MAX, i64::MAX], 1.0));
+        assert!(huge.is_err(), "overflowing product must panic, not wrap");
     }
 
     #[test]

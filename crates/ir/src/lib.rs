@@ -8,8 +8,10 @@
 //! * [`IterVar`]/[`IterKind`] — loop axes (spatial vs reduction),
 //! * [`TensorDecl`]/[`Access`] — buffers and their accesses,
 //! * [`ComputeDef`] + [`ComputeBuilder`] — the high-level DSL of paper Fig 3a,
-//! * [`BinMatrix`] — binary matrices with the boolean ★ product of
-//!   Algorithm 1,
+//! * [`BinMatrix`] — bit-packed binary matrices with the boolean ★ product
+//!   of Algorithm 1,
+//! * [`LaneExpr`] — index expressions compiled to affine tables or bytecode
+//!   for the simulation hot path,
 //! * the reference [`interp`] executor used as semantic ground truth,
 //! * the lowered-statement [`nodes`] of paper Table 4.
 //!
@@ -48,10 +50,12 @@ mod iter;
 mod matrix;
 mod tensor;
 
+pub mod affine;
 pub mod interp;
 pub mod nodes;
 pub mod simplify;
 
+pub use affine::{LaneExpr, LaneOp};
 pub use builder::{ComputeBuilder, IterHandle, TensorHandle};
 pub use compute::{ComputeDef, OpKind};
 pub use error::IrError;

@@ -30,6 +30,12 @@ pub struct ExecStats {
     pub active_lanes: u64,
     /// Source-fragment stagings (one per operand per call).
     pub fragment_loads: u64,
+    /// Compiled software-access index evaluations (fragment staging and
+    /// scatter-back, one per access dimension).
+    pub index_evals: u64,
+    /// Of [`ExecStats::index_evals`], how many took the affine-table fast
+    /// path rather than the bytecode fallback.
+    pub affine_index_evals: u64,
 }
 
 impl ExecStats {
@@ -39,6 +45,15 @@ impl ExecStats {
             return 1.0;
         }
         self.active_lanes as f64 / self.total_lanes as f64
+    }
+
+    /// Fraction of compiled index evaluations served by the affine tables
+    /// (1.0 when no indices were evaluated — an empty run has no misses).
+    pub fn affine_hit_ratio(&self) -> f64 {
+        if self.index_evals == 0 {
+            return 1.0;
+        }
+        self.affine_index_evals as f64 / self.index_evals as f64
     }
 }
 
@@ -96,6 +111,12 @@ pub fn execute_mapped(
 
 /// Like [`execute_mapped`], additionally returning execution statistics.
 ///
+/// Runs through the compiled lane programs of [`MappedProgram::compiled`]:
+/// fragment staging, lane predicates and scatter-back evaluate affine
+/// base/stride tables (or compact bytecode for non-affine residuals) over
+/// reusable buffers instead of re-walking `Expr` trees per lane. The output
+/// is bit-identical to [`execute_mapped_reference`].
+///
 /// # Errors
 ///
 /// Same as [`execute_mapped`].
@@ -103,6 +124,196 @@ pub fn execute_mapped_with_stats(
     prog: &MappedProgram,
     tensors: &[TensorData],
 ) -> Result<(TensorData, ExecStats), SimError> {
+    check_io(prog, tensors)?;
+    let def = prog.def();
+    let intr = prog.intrinsic();
+    let op = def.op();
+    let comp = prog.compiled();
+
+    let num_srcs = intr.compute.num_srcs();
+    let num_iters = comp.problem.len();
+    let dst_len = comp.dst_shape.iter().product::<i64>() as usize;
+
+    let mut out = tensors[def.output().tensor.index()].clone();
+
+    // Extents of the sequential spaces.
+    let sp_extents: Vec<i64> = comp
+        .outer_sp
+        .iter()
+        .map(|&(_, e)| e)
+        .chain(comp.spatial_t.iter().map(|&t| prog.tiles(t)))
+        .collect();
+    let red_extents: Vec<i64> = comp
+        .outer_red
+        .iter()
+        .map(|&(_, e)| e)
+        .chain(comp.reduction_t.iter().map(|&t| prog.tiles(t)))
+        .collect();
+    let mut spatial_space: Vec<i64> = vec![1; num_iters];
+    for &t in &comp.spatial_t {
+        spatial_space[t] = comp.problem[t];
+    }
+
+    // Reusable buffers — one allocation each for the whole run. `env` holds
+    // the software environment (outer-spatial slots written per spatial
+    // step, outer-reduction per reduction step, mapped slots per lane);
+    // `scatter_env` is separate so outer-reduction slots stay zero during
+    // scatter-back, matching the reference semantics.
+    let mut env = vec![0i64; def.iters().len()];
+    let mut scatter_env = vec![0i64; def.iters().len()];
+    let mut stack: Vec<i64> = Vec::new();
+    let mut tile = vec![0i64; num_iters];
+    let mut frags: Vec<Vec<Slot>> = comp
+        .frag_shapes
+        .iter()
+        .map(|s| vec![Slot::Unset; s.iter().product::<i64>() as usize])
+        .collect();
+    let mut frag_vals: Vec<Vec<f64>> = frags.iter().map(|f| vec![0.0f64; f.len()]).collect();
+    let mut dst_frag = vec![0.0f64; dst_len];
+
+    let mut stats = ExecStats::default();
+    let mut result: Result<(), SimError> = Ok(());
+    odometer(&sp_extents, |sp| {
+        if result.is_err() {
+            return;
+        }
+        let (outer_sp_vals, sp_tiles) = sp.split_at(comp.outer_sp.len());
+        for (&(slot, _), &v) in comp.outer_sp.iter().zip(outer_sp_vals) {
+            env[slot] = v;
+            scatter_env[slot] = v;
+        }
+        dst_frag.fill(0.0);
+
+        odometer(&red_extents, |red| {
+            if result.is_err() {
+                return;
+            }
+            let (outer_red_vals, red_tiles) = red.split_at(comp.outer_red.len());
+            for (&(slot, _), &v) in comp.outer_red.iter().zip(outer_red_vals) {
+                env[slot] = v;
+            }
+            for (ti, &t) in comp.spatial_t.iter().enumerate() {
+                tile[t] = sp_tiles[ti];
+            }
+            for (ti, &t) in comp.reduction_t.iter().enumerate() {
+                tile[t] = red_tiles[ti];
+            }
+
+            // Stage the source fragments.
+            for frag in frags.iter_mut() {
+                frag.fill(Slot::Unset);
+            }
+            odometer(&comp.problem, |j| {
+                if result.is_err() {
+                    return;
+                }
+                // Predicate-inactive points stage padding: their product
+                // term must vanish, exactly like a masked scalar iteration.
+                let active =
+                    comp.build_env_into(&mut env, &tile, j) && comp.point_active(&env, &mut stack);
+                for (m, frag) in frags.iter_mut().enumerate() {
+                    let pos = comp.src_frags[m].position(j);
+                    let slot = if active {
+                        let acc = &comp.src_accesses[m];
+                        stats.index_evals += acc.dims.len() as u64;
+                        stats.affine_index_evals += acc.affine_dims;
+                        match acc.flat_offset(&env, &mut stack) {
+                            Ok(off) => Slot::Elem(off),
+                            Err(e) => {
+                                result = Err(e);
+                                return;
+                            }
+                        }
+                    } else {
+                        Slot::Pad
+                    };
+                    let cur = frag[pos];
+                    match (cur, slot) {
+                        (Slot::Unset, s) => frag[pos] = s,
+                        (Slot::Pad, s @ Slot::Elem(_)) => frag[pos] = s,
+                        (Slot::Elem(_), Slot::Pad) | (Slot::Pad, Slot::Pad) => {}
+                        (Slot::Elem(a), Slot::Elem(b)) if a == b => {}
+                        (Slot::Elem(_), Slot::Elem(_)) => {
+                            result = Err(SimError::IncoherentFragment {
+                                operand: intr.compute.srcs()[m].name.clone(),
+                                position: unflatten(pos as i64, &comp.frag_shapes[m]),
+                            });
+                        }
+                        (_, Slot::Unset) => unreachable!("slots are never written Unset"),
+                    }
+                }
+            });
+            if result.is_err() {
+                return;
+            }
+
+            // Materialise fragment values.
+            for (m, frag) in frags.iter().enumerate() {
+                let input = &tensors[comp.src_accesses[m].tensor];
+                for (v, slot) in frag_vals[m].iter_mut().zip(frag.iter()) {
+                    *v = match slot {
+                        Slot::Elem(off) => input.data[*off],
+                        _ => 0.0,
+                    };
+                }
+            }
+
+            // Execute the intrinsic over its full problem size. Padding
+            // lanes read staged zeros and contribute nothing.
+            stats.intrinsic_calls += 1;
+            stats.fragment_loads += num_srcs as u64;
+            odometer(&comp.problem, |j| {
+                stats.total_lanes += 1;
+                let active =
+                    comp.build_env_into(&mut env, &tile, j) && comp.point_active(&env, &mut stack);
+                if active {
+                    stats.active_lanes += 1;
+                }
+                let dpos = comp.dst_frag.position(j);
+                let mut srcs = [0.0f64; 4];
+                for (m, vals) in frag_vals.iter().enumerate() {
+                    srcs[m] = vals[comp.src_frags[m].position(j)];
+                }
+                // Reduction-padding lanes must contribute zero; they do,
+                // because at least one operand position is uniquely padded.
+                dst_frag[dpos] = op.accumulate(dst_frag[dpos], &srcs[..num_srcs]);
+            });
+        });
+        if result.is_err() {
+            return;
+        }
+
+        // Scatter the destination fragment, dropping spatial padding.
+        // Reduction tiles pin to zero so reduction groups decode their
+        // (always valid) zero point; outer-reduction slots stay zero in
+        // `scatter_env`.
+        for &t in &comp.reduction_t {
+            tile[t] = 0;
+        }
+        for (ti, &t) in comp.spatial_t.iter().enumerate() {
+            tile[t] = sp_tiles[ti];
+        }
+        odometer(&spatial_space, |j| {
+            if result.is_err() {
+                return;
+            }
+            if !comp.build_env_into(&mut scatter_env, &tile, j) {
+                return; // spatial padding lane
+            }
+            let dpos = comp.dst_frag.position(j);
+            stats.index_evals += comp.dst_access.dims.len() as u64;
+            stats.affine_index_evals += comp.dst_access.affine_dims;
+            match comp.dst_access.flat_offset(&scatter_env, &mut stack) {
+                Ok(off) => out.data[off] += dst_frag[dpos],
+                Err(e) => result = Err(e),
+            }
+        });
+    });
+    result.map(|()| (out, stats))
+}
+
+/// Shared up-front validation of the op kind and tensor shapes.
+fn check_io(prog: &MappedProgram, tensors: &[TensorData]) -> Result<(), SimError> {
     let def = prog.def();
     let intr = prog.intrinsic();
     let op = def.op();
@@ -128,6 +339,25 @@ pub fn execute_mapped_with_stats(
             }));
         }
     }
+    Ok(())
+}
+
+/// The original tree-walking executor: re-interprets every index `Expr` per
+/// lane through [`amos_ir::Expr::eval`]. Kept as the semantic baseline — the
+/// compiled path is asserted bit-identical against it in tests and measured
+/// against it in the `interp-vs-compiled` ablation bench.
+///
+/// # Errors
+///
+/// Same as [`execute_mapped`].
+pub fn execute_mapped_reference(
+    prog: &MappedProgram,
+    tensors: &[TensorData],
+) -> Result<TensorData, SimError> {
+    check_io(prog, tensors)?;
+    let def = prog.def();
+    let intr = prog.intrinsic();
+    let op = def.op();
 
     let num_iters = intr.compute.iters().len();
     let problem: Vec<i64> = intr.compute.problem_size();
@@ -173,7 +403,6 @@ pub fn execute_mapped_with_stats(
         .chain(reduction_t.iter().map(|&t| prog.tiles(t)))
         .collect();
 
-    let mut stats = ExecStats::default();
     let mut result: Result<(), SimError> = Ok(());
     odometer(&sp_extents, |sp| {
         if result.is_err() {
@@ -275,24 +504,7 @@ pub fn execute_mapped_with_stats(
 
             // Execute the intrinsic over its full problem size. Padding
             // lanes read staged zeros and contribute nothing.
-            stats.intrinsic_calls += 1;
-            stats.fragment_loads += num_srcs as u64;
             odometer(&problem, |j| {
-                stats.total_lanes += 1;
-                let active = build_env(
-                    prog,
-                    &tile,
-                    j,
-                    &outer_sp,
-                    outer_sp_vals,
-                    &outer_red,
-                    outer_red_vals,
-                )
-                .map(|env| def.point_active(&env))
-                .unwrap_or(false);
-                if active {
-                    stats.active_lanes += 1;
-                }
                 let dpos = frag_position(prog, OperandRef::Dst, j, &dst_shape);
                 let mut srcs = [0.0f64; 4];
                 for (m, vals) in frag_vals.iter().enumerate() {
@@ -331,7 +543,7 @@ pub fn execute_mapped_with_stats(
             }
         });
     });
-    result.map(|()| (out, stats))
+    result.map(|()| out)
 }
 
 /// Builds the software iteration environment for one intrinsic point, or
@@ -446,6 +658,15 @@ mod tests {
             reference.max_abs_diff(&mapped),
             0.0,
             "mapped execution diverged for {}",
+            prog.mapping_string()
+        );
+        // The compiled hot path must also agree bit-for-bit with the
+        // retained tree-walking executor.
+        let interpreted = execute_mapped_reference(prog, &tensors).unwrap();
+        assert_eq!(
+            interpreted.max_abs_diff(&mapped),
+            0.0,
+            "compiled execution diverged from the tree-walking reference for {}",
             prog.mapping_string()
         );
     }
@@ -621,6 +842,10 @@ mod tests {
             prog.padding_efficiency()
         );
         assert_eq!(stats.fragment_loads, 2 * stats.intrinsic_calls);
+        // Every fig3 index expression is affine, so the compiled run must
+        // never fall back to bytecode.
+        assert!(stats.index_evals > 0);
+        assert_eq!(stats.affine_hit_ratio(), 1.0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compiled;
 mod error;
 mod program;
 mod schedule;
@@ -27,14 +28,17 @@ pub mod functional;
 pub mod timing;
 
 pub use error::SimError;
-pub use functional::{execute_mapped, execute_mapped_with_stats, ExecStats};
+pub use functional::{
+    execute_mapped, execute_mapped_reference, execute_mapped_with_stats, ExecStats,
+};
 pub use program::{div_ceil, Axis, AxisKind, FusedGroup, MappedProgram};
 pub use schedule::{subcores_per_core, Schedule};
 pub use timing::{scalar_fallback_cycles, simulate, TimingReport};
 
 // The explorer shares programs, schedules and reports across worker threads
-// by reference; these compile-time assertions keep the types free of interior
-// mutability and other thread-hostile state.
+// by reference; these compile-time assertions keep the types thread-safe.
+// (MappedProgram's compiled cache is a OnceLock — interior mutability, but
+// write-once and Sync by construction.)
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<MappedProgram>();

@@ -8,9 +8,11 @@
 //! captures that structure; the functional executor and timing engine both
 //! interpret it.
 
+use crate::compiled::CompiledProgram;
 use crate::error::SimError;
 use amos_hw::Intrinsic;
-use amos_ir::{ComputeDef, IterId, IterKind};
+use amos_ir::{ComputeDef, IterId};
+use std::sync::{Arc, OnceLock};
 
 /// A fused, ordered group of software iterations mapped to one intrinsic
 /// iteration. The fused index is `s1·E2·…·Eg + s2·E3·…·Eg + … + sg`
@@ -67,7 +69,7 @@ pub struct Axis {
 }
 
 /// A tensor computation physically mapped onto an intrinsic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MappedProgram {
     def: ComputeDef,
     intrinsic: Intrinsic,
@@ -78,6 +80,22 @@ pub struct MappedProgram {
     /// `correspondence[m]` = index into `def.inputs()` feeding intrinsic
     /// source slot `m`.
     correspondence: Vec<usize>,
+    /// Lazily-built compiled form (axes, decode tables, lane programs);
+    /// a pure function of the fields above, shared by clones via `Arc`.
+    compiled: OnceLock<Arc<CompiledProgram>>,
+}
+
+/// Equality over the logical mapping only — the compiled cache is derived
+/// state and deliberately ignored (a lowered and a not-yet-lowered copy of
+/// the same program are the same program).
+impl PartialEq for MappedProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.def == other.def
+            && self.intrinsic == other.intrinsic
+            && self.groups == other.groups
+            && self.outer == other.outer
+            && self.correspondence == other.correspondence
+    }
 }
 
 impl MappedProgram {
@@ -139,7 +157,15 @@ impl MappedProgram {
             groups,
             outer,
             correspondence,
+            compiled: OnceLock::new(),
         })
+    }
+
+    /// The compiled form, lowered on first use and cached. Cheap to call in
+    /// hot loops (one atomic load after initialisation).
+    pub(crate) fn compiled(&self) -> &CompiledProgram {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledProgram::build(self)))
     }
 
     /// The software computation.
@@ -226,43 +252,12 @@ impl MappedProgram {
     /// The loop axes of the mapped program, outer-to-inner: outer spatial,
     /// spatial tile loops, outer reduction, reduction tile loops. The
     /// intrinsic call itself sits below these axes.
-    pub fn axes(&self) -> Vec<Axis> {
-        let mut axes = Vec::new();
-        for &id in &self.outer {
-            let v = self.def.iter_var(id);
-            if v.kind == IterKind::Spatial {
-                axes.push(Axis {
-                    kind: AxisKind::OuterSpatial(id),
-                    extent: v.extent,
-                });
-            }
-        }
-        for (t, it) in self.intrinsic.compute.iters().iter().enumerate() {
-            if it.kind == IterKind::Spatial {
-                axes.push(Axis {
-                    kind: AxisKind::TileSpatial(t),
-                    extent: self.tiles(t),
-                });
-            }
-        }
-        for &id in &self.outer {
-            let v = self.def.iter_var(id);
-            if v.kind == IterKind::Reduction {
-                axes.push(Axis {
-                    kind: AxisKind::OuterReduction(id),
-                    extent: v.extent,
-                });
-            }
-        }
-        for (t, it) in self.intrinsic.compute.iters().iter().enumerate() {
-            if it.kind == IterKind::Reduction {
-                axes.push(Axis {
-                    kind: AxisKind::TileReduction(t),
-                    extent: self.tiles(t),
-                });
-            }
-        }
-        axes
+    ///
+    /// Served from the compiled cache — repeated calls (the schedule
+    /// helpers, the timing model, codegen) borrow one precomputed slice
+    /// instead of rebuilding a `Vec` each time.
+    pub fn axes(&self) -> &[Axis] {
+        &self.compiled().axes
     }
 
     /// Total intrinsic calls executed (product of all axis extents).
@@ -275,19 +270,15 @@ impl MappedProgram {
     ///
     /// Tile axes matter when the operand is indexed by that intrinsic
     /// iteration; outer axes matter when the corresponding software access
-    /// uses that software iteration.
+    /// uses that software iteration. Answered from the compiled dependence
+    /// tables (the old implementation rebuilt the intrinsic access matrix on
+    /// every call).
     pub fn operand_uses_axis(&self, operand_row: usize, axis: &Axis) -> bool {
-        let z = self.intrinsic.compute.access_matrix();
-        let num_srcs = self.intrinsic.compute.num_srcs();
-        let access = if operand_row < num_srcs {
-            &self.def.inputs()[self.correspondence[operand_row]]
-        } else {
-            self.def.output()
-        };
+        let c = self.compiled();
         match axis.kind {
-            AxisKind::TileSpatial(t) | AxisKind::TileReduction(t) => z[(operand_row, t)],
+            AxisKind::TileSpatial(t) | AxisKind::TileReduction(t) => c.tile_deps[operand_row][t],
             AxisKind::OuterSpatial(id) | AxisKind::OuterReduction(id) => {
-                access.indices.iter().any(|e| e.uses(id))
+                c.outer_deps[operand_row][id.index()]
             }
         }
     }

@@ -97,8 +97,8 @@ impl Schedule {
         let subcores = subcores_per_core(accel) as i64;
         if let Some(&i) = spatial
             .iter()
-            .max_by_key(|&&i| s.block_chunk(&axes, i))
-            .filter(|&&i| s.block_chunk(&axes, i) >= subcores)
+            .max_by_key(|&&i| s.block_chunk(axes, i))
+            .filter(|&&i| s.block_chunk(axes, i) >= subcores)
         {
             s.subcore[i] = subcores;
         }
@@ -107,7 +107,7 @@ impl Schedule {
         for (i, a) in axes.iter().enumerate() {
             match a.kind {
                 AxisKind::TileSpatial(_) => {
-                    s.warp[i] = s.subcore_chunk(&axes, i).min(2);
+                    s.warp[i] = s.subcore_chunk(axes, i).min(2);
                 }
                 AxisKind::TileReduction(_) => {
                     s.stage[i] = a.extent.min(2);
@@ -268,7 +268,7 @@ impl Schedule {
             let mut tiles = 1i64;
             for (i, a) in axes.iter().enumerate() {
                 if prog.operand_uses_axis(m, a) {
-                    tiles *= self.resident_tiles(&axes, i);
+                    tiles *= self.resident_tiles(axes, i);
                 }
             }
             total += tiles as u64 * intr.fragment_bytes(OperandRef::Src(m));
@@ -290,9 +290,9 @@ impl Schedule {
         let mut passes = 1i64;
         for (i, a) in axes.iter().enumerate() {
             if prog.operand_uses_axis(operand_row, a) {
-                bytes_per_pass *= self.block_chunk(&axes, i);
+                bytes_per_pass *= self.block_chunk(axes, i);
             } else if a.kind.is_spatial() {
-                passes *= self.spatial_steps(&axes, i);
+                passes *= self.spatial_steps(axes, i);
             }
         }
         let frag = intr.fragment_bytes(OperandRef::Src(operand_row));
@@ -310,7 +310,7 @@ impl Schedule {
         let mut dst_tiles = 1i64;
         for (i, a) in axes.iter().enumerate() {
             if matches!(a.kind, AxisKind::TileSpatial(_)) && prog.operand_uses_axis(dst_row, a) {
-                dst_tiles *= self.warp[i].min(self.subcore_chunk(&axes, i));
+                dst_tiles *= self.warp[i].min(self.subcore_chunk(axes, i));
             }
         }
         let mut total = dst_tiles as u64 * intr.fragment_bytes(OperandRef::Dst);
@@ -318,7 +318,7 @@ impl Schedule {
             let mut tiles = 1i64;
             for (i, a) in axes.iter().enumerate() {
                 if matches!(a.kind, AxisKind::TileSpatial(_)) && prog.operand_uses_axis(m, a) {
-                    tiles *= self.warp[i].min(self.subcore_chunk(&axes, i));
+                    tiles *= self.warp[i].min(self.subcore_chunk(axes, i));
                 }
             }
             total += tiles as u64 * intr.fragment_bytes(OperandRef::Src(m));
@@ -453,7 +453,7 @@ mod tests {
         assert_eq!(s.blocks(), 4);
         assert_eq!(s.split_k_factor(), 4);
         let axes = prog.axes();
-        assert_eq!(s.block_chunk(&axes, 2), 64); // 256 reduction tiles / 4
+        assert_eq!(s.block_chunk(axes, 2), 64); // 256 reduction tiles / 4
     }
 
     #[test]

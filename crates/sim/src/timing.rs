@@ -114,7 +114,7 @@ pub fn simulate(
     // ---- per-block trip counts -------------------------------------------
     let mut calls_per_subcore = 1i64;
     for (i, _a) in axes.iter().enumerate() {
-        calls_per_subcore *= schedule.subcore_chunk(&axes, i);
+        calls_per_subcore *= schedule.subcore_chunk(axes, i);
     }
 
     // ---- traffic ---------------------------------------------------------
@@ -135,7 +135,7 @@ pub fn simulate(
     let mut dst_tiles_per_block = 1i64;
     for (i, a) in axes.iter().enumerate() {
         if prog.operand_uses_axis(dst_row, a) && a.kind.is_spatial() {
-            dst_tiles_per_block *= schedule.block_chunk(&axes, i);
+            dst_tiles_per_block *= schedule.block_chunk(axes, i);
         }
     }
     let per_block_write = dst_tiles_per_block as u64 * intr.fragment_bytes(OperandRef::Dst);
@@ -149,7 +149,7 @@ pub fn simulate(
         let mut reuse = 1i64;
         for (i, a) in axes.iter().enumerate() {
             if matches!(a.kind, AxisKind::TileSpatial(_)) && !prog.operand_uses_axis(m, a) {
-                reuse *= schedule.warp[i].min(schedule.subcore_chunk(&axes, i));
+                reuse *= schedule.warp[i].min(schedule.subcore_chunk(axes, i));
             }
         }
         register_traffic_bytes += (calls_per_subcore as u64 / reuse.max(1) as u64)
@@ -172,7 +172,7 @@ pub fn simulate(
     let mut stage_steps = 1i64;
     for (i, a) in axes.iter().enumerate() {
         if !a.kind.is_spatial() {
-            stage_steps *= div_ceil(schedule.block_chunk(&axes, i), schedule.stage[i]);
+            stage_steps *= div_ceil(schedule.block_chunk(axes, i), schedule.stage[i]);
         }
     }
 

@@ -4,7 +4,7 @@
 use amos::core::{validate::algorithm1, MappingGenerator};
 use amos::hw::catalog;
 use amos::ir::{interp, BinMatrix, ComputeBuilder, DType, Expr, IterId};
-use amos::sim::functional::execute_mapped;
+use amos::sim::functional::{execute_mapped, execute_mapped_reference};
 use proptest::prelude::*;
 
 // ---- expression algebra -----------------------------------------------------
@@ -123,7 +123,7 @@ fn bin_matrix(rows: usize, cols: usize) -> impl Strategy<Value = BinMatrix> {
     prop::collection::vec(prop::bool::ANY, rows * cols).prop_map(move |bits| {
         let mut m = BinMatrix::zeros(rows, cols);
         for (i, b) in bits.into_iter().enumerate() {
-            m[(i / cols, i % cols)] = b;
+            m.set(i / cols, i % cols, b);
         }
         m
     })
@@ -146,7 +146,7 @@ proptest! {
     fn bool_mul_is_monotone(a in bin_matrix(3, 3), b in bin_matrix(3, 3)) {
         // Adding ones to A can only add ones to A★B.
         let mut bigger = a.clone();
-        bigger[(0, 0)] = true;
+        bigger.set(0, 0, true);
         let base = a.bool_mul(&b);
         let grown = bigger.bool_mul(&b);
         for i in 0..3 {
@@ -161,9 +161,60 @@ proptest! {
         // X = Z and Y = I is always a valid mapping by Algorithm 1.
         let mut y = BinMatrix::zeros(3, 3);
         for i in 0..3 {
-            y[(i, i)] = true;
+            y.set(i, i, true);
         }
         prop_assert!(algorithm1(&z, &y, &z));
+    }
+}
+
+// ---- compiled hot-path equivalence ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packed_matrix_ops_match_naive_references(
+        a in bin_matrix(5, 70),
+        b in bin_matrix(70, 9),
+    ) {
+        // 70 columns span two u64 words, exercising the trailing-bit
+        // invariant of the packed layout.
+        prop_assert_eq!(a.bool_mul(&b), a.bool_mul_naive(&b));
+        prop_assert_eq!(a.transpose(), a.transpose_naive());
+        prop_assert_eq!(b.transpose(), b.transpose_naive());
+    }
+
+    #[test]
+    fn packed_algorithm1_matches_naive_verdicts(
+        x in bin_matrix(3, 70),
+        y in bin_matrix(4, 70),
+        z in bin_matrix(3, 4),
+    ) {
+        use amos::core::validate::algorithm1_naive;
+        prop_assert_eq!(
+            algorithm1(&x, &y, &z),
+            algorithm1_naive(&x, &y, &z),
+            "word-parallel and naive Algorithm 1 disagree"
+        );
+    }
+
+    #[test]
+    fn compiled_lane_programs_match_tree_walking_eval(e in quasi_affine_expr()) {
+        use amos::ir::LaneExpr;
+        let extents = [6i64, 5, 4];
+        let lane = LaneExpr::compile(&e, &extents);
+        let mut stack = Vec::new();
+        for x in 0..6 {
+            for y in 0..5 {
+                for z in 0..4 {
+                    prop_assert_eq!(
+                        lane.eval(&[x, y, z], &mut stack),
+                        e.eval(&[x, y, z]),
+                        "at ({}, {}, {})", x, y, z
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -203,6 +254,10 @@ proptest! {
         let prog = mappings[0].lower(&def, &intr).expect("lower");
         let out = execute_mapped(&prog, &tensors).expect("mapped run");
         prop_assert_eq!(reference.max_abs_diff(&out), 0.0);
+        // The compiled executor and the retained tree-walking interpreter
+        // must agree bit-for-bit on every random shape.
+        let interpreted = execute_mapped_reference(&prog, &tensors).expect("reference run");
+        prop_assert_eq!(interpreted.max_abs_diff(&out), 0.0);
     }
 
     #[test]
