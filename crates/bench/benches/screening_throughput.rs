@@ -1,0 +1,159 @@
+//! Ablation: precomputed screening contexts vs the reference analytic model.
+//!
+//! The genetic explorer screens thousands of (mapping, schedule) candidates
+//! per generation through the analytic performance model (paper §5.3), so
+//! model throughput bounds exploration throughput. This bench compares the
+//! two query paths over identical pre-generated schedule sets:
+//!
+//! * **reference** — `predict(prog, schedule, accel)`: re-derives operand
+//!   axis usage, fragment sizes and memory-level parameters from the program
+//!   and accelerator on every call;
+//! * **precomputed** — `predict_with(ctx, schedule)`: straight-line
+//!   arithmetic over the flat tables of a `ScreeningContext` built once per
+//!   (program, accelerator) pair.
+//!
+//! The two are asserted bit-identical on every schedule before timing (the
+//! rewrite must not move the search trajectory by even one ulp); the table
+//! reports candidates/second for both paths and their ratio.
+
+use amos_core::perf_model::{predict, predict_with, PerfBreakdown};
+use amos_core::{random_schedule, MappingGenerator};
+use amos_hw::catalog;
+use amos_ir::ComputeDef;
+use amos_sim::Schedule;
+use amos_workloads::ops::{self, ConvShape};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Figure-6 operator families at exploration-realistic sizes; the model's
+/// cost depends on axis count and operand structure, not extents.
+fn operator_set() -> Vec<(&'static str, ComputeDef)> {
+    vec![
+        ("gmm", ops::gmm(256, 256, 256)),
+        ("gmv", ops::gmv(1024, 1024)),
+        (
+            "c2d",
+            ops::c2d(ConvShape {
+                n: 8,
+                c: 64,
+                k: 64,
+                p: 14,
+                q: 14,
+                r: 3,
+                s: 3,
+                stride: 1,
+            }),
+        ),
+        ("dep", ops::dep(8, 64, 14, 14, 3, 3)),
+    ]
+}
+
+fn time_runs(mut f: impl FnMut(), reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn assert_bitwise_equal(name: &str, a: &PerfBreakdown, b: &PerfBreakdown) {
+    for (field, x, y) in [
+        ("cycles", a.cycles, b.cycles),
+        ("l0_compute", a.l0_compute, b.l0_compute),
+        ("r_register", a.r_register, b.r_register),
+        ("r_shared", a.r_shared, b.r_shared),
+        ("r_device", a.r_device, b.r_device),
+        ("w_device", a.w_device, b.w_device),
+        ("s_device", a.s_device, b.s_device),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}: predict and predict_with disagree on {field} ({x} vs {y})"
+        );
+    }
+}
+
+fn print_screening_throughput() {
+    amos_bench::banner("Ablation: precomputed screening context vs reference analytic model");
+    let accel = catalog::v100();
+    let generator = MappingGenerator::new();
+    println!(
+        "{:<5} {:>6} {:>16} {:>16} {:>8}",
+        "op", "axes", "reference c/s", "precomputed c/s", "ratio"
+    );
+    let mut ratios = Vec::new();
+    for (name, def) in operator_set() {
+        let mappings = generator.enumerate(&def, &accel.intrinsic);
+        let prog = mappings[0].lower(&def, &accel.intrinsic).expect("lower");
+        let ctx = prog.screening_context(&accel);
+        let mut rng = StdRng::seed_from_u64(amos_bench::stable_seed(name));
+        let schedules: Vec<Schedule> = (0..512)
+            .map(|_| random_schedule(&prog, &accel, &mut rng))
+            .collect();
+        // Correctness gate: both paths must agree bit-for-bit on every
+        // schedule before anything is timed.
+        for s in &schedules {
+            let reference = predict(&prog, s, &accel).expect("reference model");
+            let fast = predict_with(&ctx, s).expect("precomputed model");
+            assert_bitwise_equal(name, &reference, &fast);
+        }
+        let reps = 50;
+        let t_ref = time_runs(
+            || {
+                for s in &schedules {
+                    black_box(predict(&prog, s, &accel).unwrap());
+                }
+            },
+            reps,
+        );
+        let t_fast = time_runs(
+            || {
+                for s in &schedules {
+                    black_box(predict_with(&ctx, s).unwrap());
+                }
+            },
+            reps,
+        );
+        let ref_cps = schedules.len() as f64 / t_ref;
+        let fast_cps = schedules.len() as f64 / t_fast;
+        let ratio = t_ref / t_fast;
+        ratios.push(ratio);
+        println!(
+            "{:<5} {:>6} {:>16.3e} {:>16.3e} {:>7.2}x",
+            name,
+            ctx.axes.len(),
+            ref_cps,
+            fast_cps,
+            ratio
+        );
+    }
+    let geo = amos_baselines::geomean(&ratios);
+    println!("GEO   {geo:>52.2}x (target: >= 5x)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_screening_throughput();
+
+    let accel = catalog::v100();
+    let def = ops::gmm(256, 256, 256);
+    let mapping = &MappingGenerator::new().enumerate(&def, &accel.intrinsic)[0];
+    let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+    let ctx = prog.screening_context(&accel);
+    let mut rng = StdRng::seed_from_u64(0x5c12ee);
+    let schedule = random_schedule(&prog, &accel, &mut rng);
+
+    let mut group = c.benchmark_group("screening-throughput");
+    group.bench_function("predict_reference_gmm256", |b| {
+        b.iter(|| predict(black_box(&prog), black_box(&schedule), black_box(&accel)).unwrap())
+    });
+    group.bench_function("predict_precomputed_gmm256", |b| {
+        b.iter(|| predict_with(black_box(&ctx), black_box(&schedule)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

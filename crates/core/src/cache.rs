@@ -39,6 +39,11 @@ pub struct ExplorationCache {
     entries: Mutex<HashMap<String, Result<ExplorationResult, ExploreError>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    // The refinement phase's internal sub-runs are memoised under separate
+    // counters so they don't distort the caller-visible `stats()` — a hit
+    // rate over top-level lookups, as every existing consumer expects.
+    refine_hits: AtomicUsize,
+    refine_misses: AtomicUsize,
 }
 
 impl ExplorationCache {
@@ -65,6 +70,17 @@ impl ExplorationCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Refinement sub-runs answered from the cache (tracked separately from
+    /// [`ExplorationCache::stats`], which counts top-level lookups only).
+    pub fn refine_hits(&self) -> usize {
+        self.refine_hits.load(Ordering::Relaxed)
+    }
+
+    /// Refinement sub-runs that had to run the generation loop.
+    pub fn refine_misses(&self) -> usize {
+        self.refine_misses.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct (shape, accelerator, config) entries stored.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock").len()
@@ -75,7 +91,9 @@ impl ExplorationCache {
         self.len() == 0
     }
 
-    /// [`Explorer::explore`] with memoisation.
+    /// [`Explorer::explore`] with memoisation. The explorer's refinement
+    /// phase also routes its per-mapping sub-runs through this cache, so a
+    /// miss here still reuses any previously-tuned shortlisted mappings.
     pub fn explore(
         &self,
         explorer: &Explorer,
@@ -83,10 +101,11 @@ impl ExplorationCache {
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
         let key = fingerprint("explore", explorer.config(), def, accel);
-        self.run_keyed(key, || explorer.explore(def, accel))
+        self.run_keyed(key, || explorer.explore_cached(def, accel, Some(self)))
     }
 
-    /// [`Explorer::explore_multi`] with memoisation.
+    /// [`Explorer::explore_multi`] with memoisation (refinement sub-runs
+    /// shared through this cache, as in [`ExplorationCache::explore`]).
     pub fn explore_multi(
         &self,
         explorer: &Explorer,
@@ -94,7 +113,23 @@ impl ExplorationCache {
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
         let key = fingerprint("multi", explorer.config(), def, accel);
-        self.run_keyed(key, || explorer.explore_multi(def, accel))
+        self.run_keyed(key, || {
+            explorer.explore_multi_cached(def, accel, Some(self))
+        })
+    }
+
+    /// Memoises one refinement sub-run. Counted under the refinement
+    /// counters, not [`ExplorationCache::stats`].
+    pub(crate) fn refine_tagged(
+        &self,
+        tag: &str,
+        config: &ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let key = fingerprint(tag, config, def, accel);
+        self.run_counted(key, run, &self.refine_hits, &self.refine_misses)
     }
 
     /// Memoises an arbitrary exploration flavour under an extra `tag`
@@ -117,15 +152,25 @@ impl ExplorationCache {
         key: String,
         run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
     ) -> Result<ExplorationResult, ExploreError> {
+        self.run_counted(key, run, &self.hits, &self.misses)
+    }
+
+    fn run_counted(
+        &self,
+        key: String,
+        run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
+        hits: &AtomicUsize,
+        misses: &AtomicUsize,
+    ) -> Result<ExplorationResult, ExploreError> {
         if let Some(cached) = self.entries.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         // The lock is NOT held while exploring: a search can take seconds and
         // other layers (other threads) must be able to probe the cache. Two
         // threads racing on the same key both run the (deterministic) search
         // and store identical results — wasteful but correct.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        misses.fetch_add(1, Ordering::Relaxed);
         let result = run();
         self.entries
             .lock()

@@ -5,18 +5,24 @@
 //! analytic performance model, and the most promising ones are measured on
 //! the ground truth — real hardware in the paper, the timing simulator here.
 
+use crate::cache::ExplorationCache;
 use crate::generate::MappingGenerator;
 use crate::mapping::Mapping;
-use crate::parallel::parallel_map;
-use crate::perf_model::predict_cycles;
+use crate::parallel::{parallel_fill_map, parallel_map};
+use crate::perf_model::predict_with;
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
-use amos_sim::{simulate, AxisKind, MappedProgram, Schedule, SimError, TimingReport};
+use amos_sim::{
+    simulate, AxisKind, MappedProgram, Schedule, ScreeningContext, SimError, TimingReport,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Exploration failure modes.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,12 +105,129 @@ impl ExplorerConfig {
     }
 }
 
-/// One (mapping, schedule) candidate with its scores.
-#[derive(Debug, Clone)]
-struct Candidate {
-    mapping_idx: usize,
-    schedule: Schedule,
-    predicted: f64,
+/// Counters of the analytic screening pipeline for one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScreeningStats {
+    /// Analytic-model evaluations (candidates screened via the precomputed
+    /// [`ScreeningContext`] tables), summed over refinement rounds.
+    pub screened: usize,
+    /// Survivor predictions carried into the next generation's ranking
+    /// without re-screening (the cross-generation memo).
+    pub survivor_memo_hits: usize,
+    /// Top-ranked candidates whose ground-truth measurement was answered by
+    /// the measured-candidate memo (already simulated earlier, or duplicated
+    /// within one measurement batch).
+    pub measured_memo_hits: usize,
+    /// Wall-clock seconds spent in the screening phases (population fill and
+    /// breeding). The one non-deterministic field — excluded from the
+    /// bit-identity guarantees.
+    pub screen_seconds: f64,
+}
+
+impl ScreeningStats {
+    /// Screened candidates per second; `0.0` when no time was recorded.
+    pub fn throughput(&self) -> f64 {
+        if self.screen_seconds > 0.0 {
+            self.screened as f64 / self.screen_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn absorb(&mut self, other: &ScreeningStats) {
+        self.screened += other.screened;
+        self.survivor_memo_hits += other.survivor_memo_hits;
+        self.measured_memo_hits += other.measured_memo_hits;
+        self.screen_seconds += other.screen_seconds;
+    }
+}
+
+/// Flat SoA arena holding the genetic population: parallel arrays indexed by
+/// slot, `live` marking the populated prefix. Slots beyond `live` keep their
+/// `Schedule` buffers allocated so breeding fills them in place; compaction
+/// swaps rejected slots' buffers toward the tail instead of dropping them.
+struct PopulationArena {
+    mapping_idx: Vec<usize>,
+    predicted: Vec<f64>,
+    schedules: Vec<Schedule>,
+    live: usize,
+    /// Ranking scratch: sorted source order, then its inverse permutation.
+    order: Vec<usize>,
+    dest: Vec<usize>,
+}
+
+impl PopulationArena {
+    fn new() -> Self {
+        PopulationArena {
+            mapping_idx: Vec::new(),
+            predicted: Vec::new(),
+            schedules: Vec::new(),
+            live: 0,
+            order: Vec::new(),
+            dest: Vec::new(),
+        }
+    }
+
+    /// Grows the arrays to at least `n` slots; placeholder schedules are
+    /// empty and get filled by `reset_naive`/`clone_from`.
+    fn ensure_slots(&mut self, n: usize) {
+        while self.schedules.len() < n {
+            self.schedules.push(Schedule::empty());
+            self.mapping_idx.push(0);
+            self.predicted.push(f64::INFINITY);
+        }
+    }
+
+    /// Stable-sorts the live prefix by predicted cycles, physically
+    /// reordering all three arrays. The physical reorder matters: predicted
+    /// ties are common (the model ignores the toggle genes), parents are
+    /// drawn by position, and the measured reduction walks rank order — so
+    /// the arrangement must equal a stable sort of the insertion order
+    /// exactly, as in the reference `Vec<Candidate>` implementation.
+    fn sort_live_by_predicted(&mut self) {
+        let n = self.live;
+        self.order.clear();
+        self.order.extend(0..n);
+        let predicted = &self.predicted;
+        self.order
+            .sort_by(|&a, &b| predicted[a].total_cmp(&predicted[b]));
+        // Invert (dest[src] = rank), then apply by cycle-chasing swaps.
+        self.dest.clear();
+        self.dest.resize(n, 0);
+        for (rank, &src) in self.order.iter().enumerate() {
+            self.dest[src] = rank;
+        }
+        for i in 0..n {
+            while self.dest[i] != i {
+                let j = self.dest[i];
+                self.mapping_idx.swap(i, j);
+                self.predicted.swap(i, j);
+                self.schedules.swap(i, j);
+                self.dest.swap(i, j);
+            }
+        }
+    }
+
+    /// Folds breeding metadata `(mapping_idx, predicted, accepted)` for the
+    /// slots starting at `start` into the live prefix: accepted slots are
+    /// compacted forward in slot order (swapping `Schedule` buffers, so
+    /// rejected slots keep theirs for reuse) and `live` is updated.
+    fn compact_accepted(&mut self, start: usize, metas: Vec<(usize, f64, bool)>) {
+        let mut w = start;
+        for (k, (mapping_idx, predicted, accepted)) in metas.into_iter().enumerate() {
+            if !accepted {
+                continue;
+            }
+            let r = start + k;
+            if w != r {
+                self.schedules.swap(w, r);
+            }
+            self.mapping_idx[w] = mapping_idx;
+            self.predicted[w] = predicted;
+            w += 1;
+        }
+        self.live = w;
+    }
 }
 
 /// Result of one exploration run.
@@ -127,6 +250,10 @@ pub struct ExplorationResult {
     /// to `f64::INFINITY`, failed heuristic seeds and fallback attempts),
     /// summed over refinement rounds. Deterministic for a given seed.
     pub sim_failures: usize,
+    /// Screening-pipeline counters (candidates screened, memo hits, screen
+    /// time), summed over refinement rounds. All fields except
+    /// `screen_seconds` are deterministic for a given seed.
+    pub screening: ScreeningStats,
 }
 
 impl ExplorationResult {
@@ -173,7 +300,19 @@ impl Explorer {
         def: &ComputeDef,
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
-        self.explore_mappings(def, accel, None)
+        self.explore_cached(def, accel, None)
+    }
+
+    /// [`Explorer::explore`] with an optional shared [`ExplorationCache`]
+    /// that the refinement phase routes its per-mapping sub-runs through, so
+    /// repeated shapes do not re-tune their shortlisted mappings.
+    pub(crate) fn explore_cached(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        cache: Option<&ExplorationCache>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_mappings_cached(def, accel, None, cache)
     }
 
     /// Explores across *every* intrinsic of a heterogeneous accelerator
@@ -188,20 +327,33 @@ impl Explorer {
         def: &ComputeDef,
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_multi_cached(def, accel, None)
+    }
+
+    /// [`Explorer::explore_multi`] with an optional shared cache for the
+    /// per-intrinsic refinement sub-runs.
+    pub(crate) fn explore_multi_cached(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        cache: Option<&ExplorationCache>,
+    ) -> Result<ExplorationResult, ExploreError> {
         let mut best: Option<ExplorationResult> = None;
         let mut evaluations = Vec::new();
         let mut num_mappings = 0usize;
         let mut sim_failures = 0usize;
+        let mut screening = ScreeningStats::default();
         for intrinsic in accel.all_intrinsics() {
             // Re-target the hierarchy at this unit.
             let mut unit = accel.clone();
             unit.intrinsic = intrinsic.clone();
             unit.extra_intrinsics.clear();
-            match self.explore(def, &unit) {
+            match self.explore_cached(def, &unit, cache) {
                 Ok(result) => {
                     evaluations.extend(result.evaluations.iter().copied());
                     num_mappings += result.num_mappings;
                     sim_failures += result.sim_failures;
+                    screening.absorb(&result.screening);
                     let better = best
                         .as_ref()
                         .map(|b| result.cycles() < b.cycles())
@@ -225,6 +377,7 @@ impl Explorer {
         best.evaluations = evaluations;
         best.num_mappings = num_mappings;
         best.sim_failures = sim_failures;
+        best.screening = screening;
         Ok(best)
     }
 
@@ -244,6 +397,19 @@ impl Explorer {
         accel: &AcceleratorSpec,
         fixed: Option<Vec<Mapping>>,
     ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_mappings_cached(def, accel, fixed, None)
+    }
+
+    /// [`Explorer::explore_mappings`] with an optional shared cache for the
+    /// refinement sub-runs: enumerates (or takes) the mapping set, lowers it
+    /// once, and hands the programs to the generation loop.
+    pub(crate) fn explore_mappings_cached(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        fixed: Option<Vec<Mapping>>,
+        cache: Option<&ExplorationCache>,
+    ) -> Result<ExplorationResult, ExploreError> {
         let intr = &accel.intrinsic;
         let mappings = match fixed {
             Some(m) => m,
@@ -262,6 +428,34 @@ impl Explorer {
             parallel_map(jobs, mappings.len(), |i| mappings[i].lower(def, intr))
                 .into_iter()
                 .collect::<Result<_, _>>()?;
+        self.explore_programs(def, accel, &mappings, &programs, self.config.seed, cache)
+    }
+
+    /// The generation loop over already-lowered programs. Refinement
+    /// re-enters this function on single-element slices of
+    /// `mappings`/`programs`, so shortlisted mappings are never re-lowered
+    /// and no `Explorer`/`ExplorerConfig` clones are made per round.
+    fn explore_programs(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        mappings: &[Mapping],
+        programs: &[MappedProgram],
+        seed: u64,
+        cache: Option<&ExplorationCache>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let jobs = self.config.effective_jobs();
+        // One screening context per program: all per-candidate model queries
+        // and feasibility probes run over these precomputed tables, with no
+        // allocation on the hot path.
+        let ctxs: Vec<Arc<ScreeningContext>> = programs
+            .iter()
+            .map(|p| p.screening_context(accel))
+            .collect();
+        let screened = AtomicUsize::new(0);
+        let mut survivor_memo_hits = 0usize;
+        let mut measured_memo_hits = 0usize;
+        let mut screen_seconds = 0f64;
 
         let mut evaluations: Vec<(f64, f64)> = Vec::new();
         let mut sim_failures = 0usize;
@@ -283,10 +477,14 @@ impl Explorer {
             .take(seed_count)
             .collect();
         let seeded = parallel_map(jobs, seed_idxs.len(), |i| {
-            let prog = &programs[seed_idxs[i]];
+            let idx = seed_idxs[i];
+            let prog = &programs[idx];
             let schedule = Schedule::balanced(prog, accel);
             simulate(prog, &schedule, accel).ok().map(|report| {
-                let predicted = predict_cycles(prog, &schedule, accel).unwrap_or(report.cycles);
+                screened.fetch_add(1, Ordering::Relaxed);
+                let predicted = predict_with(&ctxs[idx], &schedule)
+                    .map(|b| b.cycles)
+                    .unwrap_or(report.cycles);
                 (schedule, predicted, report)
             })
         });
@@ -310,58 +508,73 @@ impl Explorer {
         // ---- initial population --------------------------------------------
         // One RNG stream per slot; a slot whose draws keep failing the model
         // concedes after a bounded number of attempts, so the population is
-        // the same set for any thread count.
-        let mut population: Vec<Candidate> = parallel_map(jobs, self.config.population, |slot| {
-            let mut rng = stream_rng(self.config.seed, 0, slot as u64);
-            for _ in 0..SLOT_ATTEMPTS {
-                let mapping_idx = rng.gen_range(0..mappings.len());
-                let prog = &programs[mapping_idx];
-                let schedule = random_schedule(prog, accel, &mut rng);
-                if let Ok(predicted) = predict_cycles(prog, &schedule, accel) {
-                    return Some(Candidate {
-                        mapping_idx,
-                        schedule,
-                        predicted,
-                    });
-                }
-            }
-            None
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        // the same set for any thread count. Slots are reusable `Schedule`
+        // buffers in a flat arena: workers sample into them in place and
+        // return only plain metadata.
+        let mut arena = PopulationArena::new();
+        arena.ensure_slots(self.config.population);
+        let screen_start = Instant::now();
+        let metas = {
+            let screened = &screened;
+            let ctxs = &ctxs[..];
+            let num_programs = programs.len();
+            parallel_fill_map(
+                jobs,
+                &mut arena.schedules[..self.config.population],
+                |slot, sched| {
+                    let mut rng = stream_rng(seed, 0, slot as u64);
+                    for _ in 0..SLOT_ATTEMPTS {
+                        let mapping_idx = rng.gen_range(0..num_programs);
+                        let ctx = &ctxs[mapping_idx];
+                        random_schedule_into(ctx, sched, &mut rng, true);
+                        screened.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(b) = predict_with(ctx, sched) {
+                            return (mapping_idx, b.cycles, true);
+                        }
+                    }
+                    (0, f64::INFINITY, false)
+                },
+            )
+        };
+        arena.compact_accepted(0, metas);
+        screen_seconds += screen_start.elapsed().as_secs_f64();
 
         for generation in 0..self.config.generations {
             // Stable sort: ties keep slot order, which is deterministic.
-            population.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
+            arena.sort_live_by_predicted();
 
             // Measure the most promising unmeasured candidates on the ground
             // truth, concurrently; the reduction walks them in rank order so
             // `best` ties resolve identically for every job count.
             let mut batch: HashSet<(usize, Schedule)> = HashSet::new();
-            let chosen: Vec<usize> = population
-                .iter()
-                .enumerate()
-                .take(self.config.measure_top)
-                .filter(|(_, c)| {
-                    let key = (c.mapping_idx, c.schedule.clone());
-                    !measured.contains_key(&key) && batch.insert(key)
+            let mut chosen: Vec<usize> = Vec::new();
+            for rank in 0..arena.live.min(self.config.measure_top) {
+                let key = (arena.mapping_idx[rank], arena.schedules[rank].clone());
+                if measured.contains_key(&key) || !batch.insert(key) {
+                    measured_memo_hits += 1;
+                    continue;
+                }
+                chosen.push(rank);
+            }
+            let reports = {
+                let arena = &arena;
+                parallel_map(jobs, chosen.len(), |i| {
+                    let rank = chosen[i];
+                    simulate(
+                        &programs[arena.mapping_idx[rank]],
+                        &arena.schedules[rank],
+                        accel,
+                    )
                 })
-                .map(|(i, _)| i)
-                .collect();
-            let reports = parallel_map(jobs, chosen.len(), |i| {
-                let cand = &population[chosen[i]];
-                simulate(&programs[cand.mapping_idx], &cand.schedule, accel)
-            });
+            };
             for (&rank, outcome) in chosen.iter().zip(reports) {
-                let cand = &population[rank];
-                let key = (cand.mapping_idx, cand.schedule.clone());
+                let key = (arena.mapping_idx[rank], arena.schedules[rank].clone());
                 match outcome {
                     Ok(report) => {
-                        evaluations.push((cand.predicted, report.cycles));
+                        evaluations.push((arena.predicted[rank], report.cycles));
                         measured.insert(key, report.cycles);
                         let e = best_per_mapping
-                            .entry(cand.mapping_idx)
+                            .entry(arena.mapping_idx[rank])
                             .or_insert(f64::INFINITY);
                         *e = e.min(report.cycles);
                         let better = best
@@ -369,7 +582,11 @@ impl Explorer {
                             .map(|(_, _, b)| report.cycles < b.cycles)
                             .unwrap_or(true);
                         if better {
-                            best = Some((cand.mapping_idx, cand.schedule.clone(), report));
+                            best = Some((
+                                arena.mapping_idx[rank],
+                                arena.schedules[rank].clone(),
+                                report,
+                            ));
                         }
                     }
                     Err(_) => {
@@ -380,41 +597,55 @@ impl Explorer {
                 }
             }
 
-            // Selection + mutation. Children are bred in parallel, each slot
-            // on its own (seed, generation, slot) stream.
-            population.truncate(self.config.survivors.max(1));
-            if population.is_empty() {
+            // Selection + mutation. Survivors keep their slots *and* their
+            // predictions (the cross-generation memo: they are never
+            // re-screened); children are bred into the tail slots in
+            // parallel, each on its own (seed, generation, slot) stream.
+            arena.live = arena.live.min(self.config.survivors.max(1));
+            if arena.live == 0 {
                 continue;
             }
-            let parents = population.clone();
-            let wanted = self.config.population.saturating_sub(parents.len());
-            let children = parallel_map(jobs, wanted, |slot| {
-                let mut rng = stream_rng(self.config.seed, generation as u64 + 1, slot as u64);
-                for _ in 0..SLOT_ATTEMPTS {
-                    let parent = &parents[rng.gen_range(0..parents.len())];
-                    let mut mapping_idx = parent.mapping_idx;
-                    // Occasionally jump to a different mapping entirely.
-                    if rng.gen_bool(0.2) {
-                        mapping_idx = rng.gen_range(0..mappings.len());
+            if generation + 1 < self.config.generations {
+                survivor_memo_hits += arena.live;
+            }
+            let survivors = arena.live;
+            let wanted = self.config.population.saturating_sub(survivors);
+            arena.ensure_slots(survivors + wanted);
+            let screen_start = Instant::now();
+            let metas = {
+                let (parents, rest) = arena.schedules.split_at_mut(survivors);
+                let parents: &[Schedule] = parents;
+                let child_slots = &mut rest[..wanted];
+                let parent_maps = &arena.mapping_idx[..survivors];
+                let screened = &screened;
+                let ctxs = &ctxs[..];
+                let num_programs = programs.len();
+                parallel_fill_map(jobs, child_slots, |slot, sched| {
+                    let mut rng = stream_rng(seed, generation as u64 + 1, slot as u64);
+                    for _ in 0..SLOT_ATTEMPTS {
+                        let p = rng.gen_range(0..parents.len());
+                        let mut mapping_idx = parent_maps[p];
+                        // Occasionally jump to a different mapping entirely.
+                        if rng.gen_bool(0.2) {
+                            mapping_idx = rng.gen_range(0..num_programs);
+                        }
+                        let ctx = &ctxs[mapping_idx];
+                        if mapping_idx == parent_maps[p] {
+                            sched.clone_from(&parents[p]);
+                        } else {
+                            random_schedule_into(ctx, sched, &mut rng, true);
+                        }
+                        mutate_schedule_ctx(ctx, sched, &mut rng);
+                        screened.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(b) = predict_with(ctx, sched) {
+                            return (mapping_idx, b.cycles, true);
+                        }
                     }
-                    let prog = &programs[mapping_idx];
-                    let mut schedule = if mapping_idx == parent.mapping_idx {
-                        parent.schedule.clone()
-                    } else {
-                        random_schedule(prog, accel, &mut rng)
-                    };
-                    mutate_schedule(&mut schedule, prog, accel, &mut rng);
-                    if let Ok(predicted) = predict_cycles(prog, &schedule, accel) {
-                        return Some(Candidate {
-                            mapping_idx,
-                            schedule,
-                            predicted,
-                        });
-                    }
-                }
-                None
-            });
-            population.extend(children.into_iter().flatten());
+                    (0, f64::INFINITY, false)
+                })
+            };
+            arena.compact_accepted(survivors, metas);
+            screen_seconds += screen_start.elapsed().as_secs_f64();
         }
 
         // Guarantee at least one measured candidate: fall back to the
@@ -423,8 +654,10 @@ impl Explorer {
             let attempts = parallel_map(jobs, programs.len(), |i| {
                 let schedule = Schedule::balanced(&programs[i], accel);
                 simulate(&programs[i], &schedule, accel).ok().map(|report| {
-                    let predicted =
-                        predict_cycles(&programs[i], &schedule, accel).unwrap_or(report.cycles);
+                    screened.fetch_add(1, Ordering::Relaxed);
+                    let predicted = predict_with(&ctxs[i], &schedule)
+                        .map(|b| b.cycles)
+                        .unwrap_or(report.cycles);
                     (schedule, predicted, report)
                 })
             });
@@ -457,24 +690,48 @@ impl Explorer {
         // deeply as a frozen-mapping baseline would tune it. This keeps
         // AMOS's search a strict superset of the fixed-mapping ablations
         // (paper §7.6).
+        let mut screening = ScreeningStats {
+            screened: screened.load(Ordering::Relaxed),
+            survivor_memo_hits,
+            measured_memo_hits,
+            screen_seconds,
+        };
+
         if mappings.len() > 1 {
             let mut shortlist: Vec<(usize, f64)> =
                 best_per_mapping.iter().map(|(&i, &c)| (i, c)).collect();
             shortlist.sort_by(|a, b| a.1.total_cmp(&b.1));
             shortlist.truncate(3);
             for (round, (ridx, _)) in shortlist.into_iter().enumerate() {
-                let refine = Explorer {
-                    config: ExplorerConfig {
-                        seed: self.config.seed.wrapping_add(round as u64) ^ 0x9e3779b97f4a7c15,
-                        ..self.config.clone()
-                    },
-                    generator: self.generator.clone(),
+                // Re-enter the generation loop on a one-mapping slice: the
+                // program (and its screening context) is reused as-is — no
+                // re-lowering and no explorer/config clones per round. When
+                // a shared cache is present the whole sub-run is memoised.
+                let refine_seed = seed.wrapping_add(round as u64) ^ 0x9e3779b97f4a7c15;
+                let run = || {
+                    self.explore_programs(
+                        def,
+                        accel,
+                        &mappings[ridx..=ridx],
+                        &programs[ridx..=ridx],
+                        refine_seed,
+                        None,
+                    )
                 };
-                if let Ok(refined) =
-                    refine.explore_mappings(def, accel, Some(vec![mappings[ridx].clone()]))
-                {
+                let refined = match cache {
+                    Some(c) => c.refine_tagged(
+                        &format!("refine:{round}:{ridx}:{refine_seed}"),
+                        &self.config,
+                        def,
+                        accel,
+                        run,
+                    ),
+                    None => run(),
+                };
+                if let Ok(refined) = refined {
                     evaluations.extend(refined.evaluations.iter().copied());
                     sim_failures += refined.sim_failures;
+                    screening.absorb(&refined.screening);
                     if refined.best_report.cycles < report.cycles {
                         schedule = refined.best_schedule;
                         report = refined.best_report;
@@ -492,6 +749,7 @@ impl Explorer {
             evaluations,
             num_mappings: mappings.len(),
             sim_failures,
+            screening,
         })
     }
 }
@@ -536,8 +794,25 @@ pub fn random_schedule_with(
     rng: &mut impl Rng,
     allow_split_k: bool,
 ) -> Schedule {
-    let axes = prog.axes();
-    let mut s = Schedule::naive(prog);
+    let ctx = prog.screening_context(accel);
+    let mut s = Schedule::empty();
+    random_schedule_into(&ctx, &mut s, rng, allow_split_k);
+    s
+}
+
+/// Samples a random legal schedule straight into `s`, reusing its buffers —
+/// the allocation-free form of [`random_schedule_with`] the explorer's slot
+/// workers use. Draw-for-draw identical to sampling from the program: the
+/// context's axis-index tables are built in ascending axis order, matching
+/// the filters the reference sampler builds on the fly.
+pub fn random_schedule_into(
+    ctx: &ScreeningContext,
+    s: &mut Schedule,
+    rng: &mut impl Rng,
+    allow_split_k: bool,
+) {
+    let axes = &ctx.axes[..];
+    s.reset_naive(axes.len());
     for (i, a) in axes.iter().enumerate() {
         match a.kind {
             AxisKind::TileSpatial(_) | AxisKind::OuterSpatial(_) => {
@@ -561,19 +836,14 @@ pub fn random_schedule_with(
         }
     }
     // Sub-core split on one random spatial axis.
-    let spatial: Vec<usize> = (0..axes.len())
-        .filter(|&i| axes[i].kind.is_spatial())
-        .collect();
-    if let Some(&i) = spatial.choose(rng) {
-        let max_sub = amos_sim::subcores_per_core(accel) as i64;
+    if let Some(&i) = ctx.spatial_axes.choose(rng) {
         let chunk = s.block_chunk(axes, i);
-        s.subcore[i] = random_pow2_at_most(max_sub.min(chunk), rng);
+        s.subcore[i] = random_pow2_at_most(ctx.subcores.min(chunk), rng);
     }
     s.double_buffer = rng.gen_bool(0.5);
     s.unroll = rng.gen_bool(0.5);
     s.vectorize = rng.gen_bool(0.5);
-    repair_schedule(&mut s, prog, accel);
-    s
+    repair_schedule_ctx(ctx, s);
 }
 
 /// Mutates one schedule gene in place, then repairs feasibility.
@@ -583,14 +853,19 @@ pub fn mutate_schedule(
     accel: &AcceleratorSpec,
     rng: &mut impl Rng,
 ) {
-    let axes = prog.axes();
+    let ctx = prog.screening_context(accel);
+    mutate_schedule_ctx(&ctx, s, rng);
+}
+
+/// [`mutate_schedule`] over precomputed axis-index tables: no per-call axis
+/// filtering and no allocation. Draw-for-draw identical to the
+/// program-based form.
+pub fn mutate_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule, rng: &mut impl Rng) {
+    let axes = &ctx.axes[..];
     let gene = rng.gen_range(0..7);
     match gene {
         6 => {
-            let red: Vec<usize> = (0..axes.len())
-                .filter(|&i| !axes[i].kind.is_spatial())
-                .collect();
-            if let Some(&i) = red.choose(rng) {
+            if let Some(&i) = ctx.nonspatial_axes.choose(rng) {
                 s.split_k[i] = if rng.gen_bool(0.5) {
                     (s.split_k[i] * 2).min(axes[i].extent)
                 } else {
@@ -600,10 +875,7 @@ pub fn mutate_schedule(
         }
         0 => {
             // Grow or shrink a grid split.
-            let spatial: Vec<usize> = (0..axes.len())
-                .filter(|&i| axes[i].kind.is_spatial())
-                .collect();
-            if let Some(&i) = spatial.choose(rng) {
+            if let Some(&i) = ctx.spatial_axes.choose(rng) {
                 s.grid[i] = if rng.gen_bool(0.5) {
                     (s.grid[i] * 2).min(axes[i].extent)
                 } else {
@@ -612,18 +884,12 @@ pub fn mutate_schedule(
             }
         }
         1 => {
-            let tile_sp: Vec<usize> = (0..axes.len())
-                .filter(|&i| matches!(axes[i].kind, AxisKind::TileSpatial(_)))
-                .collect();
-            if let Some(&i) = tile_sp.choose(rng) {
+            if let Some(&i) = ctx.tile_spatial_axes.choose(rng) {
                 s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
             }
         }
         2 => {
-            let red: Vec<usize> = (0..axes.len())
-                .filter(|&i| matches!(axes[i].kind, AxisKind::TileReduction(_)))
-                .collect();
-            if let Some(&i) = red.choose(rng) {
+            if let Some(&i) = ctx.tile_reduction_axes.choose(rng) {
                 s.stage[i] = (*[1i64, 2, 4].choose(rng).expect("nonempty")).min(axes[i].extent);
             }
         }
@@ -631,13 +897,15 @@ pub fn mutate_schedule(
         4 => s.unroll = !s.unroll,
         _ => s.vectorize = !s.vectorize,
     }
-    repair_schedule(s, prog, accel);
+    repair_schedule_ctx(ctx, s);
 }
 
-/// Shrinks footprint-heavy genes until the schedule validates.
-fn repair_schedule(s: &mut Schedule, prog: &MappedProgram, accel: &AcceleratorSpec) {
+/// Shrinks footprint-heavy genes until the schedule passes the context's
+/// allocation-free feasibility check (agrees with `Schedule::validate` —
+/// asserted by the sim crate's tests).
+fn repair_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule) {
     for _ in 0..16 {
-        if s.validate(prog, accel).is_ok() {
+        if ctx.schedule_feasible(s) {
             return;
         }
         let shrunk_split = s.split_k.iter().any(|&k| k > 1);
@@ -661,7 +929,7 @@ fn repair_schedule(s: &mut Schedule, prog: &MappedProgram, accel: &AcceleratorSp
                     s.double_buffer = false;
                 } else {
                     // Last resort: fall back to the naive schedule.
-                    *s = Schedule::naive(prog);
+                    s.reset_naive(ctx.axes.len());
                     return;
                 }
             }

@@ -71,10 +71,11 @@ pub mod validate;
 
 pub use cache::{shape_fingerprint, CacheStats, ExplorationCache};
 pub use explore::{
-    mutate_schedule, pairwise_accuracy, random_schedule, random_schedule_with, top_rate_recall,
-    ExplorationResult, ExploreError, Explorer, ExplorerConfig,
+    mutate_schedule, mutate_schedule_ctx, pairwise_accuracy, random_schedule, random_schedule_into,
+    random_schedule_with, top_rate_recall, ExplorationResult, ExploreError, Explorer,
+    ExplorerConfig, ScreeningStats,
 };
 pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
 pub use mapping::Mapping;
-pub use parallel::parallel_map;
+pub use parallel::{parallel_fill_map, parallel_map};
 pub use report::MappingReport;

@@ -54,6 +54,70 @@ where
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Like [`parallel_map`], but each index additionally gets **exclusive**
+/// mutable access to its slot of `slots` — the primitive behind the
+/// explorer's SoA population arena, where worker threads fill reusable
+/// `Schedule` buffers in place instead of allocating and returning them.
+///
+/// Determinism matches `parallel_map`: every index runs exactly once (work
+/// is claimed from an atomic counter) and the returned metadata is in index
+/// order. With `jobs <= 1` (or a trivial range) everything runs inline.
+pub fn parallel_fill_map<S, T, F>(jobs: usize, slots: &mut [S], work: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let n = slots.len();
+    if jobs <= 1 || n <= 1 {
+        return slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| work(i, s))
+            .collect();
+    }
+    // A shared view of the slot array. `UnsafeCell<S>` has the same layout
+    // as `S` (it is `repr(transparent)`), so the cast below only reinterprets
+    // the element type; the `Sync` impl is sound because the atomic counter
+    // hands each index — and therefore each slot — to exactly one worker.
+    struct SlotCell<S>(std::cell::UnsafeCell<S>);
+    unsafe impl<S: Send> Sync for SlotCell<S> {}
+    let cells: &[SlotCell<S>] =
+        unsafe { std::slice::from_raw_parts(slots.as_mut_ptr().cast::<SlotCell<S>>(), n) };
+
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `fetch_add` yields each index exactly once, so
+                    // no other thread touches slot `i`; the scope outlives
+                    // every borrow.
+                    let slot = unsafe { &mut *cells[i].0.get() };
+                    local.push((i, work(i, slot)));
+                }
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the result lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected
+        .into_inner()
+        .expect("a worker panicked while holding the result lock");
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +138,53 @@ mod tests {
     fn empty_and_singleton_ranges() {
         assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn fill_map_writes_every_slot_once() {
+        for jobs in [1, 2, 4, 8] {
+            let mut slots = vec![0u64; 100];
+            let metas = parallel_fill_map(jobs, &mut slots, |i, s| {
+                *s += (i * i) as u64;
+                i * 2
+            });
+            assert_eq!(
+                slots,
+                (0..100).map(|i| (i * i) as u64).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+            assert_eq!(metas, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fill_map_reuses_slot_buffers() {
+        let mut slots: Vec<Vec<u8>> = (0..16).map(|_| Vec::with_capacity(64)).collect();
+        let before: Vec<*const u8> = slots.iter().map(|v| v.as_ptr()).collect();
+        parallel_fill_map(4, &mut slots, |i, v| {
+            v.clear();
+            v.extend_from_slice(&[i as u8; 8]);
+        });
+        let after: Vec<*const u8> = slots.iter().map(|v| v.as_ptr()).collect();
+        assert_eq!(
+            before, after,
+            "slot buffers must be reused, not reallocated"
+        );
+        assert!(slots.iter().enumerate().all(|(i, v)| v == &[i as u8; 8]));
+    }
+
+    #[test]
+    fn fill_map_empty_and_singleton() {
+        let mut none: Vec<u32> = Vec::new();
+        assert_eq!(
+            parallel_fill_map(4, &mut none, |i, _| i),
+            Vec::<usize>::new()
+        );
+        let mut one = vec![5u32];
+        assert_eq!(
+            parallel_fill_map(4, &mut one, |i, s| *s as usize + i),
+            vec![5]
+        );
     }
 
     #[test]

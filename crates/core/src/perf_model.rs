@@ -14,8 +14,21 @@
 //! rank-accurate, exactly the role it plays in the paper's exploration loop
 //! (Figure 5 quantifies the gap).
 
+//! Two implementations evaluate the model:
+//!
+//! * [`predict`] — the reference, reading the program and accelerator
+//!   descriptions directly;
+//! * [`predict_with`] — the screening hot path, straight-line arithmetic
+//!   over a precomputed [`ScreeningContext`] with no allocation and no
+//!   `String` error construction.
+//!
+//! Both use the same guarded-reciprocal formulation (`bytes * (1/bw)`, the
+//! reciprocals precomputed in the context) and the same floating-point
+//! operation order, so their results are **bit-identical** — asserted by the
+//! unit tests below and a proptest over the Figure-6 operator set.
+
 use amos_hw::{AcceleratorSpec, OperandRef};
-use amos_sim::{AxisKind, MappedProgram, Schedule, SimError};
+use amos_sim::{div_ceil, AxisKind, MappedProgram, Schedule, ScreeningContext, SimError};
 
 /// A per-level breakdown of the prediction, for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,9 +64,7 @@ pub fn predict(
 ) -> Result<PerfBreakdown, SimError> {
     let axes = prog.axes();
     if schedule.grid.len() != axes.len() {
-        return Err(SimError::InvalidSchedule {
-            detail: "schedule does not match program axes".into(),
-        });
+        return Err(SimError::ScheduleAxisMismatch);
     }
     let intr = prog.intrinsic();
     let num_srcs = intr.compute.num_srcs();
@@ -78,11 +89,8 @@ pub fn predict(
             * intr.fragment_bytes(OperandRef::Src(m)) as f64;
     }
     let reg_bw = accel.levels[0].memory.load_bytes_per_cycle;
-    let r_register = if reg_bw > 0.0 {
-        register_bytes / reg_bw
-    } else {
-        0.0
-    };
+    let inv_reg_bw = if reg_bw > 0.0 { 1.0 / reg_bw } else { 0.0 };
+    let r_register = register_bytes * inv_reg_bw;
 
     // ---- staging-level read -----------------------------------------------
     let block_read: f64 = (0..num_srcs)
@@ -90,18 +98,19 @@ pub fn predict(
         .sum();
     let shared_level = accel.shared_level();
     let shared_bw = accel.levels[shared_level].memory.load_bytes_per_cycle;
-    let r_shared = if shared_bw > 0.0 {
-        block_read / shared_bw
+    let inv_shared_bw = if shared_bw > 0.0 {
+        1.0 / shared_bw
     } else {
         0.0
     };
+    let r_shared = block_read * inv_shared_bw;
 
     // ---- device-level read/write ------------------------------------------
     let cores = accel.total_units(shared_level) as f64;
     let blocks = schedule.blocks() as f64;
     let active = blocks.min(cores);
     let device = accel.levels.last().expect("levels");
-    let r_device = block_read / (device.memory.load_bytes_per_cycle / active);
+    let r_device = block_read * (active * (1.0 / device.memory.load_bytes_per_cycle));
 
     let dst_row = num_srcs;
     let mut dst_tiles = 1f64;
@@ -111,14 +120,104 @@ pub fn predict(
         }
     }
     let write_bytes = dst_tiles * intr.fragment_bytes(OperandRef::Dst) as f64;
-    let w_device = write_bytes / (device.memory.store_bytes_per_cycle / active);
+    let w_device = write_bytes * (active * (1.0 / device.memory.store_bytes_per_cycle));
 
     // ---- hierarchy recursion ------------------------------------------------
     // L_1 (sub-core) = max(L_0, R_0, W_0); L_2 (core) folds staging; the
     // device level multiplies by the sequential wave factor.
     let l1 = l0.max(r_register);
     let l2 = l1.max(r_shared).max(r_device).max(w_device);
-    let s_device = blocks / cores; // unquantised sequential factor
+    let s_device = blocks * (1.0 / cores); // unquantised sequential factor
+    let cycles = s_device.max(1.0) * l2;
+
+    Ok(PerfBreakdown {
+        cycles,
+        l0_compute: l0,
+        r_register,
+        r_shared,
+        r_device,
+        w_device,
+        s_device,
+    })
+}
+
+/// [`predict`] over a precomputed [`ScreeningContext`]: the screening hot
+/// path. Straight-line arithmetic over flat tables — no allocation, no hash
+/// lookups, no `String` error construction — and bit-identical to the
+/// reference (same reciprocal values, same floating-point operation order;
+/// the masked products walk set bits in ascending axis order, exactly the
+/// order of the reference loops).
+///
+/// # Errors
+///
+/// [`SimError::ScheduleAxisMismatch`] when the schedule's vectors do not
+/// match the context's axis count.
+pub fn predict_with(
+    ctx: &ScreeningContext,
+    schedule: &Schedule,
+) -> Result<PerfBreakdown, SimError> {
+    let axes = &ctx.axes[..];
+    let n = axes.len();
+    if schedule.grid.len() != n {
+        return Err(SimError::ScheduleAxisMismatch);
+    }
+    // Per-axis chunks, computed once into fixed stack buffers (the context
+    // asserts n <= 64). The reference recomputes these per use; the values
+    // are integers, so hoisting them cannot change any float result.
+    let mut blk_chunk = [0i64; 64];
+    let mut sub_chunk = [0i64; 64];
+    for i in 0..n {
+        blk_chunk[i] = schedule.block_chunk(axes, i);
+        sub_chunk[i] = div_ceil(blk_chunk[i], schedule.subcore[i]);
+    }
+
+    // ---- level 0: intrinsic issue ----------------------------------------
+    let mut calls_per_subcore = 1f64;
+    for &c in &sub_chunk[..n] {
+        calls_per_subcore *= c as f64;
+    }
+    let l0 = calls_per_subcore * ctx.initiation_interval;
+
+    // ---- register-level read ----------------------------------------------
+    let mut register_bytes = 0f64;
+    for m in 0..ctx.num_srcs {
+        let mut reuse = 1i64;
+        let mut bits = ctx.tile_spatial_mask & !ctx.operand_masks[m];
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            reuse *= schedule.warp[i].min(sub_chunk[i]);
+        }
+        register_bytes += calls_per_subcore / reuse.max(1) as f64 * ctx.src_frag_bytes[m] as f64;
+    }
+    let r_register = register_bytes * ctx.inv_register_bw;
+
+    // ---- staging-level read -----------------------------------------------
+    let mut block_read = 0f64;
+    for m in 0..ctx.num_srcs {
+        block_read += ctx.block_read_bytes(schedule, m) as f64;
+    }
+    let r_shared = block_read * ctx.inv_shared_bw;
+
+    // ---- device-level read/write ------------------------------------------
+    let blocks = schedule.blocks() as f64;
+    let active = blocks.min(ctx.cores);
+    let r_device = block_read * (active * ctx.inv_device_load_bw);
+
+    let mut dst_tiles = 1f64;
+    let mut bits = ctx.operand_masks[ctx.num_srcs] & ctx.spatial_mask;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        dst_tiles *= blk_chunk[i] as f64;
+    }
+    let write_bytes = dst_tiles * ctx.dst_frag_bytes as f64;
+    let w_device = write_bytes * (active * ctx.inv_device_store_bw);
+
+    // ---- hierarchy recursion ------------------------------------------------
+    let l1 = l0.max(r_register);
+    let l2 = l1.max(r_shared).max(r_device).max(w_device);
+    let s_device = blocks * ctx.inv_cores;
     let cycles = s_device.max(1.0) * l2;
 
     Ok(PerfBreakdown {
@@ -224,10 +323,63 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_schedule_rejected() {
+    fn mismatched_schedule_rejected_without_allocating() {
         let prog = gemm_prog(256, 256, 256);
+        let accel = catalog::v100();
         let mut s = Schedule::naive(&prog);
         s.grid.pop();
-        assert!(predict_cycles(&prog, &s, &catalog::v100()).is_err());
+        // Both paths reject with the payload-free structural variant.
+        assert!(matches!(
+            predict(&prog, &s, &accel),
+            Err(SimError::ScheduleAxisMismatch)
+        ));
+        let ctx = prog.screening_context(&accel);
+        assert!(matches!(
+            predict_with(&ctx, &s),
+            Err(SimError::ScheduleAxisMismatch)
+        ));
+    }
+
+    fn assert_bitwise_equal(a: &PerfBreakdown, b: &PerfBreakdown) {
+        for (x, y) in [
+            (a.cycles, b.cycles),
+            (a.l0_compute, b.l0_compute),
+            (a.r_register, b.r_register),
+            (a.r_shared, b.r_shared),
+            (a.r_device, b.r_device),
+            (a.w_device, b.w_device),
+            (a.s_device, b.s_device),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y} bitwise");
+        }
+    }
+
+    #[test]
+    fn predict_with_is_bit_identical_to_predict() {
+        use crate::explore::random_schedule;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let prog = gemm_prog(1024, 768, 512);
+        for accel in [catalog::v100(), catalog::a100()] {
+            let ctx = prog.screening_context(&accel);
+            let mut rng = StdRng::seed_from_u64(0xA5);
+            let naive = Schedule::naive(&prog);
+            let balanced = Schedule::balanced(&prog, &accel);
+            assert_bitwise_equal(
+                &predict(&prog, &naive, &accel).unwrap(),
+                &predict_with(&ctx, &naive).unwrap(),
+            );
+            assert_bitwise_equal(
+                &predict(&prog, &balanced, &accel).unwrap(),
+                &predict_with(&ctx, &balanced).unwrap(),
+            );
+            for _ in 0..64 {
+                let s = random_schedule(&prog, &accel, &mut rng);
+                assert_bitwise_equal(
+                    &predict(&prog, &s, &accel).unwrap(),
+                    &predict_with(&ctx, &s).unwrap(),
+                );
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! physical memory mapping, tile counts, padding efficiency, memory
 //! footprints and the measured timing.
 
-use crate::explore::ExplorationResult;
+use crate::explore::{ExplorationResult, ScreeningStats};
 use crate::memory_map::{physical_memory_mapping, MemoryMapping};
 use amos_hw::AcceleratorSpec;
 use amos_sim::{ExecStats, Schedule, TimingReport};
@@ -38,6 +38,9 @@ pub struct MappingReport {
     pub microseconds: f64,
     /// Infeasible ground-truth simulations hit during the exploration.
     pub sim_failures: usize,
+    /// Analytic-screening counters of the exploration (candidates screened,
+    /// survivor/measured memo hits, screening throughput).
+    pub screening: ScreeningStats,
     /// Algorithm-1 validation calls performed by this process so far
     /// (paper §5.2), snapshotted when the report was built.
     pub validation_calls: u64,
@@ -75,6 +78,7 @@ impl MappingReport {
             gflops: result.best_report.gflops(prog, accel),
             microseconds: cycles / accel.cycles_per_second() * 1e6,
             sim_failures: result.sim_failures,
+            screening: result.screening,
             validation_calls: crate::validate::validation_calls(),
             exec_stats: None,
         }
@@ -111,6 +115,16 @@ impl fmt::Display for MappingReport {
             f,
             "exploration      : {} infeasible schedule sims, {} Algorithm-1 calls",
             self.sim_failures, self.validation_calls
+        )?;
+        // Deliberately no candidates/sec here: CLI output is byte-identical
+        // across `--jobs`, and throughput is the one wall-clock quantity
+        // (callers wanting it use `screening.throughput()`).
+        writeln!(
+            f,
+            "screening        : {} candidates screened, {} survivor memo hits, {} measured memo hits",
+            self.screening.screened,
+            self.screening.survivor_memo_hits,
+            self.screening.measured_memo_hits
         )?;
         if let Some(es) = &self.exec_stats {
             writeln!(
@@ -199,6 +213,7 @@ mod tests {
         assert!(text.contains("occupancy"));
         assert!(text.contains("addr(Src1/a)"));
         assert!(text.contains("Algorithm-1 calls"));
+        assert!(text.contains("survivor memo hits"));
         assert!(!text.contains("hot path"));
 
         // Attaching functional counters adds the hot-path line.

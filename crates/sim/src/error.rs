@@ -21,6 +21,10 @@ pub enum SimError {
     },
     /// A schedule parameter is out of its legal range.
     InvalidSchedule { detail: String },
+    /// The schedule's per-axis vectors do not match the program's axis
+    /// count. A payload-free variant: this is the screening hot path's only
+    /// structural rejection, and it must not allocate.
+    ScheduleAxisMismatch,
     /// Underlying IR error (e.g. out-of-bounds access).
     Ir(amos_ir::IrError),
     /// The operation kind cannot be executed by the intrinsic.
@@ -44,6 +48,9 @@ impl fmt::Display for SimError {
                 "capacity exceeded at level `{level}`: need {needed_bytes} bytes, have {available_bytes}"
             ),
             SimError::InvalidSchedule { detail } => write!(f, "invalid schedule: {detail}"),
+            SimError::ScheduleAxisMismatch => {
+                write!(f, "invalid schedule: schedule does not match program axes")
+            }
             SimError::Ir(e) => write!(f, "ir error: {e}"),
             SimError::UnsupportedOp { detail } => write!(f, "unsupported operation: {detail}"),
         }
@@ -82,6 +89,10 @@ mod tests {
             available_bytes: 5,
         };
         assert!(e.to_string().contains("need 10 bytes"));
+        assert!(e.source().is_none());
+
+        let e = SimError::ScheduleAxisMismatch;
+        assert!(e.to_string().contains("does not match program axes"));
         assert!(e.source().is_none());
     }
 }

@@ -23,6 +23,7 @@ mod compiled;
 mod error;
 mod program;
 mod schedule;
+mod screening;
 
 pub mod functional;
 pub mod timing;
@@ -33,6 +34,7 @@ pub use functional::{
 };
 pub use program::{div_ceil, Axis, AxisKind, FusedGroup, MappedProgram};
 pub use schedule::{subcores_per_core, Schedule};
+pub use screening::ScreeningContext;
 pub use timing::{scalar_fallback_cycles, simulate, TimingReport};
 
 // The explorer shares programs, schedules and reports across worker threads
@@ -42,6 +44,7 @@ pub use timing::{scalar_fallback_cycles, simulate, TimingReport};
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<MappedProgram>();
+    assert_send_sync::<ScreeningContext>();
     assert_send_sync::<Schedule>();
     assert_send_sync::<TimingReport>();
     assert_send_sync::<SimError>();

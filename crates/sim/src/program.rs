@@ -10,7 +10,8 @@
 
 use crate::compiled::CompiledProgram;
 use crate::error::SimError;
-use amos_hw::Intrinsic;
+use crate::screening::ScreeningContext;
+use amos_hw::{AcceleratorSpec, Intrinsic};
 use amos_ir::{ComputeDef, IterId};
 use std::sync::{Arc, OnceLock};
 
@@ -83,6 +84,10 @@ pub struct MappedProgram {
     /// Lazily-built compiled form (axes, decode tables, lane programs);
     /// a pure function of the fields above, shared by clones via `Arc`.
     compiled: OnceLock<Arc<CompiledProgram>>,
+    /// Lazily-built screening tables for the analytic model, keyed by the
+    /// first accelerator they were built against (see
+    /// [`MappedProgram::screening_context`]).
+    screening: OnceLock<Arc<ScreeningContext>>,
 }
 
 /// Equality over the logical mapping only — the compiled cache is derived
@@ -158,6 +163,7 @@ impl MappedProgram {
             outer,
             correspondence,
             compiled: OnceLock::new(),
+            screening: OnceLock::new(),
         })
     }
 
@@ -166,6 +172,23 @@ impl MappedProgram {
     pub(crate) fn compiled(&self) -> &CompiledProgram {
         self.compiled
             .get_or_init(|| Arc::new(CompiledProgram::build(self)))
+    }
+
+    /// The screening tables for this program on `accel`, built on first use
+    /// and cached. The cache holds the context of the *first* accelerator
+    /// seen; a call with model-relevant parameters that differ from the
+    /// cached ones (checked by value, never by hash) builds a fresh,
+    /// uncached context — explorations hammer one accelerator, so the first
+    /// entry is the only one worth keeping.
+    pub fn screening_context(&self, accel: &AcceleratorSpec) -> Arc<ScreeningContext> {
+        let cached = self
+            .screening
+            .get_or_init(|| Arc::new(ScreeningContext::build(self, accel)));
+        if cached.matches(accel) {
+            Arc::clone(cached)
+        } else {
+            Arc::new(ScreeningContext::build(self, accel))
+        }
     }
 
     /// The software computation.

@@ -16,7 +16,7 @@ use amos_hw::{AcceleratorSpec, OperandRef};
 ///
 /// `Hash` lets the explorer key its measured-candidate cache by
 /// `(mapping index, schedule)` directly instead of formatting a string key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Schedule {
     /// Per-axis split across cores (grid dimension); must be 1 on reduction
     /// axes.
@@ -47,6 +47,35 @@ pub struct Schedule {
     pub vectorize: bool,
 }
 
+/// Hand-written so `clone_from` reuses the five per-axis buffers — the
+/// explorer's breeding loop copies parent schedules into arena slots every
+/// generation, and the derived impl would reallocate all five `Vec`s.
+impl Clone for Schedule {
+    fn clone(&self) -> Self {
+        Schedule {
+            grid: self.grid.clone(),
+            split_k: self.split_k.clone(),
+            subcore: self.subcore.clone(),
+            stage: self.stage.clone(),
+            warp: self.warp.clone(),
+            double_buffer: self.double_buffer,
+            unroll: self.unroll,
+            vectorize: self.vectorize,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.grid.clone_from(&src.grid);
+        self.split_k.clone_from(&src.split_k);
+        self.subcore.clone_from(&src.subcore);
+        self.stage.clone_from(&src.stage);
+        self.warp.clone_from(&src.warp);
+        self.double_buffer = src.double_buffer;
+        self.unroll = src.unroll;
+        self.vectorize = src.vectorize;
+    }
+}
+
 impl Schedule {
     /// The identity schedule: fully sequential on one core, minimal staging.
     pub fn naive(prog: &MappedProgram) -> Self {
@@ -61,6 +90,40 @@ impl Schedule {
             unroll: false,
             vectorize: false,
         }
+    }
+
+    /// An empty schedule with no per-axis entries; an arena placeholder to
+    /// be filled via [`Schedule::reset_naive`] or `clone_from`.
+    pub fn empty() -> Self {
+        Schedule {
+            grid: Vec::new(),
+            split_k: Vec::new(),
+            subcore: Vec::new(),
+            stage: Vec::new(),
+            warp: Vec::new(),
+            double_buffer: false,
+            unroll: false,
+            vectorize: false,
+        }
+    }
+
+    /// Resets to the identity schedule for an `n`-axis program in place,
+    /// reusing the existing buffers ([`Schedule::naive`] without the
+    /// allocations).
+    pub fn reset_naive(&mut self, n: usize) {
+        for v in [
+            &mut self.grid,
+            &mut self.split_k,
+            &mut self.subcore,
+            &mut self.stage,
+            &mut self.warp,
+        ] {
+            v.clear();
+            v.resize(n, 1);
+        }
+        self.double_buffer = false;
+        self.unroll = false;
+        self.vectorize = false;
     }
 
     /// A reasonable default: greedily bind the largest spatial axes across
@@ -471,5 +534,27 @@ mod tests {
     fn subcores_per_core_counts_hierarchy() {
         assert_eq!(subcores_per_core(&catalog::v100()), 4);
         assert_eq!(subcores_per_core(&catalog::mali_g76()), 3);
+    }
+
+    #[test]
+    fn reset_naive_matches_naive() {
+        let prog = gemm_prog(256, 256, 256);
+        let accel = catalog::v100();
+        let mut s = Schedule::balanced(&prog, &accel);
+        s.reset_naive(prog.axes().len());
+        assert_eq!(s, Schedule::naive(&prog));
+        let mut e = Schedule::empty();
+        e.reset_naive(prog.axes().len());
+        assert_eq!(e, Schedule::naive(&prog));
+    }
+
+    #[test]
+    fn clone_from_copies_every_field() {
+        let prog = gemm_prog(256, 256, 256);
+        let accel = catalog::v100();
+        let src = Schedule::balanced(&prog, &accel);
+        let mut dst = Schedule::empty();
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 }

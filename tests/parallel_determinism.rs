@@ -43,6 +43,26 @@ fn assert_jobs_invariant(def: &amos::ir::ComputeDef, seed: u64) {
         serial.evaluations, parallel.evaluations,
         "ground-truth evaluation trace differs between jobs=1 and jobs=4"
     );
+    assert_eq!(serial.num_mappings, parallel.num_mappings);
+    assert_eq!(
+        serial.sim_failures, parallel.sim_failures,
+        "infeasible-simulation count differs between jobs=1 and jobs=4"
+    );
+    // The screening counters are part of the determinism contract too —
+    // every field except the wall-clock `screen_seconds`.
+    assert_eq!(
+        serial.screening.screened, parallel.screening.screened,
+        "screened-candidate count differs between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serial.screening.survivor_memo_hits, parallel.screening.survivor_memo_hits,
+        "survivor memo hits differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        serial.screening.measured_memo_hits, parallel.screening.measured_memo_hits,
+        "measured memo hits differ between jobs=1 and jobs=4"
+    );
+    assert!(serial.screening.screened > 0, "screening must have run");
 }
 
 #[test]
@@ -122,6 +142,12 @@ fn repeated_resnet_shapes_hit_the_cache_with_identical_cycles() {
     assert_eq!(stats.misses, 3, "one miss per distinct shape");
     assert_eq!(stats.hits, layers.len() - 3, "every repeat must hit");
     assert!(stats.hits > 0);
+    // Refinement sub-runs are memoised too, under separate counters that
+    // must not leak into the top-level stats above.
+    assert!(
+        cache.refine_misses() > 0,
+        "each cold shape's refinement rounds must register as refine misses"
+    );
     assert_eq!(
         cold, cached,
         "cached per-layer cycles must equal the cold run"

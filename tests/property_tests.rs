@@ -343,6 +343,50 @@ proptest! {
 
 
     #[test]
+    fn precomputed_screening_is_bit_identical_to_reference_model(
+        op in 0usize..4,
+        accel_pick in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        use amos::core::perf_model::{predict, predict_with};
+        use rand::SeedableRng;
+        // The Figure-6 operator spread: square GEMM, matrix-vector, conv2d
+        // and depthwise conv cover every axis-kind combination the model
+        // distinguishes.
+        let def = match op {
+            0 => amos::workloads::ops::gmm(128, 64, 64),
+            1 => amos::workloads::ops::gmv(128, 128),
+            2 => amos::workloads::ops::c2d(amos::workloads::ops::ConvShape {
+                n: 2, c: 32, k: 32, p: 7, q: 7, r: 3, s: 3, stride: 1,
+            }),
+            _ => amos::workloads::ops::dep(2, 32, 7, 7, 3, 3),
+        };
+        let accel = if accel_pick == 0 { catalog::v100() } else { catalog::a100() };
+        let mappings = MappingGenerator::new().enumerate(&def, &accel.intrinsic);
+        prop_assume!(!mappings.is_empty());
+        let prog = mappings[seed as usize % mappings.len()]
+            .lower(&def, &accel.intrinsic)
+            .expect("lower");
+        let ctx = prog.screening_context(&accel);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = amos::core::random_schedule(&prog, &accel, &mut rng);
+        for _ in 0..8 {
+            amos::core::mutate_schedule(&mut s, &prog, &accel, &mut rng);
+            let reference = predict(&prog, &s, &accel).expect("reference model");
+            let fast = predict_with(&ctx, &s).expect("precomputed model");
+            // Exact f64 identity, not approximate: the screening rewrite
+            // must not move the search trajectory by even one ulp.
+            prop_assert_eq!(reference.cycles.to_bits(), fast.cycles.to_bits());
+            prop_assert_eq!(reference.l0_compute.to_bits(), fast.l0_compute.to_bits());
+            prop_assert_eq!(reference.r_register.to_bits(), fast.r_register.to_bits());
+            prop_assert_eq!(reference.r_shared.to_bits(), fast.r_shared.to_bits());
+            prop_assert_eq!(reference.r_device.to_bits(), fast.r_device.to_bits());
+            prop_assert_eq!(reference.w_device.to_bits(), fast.w_device.to_bits());
+            prop_assert_eq!(reference.s_device.to_bits(), fast.s_device.to_bits());
+        }
+    }
+
+    #[test]
     fn schedules_survive_arbitrary_mutation_chains(seed in 0u64..10_000) {
         use rand::SeedableRng;
         let def = gemm_def(512, 512, 256);
