@@ -5,21 +5,22 @@
 //! glue operators (ReLU, pooling, softmax, ...) cost the same flat amount
 //! for every system.
 
-use crate::systems::{evaluate_cached, System, SCALAR_OP_CYCLES};
-use amos_core::{shape_fingerprint, CacheStats, ExplorationCache};
+use crate::systems::{evaluate_with, System, SCALAR_OP_CYCLES};
+use amos_core::{shape_fingerprint, CacheStats, Engine};
 use amos_hw::AcceleratorSpec;
 use amos_workloads::networks::Network;
 
-/// Network evaluator sharing one structural [`ExplorationCache`] across every
-/// exploration the underlying systems run. Entries are keyed by workload
-/// *shape* (not layer name — ResNet repeats a handful of conv shapes across
-/// its blocks, and those are explored once and replayed everywhere else).
+/// Network evaluator sharing one [`Engine`] (and thus one structural
+/// exploration cache) across every exploration the underlying systems run.
+/// Entries are keyed by workload *shape* (not layer name — ResNet repeats a
+/// handful of conv shapes across its blocks, and those are explored once and
+/// replayed everywhere else).
 ///
 /// Exploration is deterministic per key, so caching is purely a speedup:
 /// a warm evaluation returns bit-identical costs to a cold one.
 #[derive(Debug, Default)]
 pub struct NetworkEvaluator {
-    explored: ExplorationCache,
+    engine: Engine,
 }
 
 /// Cost breakdown of one network under one system.
@@ -42,7 +43,7 @@ pub struct NetworkCost {
 }
 
 impl NetworkEvaluator {
-    /// New evaluator with an empty cache.
+    /// New evaluator with a cold engine.
     pub fn new() -> Self {
         Self::default()
     }
@@ -70,7 +71,7 @@ impl NetworkEvaluator {
                     // shape run the same search, so the shared cache answers
                     // the second one and both cost the same.
                     let seed = fnv(&shape_fingerprint(&def));
-                    let sc = evaluate_cached(system, &def, accel, seed, Some(&self.explored));
+                    let sc = evaluate_with(&self.engine, system, &def, accel, seed);
                     let cycles = sc.cycles * grp.count as f64;
                     cost.total_cycles += cycles;
                     cost.sim_failures += sc.sim_failures;
@@ -91,11 +92,11 @@ impl NetworkEvaluator {
         cost
     }
 
-    /// Hit/miss counters of the shared exploration cache. Hits appear as
-    /// soon as a network repeats a layer shape (or two systems tune the same
-    /// frozen mapping over the same shape).
+    /// Hit/miss counters of the shared engine's exploration cache. Hits
+    /// appear as soon as a network repeats a layer shape (or two systems
+    /// tune the same frozen mapping over the same shape).
     pub fn cache_stats(&self) -> CacheStats {
-        self.explored.stats()
+        self.engine.cache_stats()
     }
 
     /// Speedup of `a` over `b` on a network.

@@ -10,7 +10,7 @@
 
 use crate::fixed::{fixed_mapping, FixedKind};
 use crate::matcher::TemplateMatcher;
-use amos_core::{ExplorationCache, Explorer, ExplorerConfig};
+use amos_core::{Engine, ExplorerConfig};
 use amos_hw::AcceleratorSpec;
 use amos_ir::{ComputeDef, OpKind, TensorRole};
 use amos_sim::{scalar_fallback_cycles, simulate, Schedule};
@@ -138,26 +138,29 @@ pub fn tuning_budget(seed: u64) -> ExplorerConfig {
 }
 
 fn explore_fixed(
+    engine: &Engine,
     def: &ComputeDef,
     accel: &AcceleratorSpec,
     kind: FixedKind,
     seed: u64,
-    cache: Option<&ExplorationCache>,
 ) -> Option<SystemCost> {
     let mapping = fixed_mapping(def, &accel.intrinsic, kind)?;
-    let explorer = Explorer::with_config(tuning_budget(seed));
-    let run = || explorer.explore_mappings(def, accel, Some(vec![mapping.clone()]));
-    let result = match cache {
-        // The fixed kind keys the entry: Im2col and FuseHw freeze different
-        // mappings over the same shape.
-        Some(c) => c.explore_tagged(&format!("fixed:{kind:?}"), &explorer, def, accel, run),
-        None => run(),
-    };
-    result.ok().map(|r| SystemCost {
-        cycles: r.cycles(),
-        mapped: true,
-        sim_failures: r.sim_failures,
-    })
+    // The fixed kind keys the cache entry: Im2col and FuseHw freeze
+    // different mappings over the same shape.
+    engine
+        .explore_fixed(
+            &format!("fixed:{kind:?}"),
+            tuning_budget(seed),
+            def,
+            accel,
+            vec![mapping],
+        )
+        .ok()
+        .map(|r| SystemCost {
+            cycles: r.cycles(),
+            mapped: true,
+            sim_failures: r.sim_failures,
+        })
 }
 
 fn library_kernel(def: &ComputeDef, accel: &AcceleratorSpec) -> Option<SystemCost> {
@@ -194,49 +197,49 @@ pub fn akg_supported(def: &ComputeDef) -> bool {
     })
 }
 
-/// Evaluates an operator under a system on an accelerator.
+/// Evaluates an operator under a system on an accelerator, through a
+/// throwaway [`Engine`]. Results are deterministic, so this equals
+/// [`evaluate_with`] on a cold engine.
 pub fn evaluate(
     system: System,
     def: &ComputeDef,
     accel: &AcceleratorSpec,
     seed: u64,
 ) -> SystemCost {
-    evaluate_cached(system, def, accel, seed, None)
+    evaluate_with(&Engine::new(), system, def, accel, seed)
 }
 
-/// [`evaluate`] with a shared [`ExplorationCache`]: every exploration run
-/// (AMOS's full search and the baselines' frozen-mapping tuning alike) is
-/// memoised by workload shape, so network sweeps with repeated layer shapes
-/// pay for each distinct shape once.
-pub fn evaluate_cached(
+/// [`evaluate`] through a shared [`Engine`]: every exploration run (AMOS's
+/// full search and the baselines' frozen-mapping tuning alike) is memoised
+/// in the engine's cache by workload shape, so network sweeps with repeated
+/// layer shapes pay for each distinct shape once.
+pub fn evaluate_with(
+    engine: &Engine,
     system: System,
     def: &ComputeDef,
     accel: &AcceleratorSpec,
     seed: u64,
-    cache: Option<&ExplorationCache>,
 ) -> SystemCost {
     match system {
         System::Amos => {
-            // AMOS searches the full mapping space, so it gets a deeper
-            // budget than the frozen-mapping baselines — mirroring the
-            // paper's setup where AMOS tunes thousands of trials.
-            let explorer = Explorer::with_config(ExplorerConfig {
+            // AMOS searches the full mapping space (every unit of a
+            // heterogeneous device), so it gets a deeper budget than the
+            // frozen-mapping baselines — mirroring the paper's setup where
+            // AMOS tunes thousands of trials.
+            let config = ExplorerConfig {
                 population: 32,
                 generations: 8,
                 survivors: 8,
                 measure_top: 6,
                 seed,
                 jobs: 0,
-            });
+            };
             // AMOS measures candidates on the ground truth, so it also knows
             // when the scalar units beat the best tensor mapping (e.g. tiny
             // depthwise layers whose padded lanes waste the tensor unit) and
             // keeps the faster backend.
             let scalar = scalar_cost(system, def, accel);
-            let result = match cache {
-                Some(c) => c.explore(&explorer, def, accel),
-                None => explorer.explore(def, accel),
-            };
+            let result = engine.explore_op_with(config, def, accel);
             match result {
                 Ok(r) if r.cycles() <= scalar.cycles => SystemCost {
                     cycles: r.cycles(),
@@ -261,7 +264,7 @@ pub fn evaluate_cached(
             // Stock templates: NHWC convolutions and GEMM only.
             let matcher = TemplateMatcher::new();
             if matcher.matches(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -271,7 +274,7 @@ pub fn evaluate_cached(
             // Expert template: the library pattern set, fixed im2col mapping,
             // full schedule tuning.
             if library_tensor_supported(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -280,7 +283,7 @@ pub fn evaluate_cached(
         System::Ansor => scalar_cost(system, def, accel),
         System::Unit => {
             if library_tensor_supported(def) {
-                explore_fixed(def, accel, FixedKind::FuseHw, seed, cache)
+                explore_fixed(engine, def, accel, FixedKind::FuseHw, seed)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -288,7 +291,7 @@ pub fn evaluate_cached(
         }
         System::Akg => {
             if akg_supported(def) {
-                explore_fixed(def, accel, FixedKind::Im2col, seed, cache)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)

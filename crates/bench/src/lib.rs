@@ -7,20 +7,20 @@
 
 #![warn(missing_docs)]
 
-use amos_baselines::{evaluate_cached, System, SystemCost};
-use amos_core::{CacheStats, ExplorationCache};
+use amos_baselines::{evaluate_with, System, SystemCost};
+use amos_core::{CacheStats, Engine};
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
 use std::collections::HashMap;
 
-/// Evaluation cache: a label-keyed memo of final costs, backed by the
-/// structural [`ExplorationCache`] so that the same operator shape appearing
-/// under several labels (or several tables) is explored once; this keeps the
-/// whole suite fast and deterministic.
+/// Evaluation cache: a label-keyed memo of final costs, backed by one shared
+/// [`Engine`] (and its structural exploration cache) so that the same
+/// operator shape appearing under several labels (or several tables) is
+/// explored once; this keeps the whole suite fast and deterministic.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     entries: HashMap<(System, String, String), SystemCost>,
-    explored: ExplorationCache,
+    engine: Engine,
 }
 
 impl EvalCache {
@@ -41,14 +41,14 @@ impl EvalCache {
         if let Some(c) = self.entries.get(&k) {
             return *c;
         }
-        let cost = evaluate_cached(system, def, accel, stable_seed(key), Some(&self.explored));
+        let cost = evaluate_with(&self.engine, system, def, accel, stable_seed(key));
         self.entries.insert(k, cost);
         cost
     }
 
-    /// Hit/miss counters of the underlying structural exploration cache.
+    /// Hit/miss counters of the underlying engine's exploration cache.
     pub fn explore_stats(&self) -> CacheStats {
-        self.explored.stats()
+        self.engine.cache_stats()
     }
 }
 

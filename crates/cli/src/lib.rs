@@ -18,11 +18,17 @@
 //!
 //! `--jobs N` sets the explorer's worker-thread count (0 or omitted: one per
 //! CPU). Results are bit-identical for every value — only wall clock changes.
+//! `--list-accels` prints the registered accelerator names and exits.
+//!
+//! Unknown flags and trailing arguments are rejected. All compilation runs
+//! through the shared [`amos_core::Engine`]; failures surface as
+//! [`amos_core::AmosError`] messages carrying stage, operator and
+//! accelerator context.
 
 #![warn(missing_docs)]
 
-use amos_core::{Explorer, ExplorerConfig, MappingGenerator};
-use amos_hw::{catalog, AcceleratorSpec};
+use amos_core::{AmosError, Engine, ExplorerConfig, MappingGenerator};
+use amos_hw::{AcceleratorSpec, Registry};
 use amos_ir::ComputeDef;
 use amos_workloads::ops;
 use std::fmt;
@@ -39,25 +45,27 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// CLI usage errors join the unified [`AmosError`] hierarchy as usage
+/// failures, so callers embedding the CLI can handle one error type.
+impl From<CliError> for AmosError {
+    fn from(e: CliError) -> Self {
+        AmosError::usage(e.0)
+    }
+}
+
 fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
-/// Parses an accelerator name into a catalog entry.
+/// Parses an accelerator name through the declarative [`Registry`].
 pub fn parse_accelerator(name: &str) -> Result<AcceleratorSpec, CliError> {
-    catalog::all_accelerators()
-        .into_iter()
-        .find(|a| a.name == name)
-        .ok_or_else(|| {
-            err(format!(
-                "unknown accelerator `{name}`; known: {}",
-                catalog::all_accelerators()
-                    .iter()
-                    .map(|a| a.name.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))
-        })
+    let registry = Registry::builtin();
+    registry.build(name).ok_or_else(|| {
+        err(format!(
+            "unknown accelerator `{name}`; known: {}",
+            registry.names().join(", ")
+        ))
+    })
 }
 
 /// Parses `key1,key2,...` dims like `n16,c64,k64,p56,q56,r3,s3,st1` into
@@ -239,6 +247,40 @@ pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, C
     }
 }
 
+/// Removes a boolean `--flag` (one that takes no value) from the arg list,
+/// returning whether it was present.
+pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Rejects anything left over once the command and its positional arguments
+/// have been consumed: an unconsumed `--...` is an unknown flag, anything
+/// else is a trailing argument.
+fn reject_extras(args: &[String], consumed: usize) -> Result<(), CliError> {
+    match args.get(consumed) {
+        Some(a) if a.starts_with("--") => Err(err(format!("unknown flag `{a}`"))),
+        Some(a) => Err(err(format!("unexpected argument `{a}`"))),
+        None => Ok(()),
+    }
+}
+
+/// The small exploration budget the `ir`/`cuda` codegen commands use.
+fn codegen_budget(seed: u64, jobs: usize) -> ExplorerConfig {
+    ExplorerConfig {
+        population: 16,
+        generations: 3,
+        survivors: 4,
+        measure_top: 3,
+        seed,
+        jobs,
+    }
+}
+
 /// Runs the CLI with the given arguments (without the program name),
 /// writing output to `out`. Returns an error message for usage problems.
 pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
@@ -260,8 +302,16 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         .unwrap_or(0);
 
     let io = |e: std::io::Error| err(format!("io error: {e}"));
+    if take_switch(&mut args, "--list-accels") {
+        reject_extras(&args, 0)?;
+        for name in Registry::builtin().names() {
+            writeln!(out, "{name}").map_err(io)?;
+        }
+        return Ok(());
+    }
     match args.first().map(String::as_str) {
         Some("ops") => {
+            reject_extras(&args, 1)?;
             writeln!(out, "operator families (paper §7.3):").map_err(io)?;
             for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
                 writeln!(out, "  {:<4} {}", name, def.statement_string()).map_err(io)?;
@@ -271,7 +321,8 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             Ok(())
         }
         Some("accels") => {
-            for a in catalog::all_accelerators() {
+            reject_extras(&args, 1)?;
+            for a in Registry::builtin().build_all() {
                 writeln!(
                     out,
                     "{:<14} intrinsic {:<22} {} PE arrays",
@@ -285,6 +336,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         }
         Some("mappings") => {
             let spec = args.get(1).ok_or_else(|| err("mappings needs an operator spec"))?;
+            reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
             let mappings = MappingGenerator::new().enumerate(&def, &accel.intrinsic);
@@ -303,15 +355,16 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         }
         Some("explore") => {
             let spec = args.get(1).ok_or_else(|| err("explore needs an operator spec"))?;
+            reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let explorer = Explorer::with_config(ExplorerConfig {
+            let engine = Engine::with_config(ExplorerConfig {
                 seed,
                 jobs,
                 ..ExplorerConfig::default()
             });
-            let result = explorer
-                .explore_multi(&def, &accel)
+            let result = engine
+                .explore_op(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
             writeln!(out, "software   : {def}").map_err(io)?;
             writeln!(out, "accelerator: {}", accel.name).map_err(io)?;
@@ -334,44 +387,27 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         }
         Some("ir") => {
             let spec = args.get(1).ok_or_else(|| err("ir needs an operator spec"))?;
+            reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let explorer = Explorer::with_config(ExplorerConfig {
-                population: 16,
-                generations: 3,
-                survivors: 4,
-                measure_top: 3,
-                seed,
-                jobs,
-            });
-            let result = explorer
-                .explore(&def, &accel)
+            let engine = Engine::with_config(codegen_budget(seed, jobs));
+            let explored = engine
+                .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
-            let ir = amos_core::codegen::emit_ir(&result.best_program, &result.best_schedule);
-            write!(out, "{}", amos_ir::nodes::render_program(&ir)).map_err(io)?;
+            let artifact = engine.emit(&explored);
+            write!(out, "{}", amos_ir::nodes::render_program(&artifact.ir)).map_err(io)?;
             Ok(())
         }
         Some("cuda") => {
             let spec = args.get(1).ok_or_else(|| err("cuda needs an operator spec"))?;
+            reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let explorer = Explorer::with_config(ExplorerConfig {
-                population: 16,
-                generations: 3,
-                survivors: 4,
-                measure_top: 3,
-                seed,
-                jobs,
-            });
-            let result = explorer
-                .explore(&def, &accel)
+            let engine = Engine::with_config(codegen_budget(seed, jobs));
+            let explored = engine
+                .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
-            write!(
-                out,
-                "{}",
-                amos_core::cuda_like::emit_cuda_like(&result.best_program, &result.best_schedule)
-            )
-            .map_err(io)?;
+            write!(out, "{}", engine.emit(&explored).cuda).map_err(io)?;
             Ok(())
         }
         Some("network") => {
@@ -387,6 +423,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 "milstm" => amos_workloads::networks::mi_lstm(),
                 other => return Err(err(format!("unknown network `{other}`"))),
             };
+            reject_extras(&args, 2)?;
             let accel = parse_accelerator(&accel_name)?;
             let mut ev = amos_baselines::NetworkEvaluator::new();
             let amos = ev.evaluate(amos_baselines::System::Amos, &net, batch, &accel);
@@ -426,6 +463,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             Ok(())
         }
         Some("table6") => {
+            reject_extras(&args, 1)?;
             let accel = parse_accelerator(&accel_name)?;
             let generator = MappingGenerator::new();
             for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
@@ -441,7 +479,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--list-accels]",
         )),
     }
 }
@@ -560,5 +598,37 @@ mod tests {
     fn unknown_command_is_an_error() {
         assert!(run_to_string(&["frobnicate"]).is_err());
         assert!(run_to_string(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = run_to_string(&["mappings", "gmm:16x16x16", "--frobnicate", "2"]).unwrap_err();
+        assert!(e.to_string().contains("unknown flag `--frobnicate`"), "{e}");
+        let e = run_to_string(&["table6", "--verbose"]).unwrap_err();
+        assert!(e.to_string().contains("unknown flag `--verbose`"), "{e}");
+    }
+
+    #[test]
+    fn trailing_arguments_are_rejected() {
+        let e = run_to_string(&["mappings", "gmm:16x16x16", "extra"]).unwrap_err();
+        assert!(e.to_string().contains("unexpected argument `extra`"), "{e}");
+        let e = run_to_string(&["ops", "gmm:16x16x16"]).unwrap_err();
+        assert!(e.to_string().contains("unexpected argument"), "{e}");
+    }
+
+    #[test]
+    fn list_accels_prints_registry_names() {
+        let out = run_to_string(&["--list-accels"]).unwrap();
+        let names: Vec<&str> = out.lines().collect();
+        assert_eq!(names, amos_hw::Registry::builtin().names());
+        assert!(names.contains(&"v100"));
+        assert!(names.contains(&"gemmini-like"));
+    }
+
+    #[test]
+    fn cli_errors_join_the_amos_error_hierarchy() {
+        let e: AmosError = parse_accelerator("nope").unwrap_err().into();
+        assert!(matches!(e.kind, amos_core::AmosErrorKind::Usage(_)));
+        assert!(e.to_string().contains("unknown accelerator"));
     }
 }

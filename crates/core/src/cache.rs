@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Hit/miss counters of an [`ExplorationCache`].
+/// Hit/miss counters of the engine's structural exploration cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -60,16 +60,6 @@ impl ExplorationCache {
         }
     }
 
-    /// Lookups answered from the cache so far.
-    pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Lookups that ran the explorer so far.
-    pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
-    }
-
     /// Refinement sub-runs answered from the cache (tracked separately from
     /// [`ExplorationCache::stats`], which counts top-level lookups only).
     pub fn refine_hits(&self) -> usize {
@@ -86,26 +76,10 @@ impl ExplorationCache {
         self.entries.lock().expect("cache lock").len()
     }
 
-    /// True when nothing has been cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// [`Explorer::explore`] with memoisation. The explorer's refinement
-    /// phase also routes its per-mapping sub-runs through this cache, so a
-    /// miss here still reuses any previously-tuned shortlisted mappings.
-    pub fn explore(
-        &self,
-        explorer: &Explorer,
-        def: &ComputeDef,
-        accel: &AcceleratorSpec,
-    ) -> Result<ExplorationResult, ExploreError> {
-        let key = fingerprint("explore", explorer.config(), def, accel);
-        self.run_keyed(key, || explorer.explore_cached(def, accel, Some(self)))
-    }
-
-    /// [`Explorer::explore_multi`] with memoisation (refinement sub-runs
-    /// shared through this cache, as in [`ExplorationCache::explore`]).
+    /// [`Explorer::explore_multi`] with memoisation. The explorer's
+    /// refinement phase also routes its per-mapping sub-runs through this
+    /// cache, so a miss here still reuses any previously-tuned shortlisted
+    /// mappings.
     pub fn explore_multi(
         &self,
         explorer: &Explorer,
@@ -264,10 +238,10 @@ mod tests {
         let e = small_explorer(11);
         let accel = catalog::v100();
         let cold = cache
-            .explore(&e, &gemm("g_one", 64, 64, 64), &accel)
+            .explore_multi(&e, &gemm("g_one", 64, 64, 64), &accel)
             .unwrap();
         let warm = cache
-            .explore(&e, &gemm("g_two", 64, 64, 64), &accel)
+            .explore_multi(&e, &gemm("g_two", 64, 64, 64), &accel)
             .unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cold.cycles(), warm.cycles());
@@ -279,19 +253,19 @@ mod tests {
         let cache = ExplorationCache::new();
         let e = small_explorer(11);
         cache
-            .explore(&e, &gemm("g", 64, 64, 64), &catalog::v100())
+            .explore_multi(&e, &gemm("g", 64, 64, 64), &catalog::v100())
             .unwrap();
         // Different extent.
         cache
-            .explore(&e, &gemm("g", 128, 64, 64), &catalog::v100())
+            .explore_multi(&e, &gemm("g", 128, 64, 64), &catalog::v100())
             .unwrap();
         // Different machine.
         cache
-            .explore(&e, &gemm("g", 64, 64, 64), &catalog::a100())
+            .explore_multi(&e, &gemm("g", 64, 64, 64), &catalog::a100())
             .unwrap();
         // Different seed.
         cache
-            .explore(
+            .explore_multi(
                 &small_explorer(12),
                 &gemm("g", 64, 64, 64),
                 &catalog::v100(),
@@ -307,7 +281,7 @@ mod tests {
         let accel = catalog::v100();
         cfg.jobs = 1;
         cache
-            .explore(
+            .explore_multi(
                 &Explorer::with_config(cfg.clone()),
                 &gemm("g", 64, 64, 64),
                 &accel,
@@ -315,7 +289,7 @@ mod tests {
             .unwrap();
         cfg.jobs = 4;
         cache
-            .explore(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
+            .explore_multi(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
             .unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
@@ -334,8 +308,8 @@ mod tests {
         let cache = ExplorationCache::new();
         let e = small_explorer(1);
         let accel = catalog::v100();
-        assert!(cache.explore(&e, &def, &accel).is_err());
-        assert!(cache.explore(&e, &def, &accel).is_err());
+        assert!(cache.explore_multi(&e, &def, &accel).is_err());
+        assert!(cache.explore_multi(&e, &def, &accel).is_err());
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 }

@@ -1,0 +1,612 @@
+//! The staged compilation engine.
+//!
+//! [`Engine`] is the one front door to the AMOS stack. It owns every cache in
+//! one place — the structural exploration cache (and, transitively, the
+//! compiled lane programs and screening contexts that live on the lowered
+//! programs it stores) — plus a seeded base [`ExplorerConfig`], so batch and
+//! network compilation reuse work across calls without callers plumbing
+//! caches by hand.
+//!
+//! Compilation is a typed pipeline; each stage is a named step whose output
+//! is the next stage's input:
+//!
+//! ```text
+//! analyze → Analyzed → generate → MappingSet → lower → Lowered
+//!         → explore → Explored → emit → Artifact
+//! ```
+//!
+//! [`Engine::compile`] runs the whole pipeline with a single cache lookup
+//! (so repeated shapes skip even enumeration and lowering), and the
+//! staged methods let callers stop mid-way — e.g. `generate` alone
+//! reproduces the paper's Table 6 mapping counts. Staged and one-shot runs
+//! share cache entries: exploring the same shape either way is one miss and
+//! then hits.
+//!
+//! All failures are reported as [`AmosError`] values carrying the stage,
+//! operator and accelerator context.
+
+use crate::cache::{CacheStats, ExplorationCache};
+use crate::error::{AmosError, Stage};
+use crate::explore::{ExplorationResult, ExploreError, Explorer, ExplorerConfig, LoweredUnit};
+use crate::mapping::Mapping;
+use crate::report::MappingReport;
+use amos_hw::AcceleratorSpec;
+use amos_ir::nodes::Stmt;
+use amos_ir::ComputeDef;
+
+/// An operator bound to an accelerator and decomposed into per-intrinsic
+/// exploration units. Output of [`Engine::analyze`].
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    def: ComputeDef,
+    accel: AcceleratorSpec,
+    config: ExplorerConfig,
+    units: Vec<AcceleratorSpec>,
+}
+
+impl Analyzed {
+    /// The operator under compilation.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The target accelerator.
+    pub fn accelerator(&self) -> &AcceleratorSpec {
+        &self.accel
+    }
+
+    /// The exploration configuration this pipeline run carries.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// Number of per-intrinsic units the accelerator decomposed into
+    /// (one for homogeneous devices, more for e.g. an Ascend-style NPU).
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+}
+
+/// The enumerated valid-mapping sets, one per unit (paper §5.1, Table 6).
+/// Output of [`Engine::generate`].
+#[derive(Debug, Clone)]
+pub struct MappingSet {
+    def: ComputeDef,
+    accel: AcceleratorSpec,
+    config: ExplorerConfig,
+    units: Vec<(AcceleratorSpec, Vec<Mapping>)>,
+}
+
+impl MappingSet {
+    /// The operator under compilation.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The target accelerator.
+    pub fn accelerator(&self) -> &AcceleratorSpec {
+        &self.accel
+    }
+
+    /// Total number of valid mappings across all units — the Table 6 count.
+    pub fn total_mappings(&self) -> usize {
+        self.units.iter().map(|(_, m)| m.len()).sum()
+    }
+
+    /// Mapping counts per unit, in unit order.
+    pub fn per_unit_counts(&self) -> Vec<usize> {
+        self.units.iter().map(|(_, m)| m.len()).collect()
+    }
+}
+
+/// Mapped programs, one per mapping per unit (§6 lowering). Output of
+/// [`Engine::lower`]. Lane programs and screening contexts compiled during
+/// later stages are cached on these programs and travel with the value.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    def: ComputeDef,
+    accel: AcceleratorSpec,
+    config: ExplorerConfig,
+    units: Vec<LoweredUnit>,
+}
+
+impl Lowered {
+    /// The operator under compilation.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The target accelerator.
+    pub fn accelerator(&self) -> &AcceleratorSpec {
+        &self.accel
+    }
+
+    /// Total number of lowered programs across all units.
+    pub fn total_programs(&self) -> usize {
+        self.units.iter().map(|u| u.programs.len()).sum()
+    }
+}
+
+/// The best measured (mapping, schedule) pair with the full evaluation
+/// trace, plus the operator/accelerator it was found for. Output of
+/// [`Engine::explore`] and [`Engine::compile`].
+#[derive(Debug, Clone)]
+pub struct Explored {
+    def: ComputeDef,
+    accel: AcceleratorSpec,
+    result: ExplorationResult,
+}
+
+impl Explored {
+    /// The operator that was compiled.
+    pub fn def(&self) -> &ComputeDef {
+        &self.def
+    }
+
+    /// The target accelerator.
+    pub fn accelerator(&self) -> &AcceleratorSpec {
+        &self.accel
+    }
+
+    /// The underlying exploration result.
+    pub fn result(&self) -> &ExplorationResult {
+        &self.result
+    }
+
+    /// Consumes the stage and returns the underlying result.
+    pub fn into_result(self) -> ExplorationResult {
+        self.result
+    }
+
+    /// Best measured cycles.
+    pub fn cycles(&self) -> f64 {
+        self.result.cycles()
+    }
+}
+
+/// Everything the stack can emit for a compiled operator: the Table-5-style
+/// mapping report, the Table-4 `Compute`/`Memory` IR and CUDA-like source.
+/// Output of [`Engine::emit`].
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Table-5-style mapping report for the winner.
+    pub report: MappingReport,
+    /// The winner lowered to the Table 4 `Compute`/`Memory` IR.
+    pub ir: Vec<Stmt>,
+    /// CUDA-like source for the winner.
+    pub cuda: String,
+}
+
+/// The shared compilation engine: a seeded base configuration plus every
+/// cache the stack uses, behind one front door.
+///
+/// Entry points (CLI, baselines, benches, network evaluation) construct one
+/// `Engine` and compile through it; none of them constructs or threads an
+/// exploration cache by hand. Repeated structures — same shape, accelerator and budget — are answered
+/// from cache, including across the staged and one-shot APIs and across the
+/// refinement sub-runs of different calls.
+#[derive(Debug, Default)]
+pub struct Engine {
+    base: ExplorerConfig,
+    cache: ExplorationCache,
+}
+
+impl Engine {
+    /// An engine with the default exploration budget.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// An engine with a custom base configuration.
+    pub fn with_config(base: ExplorerConfig) -> Self {
+        Engine {
+            base,
+            cache: ExplorationCache::new(),
+        }
+    }
+
+    /// The base configuration used when no per-call override is given.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.base
+    }
+
+    /// The base configuration with a different seed — the idiom for
+    /// per-layer seeds in network compilation.
+    pub fn config_with_seed(&self, seed: u64) -> ExplorerConfig {
+        ExplorerConfig {
+            seed,
+            ..self.base.clone()
+        }
+    }
+
+    /// Top-level cache counters (hits, misses).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of distinct (shape, accelerator, config) entries cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Refinement sub-runs answered from the cache.
+    pub fn refine_hits(&self) -> usize {
+        self.cache.refine_hits()
+    }
+
+    /// Refinement sub-runs that had to run the generation loop.
+    pub fn refine_misses(&self) -> usize {
+        self.cache.refine_misses()
+    }
+
+    // ---- staged pipeline ---------------------------------------------------
+
+    /// Stage 1: binds an operator to an accelerator under the base
+    /// configuration and decomposes the device into per-intrinsic units.
+    pub fn analyze(&self, def: &ComputeDef, accel: &AcceleratorSpec) -> Analyzed {
+        self.analyze_with(self.base.clone(), def, accel)
+    }
+
+    /// [`Engine::analyze`] with a per-call configuration override (used by
+    /// baselines that carry their own budget and seed).
+    pub fn analyze_with(
+        &self,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Analyzed {
+        let explorer = Explorer::with_config(config.clone());
+        Analyzed {
+            units: explorer.unit_accelerators(accel),
+            def: def.clone(),
+            accel: accel.clone(),
+            config,
+        }
+    }
+
+    /// Stage 2: enumerates the valid software–hardware mappings of every
+    /// unit (§5.1).
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Generate`] / no valid mapping when every unit's enumeration
+    /// is empty.
+    pub fn generate(&self, analyzed: Analyzed) -> Result<MappingSet, AmosError> {
+        let Analyzed {
+            def,
+            accel,
+            config,
+            units,
+        } = analyzed;
+        let explorer = Explorer::with_config(config.clone());
+        let units: Vec<(AcceleratorSpec, Vec<Mapping>)> = units
+            .into_iter()
+            .map(|unit| {
+                let mappings = explorer.enumerate_unit(&def, &unit);
+                (unit, mappings)
+            })
+            .collect();
+        if units.iter().all(|(_, m)| m.is_empty()) {
+            return Err(AmosError::from(ExploreError::NoValidMapping {
+                computation: def.name().to_string(),
+                intrinsic: accel
+                    .all_intrinsics()
+                    .map(|i| i.name.clone())
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            })
+            .at_stage(Stage::Generate)
+            .for_operator(def.name())
+            .on_accelerator(&accel.name));
+        }
+        Ok(MappingSet {
+            def,
+            accel,
+            config,
+            units,
+        })
+    }
+
+    /// Stage 3: lowers every mapping to a mapped program (§6), concurrently
+    /// on the configured worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Lower`] wrapping the simulator error of the first mapping
+    /// (in mapping order) that fails to lower.
+    pub fn lower(&self, set: MappingSet) -> Result<Lowered, AmosError> {
+        let MappingSet {
+            def,
+            accel,
+            config,
+            units,
+        } = set;
+        let explorer = Explorer::with_config(config.clone());
+        let units = units
+            .into_iter()
+            .map(|(unit, mappings)| {
+                let programs = explorer
+                    .lower_mappings(&def, &unit, &mappings)
+                    .map_err(|e| {
+                        AmosError::from(e)
+                            .at_stage(Stage::Lower)
+                            .for_operator(def.name())
+                            .on_accelerator(&accel.name)
+                    })?;
+                Ok(LoweredUnit {
+                    accel: unit,
+                    mappings,
+                    programs,
+                })
+            })
+            .collect::<Result<Vec<_>, AmosError>>()?;
+        Ok(Lowered {
+            def,
+            accel,
+            config,
+            units,
+        })
+    }
+
+    /// Stage 4: the joint mapping × schedule search over the lowered units
+    /// (§5.3), memoised in the engine's cache under the same key as
+    /// [`Engine::compile`] — so staged and one-shot runs share entries.
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore(&self, lowered: Lowered) -> Result<Explored, AmosError> {
+        let Lowered {
+            def,
+            accel,
+            config,
+            units,
+        } = lowered;
+        let explorer = Explorer::with_config(config);
+        let result = self
+            .cache
+            .explore_tagged("multi", &explorer, &def, &accel, || {
+                explorer.explore_units_cached(&def, &accel, &units, Some(&self.cache))
+            })
+            .map_err(|e| {
+                AmosError::from(e)
+                    .at_stage(Stage::Explore)
+                    .for_operator(def.name())
+                    .on_accelerator(&accel.name)
+            })?;
+        Ok(Explored { def, accel, result })
+    }
+
+    /// Stage 5: emits the mapping report, Table-4 IR and CUDA-like source
+    /// for an exploration winner.
+    pub fn emit(&self, explored: &Explored) -> Artifact {
+        let result = &explored.result;
+        Artifact {
+            report: MappingReport::from_result(result, &explored.accel),
+            ir: crate::codegen::emit_ir(&result.best_program, &result.best_schedule),
+            cuda: crate::cuda_like::emit_cuda_like(&result.best_program, &result.best_schedule),
+        }
+    }
+
+    // ---- one-shot entry points ---------------------------------------------
+
+    /// Runs the whole pipeline under the base configuration with a single
+    /// cache lookup: a repeated structure skips enumeration and lowering
+    /// entirely and returns the cached winner.
+    ///
+    /// # Errors
+    ///
+    /// The underlying stage failure, with context attached.
+    pub fn compile(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<Explored, AmosError> {
+        self.compile_with(self.base.clone(), def, accel)
+    }
+
+    /// [`Engine::compile`] with a per-call configuration override.
+    ///
+    /// # Errors
+    ///
+    /// The underlying stage failure, with context attached.
+    pub fn compile_with(
+        &self,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<Explored, AmosError> {
+        let result = self.explore_op_with(config, def, accel)?;
+        Ok(Explored {
+            def: def.clone(),
+            accel: accel.clone(),
+            result,
+        })
+    }
+
+    /// Explores `def` on `accel` under the base configuration, searching
+    /// across every intrinsic of a heterogeneous device, memoised in the
+    /// engine's cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore_op(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, AmosError> {
+        self.explore_op_with(self.base.clone(), def, accel)
+    }
+
+    /// [`Engine::explore_op`] with a per-call configuration override.
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore_op_with(
+        &self,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Result<ExplorationResult, AmosError> {
+        let explorer = Explorer::with_config(config);
+        self.cache
+            .explore_multi(&explorer, def, accel)
+            .map_err(|e| {
+                AmosError::from(e)
+                    .at_stage(Stage::Explore)
+                    .for_operator(def.name())
+                    .on_accelerator(&accel.name)
+            })
+    }
+
+    /// Explores with a *fixed* mapping set under `tag` (the §7.6
+    /// fixed-mapping baselines: AMOS's schedule tuner with the mapping
+    /// frozen). The tag keeps different mapping flavours over the same
+    /// shape from colliding in the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore_fixed(
+        &self,
+        tag: &str,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        mappings: Vec<Mapping>,
+    ) -> Result<ExplorationResult, AmosError> {
+        let explorer = Explorer::with_config(config);
+        self.cache
+            .explore_tagged(tag, &explorer, def, accel, || {
+                explorer.explore_mappings_cached(def, accel, Some(mappings), Some(&self.cache))
+            })
+            .map_err(|e| {
+                AmosError::from(e)
+                    .at_stage(Stage::Explore)
+                    .for_operator(def.name())
+                    .on_accelerator(&accel.name)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AmosErrorKind;
+    use amos_hw::catalog;
+    use amos_ir::{ComputeBuilder, DType};
+
+    fn small_gemm() -> ComputeDef {
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 64);
+        let j = b.spatial("j", 64);
+        let k = b.reduce("k", 64);
+        let a = b.input("a", &[64, 64], DType::F16);
+        let w = b.input("b", &[64, 64], DType::F16);
+        let c = b.output("c", &[64, 64], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+        b.finish().expect("valid gemm")
+    }
+
+    fn tiny_config(seed: u64) -> ExplorerConfig {
+        ExplorerConfig {
+            population: 8,
+            generations: 2,
+            survivors: 3,
+            measure_top: 2,
+            seed,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn staged_pipeline_matches_one_shot_compile() {
+        let def = small_gemm();
+        let accel = catalog::v100();
+
+        let staged_engine = Engine::with_config(tiny_config(7));
+        let analyzed = staged_engine.analyze(&def, &accel);
+        assert_eq!(analyzed.num_units(), 1);
+        let mappings = staged_engine.generate(analyzed).expect("mappings");
+        assert_eq!(mappings.total_mappings(), 1);
+        let lowered = staged_engine.lower(mappings).expect("lowered");
+        assert_eq!(lowered.total_programs(), 1);
+        let staged = staged_engine.explore(lowered).expect("explored");
+
+        let oneshot_engine = Engine::with_config(tiny_config(7));
+        let oneshot = oneshot_engine.compile(&def, &accel).expect("compiled");
+
+        assert_eq!(
+            staged.cycles().to_bits(),
+            oneshot.cycles().to_bits(),
+            "staged and one-shot pipelines must agree bit-for-bit"
+        );
+        assert_eq!(
+            staged.result().best_schedule,
+            oneshot.result().best_schedule
+        );
+    }
+
+    #[test]
+    fn staged_and_one_shot_share_cache_entries() {
+        let def = small_gemm();
+        let accel = catalog::v100();
+        let engine = Engine::with_config(tiny_config(3));
+
+        let analyzed = engine.analyze(&def, &accel);
+        let lowered = engine.lower(engine.generate(analyzed).unwrap()).unwrap();
+        let staged = engine.explore(lowered).expect("staged");
+        assert_eq!(engine.cache_stats().misses, 1);
+
+        // The one-shot path over the same structure must be a pure hit.
+        let oneshot = engine.compile(&def, &accel).expect("one-shot");
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(staged.cycles().to_bits(), oneshot.cycles().to_bits());
+    }
+
+    #[test]
+    fn heterogeneous_device_decomposes_into_units() {
+        let engine = Engine::with_config(tiny_config(1));
+        let analyzed = engine.analyze(&small_gemm(), &catalog::ascend_npu());
+        assert_eq!(analyzed.num_units(), 2, "cube + vector units");
+    }
+
+    #[test]
+    fn emit_produces_report_ir_and_source() {
+        let engine = Engine::with_config(tiny_config(11));
+        let explored = engine
+            .compile(&small_gemm(), &catalog::v100())
+            .expect("compiled");
+        let artifact = engine.emit(&explored);
+        assert!(!artifact.ir.is_empty());
+        assert!(!artifact.cuda.is_empty());
+        assert_eq!(artifact.report.intrinsic, "mma_sync");
+    }
+
+    #[test]
+    fn errors_carry_stage_and_context() {
+        let engine = Engine::with_config(tiny_config(1));
+        // A pure elementwise op admits no tensor-core mapping.
+        let mut b = ComputeBuilder::new("relu-ish");
+        let i = b.spatial("i", 64);
+        let x = b.input("x", &[64], DType::F16);
+        let y = b.output("y", &[64], DType::F32);
+        b.mul_acc(y.at([i]), x.at([i]), x.at([i]));
+        let def = b.finish().expect("valid def");
+
+        let accel = catalog::v100();
+        let analyzed = engine.analyze(&def, &accel);
+        let err = match engine.generate(analyzed) {
+            Err(e) => e,
+            Ok(set) => panic!("expected no mappings, got {}", set.total_mappings()),
+        };
+        assert_eq!(err.stage, Some(Stage::Generate));
+        assert_eq!(err.operator.as_deref(), Some("relu-ish"));
+        assert_eq!(err.accelerator.as_deref(), Some("v100"));
+        assert!(matches!(err.kind, AmosErrorKind::Explore(_)));
+        assert!(err.to_string().contains("[generate]"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The unified AMOS error hierarchy.
+//!
+//! Every layer of the stack keeps its own precise error type ([`IrError`],
+//! [`SimError`], [`ExploreError`]), but entry points — the [`crate::Engine`]
+//! pipeline, the CLI, baselines — report failures as one [`AmosError`] that
+//! wraps the layer error and carries *where* the failure happened: the
+//! pipeline [`Stage`], the operator being compiled and the target
+//! accelerator.
+
+use crate::explore::ExploreError;
+use amos_ir::IrError;
+use amos_sim::SimError;
+use std::fmt;
+
+/// A named step of the Engine pipeline (`Analyzed → MappingSet → Lowered →
+/// Explored → Artifact`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Binding an operator to an accelerator and decomposing it into
+    /// per-intrinsic units.
+    Analyze,
+    /// Enumerating valid software–hardware mappings (§5.1).
+    Generate,
+    /// Lowering mappings to mapped programs (§6).
+    Lower,
+    /// The joint mapping × schedule search (§5.3).
+    Explore,
+    /// Emitting reports and code from the winner.
+    Emit,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Analyze => "analyze",
+            Stage::Generate => "generate",
+            Stage::Lower => "lower",
+            Stage::Explore => "explore",
+            Stage::Emit => "emit",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The wrapped layer failure inside an [`AmosError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AmosErrorKind {
+    /// A tensor-IR failure (shape validation, interpretation).
+    Ir(IrError),
+    /// A simulator failure (malformed mapping, infeasible schedule).
+    Sim(SimError),
+    /// An exploration failure (no valid mapping, escaped sim error).
+    Explore(ExploreError),
+    /// A usage error (bad CLI arguments, unknown accelerator name).
+    Usage(String),
+}
+
+impl fmt::Display for AmosErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmosErrorKind::Ir(e) => write!(f, "{e}"),
+            AmosErrorKind::Sim(e) => write!(f, "{e}"),
+            AmosErrorKind::Explore(e) => write!(f, "{e}"),
+            AmosErrorKind::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// One failure anywhere in the AMOS stack, with pipeline context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmosError {
+    /// The pipeline stage that failed, when known.
+    pub stage: Option<Stage>,
+    /// The operator (computation) being compiled, when known.
+    pub operator: Option<String>,
+    /// The target accelerator, when known.
+    pub accelerator: Option<String>,
+    /// The wrapped layer failure.
+    pub kind: AmosErrorKind,
+}
+
+impl AmosError {
+    /// A contextless error from a layer failure.
+    pub fn new(kind: AmosErrorKind) -> Self {
+        AmosError {
+            stage: None,
+            operator: None,
+            accelerator: None,
+            kind,
+        }
+    }
+
+    /// A usage error (bad arguments, unknown names).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        AmosError::new(AmosErrorKind::Usage(msg.into()))
+    }
+
+    /// Attaches the pipeline stage.
+    #[must_use]
+    pub fn at_stage(mut self, stage: Stage) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Attaches the operator name.
+    #[must_use]
+    pub fn for_operator(mut self, operator: impl Into<String>) -> Self {
+        self.operator = Some(operator.into());
+        self
+    }
+
+    /// Attaches the accelerator name.
+    #[must_use]
+    pub fn on_accelerator(mut self, accelerator: impl Into<String>) -> Self {
+        self.accelerator = Some(accelerator.into());
+        self
+    }
+}
+
+impl fmt::Display for AmosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(stage) = self.stage {
+            write!(f, "[{stage}] ")?;
+        }
+        if let Some(op) = &self.operator {
+            write!(f, "operator `{op}`")?;
+            if let Some(acc) = &self.accelerator {
+                write!(f, " on `{acc}`")?;
+            }
+            write!(f, ": ")?;
+        } else if let Some(acc) = &self.accelerator {
+            write!(f, "accelerator `{acc}`: ")?;
+        }
+        write!(f, "{}", self.kind)
+    }
+}
+
+impl std::error::Error for AmosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            AmosErrorKind::Ir(e) => Some(e),
+            AmosErrorKind::Sim(e) => Some(e),
+            AmosErrorKind::Explore(e) => Some(e),
+            AmosErrorKind::Usage(_) => None,
+        }
+    }
+}
+
+impl From<IrError> for AmosError {
+    fn from(e: IrError) -> Self {
+        AmosError::new(AmosErrorKind::Ir(e))
+    }
+}
+
+impl From<SimError> for AmosError {
+    fn from(e: SimError) -> Self {
+        AmosError::new(AmosErrorKind::Sim(e))
+    }
+}
+
+impl From<ExploreError> for AmosError {
+    fn from(e: ExploreError) -> Self {
+        AmosError::new(AmosErrorKind::Explore(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_full_context() {
+        let e = AmosError::from(ExploreError::NoValidMapping {
+            computation: "gemv".into(),
+            intrinsic: "mma_sync".into(),
+        })
+        .at_stage(Stage::Explore)
+        .for_operator("gemv")
+        .on_accelerator("v100");
+        let text = e.to_string();
+        assert!(text.starts_with("[explore] "));
+        assert!(text.contains("operator `gemv` on `v100`"));
+        assert!(text.contains("no valid mapping"));
+    }
+
+    #[test]
+    fn display_degrades_without_context() {
+        let e = AmosError::usage("unknown flag --frob");
+        assert_eq!(e.to_string(), "unknown flag --frob");
+        let e = AmosError::usage("unknown accelerator").on_accelerator("z999");
+        assert_eq!(e.to_string(), "accelerator `z999`: unknown accelerator");
+    }
+
+    #[test]
+    fn source_exposes_the_layer_error() {
+        use std::error::Error as _;
+        let e = AmosError::from(IrError::UnknownIter { id: 3 });
+        assert!(e.source().is_some());
+        assert!(AmosError::usage("x").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AmosError>();
+    }
+}

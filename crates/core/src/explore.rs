@@ -263,6 +263,21 @@ impl ExplorationResult {
     }
 }
 
+/// One per-intrinsic exploration unit of a (possibly heterogeneous)
+/// accelerator: the hierarchy re-targeted at a single intrinsic, with its
+/// mapping set enumerated and lowered. Produced stage-by-stage by the
+/// [`crate::Engine`] pipeline and consumed by
+/// [`Explorer::explore_units_cached`].
+#[derive(Debug, Clone)]
+pub(crate) struct LoweredUnit {
+    /// The accelerator re-targeted at this unit's intrinsic.
+    pub(crate) accel: AcceleratorSpec,
+    /// The enumerated (or fixed) mapping set; may be empty.
+    pub(crate) mappings: Vec<Mapping>,
+    /// One lowered program per mapping.
+    pub(crate) programs: Vec<MappedProgram>,
+}
+
 /// The genetic mapping-and-schedule explorer.
 #[derive(Debug, Clone, Default)]
 pub struct Explorer {
@@ -331,11 +346,78 @@ impl Explorer {
     }
 
     /// [`Explorer::explore_multi`] with an optional shared cache for the
-    /// per-intrinsic refinement sub-runs.
+    /// per-intrinsic refinement sub-runs. This is the composition of the
+    /// staged [`crate::Engine`] pipeline: decompose into units, enumerate,
+    /// lower, then run the merge loop.
     pub(crate) fn explore_multi_cached(
         &self,
         def: &ComputeDef,
         accel: &AcceleratorSpec,
+        cache: Option<&ExplorationCache>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let units = self
+            .unit_accelerators(accel)
+            .into_iter()
+            .map(|unit| {
+                let mappings = self.enumerate_unit(def, &unit);
+                let programs = self.lower_mappings(def, &unit, &mappings)?;
+                Ok(LoweredUnit {
+                    accel: unit,
+                    mappings,
+                    programs,
+                })
+            })
+            .collect::<Result<Vec<_>, ExploreError>>()?;
+        self.explore_units_cached(def, accel, &units, cache)
+    }
+
+    /// Decomposes a (possibly heterogeneous) accelerator into per-intrinsic
+    /// exploration units: the same hierarchy re-targeted at each intrinsic
+    /// in turn, with the extra intrinsics cleared.
+    pub(crate) fn unit_accelerators(&self, accel: &AcceleratorSpec) -> Vec<AcceleratorSpec> {
+        accel
+            .all_intrinsics()
+            .map(|intrinsic| {
+                let mut unit = accel.clone();
+                unit.intrinsic = intrinsic.clone();
+                unit.extra_intrinsics.clear();
+                unit
+            })
+            .collect()
+    }
+
+    /// Enumerates the valid-mapping set of one unit's intrinsic.
+    pub(crate) fn enumerate_unit(&self, def: &ComputeDef, unit: &AcceleratorSpec) -> Vec<Mapping> {
+        self.generator.enumerate(def, &unit.intrinsic)
+    }
+
+    /// Lowers a mapping set for one unit, concurrently on
+    /// [`ExplorerConfig::jobs`] workers. The first failure (in mapping
+    /// order) aborts, matching the serial behaviour.
+    pub(crate) fn lower_mappings(
+        &self,
+        def: &ComputeDef,
+        unit: &AcceleratorSpec,
+        mappings: &[Mapping],
+    ) -> Result<Vec<MappedProgram>, ExploreError> {
+        let jobs = self.config.effective_jobs();
+        let intr = &unit.intrinsic;
+        let programs = parallel_map(jobs, mappings.len(), |i| mappings[i].lower(def, intr))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        Ok(programs)
+    }
+
+    /// The multi-unit merge loop over pre-lowered units: explores each unit
+    /// that admits at least one mapping, keeps the best measured winner and
+    /// merges the evaluation/screening counters across units. Shared by
+    /// [`Explorer::explore_multi`] and the staged [`crate::Engine`] pipeline,
+    /// so both produce bit-identical results.
+    pub(crate) fn explore_units_cached(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        units: &[LoweredUnit],
         cache: Option<&ExplorationCache>,
     ) -> Result<ExplorationResult, ExploreError> {
         let mut best: Option<ExplorationResult> = None;
@@ -343,27 +425,31 @@ impl Explorer {
         let mut num_mappings = 0usize;
         let mut sim_failures = 0usize;
         let mut screening = ScreeningStats::default();
-        for intrinsic in accel.all_intrinsics() {
-            // Re-target the hierarchy at this unit.
-            let mut unit = accel.clone();
-            unit.intrinsic = intrinsic.clone();
-            unit.extra_intrinsics.clear();
-            match self.explore_cached(def, &unit, cache) {
-                Ok(result) => {
-                    evaluations.extend(result.evaluations.iter().copied());
-                    num_mappings += result.num_mappings;
-                    sim_failures += result.sim_failures;
-                    screening.absorb(&result.screening);
-                    let better = best
-                        .as_ref()
-                        .map(|b| result.cycles() < b.cycles())
-                        .unwrap_or(true);
-                    if better {
-                        best = Some(result);
-                    }
-                }
-                Err(ExploreError::NoValidMapping { .. }) => continue,
-                Err(e) => return Err(e),
+        for unit in units {
+            // A unit whose intrinsic admits no mapping simply contributes
+            // nothing, exactly like the per-unit `NoValidMapping` of the
+            // unstaged path.
+            if unit.mappings.is_empty() {
+                continue;
+            }
+            let result = self.explore_programs(
+                def,
+                &unit.accel,
+                &unit.mappings,
+                &unit.programs,
+                self.config.seed,
+                cache,
+            )?;
+            evaluations.extend(result.evaluations.iter().copied());
+            num_mappings += result.num_mappings;
+            sim_failures += result.sim_failures;
+            screening.absorb(&result.screening);
+            let better = best
+                .as_ref()
+                .map(|b| result.cycles() < b.cycles())
+                .unwrap_or(true);
+            if better {
+                best = Some(result);
             }
         }
         let mut best = best.ok_or_else(|| ExploreError::NoValidMapping {
@@ -421,13 +507,7 @@ impl Explorer {
                 intrinsic: intr.name.clone(),
             });
         }
-        let jobs = self.config.effective_jobs();
-        // Lower every mapping concurrently; the first failure (in mapping
-        // order) aborts, matching the serial behaviour.
-        let programs: Vec<MappedProgram> =
-            parallel_map(jobs, mappings.len(), |i| mappings[i].lower(def, intr))
-                .into_iter()
-                .collect::<Result<_, _>>()?;
+        let programs = self.lower_mappings(def, accel, &mappings)?;
         self.explore_programs(def, accel, &mappings, &programs, self.config.seed, cache)
     }
 

@@ -12,13 +12,16 @@
 //! * [`perf_model`] — the hierarchical analytic performance model (§5.3),
 //! * [`Explorer`] — the genetic (mapping × schedule) search combining model
 //!   screening with ground-truth measurement (§5.3),
-//! * [`codegen`] — lowering to the `Compute`/`Memory` IR of Table 4 (§6).
+//! * [`codegen`] — lowering to the `Compute`/`Memory` IR of Table 4 (§6),
+//! * [`Engine`] — the staged front door (`Analyzed → MappingSet → Lowered →
+//!   Explored → Artifact`) that owns the caches and reports failures as one
+//!   [`AmosError`] hierarchy.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use amos_core::{Explorer, ExplorerConfig, MappingGenerator};
-//! use amos_hw::catalog;
+//! use amos_core::{Engine, ExplorerConfig};
+//! use amos_hw::Registry;
 //! use amos_ir::{ComputeBuilder, DType};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,13 +36,12 @@
 //! b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
 //! let gemm = b.finish()?;
 //!
-//! // GEMM has exactly one valid mapping onto Tensor Core (paper Table 6).
-//! let v100 = catalog::v100();
-//! let generator = MappingGenerator::new();
-//! assert_eq!(generator.count(&gemm, &v100.intrinsic), 1);
+//! // Targets come from the declarative registry by name.
+//! let v100 = Registry::builtin().build("v100").expect("catalog accelerator");
 //!
-//! // Explore schedules and report the best measured candidate.
-//! let explorer = Explorer::with_config(ExplorerConfig {
+//! // One Engine owns the exploration budget and every cache; compilation
+//! // is a typed pipeline of named stages.
+//! let engine = Engine::with_config(ExplorerConfig {
 //!     population: 8,
 //!     generations: 2,
 //!     survivors: 3,
@@ -47,8 +49,17 @@
 //!     seed: 1,
 //!     jobs: 1,
 //! });
-//! let result = explorer.explore(&gemm, &v100)?;
-//! assert!(result.cycles() > 0.0);
+//! let analyzed = engine.analyze(&gemm, &v100);
+//! let mappings = engine.generate(analyzed)?;
+//! // GEMM has exactly one valid mapping onto Tensor Core (paper Table 6).
+//! assert_eq!(mappings.total_mappings(), 1);
+//! let lowered = engine.lower(mappings)?;
+//! let best = engine.explore(lowered)?;
+//! assert!(best.cycles() > 0.0);
+//!
+//! // Emit the Table-5 report, Table-4 IR and CUDA-like source.
+//! let artifact = engine.emit(&best);
+//! assert!(!artifact.cuda.is_empty());
 //! # Ok(())
 //! # }
 //! ```
@@ -57,6 +68,8 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod engine;
+mod error;
 mod explore;
 mod generate;
 mod mapping;
@@ -69,7 +82,9 @@ pub mod perf_model;
 pub mod report;
 pub mod validate;
 
-pub use cache::{shape_fingerprint, CacheStats, ExplorationCache};
+pub use cache::{shape_fingerprint, CacheStats};
+pub use engine::{Analyzed, Artifact, Engine, Explored, Lowered, MappingSet};
+pub use error::{AmosError, AmosErrorKind, Stage};
 pub use explore::{
     mutate_schedule, mutate_schedule_ctx, pairwise_accuracy, random_schedule, random_schedule_into,
     random_schedule_with, top_rate_recall, ExplorationResult, ExploreError, Explorer,

@@ -1,5 +1,11 @@
 //! Catalog of intrinsics and accelerators used in the AMOS evaluation.
 //!
+//! Every entry is authored as declarative *data* — an [`IntrinsicDesc`] /
+//! [`AcceleratorDesc`] table (see [`crate::desc`]) — and the public
+//! constructor functions simply build those tables. [`descriptors`] exposes
+//! the raw tables so the [`crate::Registry`] can enumerate, look up and
+//! extend the catalog by name.
+//!
 //! The commercial accelerators are parameterised from their public
 //! whitepapers (V100/A100 SM counts, shared-memory sizes, DRAM bandwidths);
 //! the intrinsic latencies follow published microbenchmarking (Jia et al.,
@@ -9,17 +15,36 @@
 //! All figures drive a simulator, not silicon; see DESIGN.md §2 for the
 //! substitution rationale.
 
-use crate::abstraction::{ComputeAbstraction, IntrinsicIter, OperandSpec};
-use crate::accelerator::{AcceleratorSpec, Level, MemorySpec};
+use crate::accelerator::AcceleratorSpec;
+use crate::desc::{AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc};
 use crate::intrinsic::Intrinsic;
-use crate::memory::MemoryAbstraction;
-use amos_ir::{DType, Expr, IterId, IterKind, OpKind};
+use amos_ir::{DType, OpKind};
 
-fn iter(name: &str, extent: i64, kind: IterKind) -> IntrinsicIter {
-    IntrinsicIter {
-        name: name.into(),
-        extent,
-        kind,
+// ---------------------------------------------------------------------------
+// Intrinsic tables
+// ---------------------------------------------------------------------------
+
+/// Declarative table of the `mma_sync` WMMA intrinsic with explicit pipeline
+/// timing (used to differentiate GPU generations).
+pub fn wmma_desc(latency: u64, initiation_interval: u64) -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "mma_sync".into(),
+        iters: vec![
+            IterDesc::spatial("i1", 16),
+            IterDesc::spatial("i2", 16),
+            IterDesc::reduce("r1", 16),
+        ],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 2]),
+            OperandDesc::simple("Src2", &[2, 1]),
+        ],
+        dst: OperandDesc::simple("Dst", &[0, 1]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_matrix_sync", "store_matrix_sync"),
+        latency,
+        initiation_interval,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
     }
 }
 
@@ -31,25 +56,27 @@ pub fn wmma_16x16x16() -> Intrinsic {
 
 /// WMMA with explicit pipeline timing, used to differentiate GPU generations.
 pub fn wmma_with_timing(latency: u64, initiation_interval: u64) -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 16, IterKind::Spatial),
-            iter("i2", 16, IterKind::Spatial),
-            iter("r1", 16, IterKind::Reduction),
+    wmma_desc(latency, initiation_interval).build()
+}
+
+/// Declarative table of the Figure-3 2x2x2 mini Tensor Core.
+pub fn mini_mma_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "mini_mma".into(),
+        iters: vec![
+            IterDesc::spatial("i1", 2),
+            IterDesc::spatial("i2", 2),
+            IterDesc::reduce("r1", 2),
         ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 2]),
-            OperandSpec::simple("Src2", &[2, 1]),
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 2]),
+            OperandDesc::simple("Src2", &[2, 1]),
         ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "mma_sync".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_matrix_sync", "store_matrix_sync"),
-        latency,
-        initiation_interval,
+        dst: OperandDesc::simple("Dst", &[0, 1]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_matrix", "store_matrix"),
+        latency: 4,
+        initiation_interval: 2,
         src_dtype: DType::F16,
         acc_dtype: DType::F32,
     }
@@ -57,27 +84,25 @@ pub fn wmma_with_timing(latency: u64, initiation_interval: u64) -> Intrinsic {
 
 /// The simplified 2x2x2 Tensor Core of the paper's Figure 3 running example.
 pub fn mini_mma_2x2x2() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 2, IterKind::Spatial),
-            iter("i2", 2, IterKind::Spatial),
-            iter("r1", 2, IterKind::Reduction),
+    mini_mma_desc().build()
+}
+
+/// Declarative table of the AVX-512 VNNI intrinsic.
+pub fn avx512_vnni_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "_mm512_dpbusds_epi32".into(),
+        iters: vec![IterDesc::spatial("i1", 16), IterDesc::reduce("r1", 4)],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 1]),
+            OperandDesc::simple("Src2", &[1]),
         ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 2]),
-            OperandSpec::simple("Src2", &[2, 1]),
-        ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "mini_mma".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_matrix", "store_matrix"),
-        latency: 4,
-        initiation_interval: 2,
-        src_dtype: DType::F16,
-        acc_dtype: DType::F32,
+        dst: OperandDesc::simple("Dst", &[0]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::Implicit,
+        latency: 5,
+        initiation_interval: 1,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
     }
 }
 
@@ -87,23 +112,22 @@ pub fn mini_mma_2x2x2() -> Intrinsic {
 /// replicated across lanes (the replication is a register-layout detail that
 /// the memory mapping performs).
 pub fn avx512_vnni() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 16, IterKind::Spatial),
-            iter("r1", 4, IterKind::Reduction),
+    avx512_vnni_desc().build()
+}
+
+/// Declarative table of the Mali Bifrost `arm_dot` intrinsic.
+pub fn arm_dot4_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "arm_dot".into(),
+        iters: vec![IterDesc::reduce("r1", 4)],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0]),
+            OperandDesc::simple("Src2", &[0]),
         ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 1]),
-            OperandSpec::simple("Src2", &[1]),
-        ],
-        OperandSpec::simple("Dst", &[0]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "_mm512_dpbusds_epi32".into(),
-        compute,
-        memory: MemoryAbstraction::implicit_style(2),
-        latency: 5,
+        dst: OperandDesc::scalar("Dst"),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::Implicit,
+        latency: 4,
         initiation_interval: 1,
         src_dtype: DType::I8,
         acc_dtype: DType::I32,
@@ -113,44 +137,48 @@ pub fn avx512_vnni() -> Intrinsic {
 /// The Mali Bifrost `arm_dot` intrinsic: one 4-element i8 dot product
 /// accumulated into a scalar i32, with no explicit memory intrinsics.
 pub fn arm_dot4() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![iter("r1", 4, IterKind::Reduction)],
-        vec![
-            OperandSpec::simple("Src1", &[0]),
-            OperandSpec::simple("Src2", &[0]),
+    arm_dot4_desc().build()
+}
+
+/// Declarative table of the §7.5 AXPY unit.
+pub fn axpy_unit_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "axpy32".into(),
+        iters: vec![IterDesc::spatial("i1", 32)],
+        srcs: vec![
+            OperandDesc::scalar("Src1"),
+            OperandDesc::simple("Src2", &[0]),
         ],
-        OperandSpec::scalar("Dst"),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "arm_dot".into(),
-        compute,
-        memory: MemoryAbstraction::implicit_style(2),
-        latency: 4,
-        initiation_interval: 1,
-        src_dtype: DType::I8,
-        acc_dtype: DType::I32,
+        dst: OperandDesc::simple("Dst", &[0]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_vec", "store_vec"),
+        latency: 8,
+        initiation_interval: 2,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
     }
 }
 
 /// §7.5 virtual accelerator intrinsic: a BLAS-1 AXPY unit
 /// `Dst[i1] += Src1[] * Src2[i1]` over 32 lanes (Src1 is a broadcast scalar).
 pub fn axpy_unit() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![iter("i1", 32, IterKind::Spatial)],
-        vec![
-            OperandSpec::scalar("Src1"),
-            OperandSpec::simple("Src2", &[0]),
+    axpy_unit_desc().build()
+}
+
+/// Declarative table of the §7.5 GEMV unit.
+pub fn gemv_unit_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "gemv16".into(),
+        iters: vec![IterDesc::spatial("i1", 16), IterDesc::reduce("r1", 16)],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 1]),
+            OperandDesc::simple("Src2", &[1]),
         ],
-        OperandSpec::simple("Dst", &[0]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "axpy32".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_vec", "store_vec"),
-        latency: 8,
-        initiation_interval: 2,
+        dst: OperandDesc::simple("Dst", &[0]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_tile", "store_tile"),
+        latency: 16,
+        initiation_interval: 8,
         src_dtype: DType::F16,
         acc_dtype: DType::F32,
     }
@@ -159,24 +187,29 @@ pub fn axpy_unit() -> Intrinsic {
 /// §7.5 virtual accelerator intrinsic: a BLAS-2 GEMV unit
 /// `Dst[i1] += Src1[i1, r1] * Src2[r1]` (16x16 matrix times 16-vector).
 pub fn gemv_unit() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 16, IterKind::Spatial),
-            iter("r1", 16, IterKind::Reduction),
+    gemv_unit_desc().build()
+}
+
+/// Declarative table of the §7.5 CONV unit. The window dimension
+/// `Src1[r1, i2 + r2]` is the one compound index in the catalog.
+pub fn conv_unit_desc() -> IntrinsicDesc {
+    IntrinsicDesc {
+        name: "conv8x8x3".into(),
+        iters: vec![
+            IterDesc::spatial("i1", 8),
+            IterDesc::spatial("i2", 8),
+            IterDesc::reduce("r1", 8),
+            IterDesc::reduce("r2", 3),
         ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 1]),
-            OperandSpec::simple("Src2", &[1]),
+        srcs: vec![
+            OperandDesc::new("Src1", &[&[2], &[1, 3]]),
+            OperandDesc::simple("Src2", &[0, 2, 3]),
         ],
-        OperandSpec::simple("Dst", &[0]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "gemv16".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_tile", "store_tile"),
-        latency: 16,
-        initiation_interval: 8,
+        dst: OperandDesc::simple("Dst", &[0, 1]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_line", "store_line"),
+        latency: 24,
+        initiation_interval: 12,
         src_dtype: DType::F16,
         acc_dtype: DType::F32,
     }
@@ -186,71 +219,52 @@ pub fn gemv_unit() -> Intrinsic {
 /// `Dst[i1, i2] += Src1[r1, i2 + r2] * Src2[i1, r1, r2]` — output channels
 /// `i1`, output positions `i2`, input channels `r1` and a 3-tap window `r2`.
 pub fn conv_unit() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 8, IterKind::Spatial),
-            iter("i2", 8, IterKind::Spatial),
-            iter("r1", 8, IterKind::Reduction),
-            iter("r2", 3, IterKind::Reduction),
+    conv_unit_desc().build()
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator tables
+// ---------------------------------------------------------------------------
+
+/// Declarative table of the NVIDIA V100.
+pub fn v100_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "v100".into(),
+        levels: vec![
+            // 64 KiB register file per sub-core; shared->reg ~128 B/cyc.
+            LevelDesc::new("pe-array", 1, 64 * 1024, 128.0),
+            LevelDesc::new("sub-core", 1, 0, 0.0),
+            // 96 KiB shared memory per SM, ~128 B/cyc from L2/DRAM side.
+            LevelDesc::new("core", 4, 96 * 1024, 128.0),
+            // 900 GB/s / 1.53 GHz ≈ 588 B/cycle aggregate.
+            LevelDesc::new("device", 80, 16 << 30, 588.0),
         ],
-        vec![
-            OperandSpec {
-                name: "Src1".into(),
-                dims: vec![
-                    Expr::Var(IterId(2)),
-                    Expr::Var(IterId(1)) + Expr::Var(IterId(3)),
-                ],
-            },
-            OperandSpec::simple("Src2", &[0, 2, 3]),
-        ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "conv8x8x3".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_line", "store_line"),
-        latency: 24,
-        initiation_interval: 12,
-        src_dtype: DType::F16,
-        acc_dtype: DType::F32,
+        intrinsics: vec![wmma_desc(64, 32)],
+        clock_ghz: 1.53,
+        scalar_ops_per_core_cycle: 64.0, // fp32 FMAs per SM per cycle
     }
 }
 
 /// NVIDIA V100 (Volta): 80 SMs x 4 sub-cores, 96 KiB shared memory per SM,
 /// ~900 GB/s HBM2 at 1.53 GHz.
 pub fn v100() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "v100".into(),
+    v100_desc().build()
+}
+
+/// Declarative table of the NVIDIA A100.
+pub fn a100_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "a100".into(),
         levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                // 64 KiB register file per sub-core; shared->reg ~128 B/cyc.
-                memory: MemorySpec::symmetric(64 * 1024, 128.0),
-            },
-            Level {
-                name: "sub-core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(0, 0.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 4,
-                // 96 KiB shared memory per SM, ~128 B/cyc from L2/DRAM side.
-                memory: MemorySpec::symmetric(96 * 1024, 128.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 80,
-                // 900 GB/s / 1.53 GHz ≈ 588 B/cycle aggregate.
-                memory: MemorySpec::symmetric(16 << 30, 588.0),
-            },
+            LevelDesc::new("pe-array", 1, 64 * 1024, 256.0),
+            LevelDesc::new("sub-core", 1, 0, 0.0),
+            LevelDesc::new("core", 4, 164 * 1024, 256.0),
+            // 1555 GB/s / 1.41 GHz ≈ 1103 B/cycle aggregate.
+            LevelDesc::new("device", 108, 40u64 << 30, 1103.0),
         ],
-        intrinsic: wmma_with_timing(64, 32),
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 1.53,
-        scalar_ops_per_core_cycle: 64.0, // fp32 FMAs per SM per cycle
+        intrinsics: vec![wmma_desc(32, 16)],
+        clock_ghz: 1.41,
+        scalar_ops_per_core_cycle: 64.0,
     }
 }
 
@@ -258,161 +272,23 @@ pub fn v100() -> AcceleratorSpec {
 /// SM, ~1555 GB/s HBM2e at 1.41 GHz, third-generation Tensor Cores with
 /// twice the per-subcore WMMA throughput.
 pub fn a100() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "a100".into(),
+    a100_desc().build()
+}
+
+/// Declarative table of the NVIDIA T4.
+pub fn t4_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "t4".into(),
         levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(64 * 1024, 256.0),
-            },
-            Level {
-                name: "sub-core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(0, 0.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 4,
-                memory: MemorySpec::symmetric(164 * 1024, 256.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 108,
-                // 1555 GB/s / 1.41 GHz ≈ 1103 B/cycle aggregate.
-                memory: MemorySpec::symmetric(40u64 << 30, 1103.0),
-            },
+            LevelDesc::new("pe-array", 1, 64 * 1024, 128.0),
+            LevelDesc::new("sub-core", 1, 0, 0.0),
+            LevelDesc::new("core", 4, 64 * 1024, 128.0),
+            // 320 GB/s / 1.35 GHz = 237 B/cycle aggregate.
+            LevelDesc::new("device", 40, 16u64 << 30, 237.0),
         ],
-        intrinsic: wmma_with_timing(32, 16),
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 1.41,
+        intrinsics: vec![wmma_desc(64, 32)],
+        clock_ghz: 1.35,
         scalar_ops_per_core_cycle: 64.0,
-    }
-}
-
-/// Intel Xeon Silver 4110-class CPU with AVX-512 VNNI: 8 cores, 32 KiB L1D,
-/// ~2.1 GHz, ~100 GB/s socket bandwidth.
-pub fn xeon_avx512() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "xeon-avx512".into(),
-        levels: vec![
-            Level {
-                name: "vector-unit".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(2 * 1024, 128.0), // zmm register file
-            },
-            Level {
-                name: "port".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(0, 0.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(32 * 1024, 64.0), // L1D
-            },
-            Level {
-                name: "socket".into(),
-                inner_units: 8,
-                // ~100 GB/s / 2.1 GHz ≈ 48 B/cycle.
-                memory: MemorySpec::symmetric(64u64 << 30, 48.0),
-            },
-        ],
-        intrinsic: avx512_vnni(),
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 2.1,
-        scalar_ops_per_core_cycle: 16.0, // AVX2 fp32 FMA fallback
-    }
-}
-
-/// ARM Mali G76 (Bifrost): 12 cores x 3 execution engines with `arm_dot`,
-/// ~0.8 GHz, ~15 GB/s LPDDR bandwidth.
-pub fn mali_g76() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "mali-g76".into(),
-        levels: vec![
-            Level {
-                name: "dot-unit".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(1024, 32.0),
-            },
-            Level {
-                name: "engine".into(),
-                inner_units: 3,
-                memory: MemorySpec::symmetric(0, 0.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(16 * 1024, 16.0), // load/store cache
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 12,
-                // ~15 GB/s / 0.8 GHz ≈ 19 B/cycle.
-                memory: MemorySpec::symmetric(4u64 << 30, 19.0),
-            },
-        ],
-        intrinsic: arm_dot4(),
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 0.8,
-        scalar_ops_per_core_cycle: 8.0,
-    }
-}
-
-/// The tiny accelerator of the Figure 3 running example: a 2x2x2 matrix
-/// unit with just enough staging memory to exercise every constraint.
-pub fn mini_accel() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "mini".into(),
-        levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(256, 8.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 2,
-                memory: MemorySpec::symmetric(1024, 8.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 2,
-                memory: MemorySpec::symmetric(1 << 20, 16.0),
-            },
-        ],
-        intrinsic: mini_mma_2x2x2(),
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 1.0,
-        scalar_ops_per_core_cycle: 1.0,
-    }
-}
-
-fn virtual_accel(name: &str, intrinsic: Intrinsic) -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: name.into(),
-        levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(16 * 1024, 64.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 4,
-                memory: MemorySpec::symmetric(64 * 1024, 64.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 16,
-                memory: MemorySpec::symmetric(8u64 << 30, 256.0),
-            },
-        ],
-        intrinsic,
-        extra_intrinsics: Vec::new(),
-        clock_ghz: 1.0,
-        scalar_ops_per_core_cycle: 4.0,
     }
 }
 
@@ -420,140 +296,108 @@ fn virtual_accel(name: &str, intrinsic: Intrinsic) -> AcceleratorSpec {
 /// ~320 GB/s GDDR6 at 1.35 GHz — a smaller Tensor Core part that stresses
 /// the schedule space differently from V100/A100.
 pub fn t4() -> AcceleratorSpec {
-    AcceleratorSpec {
-        name: "t4".into(),
+    t4_desc().build()
+}
+
+/// Declarative table of the Xeon AVX-512 machine.
+pub fn xeon_avx512_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "xeon-avx512".into(),
         levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(64 * 1024, 128.0),
-            },
-            Level {
-                name: "sub-core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(0, 0.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 4,
-                memory: MemorySpec::symmetric(64 * 1024, 128.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 40,
-                // 320 GB/s / 1.35 GHz = 237 B/cycle aggregate.
-                memory: MemorySpec::symmetric(16u64 << 30, 237.0),
-            },
+            LevelDesc::new("vector-unit", 1, 2 * 1024, 128.0), // zmm register file
+            LevelDesc::new("port", 1, 0, 0.0),
+            LevelDesc::new("core", 1, 32 * 1024, 64.0), // L1D
+            // ~100 GB/s / 2.1 GHz ≈ 48 B/cycle.
+            LevelDesc::new("socket", 8, 64u64 << 30, 48.0),
         ],
-        intrinsic: wmma_with_timing(64, 32),
-        clock_ghz: 1.35,
-        scalar_ops_per_core_cycle: 64.0,
-        extra_intrinsics: Vec::new(),
+        intrinsics: vec![avx512_vnni_desc()],
+        clock_ghz: 2.1,
+        scalar_ops_per_core_cycle: 16.0, // AVX2 fp32 FMA fallback
     }
 }
 
-/// A TPU-v1-style device (the paper's canonical systolic example): one huge
-/// 128x128x128 matrix unit per core, few cores, large unified buffer. The
-/// giant problem size makes padding the dominant effect for small operators.
-pub fn tpu_like() -> AcceleratorSpec {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 128, IterKind::Spatial),
-            iter("i2", 128, IterKind::Spatial),
-            iter("r1", 128, IterKind::Reduction),
-        ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 2]),
-            OperandSpec::simple("Src2", &[2, 1]),
-        ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    let mxu = Intrinsic {
-        name: "mxu_128x128".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_tile", "store_tile"),
-        latency: 256,
-        initiation_interval: 128,
-        src_dtype: DType::I8,
-        acc_dtype: DType::I32,
-    };
-    AcceleratorSpec {
-        name: "tpu-like".into(),
+/// Intel Xeon Silver 4110-class CPU with AVX-512 VNNI: 8 cores, 32 KiB L1D,
+/// ~2.1 GHz, ~100 GB/s socket bandwidth.
+pub fn xeon_avx512() -> AcceleratorSpec {
+    xeon_avx512_desc().build()
+}
+
+/// Declarative table of the ARM Mali G76.
+pub fn mali_g76_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "mali-g76".into(),
         levels: vec![
-            Level {
-                name: "mxu".into(),
-                inner_units: 1,
-                // Accumulators + weight FIFO.
-                memory: MemorySpec::symmetric(256 * 1024, 512.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 1,
-                // 24 MiB unified buffer.
-                memory: MemorySpec::symmetric(24 * 1024 * 1024, 256.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 2,
-                memory: MemorySpec::symmetric(8u64 << 30, 128.0),
-            },
+            LevelDesc::new("dot-unit", 1, 1024, 32.0),
+            LevelDesc::new("engine", 3, 0, 0.0),
+            LevelDesc::new("core", 1, 16 * 1024, 16.0), // load/store cache
+            // ~15 GB/s / 0.8 GHz ≈ 19 B/cycle.
+            LevelDesc::new("device", 12, 4u64 << 30, 19.0),
         ],
-        intrinsic: mxu,
-        clock_ghz: 0.7,
-        scalar_ops_per_core_cycle: 4.0,
-        extra_intrinsics: Vec::new(),
+        intrinsics: vec![arm_dot4_desc()],
+        clock_ghz: 0.8,
+        scalar_ops_per_core_cycle: 8.0,
     }
 }
 
-/// A Gemmini-style INT8 systolic array (16x16x16), the paper's example of an
-/// academic generator-produced accelerator.
-pub fn gemmini_like() -> AcceleratorSpec {
-    let compute = ComputeAbstraction::new(
-        vec![
-            iter("i1", 16, IterKind::Spatial),
-            iter("i2", 16, IterKind::Spatial),
-            iter("r1", 16, IterKind::Reduction),
-        ],
-        vec![
-            OperandSpec::simple("Src1", &[0, 2]),
-            OperandSpec::simple("Src2", &[2, 1]),
-        ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    let systolic = Intrinsic {
-        name: "gemmini_matmul".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "mvin", "mvout"),
-        latency: 48,
-        initiation_interval: 16,
-        src_dtype: DType::I8,
-        acc_dtype: DType::I32,
-    };
-    AcceleratorSpec {
-        name: "gemmini-like".into(),
+/// ARM Mali G76 (Bifrost): 12 cores x 3 execution engines with `arm_dot`,
+/// ~0.8 GHz, ~15 GB/s LPDDR bandwidth.
+pub fn mali_g76() -> AcceleratorSpec {
+    mali_g76_desc().build()
+}
+
+/// Declarative table of the Figure-3 mini accelerator.
+pub fn mini_accel_desc() -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: "mini".into(),
         levels: vec![
-            Level {
-                name: "systolic-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(64 * 1024, 64.0), // accumulator SRAM
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(256 * 1024, 64.0), // scratchpad
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(4u64 << 30, 32.0),
-            },
+            LevelDesc::new("pe-array", 1, 256, 8.0),
+            LevelDesc::new("core", 2, 1024, 8.0),
+            LevelDesc::new("device", 2, 1 << 20, 16.0),
         ],
-        intrinsic: systolic,
+        intrinsics: vec![mini_mma_desc()],
         clock_ghz: 1.0,
-        scalar_ops_per_core_cycle: 2.0,
-        extra_intrinsics: Vec::new(),
+        scalar_ops_per_core_cycle: 1.0,
+    }
+}
+
+/// The tiny accelerator of the Figure 3 running example: a 2x2x2 matrix
+/// unit with just enough staging memory to exercise every constraint.
+pub fn mini_accel() -> AcceleratorSpec {
+    mini_accel_desc().build()
+}
+
+/// Declarative table of the Ascend-910-style NPU: a cube matrix engine plus
+/// a 32-lane vector MAC unit as a heterogeneous extra.
+pub fn ascend_npu_desc() -> AcceleratorDesc {
+    let cube = IntrinsicDesc {
+        name: "cube_mma".into(),
+        ..wmma_desc(48, 24)
+    };
+    let vector = IntrinsicDesc {
+        name: "vec_mac".into(),
+        iters: vec![IterDesc::spatial("i1", 32), IterDesc::reduce("r1", 4)],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 1]),
+            OperandDesc::simple("Src2", &[1]),
+        ],
+        dst: OperandDesc::simple("Dst", &[0]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::Implicit,
+        latency: 6,
+        initiation_interval: 1,
+        src_dtype: DType::F16,
+        acc_dtype: DType::F32,
+    };
+    AcceleratorDesc {
+        name: "ascend-npu".into(),
+        levels: vec![
+            LevelDesc::new("pe-array", 1, 64 * 1024, 256.0),
+            LevelDesc::new("ai-core", 2, 192 * 1024, 256.0),
+            LevelDesc::new("device", 32, 32u64 << 30, 800.0),
+        ],
+        intrinsics: vec![cube, vector],
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 16.0,
     }
 }
 
@@ -562,87 +406,159 @@ pub fn gemmini_like() -> AcceleratorSpec {
 /// primary intrinsic plus a 32-lane vector MAC unit. The explorer picks the
 /// better unit per operator via `Explorer::explore_multi`.
 pub fn ascend_npu() -> AcceleratorSpec {
-    let cube = Intrinsic {
-        name: "cube_mma".into(),
-        ..wmma_with_timing(48, 24)
-    };
-    let vector = Intrinsic {
-        name: "vec_mac".into(),
-        compute: ComputeAbstraction::new(
-            vec![
-                iter("i1", 32, IterKind::Spatial),
-                iter("r1", 4, IterKind::Reduction),
-            ],
-            vec![
-                OperandSpec::simple("Src1", &[0, 1]),
-                OperandSpec::simple("Src2", &[1]),
-            ],
-            OperandSpec::simple("Dst", &[0]),
-            OpKind::MulAcc,
-        ),
-        memory: MemoryAbstraction::implicit_style(2),
-        latency: 6,
-        initiation_interval: 1,
-        src_dtype: DType::F16,
-        acc_dtype: DType::F32,
-    };
-    AcceleratorSpec {
-        name: "ascend-npu".into(),
-        levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(64 * 1024, 256.0),
-            },
-            Level {
-                name: "ai-core".into(),
-                inner_units: 2,
-                memory: MemorySpec::symmetric(192 * 1024, 256.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 32,
-                memory: MemorySpec::symmetric(32u64 << 30, 800.0),
-            },
+    ascend_npu_desc().build()
+}
+
+/// Declarative table of the TPU-v1-style device.
+pub fn tpu_like_desc() -> AcceleratorDesc {
+    let mxu = IntrinsicDesc {
+        name: "mxu_128x128".into(),
+        iters: vec![
+            IterDesc::spatial("i1", 128),
+            IterDesc::spatial("i2", 128),
+            IterDesc::reduce("r1", 128),
         ],
-        intrinsic: cube,
-        extra_intrinsics: vec![vector],
-        clock_ghz: 1.0,
-        scalar_ops_per_core_cycle: 16.0,
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 2]),
+            OperandDesc::simple("Src2", &[2, 1]),
+        ],
+        dst: OperandDesc::simple("Dst", &[0, 1]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("load_tile", "store_tile"),
+        latency: 256,
+        initiation_interval: 128,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    };
+    AcceleratorDesc {
+        name: "tpu-like".into(),
+        levels: vec![
+            // Accumulators + weight FIFO.
+            LevelDesc::new("mxu", 1, 256 * 1024, 512.0),
+            // 24 MiB unified buffer.
+            LevelDesc::new("core", 1, 24 * 1024 * 1024, 256.0),
+            LevelDesc::new("device", 2, 8u64 << 30, 128.0),
+        ],
+        intrinsics: vec![mxu],
+        clock_ghz: 0.7,
+        scalar_ops_per_core_cycle: 4.0,
     }
+}
+
+/// A TPU-v1-style device (the paper's canonical systolic example): one huge
+/// 128x128x128 matrix unit per core, few cores, large unified buffer. The
+/// giant problem size makes padding the dominant effect for small operators.
+pub fn tpu_like() -> AcceleratorSpec {
+    tpu_like_desc().build()
+}
+
+/// Declarative table of the Gemmini-style systolic array.
+pub fn gemmini_like_desc() -> AcceleratorDesc {
+    let systolic = IntrinsicDesc {
+        name: "gemmini_matmul".into(),
+        iters: vec![
+            IterDesc::spatial("i1", 16),
+            IterDesc::spatial("i2", 16),
+            IterDesc::reduce("r1", 16),
+        ],
+        srcs: vec![
+            OperandDesc::simple("Src1", &[0, 2]),
+            OperandDesc::simple("Src2", &[2, 1]),
+        ],
+        dst: OperandDesc::simple("Dst", &[0, 1]),
+        op: OpKind::MulAcc,
+        memory: MemoryDesc::fragment("mvin", "mvout"),
+        latency: 48,
+        initiation_interval: 16,
+        src_dtype: DType::I8,
+        acc_dtype: DType::I32,
+    };
+    AcceleratorDesc {
+        name: "gemmini-like".into(),
+        levels: vec![
+            LevelDesc::new("systolic-array", 1, 64 * 1024, 64.0), // accumulator SRAM
+            LevelDesc::new("core", 1, 256 * 1024, 64.0),          // scratchpad
+            LevelDesc::new("device", 1, 4u64 << 30, 32.0),
+        ],
+        intrinsics: vec![systolic],
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 2.0,
+    }
+}
+
+/// A Gemmini-style INT8 systolic array (16x16x16), the paper's example of an
+/// academic generator-produced accelerator.
+pub fn gemmini_like() -> AcceleratorSpec {
+    gemmini_like_desc().build()
+}
+
+/// The shared hierarchy of the §7.5 virtual accelerators, around one unit.
+fn virtual_desc(name: &str, intrinsic: IntrinsicDesc) -> AcceleratorDesc {
+    AcceleratorDesc {
+        name: name.into(),
+        levels: vec![
+            LevelDesc::new("pe-array", 1, 16 * 1024, 64.0),
+            LevelDesc::new("core", 4, 64 * 1024, 64.0),
+            LevelDesc::new("device", 16, 8u64 << 30, 256.0),
+        ],
+        intrinsics: vec![intrinsic],
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 4.0,
+    }
+}
+
+/// Declarative table of the §7.5 virtual AXPY accelerator.
+pub fn virtual_axpy_desc() -> AcceleratorDesc {
+    virtual_desc("virtual-axpy", axpy_unit_desc())
 }
 
 /// §7.5 virtual spatial accelerator built around the AXPY unit.
 pub fn virtual_axpy() -> AcceleratorSpec {
-    virtual_accel("virtual-axpy", axpy_unit())
+    virtual_axpy_desc().build()
+}
+
+/// Declarative table of the §7.5 virtual GEMV accelerator.
+pub fn virtual_gemv_desc() -> AcceleratorDesc {
+    virtual_desc("virtual-gemv", gemv_unit_desc())
 }
 
 /// §7.5 virtual spatial accelerator built around the GEMV unit.
 pub fn virtual_gemv() -> AcceleratorSpec {
-    virtual_accel("virtual-gemv", gemv_unit())
+    virtual_gemv_desc().build()
+}
+
+/// Declarative table of the §7.5 virtual CONV accelerator.
+pub fn virtual_conv_desc() -> AcceleratorDesc {
+    virtual_desc("virtual-conv", conv_unit_desc())
 }
 
 /// §7.5 virtual spatial accelerator built around the CONV unit.
 pub fn virtual_conv() -> AcceleratorSpec {
-    virtual_accel("virtual-conv", conv_unit())
+    virtual_conv_desc().build()
+}
+
+/// Every accelerator description in the catalog, in catalog order — the
+/// data the builtin [`crate::Registry`] is populated from.
+pub fn descriptors() -> Vec<AcceleratorDesc> {
+    vec![
+        v100_desc(),
+        a100_desc(),
+        t4_desc(),
+        xeon_avx512_desc(),
+        mali_g76_desc(),
+        mini_accel_desc(),
+        ascend_npu_desc(),
+        tpu_like_desc(),
+        gemmini_like_desc(),
+        virtual_axpy_desc(),
+        virtual_gemv_desc(),
+        virtual_conv_desc(),
+    ]
 }
 
 /// Every accelerator in the catalog, for sweep-style tests and benches.
 pub fn all_accelerators() -> Vec<AcceleratorSpec> {
-    vec![
-        v100(),
-        a100(),
-        t4(),
-        xeon_avx512(),
-        mali_g76(),
-        mini_accel(),
-        ascend_npu(),
-        tpu_like(),
-        gemmini_like(),
-        virtual_axpy(),
-        virtual_gemv(),
-        virtual_conv(),
-    ]
+    descriptors().iter().map(AcceleratorDesc::build).collect()
 }
 
 #[cfg(test)]
@@ -705,6 +621,33 @@ mod tests {
                 acc.name
             );
         }
+    }
+
+    #[test]
+    fn descriptors_match_constructed_accelerators() {
+        // The public constructors are thin builds of the descriptor tables;
+        // the two views of the catalog must agree entry by entry.
+        let built: Vec<AcceleratorSpec> =
+            descriptors().iter().map(AcceleratorDesc::build).collect();
+        assert_eq!(built, all_accelerators());
+        let names: Vec<&str> = built.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "v100",
+                "a100",
+                "t4",
+                "xeon-avx512",
+                "mali-g76",
+                "mini",
+                "ascend-npu",
+                "tpu-like",
+                "gemmini-like",
+                "virtual-axpy",
+                "virtual-gemv",
+                "virtual-conv",
+            ]
+        );
     }
 
     #[test]

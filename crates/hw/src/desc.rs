@@ -1,0 +1,400 @@
+//! Declarative accelerator descriptions — the *data* layer behind the
+//! catalog.
+//!
+//! Paper §7.5 argues that retargeting AMOS to a new spatial accelerator
+//! should take "a few lines of description". This module makes that literal:
+//! an accelerator is a plain-data [`AcceleratorDesc`] (hierarchy levels plus
+//! one or more [`IntrinsicDesc`] entries), and [`AcceleratorDesc::build`]
+//! lowers it to the validated [`AcceleratorSpec`] the rest of the stack
+//! consumes. The catalog authors every built-in accelerator this way, and
+//! [`crate::Registry`] keeps the descriptions addressable by name.
+//!
+//! Descriptions are deliberately less expressive than the spec layer: operand
+//! indices are sums of iteration positions (enough for every intrinsic in the
+//! paper, including window-style convolution units), and memory follows one
+//! of the two conventional shapes ([`MemoryDesc::Fragment`] /
+//! [`MemoryDesc::Implicit`]). Building a description produces a spec
+//! `PartialEq`-identical to one written by hand against the spec types.
+
+use crate::abstraction::{ComputeAbstraction, IntrinsicIter, OperandSpec};
+use crate::accelerator::{AcceleratorSpec, Level, MemorySpec};
+use crate::intrinsic::Intrinsic;
+use crate::memory::MemoryAbstraction;
+use amos_ir::{DType, Expr, IterId, IterKind, OpKind};
+
+/// One iteration axis of a described intrinsic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterDesc {
+    /// Display name (`i1`, `r1`, ...).
+    pub name: String,
+    /// Problem-size extent of the axis.
+    pub extent: i64,
+    /// Spatial or reduction.
+    pub kind: IterKind,
+}
+
+impl IterDesc {
+    /// A spatial iteration axis.
+    pub fn spatial(name: impl Into<String>, extent: i64) -> Self {
+        IterDesc {
+            name: name.into(),
+            extent,
+            kind: IterKind::Spatial,
+        }
+    }
+
+    /// A reduction iteration axis.
+    pub fn reduce(name: impl Into<String>, extent: i64) -> Self {
+        IterDesc {
+            name: name.into(),
+            extent,
+            kind: IterKind::Reduction,
+        }
+    }
+}
+
+/// One operand of a described intrinsic.
+///
+/// `index[d]` lists the iteration positions (into [`IntrinsicDesc::iters`])
+/// summed to index dimension `d`: `[[0], [2]]` reads `Src[i0, i2]`, while a
+/// window-style `[[2], [1, 3]]` reads `Src[i2, i1 + i3]`. An empty `index`
+/// is a scalar operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandDesc {
+    /// Operand name for display (`Src1`, `Dst`, ...).
+    pub name: String,
+    /// Per-dimension sums of iteration positions.
+    pub index: Vec<Vec<usize>>,
+}
+
+impl OperandDesc {
+    /// An operand whose dimensions are arbitrary sums of iterations.
+    pub fn new(name: impl Into<String>, index: &[&[usize]]) -> Self {
+        OperandDesc {
+            name: name.into(),
+            index: index.iter().map(|terms| terms.to_vec()).collect(),
+        }
+    }
+
+    /// The common case: one iteration per dimension.
+    pub fn simple(name: impl Into<String>, iters: &[usize]) -> Self {
+        OperandDesc {
+            name: name.into(),
+            index: iters.iter().map(|&i| vec![i]).collect(),
+        }
+    }
+
+    /// A zero-dimensional (scalar) operand.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        OperandDesc {
+            name: name.into(),
+            index: Vec::new(),
+        }
+    }
+
+    fn build(&self) -> OperandSpec {
+        OperandSpec {
+            name: self.name.clone(),
+            dims: self.index.iter().map(|terms| dim_expr(terms)).collect(),
+        }
+    }
+}
+
+/// Folds a sum of iteration positions into an affine index expression.
+fn dim_expr(terms: &[usize]) -> Expr {
+    let (&first, rest) = terms
+        .split_first()
+        .expect("an operand dimension must reference at least one iteration");
+    rest.iter().fold(Expr::Var(IterId(first as u32)), |e, &t| {
+        e + Expr::Var(IterId(t as u32))
+    })
+}
+
+/// The memory-abstraction shape of a described intrinsic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryDesc {
+    /// Explicit fragment load/store intrinsics (Tensor-Core style): every
+    /// source loads shared → reg via `load`, the destination stores
+    /// reg → global via `store`.
+    Fragment {
+        /// Name of the load intrinsic (`load_matrix_sync`, `mvin`, ...).
+        load: String,
+        /// Name of the store intrinsic (`store_matrix_sync`, `mvout`, ...).
+        store: String,
+    },
+    /// Transfers exist but are implicit in the compute intrinsic (AVX-512,
+    /// Mali `arm_dot`): no named memory intrinsics.
+    Implicit,
+}
+
+impl MemoryDesc {
+    /// Shorthand for [`MemoryDesc::Fragment`].
+    pub fn fragment(load: impl Into<String>, store: impl Into<String>) -> Self {
+        MemoryDesc::Fragment {
+            load: load.into(),
+            store: store.into(),
+        }
+    }
+
+    fn build(&self, num_srcs: usize) -> MemoryAbstraction {
+        match self {
+            MemoryDesc::Fragment { load, store } => {
+                MemoryAbstraction::fragment_style(num_srcs, load, store)
+            }
+            MemoryDesc::Implicit => MemoryAbstraction::implicit_style(num_srcs),
+        }
+    }
+}
+
+/// A complete declarative intrinsic description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntrinsicDesc {
+    /// Name of the compute intrinsic (e.g. `mma_sync`).
+    pub name: String,
+    /// Iteration axes in declaration order; operand indices refer to these
+    /// by position.
+    pub iters: Vec<IterDesc>,
+    /// Source operands.
+    pub srcs: Vec<OperandDesc>,
+    /// Destination operand.
+    pub dst: OperandDesc,
+    /// The arithmetic operation `F` of Def 4.1.
+    pub op: OpKind,
+    /// Memory-abstraction shape.
+    pub memory: MemoryDesc,
+    /// Issue-to-retire latency of one call, in cycles.
+    pub latency: u64,
+    /// Pipelined initiation interval in cycles.
+    pub initiation_interval: u64,
+    /// Element type the sources are consumed in.
+    pub src_dtype: DType,
+    /// Element type of the accumulator/destination.
+    pub acc_dtype: DType,
+}
+
+impl IntrinsicDesc {
+    /// Lowers the description to a validated [`Intrinsic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the description is inconsistent (operand referencing an
+    /// unknown iteration, operand count not matching the arity of `op`,
+    /// non-positive extent) — descriptions are authored data, so violations
+    /// are programming errors, mirroring [`ComputeAbstraction::new`].
+    pub fn build(&self) -> Intrinsic {
+        let iters = self
+            .iters
+            .iter()
+            .map(|it| IntrinsicIter {
+                name: it.name.clone(),
+                extent: it.extent,
+                kind: it.kind,
+            })
+            .collect();
+        let srcs: Vec<OperandSpec> = self.srcs.iter().map(OperandDesc::build).collect();
+        let num_srcs = srcs.len();
+        let compute = ComputeAbstraction::new(iters, srcs, self.dst.build(), self.op);
+        Intrinsic {
+            name: self.name.clone(),
+            compute,
+            memory: self.memory.build(num_srcs),
+            latency: self.latency,
+            initiation_interval: self.initiation_interval,
+            src_dtype: self.src_dtype,
+            acc_dtype: self.acc_dtype,
+        }
+    }
+}
+
+/// One hierarchy level of a described accelerator, with symmetric load/store
+/// bandwidth (every catalog machine models memory this way).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelDesc {
+    /// Display name (`pe-array`, `core`, `device`, ...).
+    pub name: String,
+    /// Units of the previous (inner) level contained in one unit of this
+    /// level; the innermost level uses 1.
+    pub inner_units: u64,
+    /// Memory capacity per unit, in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained bandwidth per unit, bytes per cycle (load and store).
+    pub bytes_per_cycle: f64,
+}
+
+impl LevelDesc {
+    /// One row of a hierarchy table.
+    pub fn new(
+        name: impl Into<String>,
+        inner_units: u64,
+        capacity_bytes: u64,
+        bytes_per_cycle: f64,
+    ) -> Self {
+        LevelDesc {
+            name: name.into(),
+            inner_units,
+            capacity_bytes,
+            bytes_per_cycle,
+        }
+    }
+
+    fn build(&self) -> Level {
+        Level {
+            name: self.name.clone(),
+            inner_units: self.inner_units,
+            memory: MemorySpec::symmetric(self.capacity_bytes, self.bytes_per_cycle),
+        }
+    }
+}
+
+/// A complete declarative accelerator description: the "few lines" of §7.5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorDesc {
+    /// Accelerator name (`v100`, `virtual-axpy`, ...); the registry key.
+    pub name: String,
+    /// Hierarchy levels from innermost (PE array) to outermost (device).
+    pub levels: Vec<LevelDesc>,
+    /// Intrinsics exposed by the PE array; the first is the primary one,
+    /// the rest are heterogeneous extras (e.g. an NPU vector unit).
+    pub intrinsics: Vec<IntrinsicDesc>,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Scalar multiply-add throughput per core per cycle (baseline fallback).
+    pub scalar_ops_per_core_cycle: f64,
+}
+
+impl AcceleratorDesc {
+    /// Lowers the description to a validated [`AcceleratorSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the description has no intrinsic or an intrinsic is
+    /// inconsistent (see [`IntrinsicDesc::build`]).
+    pub fn build(&self) -> AcceleratorSpec {
+        let (primary, extras) = self
+            .intrinsics
+            .split_first()
+            .expect("an accelerator description must list at least one intrinsic");
+        AcceleratorSpec {
+            name: self.name.clone(),
+            levels: self.levels.iter().map(LevelDesc::build).collect(),
+            intrinsic: primary.build(),
+            extra_intrinsics: extras.iter().map(IntrinsicDesc::build).collect(),
+            clock_ghz: self.clock_ghz,
+            scalar_ops_per_core_cycle: self.scalar_ops_per_core_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::OperandRef;
+
+    fn toy_desc() -> AcceleratorDesc {
+        AcceleratorDesc {
+            name: "toy".into(),
+            levels: vec![
+                LevelDesc::new("pe-array", 1, 4 * 1024, 32.0),
+                LevelDesc::new("core", 2, 32 * 1024, 32.0),
+                LevelDesc::new("device", 4, 1 << 30, 64.0),
+            ],
+            intrinsics: vec![IntrinsicDesc {
+                name: "toy_mma".into(),
+                iters: vec![
+                    IterDesc::spatial("i1", 4),
+                    IterDesc::spatial("i2", 4),
+                    IterDesc::reduce("r1", 4),
+                ],
+                srcs: vec![
+                    OperandDesc::simple("Src1", &[0, 2]),
+                    OperandDesc::simple("Src2", &[2, 1]),
+                ],
+                dst: OperandDesc::simple("Dst", &[0, 1]),
+                op: OpKind::MulAcc,
+                memory: MemoryDesc::fragment("ld", "st"),
+                latency: 8,
+                initiation_interval: 4,
+                src_dtype: DType::F16,
+                acc_dtype: DType::F32,
+            }],
+            clock_ghz: 1.0,
+            scalar_ops_per_core_cycle: 2.0,
+        }
+    }
+
+    #[test]
+    fn build_produces_validated_spec() {
+        let spec = toy_desc().build();
+        assert_eq!(spec.name, "toy");
+        assert_eq!(spec.num_levels(), 3);
+        assert_eq!(spec.total_pe_arrays(), 8);
+        assert_eq!(spec.intrinsic.name, "toy_mma");
+        assert_eq!(spec.intrinsic.scalar_ops(), 64);
+        assert!(spec.extra_intrinsics.is_empty());
+    }
+
+    #[test]
+    fn simple_operand_matches_spec_layer() {
+        // The desc layer must produce exactly what `OperandSpec::simple`
+        // would: single-variable dims, no `Add` wrappers.
+        let built = OperandDesc::simple("Src1", &[0, 2]).build();
+        assert_eq!(built, OperandSpec::simple("Src1", &[0, 2]));
+        let scalar = OperandDesc::scalar("Src1").build();
+        assert_eq!(scalar, OperandSpec::scalar("Src1"));
+    }
+
+    #[test]
+    fn compound_dimension_folds_to_sum() {
+        let built = OperandDesc::new("Src1", &[&[2], &[1, 3]]).build();
+        assert_eq!(
+            built.dims,
+            vec![
+                Expr::Var(IterId(2)),
+                Expr::Var(IterId(1)) + Expr::Var(IterId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_intrinsic_fragment_shape() {
+        let conv = IntrinsicDesc {
+            name: "conv".into(),
+            iters: vec![
+                IterDesc::spatial("i1", 4),
+                IterDesc::spatial("i2", 8),
+                IterDesc::reduce("r1", 4),
+                IterDesc::reduce("r2", 3),
+            ],
+            srcs: vec![
+                OperandDesc::new("Src1", &[&[2], &[1, 3]]),
+                OperandDesc::simple("Src2", &[0, 2, 3]),
+            ],
+            dst: OperandDesc::simple("Dst", &[0, 1]),
+            op: OpKind::MulAcc,
+            memory: MemoryDesc::Implicit,
+            latency: 4,
+            initiation_interval: 2,
+            src_dtype: DType::F16,
+            acc_dtype: DType::F32,
+        }
+        .build();
+        // The line buffer spans i2 + r2 - 1 = 10 positions.
+        assert_eq!(conv.compute.fragment_shape(OperandRef::Src(0)), vec![4, 10]);
+        assert!(conv
+            .memory
+            .statements()
+            .iter()
+            .all(|s| s.intrinsic.is_none()));
+    }
+
+    #[test]
+    fn extra_intrinsics_follow_the_primary() {
+        let mut desc = toy_desc();
+        let mut vec_unit = desc.intrinsics[0].clone();
+        vec_unit.name = "toy_vec".into();
+        desc.intrinsics.push(vec_unit);
+        let spec = desc.build();
+        let names: Vec<&str> = spec.all_intrinsics().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["toy_mma", "toy_vec"]);
+    }
+}

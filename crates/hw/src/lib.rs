@@ -8,9 +8,14 @@
 //! * [`MemoryAbstraction`] — scoped fragment transfers (Def 4.2),
 //! * [`Intrinsic`] — the two abstractions plus latency and dtypes,
 //! * [`AcceleratorSpec`] — the hierarchical machine of paper Fig 1a,
-//! * [`catalog`] — Tensor Core (V100/A100), AVX-512 VNNI, Mali `arm_dot`,
-//!   the Figure-3 mini accelerator, and the §7.5 virtual AXPY/GEMV/CONV
-//!   accelerators.
+//! * [`desc`] — declarative plain-data descriptions ([`AcceleratorDesc`],
+//!   [`IntrinsicDesc`]) that lower to the spec types,
+//! * [`Registry`] — name → description lookup, pre-populated from the
+//!   catalog and extensible with new accelerators (§7.5),
+//! * [`catalog`] — Tensor Core (V100/A100/T4), AVX-512 VNNI, Mali
+//!   `arm_dot`, the Figure-3 mini accelerator, TPU/Gemmini/Ascend-style
+//!   devices, and the §7.5 virtual AXPY/GEMV/CONV accelerators — all
+//!   authored as descriptor tables.
 //!
 //! ## Example
 //!
@@ -35,13 +40,17 @@ mod abstraction;
 mod accelerator;
 mod intrinsic;
 mod memory;
+mod registry;
 
 pub mod catalog;
+pub mod desc;
 
 pub use abstraction::{ComputeAbstraction, IntrinsicIter, OperandRef, OperandSpec};
 pub use accelerator::{AcceleratorSpec, Level, MemorySpec};
+pub use desc::{AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc};
 pub use intrinsic::Intrinsic;
 pub use memory::{MemStatement, MemoryAbstraction, TransferDir};
+pub use registry::Registry;
 
 // Accelerator descriptions are shared by reference across explorer worker
 // threads; keep them free of interior mutability.

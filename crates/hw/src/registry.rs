@@ -1,0 +1,127 @@
+//! Name → description registry of accelerators.
+//!
+//! The registry is the lookup layer the CLI and Engine use to enumerate and
+//! build backends: [`Registry::builtin`] starts from the catalog's
+//! declarative tables, and [`Registry::register`] adds (or replaces) a
+//! user-supplied [`AcceleratorDesc`] — the §7.5 "new accelerator in a few
+//! lines" path.
+
+use crate::accelerator::AcceleratorSpec;
+use crate::catalog;
+use crate::desc::AcceleratorDesc;
+
+/// An ordered collection of accelerator descriptions addressable by name.
+///
+/// Order is preserved (and deterministic) so that enumeration output —
+/// `--list-accels`, sweep tests — is stable.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Vec<AcceleratorDesc>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry pre-populated with every catalog accelerator, in catalog
+    /// order.
+    pub fn builtin() -> Self {
+        Registry {
+            entries: catalog::descriptors(),
+        }
+    }
+
+    /// Adds a description, replacing any existing entry with the same name
+    /// (replacement keeps the original position; new names append).
+    pub fn register(&mut self, desc: AcceleratorDesc) {
+        match self.entries.iter_mut().find(|e| e.name == desc.name) {
+            Some(slot) => *slot = desc,
+            None => self.entries.push(desc),
+        }
+    }
+
+    /// Accelerator names in registry order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Looks up a description by name.
+    pub fn get(&self, name: &str) -> Option<&AcceleratorDesc> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Builds the named accelerator, if registered.
+    pub fn build(&self, name: &str) -> Option<AcceleratorSpec> {
+        self.get(name).map(AcceleratorDesc::build)
+    }
+
+    /// Builds every registered accelerator, in registry order.
+    pub fn build_all(&self) -> Vec<AcceleratorSpec> {
+        self.entries.iter().map(AcceleratorDesc::build).collect()
+    }
+
+    /// All registered descriptions, in registry order.
+    pub fn descs(&self) -> &[AcceleratorDesc] {
+        &self.entries
+    }
+
+    /// Number of registered accelerators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_matches_catalog_order() {
+        let reg = Registry::builtin();
+        let names: Vec<String> = catalog::all_accelerators()
+            .into_iter()
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(
+            reg.names(),
+            names.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+        assert!(!reg.is_empty());
+        assert_eq!(reg.len(), names.len());
+    }
+
+    #[test]
+    fn build_by_name_equals_catalog_constructor() {
+        let reg = Registry::builtin();
+        assert_eq!(reg.build("v100"), Some(catalog::v100()));
+        assert_eq!(reg.build("virtual-conv"), Some(catalog::virtual_conv()));
+        assert_eq!(reg.build("nonexistent"), None);
+    }
+
+    #[test]
+    fn register_replaces_in_place_and_appends_new() {
+        let mut reg = Registry::builtin();
+        let n = reg.len();
+        let pos = reg.names().iter().position(|&s| s == "mini").unwrap();
+
+        let mut replacement = reg.get("mini").unwrap().clone();
+        replacement.clock_ghz = 2.0;
+        reg.register(replacement);
+        assert_eq!(reg.len(), n, "replacement must not grow the registry");
+        assert_eq!(reg.names()[pos], "mini", "replacement keeps its position");
+        assert_eq!(reg.build("mini").unwrap().clock_ghz, 2.0);
+
+        let mut fresh = reg.get("mini").unwrap().clone();
+        fresh.name = "mini-2".into();
+        reg.register(fresh);
+        assert_eq!(reg.len(), n + 1);
+        assert_eq!(*reg.names().last().unwrap(), "mini-2");
+    }
+}

@@ -32,6 +32,9 @@ pub enum IrError {
     /// A spatial iteration is missing from the output access, or a reduction
     /// iteration appears in it.
     IterKindMismatch { name: String, detail: String },
+    /// A runtime tensor shape cannot be materialised: a negative extent, or
+    /// an element count overflowing the address space.
+    UnallocatableShape { shape: Vec<i64> },
 }
 
 impl fmt::Display for IrError {
@@ -70,6 +73,10 @@ impl fmt::Display for IrError {
             IrError::IterKindMismatch { name, detail } => {
                 write!(f, "iteration `{name}`: {detail}")
             }
+            IrError::UnallocatableShape { shape } => write!(
+                f,
+                "tensor shape {shape:?} cannot be materialised (negative extent or address-space overflow)"
+            ),
         }
     }
 }

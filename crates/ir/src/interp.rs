@@ -21,66 +21,74 @@ pub struct TensorData {
 /// Validated element count of a shape: every extent non-negative and the
 /// product representable as `usize`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a descriptive message on a negative extent or an overflowing
-/// product — previously these wrapped through `as usize` into absurd (or
-/// tiny) allocations.
-fn checked_len(shape: &[i64]) -> usize {
+/// Returns [`IrError::UnallocatableShape`] on a negative extent or an
+/// overflowing product — previously these wrapped through `as usize` into
+/// absurd (or tiny) allocations.
+fn checked_len(shape: &[i64]) -> Result<usize, IrError> {
     let mut len: usize = 1;
     for &d in shape {
-        let d = usize::try_from(d)
-            .unwrap_or_else(|_| panic!("negative extent {d} in tensor shape {shape:?}"));
+        let d = usize::try_from(d).map_err(|_| IrError::UnallocatableShape {
+            shape: shape.to_vec(),
+        })?;
         len = len
             .checked_mul(d)
-            .unwrap_or_else(|| panic!("tensor shape {shape:?} overflows the address space"));
+            .ok_or_else(|| IrError::UnallocatableShape {
+                shape: shape.to_vec(),
+            })?;
     }
-    len
+    Ok(len)
 }
 
 impl TensorData {
     /// All-zero tensor of the given shape.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the shape has a negative extent or its product overflows
-    /// `usize`.
-    pub fn zeros(shape: &[i64]) -> Self {
-        TensorData {
+    /// Returns [`IrError::UnallocatableShape`] if the shape has a negative
+    /// extent or its product overflows `usize`.
+    pub fn zeros(shape: &[i64]) -> Result<Self, IrError> {
+        Ok(TensorData {
             shape: shape.to_vec(),
-            data: vec![0.0; checked_len(shape)],
-        }
+            data: vec![0.0; checked_len(shape)?],
+        })
     }
 
     /// Tensor filled with one value.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the shape has a negative extent or its product overflows
-    /// `usize`.
-    pub fn filled(shape: &[i64], value: f64) -> Self {
-        TensorData {
+    /// Returns [`IrError::UnallocatableShape`] if the shape has a negative
+    /// extent or its product overflows `usize`.
+    pub fn filled(shape: &[i64], value: f64) -> Result<Self, IrError> {
+        Ok(TensorData {
             shape: shape.to_vec(),
-            data: vec![value; checked_len(shape)],
-        }
+            data: vec![value; checked_len(shape)?],
+        })
     }
 
     /// Tensor matching a declaration, filled by `f(flat_index)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the shape has a negative extent or its product overflows
-    /// `usize`.
-    pub fn from_fn(shape: &[i64], f: impl Fn(usize) -> f64) -> Self {
-        TensorData {
+    /// Returns [`IrError::UnallocatableShape`] if the shape has a negative
+    /// extent or its product overflows `usize`.
+    pub fn from_fn(shape: &[i64], f: impl Fn(usize) -> f64) -> Result<Self, IrError> {
+        Ok(TensorData {
             shape: shape.to_vec(),
-            data: (0..checked_len(shape)).map(f).collect(),
-        }
+            data: (0..checked_len(shape)?).map(f).collect(),
+        })
     }
 
     /// Deterministic pseudo-random small-integer data; integer values keep
     /// float accumulation exact so equality checks can be bitwise.
-    pub fn sequence(shape: &[i64], seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnallocatableShape`] if the shape has a negative
+    /// extent or its product overflows `usize`.
+    pub fn sequence(shape: &[i64], seed: u64) -> Result<Self, IrError> {
         Self::from_fn(shape, |i| {
             // Simple SplitMix64-style hash truncated to a small range.
             let mut z = seed.wrapping_add(0x9e3779b97f4a7c15).wrapping_add(i as u64);
@@ -121,9 +129,15 @@ impl TensorData {
 /// * tensors named `ones*` become all-ones,
 /// * tensors named `lower_tri*` / `upper_tri*` become triangular 0/1 masks
 ///   (used to express scan/cumulative-sum as a GEMM, after Dakkak et al.).
+///
+/// # Panics
+///
+/// Panics on a declaration the builder would have rejected (non-positive
+/// extents); declared tensor shapes are validated at construction.
 pub fn constant_value(decl: &TensorDecl) -> TensorData {
+    const VALIDATED: &str = "declared tensor shapes are validated by the builder";
     if decl.name.starts_with("ones") {
-        TensorData::filled(&decl.shape, 1.0)
+        TensorData::filled(&decl.shape, 1.0).expect(VALIDATED)
     } else if decl.name.starts_with("lower_tri") || decl.name.starts_with("upper_tri") {
         assert_eq!(decl.rank(), 2, "triangular constants must be matrices");
         let (n, m) = (decl.shape[0], decl.shape[1]);
@@ -139,21 +153,30 @@ pub fn constant_value(decl: &TensorDecl) -> TensorData {
                 0.0
             }
         })
+        .expect(VALIDATED)
     } else {
-        TensorData::zeros(&decl.shape)
+        TensorData::zeros(&decl.shape).expect(VALIDATED)
     }
 }
 
 /// Generates a full input binding for a computation: deterministic data for
 /// inputs, materialised constants, zeros for the output.
+///
+/// # Panics
+///
+/// Panics on declarations the builder would have rejected (non-positive
+/// extents); declared tensor shapes are validated at construction.
 pub fn make_inputs(def: &ComputeDef, seed: u64) -> Vec<TensorData> {
+    const VALIDATED: &str = "declared tensor shapes are validated by the builder";
     def.tensors()
         .iter()
         .enumerate()
         .map(|(i, t)| match t.role {
-            TensorRole::Input => TensorData::sequence(&t.shape, seed.wrapping_add(i as u64 * 7919)),
+            TensorRole::Input => {
+                TensorData::sequence(&t.shape, seed.wrapping_add(i as u64 * 7919)).expect(VALIDATED)
+            }
             TensorRole::Constant => constant_value(t),
-            TensorRole::Output => TensorData::zeros(&t.shape),
+            TensorRole::Output => TensorData::zeros(&t.shape).expect(VALIDATED),
         })
         .collect()
 }
@@ -256,9 +279,9 @@ mod tests {
     #[test]
     fn gemm_against_manual_reference() {
         let def = gemm(3, 4, 5);
-        let a = TensorData::from_fn(&[3, 5], |i| (i % 7) as f64);
-        let b = TensorData::from_fn(&[5, 4], |i| (i % 5) as f64 - 2.0);
-        let c = TensorData::zeros(&[3, 4]);
+        let a = TensorData::from_fn(&[3, 5], |i| (i % 7) as f64).unwrap();
+        let b = TensorData::from_fn(&[5, 4], |i| (i % 5) as f64 - 2.0).unwrap();
+        let c = TensorData::zeros(&[3, 4]).unwrap();
         let out = execute(&def, &[a.clone(), b.clone(), c]).unwrap();
         for i in 0..3usize {
             for j in 0..4usize {
@@ -280,8 +303,8 @@ mod tests {
         let o = b.output("o", &[3], DType::F32);
         b.add_acc(o.at([p.ex()]), img.at([p.ex() + r.ex()]));
         let def = b.finish().unwrap();
-        let img = TensorData::from_fn(&[4], |i| i as f64);
-        let out = execute(&def, &[img, TensorData::zeros(&[3])]).unwrap();
+        let img = TensorData::from_fn(&[4], |i| i as f64).unwrap();
+        let out = execute(&def, &[img, TensorData::zeros(&[3]).unwrap()]).unwrap();
         assert_eq!(out.data, vec![1.0, 3.0, 5.0]); // sliding pair sums
     }
 
@@ -293,7 +316,14 @@ mod tests {
         let o = b.output("o", &[3], DType::F32);
         b.add_acc(o.at([p.ex()]), img.at([p.ex()]));
         let def = b.finish().unwrap();
-        let err = execute(&def, &[TensorData::zeros(&[2]), TensorData::zeros(&[3])]).unwrap_err();
+        let err = execute(
+            &def,
+            &[
+                TensorData::zeros(&[2]).unwrap(),
+                TensorData::zeros(&[3]).unwrap(),
+            ],
+        )
+        .unwrap_err();
         assert!(matches!(err, IrError::OutOfBounds { .. }));
     }
 
@@ -303,9 +333,9 @@ mod tests {
         let err = execute(
             &def,
             &[
-                TensorData::zeros(&[2, 3]),
-                TensorData::zeros(&[2, 2]),
-                TensorData::zeros(&[2, 2]),
+                TensorData::zeros(&[2, 3]).unwrap(),
+                TensorData::zeros(&[2, 2]).unwrap(),
+                TensorData::zeros(&[2, 2]).unwrap(),
             ],
         )
         .unwrap_err();
@@ -355,18 +385,26 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_shapes_are_fine_but_negative_extents_panic() {
-        assert!(TensorData::zeros(&[0, 5]).is_empty());
-        assert_eq!(TensorData::zeros(&[]).len(), 1); // rank-0 scalar
-        let bad = std::panic::catch_unwind(|| TensorData::zeros(&[3, -2]));
-        assert!(bad.is_err(), "negative extent must panic, not wrap");
-        let huge = std::panic::catch_unwind(|| TensorData::filled(&[i64::MAX, i64::MAX], 1.0));
-        assert!(huge.is_err(), "overflowing product must panic, not wrap");
+    fn degenerate_shapes_are_fine_but_negative_extents_error() {
+        assert!(TensorData::zeros(&[0, 5]).unwrap().is_empty());
+        assert_eq!(TensorData::zeros(&[]).unwrap().len(), 1); // rank-0 scalar
+        let bad = TensorData::zeros(&[3, -2]);
+        assert_eq!(
+            bad,
+            Err(IrError::UnallocatableShape { shape: vec![3, -2] }),
+            "negative extent must error, not wrap"
+        );
+        let huge = TensorData::filled(&[i64::MAX, i64::MAX], 1.0);
+        assert!(
+            matches!(huge, Err(IrError::UnallocatableShape { .. })),
+            "overflowing product must error, not wrap"
+        );
+        assert!(huge.unwrap_err().to_string().contains("materialised"));
     }
 
     #[test]
     fn max_abs_diff_detects_mismatch() {
-        let a = TensorData::filled(&[2], 1.0);
+        let a = TensorData::filled(&[2], 1.0).unwrap();
         let mut b = a.clone();
         b.data[1] = 3.0;
         assert_eq!(a.max_abs_diff(&b), 2.0);

@@ -111,7 +111,7 @@ pub fn execute_mapped(
 
 /// Like [`execute_mapped`], additionally returning execution statistics.
 ///
-/// Runs through the compiled lane programs of [`MappedProgram::compiled`]:
+/// Runs through the program's cached compiled lane programs:
 /// fragment staging, lane predicates and scatter-back evaluate affine
 /// base/stride tables (or compact bytecode for non-affine residuals) over
 /// reusable buffers instead of re-walking `Expr` trees per lane. The output

@@ -1,76 +1,46 @@
 //! Bring your own accelerator (paper §7.5).
 //!
-//! Defines a brand-new spatial accelerator — an 8-lane fused
-//! multiply-accumulate "FMA row" unit that nothing in the catalog ships —
-//! purely through the hardware abstraction, then lets AMOS map a 3D
-//! convolution onto it with zero templates. Also reproduces the §7.5
-//! mapping-count experiment on the catalog's AXPY/GEMV/CONV units.
+//! Defines a brand-new spatial accelerator — an 8×8 outer-product unit that
+//! nothing in the catalog ships — as a few lines of *declarative data*
+//! ([`AcceleratorDesc`]), registers it alongside the built-in machines, and
+//! lets AMOS map a 3D convolution onto it with zero templates. Also
+//! reproduces the §7.5 mapping-count experiment on the catalog's
+//! AXPY/GEMV/CONV units.
 //!
 //! Run with: `cargo run --example new_accelerator`
 
-use amos::core::MappingGenerator;
+use amos::core::{Engine, MappingGenerator};
 use amos::hw::{
-    catalog, AcceleratorSpec, ComputeAbstraction, Intrinsic, IntrinsicIter, Level,
-    MemoryAbstraction, MemorySpec, OperandSpec,
+    AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc, Registry,
 };
-use amos::ir::{DType, IterKind, OpKind};
+use amos::ir::{DType, OpKind};
 use amos::workloads::ops;
 
-/// A custom outer-product unit: `Dst[i1, i2] += Src1[i1] * Src2[i2]`.
-fn outer_product_unit() -> Intrinsic {
-    let compute = ComputeAbstraction::new(
-        vec![
-            IntrinsicIter {
-                name: "i1".into(),
-                extent: 8,
-                kind: IterKind::Spatial,
-            },
-            IntrinsicIter {
-                name: "i2".into(),
-                extent: 8,
-                kind: IterKind::Spatial,
-            },
-        ],
-        vec![
-            OperandSpec::simple("Src1", &[0]),
-            OperandSpec::simple("Src2", &[1]),
-        ],
-        OperandSpec::simple("Dst", &[0, 1]),
-        OpKind::MulAcc,
-    );
-    Intrinsic {
-        name: "outer8x8".into(),
-        compute,
-        memory: MemoryAbstraction::fragment_style(2, "load_vec", "store_tile"),
-        latency: 8,
-        initiation_interval: 4,
-        src_dtype: DType::F16,
-        acc_dtype: DType::F32,
-    }
-}
-
-fn outer_product_accelerator() -> AcceleratorSpec {
-    AcceleratorSpec {
+/// A custom outer-product accelerator, `Dst[i1, i2] += Src1[i1] * Src2[i2]`,
+/// described entirely as data: three hierarchy rows and one intrinsic table.
+fn outer_product_accelerator() -> AcceleratorDesc {
+    AcceleratorDesc {
         name: "outer-product-npu".into(),
         levels: vec![
-            Level {
-                name: "pe-array".into(),
-                inner_units: 1,
-                memory: MemorySpec::symmetric(8 * 1024, 32.0),
-            },
-            Level {
-                name: "core".into(),
-                inner_units: 2,
-                memory: MemorySpec::symmetric(32 * 1024, 32.0),
-            },
-            Level {
-                name: "device".into(),
-                inner_units: 8,
-                memory: MemorySpec::symmetric(4 << 30, 128.0),
-            },
+            LevelDesc::new("pe-array", 1, 8 * 1024, 32.0),
+            LevelDesc::new("core", 2, 32 * 1024, 32.0),
+            LevelDesc::new("device", 8, 4 << 30, 128.0),
         ],
-        intrinsic: outer_product_unit(),
-        extra_intrinsics: Vec::new(),
+        intrinsics: vec![IntrinsicDesc {
+            name: "outer8x8".into(),
+            iters: vec![IterDesc::spatial("i1", 8), IterDesc::spatial("i2", 8)],
+            srcs: vec![
+                OperandDesc::simple("Src1", &[0]),
+                OperandDesc::simple("Src2", &[1]),
+            ],
+            dst: OperandDesc::simple("Dst", &[0, 1]),
+            op: OpKind::MulAcc,
+            memory: MemoryDesc::fragment("load_vec", "store_tile"),
+            latency: 8,
+            initiation_interval: 4,
+            src_dtype: DType::F16,
+            acc_dtype: DType::F32,
+        }],
         clock_ghz: 1.0,
         scalar_ops_per_core_cycle: 2.0,
     }
@@ -82,21 +52,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("software: {c3d}\n");
 
     // ---- the §7.5 experiment: BLAS-level virtual accelerators -------------
+    let mut registry = Registry::builtin();
     println!("mapping counts for C3D on the virtual accelerators (paper §7.5):");
-    for (accel, paper) in [
-        (catalog::virtual_axpy(), 15),
-        (catalog::virtual_gemv(), 7),
-        (catalog::virtual_conv(), 31),
+    for (name, paper) in [
+        ("virtual-axpy", 15),
+        ("virtual-gemv", 7),
+        ("virtual-conv", 31),
     ] {
+        let accel = registry.build(name).expect("catalog accelerator");
         let count = generator.count(&c3d, &accel.intrinsic);
-        println!(
-            "  {:<22} {:>4} mappings (paper: {paper})",
-            accel.name, count
-        );
+        println!("  {:<22} {:>4} mappings (paper: {paper})", name, count);
     }
 
-    // ---- a brand-new unit defined in ~40 lines ----------------------------
-    let npu = outer_product_accelerator();
+    // ---- a brand-new unit: a few lines of data, then one register() -------
+    registry.register(outer_product_accelerator());
+    let npu = registry
+        .build("outer-product-npu")
+        .expect("just registered");
     println!("\ncustom accelerator:\n{npu}");
     println!("compute abstraction: {}", npu.intrinsic.compute);
     let mappings = generator.enumerate(&c3d, &npu.intrinsic);
@@ -112,9 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The reduction happens entirely in outer loops on this unit (it has no
-    // reduction axis), yet the mapping is still valid and executable.
-    let explorer = amos::core::Explorer::new();
-    let result = explorer.explore(&c3d, &npu)?;
+    // reduction axis), yet the mapping is still valid and executable. The
+    // Engine drives the same staged pipeline the CLI and baselines use.
+    let engine = Engine::new();
+    let result = engine.explore_op(&c3d, &npu)?;
     println!(
         "\nbest mapping: {} -> {:.0} cycles",
         result.best_program.mapping_string(),
@@ -122,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- heterogeneous units: the explorer picks per operator -------------
-    let ascend = catalog::ascend_npu();
+    let ascend = registry.build("ascend-npu").expect("catalog accelerator");
     println!("\nheterogeneous accelerator `{}`:", ascend.name);
     for intr in ascend.all_intrinsics() {
         println!(
@@ -135,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("GEMM 1024^3", ops::gmm(1024, 1024, 1024)),
         ("GEMV 4096", ops::gmv(4096, 4096)),
     ] {
-        let r = explorer.explore_multi(&def, &ascend)?;
+        let r = engine.explore_op(&def, &ascend)?;
         println!(
             "  {label:<12} -> {} unit, {:.0} cycles",
             r.best_program.intrinsic().name,

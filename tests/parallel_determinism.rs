@@ -1,8 +1,11 @@
 //! Regression tests for the parallel exploration engine: thread count must
-//! never change the search outcome, and the structural exploration cache
-//! must answer repeated layer shapes with bit-identical results.
+//! never change the search outcome, and the engine's structural exploration
+//! cache must answer repeated layer shapes with bit-identical results.
+//!
+//! Everything runs through the staged [`Engine`] front door — no caller
+//! constructs or threads an exploration cache by hand.
 
-use amos::core::{ExplorationCache, Explorer, ExplorerConfig};
+use amos::core::{Engine, ExplorerConfig};
 use amos::hw::catalog;
 use amos::workloads::ops::{self, ConvShape};
 
@@ -20,11 +23,11 @@ fn budget(seed: u64, jobs: usize) -> ExplorerConfig {
 /// Same seed, different thread counts: best mapping, best schedule, measured
 /// cycles and even the raw (predicted, measured) trace must be identical.
 fn assert_jobs_invariant(def: &amos::ir::ComputeDef, seed: u64) {
-    let serial = Explorer::with_config(budget(seed, 1))
-        .explore(def, &catalog::v100())
+    let serial = Engine::with_config(budget(seed, 1))
+        .explore_op(def, &catalog::v100())
         .expect("serial exploration succeeds");
-    let parallel = Explorer::with_config(budget(seed, 4))
-        .explore(def, &catalog::v100())
+    let parallel = Engine::with_config(budget(seed, 4))
+        .explore_op(def, &catalog::v100())
         .expect("parallel exploration succeeds");
     assert_eq!(
         serial.best_mapping, parallel.best_mapping,
@@ -111,41 +114,41 @@ fn repeated_resnet_shapes_hit_the_cache_with_identical_cycles() {
     ];
 
     let accel = catalog::a100();
-    let explorer = Explorer::with_config(budget(7, 0));
 
-    // Cold pass: explore every layer without a cache.
+    // Cold pass: a fresh engine per layer, so nothing is shared.
     let cold: Vec<f64> = layers
         .iter()
         .map(|&sh| {
             let def = ops::c2d(sh);
-            explorer
-                .explore(&def, &accel)
+            Engine::with_config(budget(7, 0))
+                .explore_op(&def, &accel)
                 .expect("cold explore")
                 .cycles()
         })
         .collect();
 
-    // Cached pass over the same list: only the 3 distinct shapes miss.
-    let cache = ExplorationCache::new();
+    // Warm pass over the same list through one shared engine: only the 3
+    // distinct shapes miss its cache.
+    let engine = Engine::with_config(budget(7, 0));
     let cached: Vec<f64> = layers
         .iter()
         .map(|&sh| {
             let def = ops::c2d(sh);
-            cache
-                .explore(&explorer, &def, &accel)
+            engine
+                .explore_op(&def, &accel)
                 .expect("cached explore")
                 .cycles()
         })
         .collect();
 
-    let stats = cache.stats();
+    let stats = engine.cache_stats();
     assert_eq!(stats.misses, 3, "one miss per distinct shape");
     assert_eq!(stats.hits, layers.len() - 3, "every repeat must hit");
     assert!(stats.hits > 0);
     // Refinement sub-runs are memoised too, under separate counters that
     // must not leak into the top-level stats above.
     assert!(
-        cache.refine_misses() > 0,
+        engine.refine_misses() > 0,
         "each cold shape's refinement rounds must register as refine misses"
     );
     assert_eq!(

@@ -1,0 +1,171 @@
+//! Registry round-trip: every built-in accelerator, built by name from the
+//! declarative registry and explored through the staged [`Engine`], must
+//! reproduce the exploration results captured on the pre-refactor pipeline
+//! (hand-written catalog specs + a bare `Explorer`) — bit-identical cycles
+//! (compared via `f64::to_bits`) and identical search counters.
+//!
+//! This pins down three refactors at once: the desc layer lowers to specs
+//! `PartialEq`-identical to the hand-written ones, the registry resolves the
+//! same machines the catalog functions built, and the Engine's cache-backed
+//! `explore_op` is observationally equivalent to an uncached `explore_multi`.
+
+use amos::core::{Engine, ExplorerConfig};
+use amos::hw::{
+    AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc, Registry,
+};
+use amos::ir::{ComputeDef, DType, OpKind};
+use amos::workloads::ops::{self, ConvShape};
+
+/// The exploration budget the golden values were captured under.
+fn golden_config() -> ExplorerConfig {
+    ExplorerConfig {
+        population: 8,
+        generations: 2,
+        survivors: 3,
+        measure_top: 2,
+        seed: 2022,
+        jobs: 2,
+    }
+}
+
+/// Candidate operators tried in order until one maps onto the accelerator
+/// (the BLAS-level virtual units reject GEMM's shape family, so each machine
+/// records which operator it was measured on).
+fn candidate(label: &str) -> ComputeDef {
+    match label {
+        "gmm" => ops::gmm(64, 64, 64),
+        "gmv" => ops::gmv(256, 256),
+        "c2d" => ops::c2d(ConvShape {
+            n: 2,
+            c: 8,
+            k: 8,
+            p: 7,
+            q: 7,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }),
+        other => panic!("unknown candidate label {other}"),
+    }
+}
+
+/// One golden row: `(name, op, cycles_bits, num_mappings, sim_failures,
+/// screened, survivor_memo_hits, measured_memo_hits)`.
+type GoldenRow = (
+    &'static str,
+    &'static str,
+    u64,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
+
+/// Golden values captured on the pre-refactor pipeline, one row per built-in
+/// accelerator.
+const GOLDEN: &[GoldenRow] = &[
+    ("v100", "gmm", 0x40a1c00000000000, 1, 0, 19, 3, 2),
+    ("a100", "gmm", 0x40a1000000000000, 1, 0, 19, 3, 2),
+    ("t4", "gmm", 0x40a1c90be1c159a7, 1, 0, 19, 3, 1),
+    ("xeon-avx512", "gmm", 0x40bdd00000000000, 2, 0, 58, 9, 6),
+    ("mali-g76", "gmm", 0x40e0226bca1af287, 1, 0, 19, 3, 2),
+    ("mini", "gmm", 0x40d3360000000000, 1, 0, 19, 3, 2),
+    ("ascend-npu", "gmm", 0x40a1600000000000, 3, 0, 77, 12, 8),
+    ("tpu-like", "gmm", 0x40a3a00000000000, 1, 0, 19, 3, 3),
+    ("gemmini-like", "gmm", 0x40a9a00000000000, 1, 0, 19, 3, 2),
+    ("virtual-axpy", "gmm", 0x40b3180000000000, 2, 0, 58, 9, 6),
+    ("virtual-gemv", "gmm", 0x40b0100000000000, 2, 0, 58, 9, 6),
+    ("virtual-conv", "c2d", 0x40a06c0000000000, 4, 0, 79, 12, 6),
+];
+
+#[test]
+fn registry_reproduces_pre_refactor_results_bit_identically() {
+    let registry = Registry::builtin();
+    for &(name, label, cycles_bits, num_mappings, sim_failures, screened, survivor, measured) in
+        GOLDEN
+    {
+        let accel = registry
+            .build(name)
+            .unwrap_or_else(|| panic!("registry must know `{name}`"));
+        assert_eq!(accel.name, name, "registry key must match the spec name");
+        let def = candidate(label);
+        let engine = Engine::with_config(golden_config());
+        let r = engine
+            .explore_op(&def, &accel)
+            .unwrap_or_else(|e| panic!("`{label}` must map onto `{name}`: {e}"));
+        assert_eq!(
+            r.cycles().to_bits(),
+            cycles_bits,
+            "`{name}`: cycles drifted from the pre-refactor pipeline \
+             ({} vs golden {})",
+            r.cycles(),
+            f64::from_bits(cycles_bits),
+        );
+        assert_eq!(r.num_mappings, num_mappings, "`{name}`: mapping count");
+        assert_eq!(r.sim_failures, sim_failures, "`{name}`: sim failures");
+        assert_eq!(r.screening.screened, screened, "`{name}`: screened");
+        assert_eq!(
+            r.screening.survivor_memo_hits, survivor,
+            "`{name}`: survivor memo hits"
+        );
+        assert_eq!(
+            r.screening.measured_memo_hits, measured,
+            "`{name}`: measured memo hits"
+        );
+    }
+}
+
+#[test]
+fn golden_table_covers_the_whole_registry() {
+    let names: Vec<&str> = GOLDEN.iter().map(|row| row.0).collect();
+    assert_eq!(
+        Registry::builtin().names(),
+        names,
+        "a new built-in accelerator needs a golden row (and a removed one \
+         must drop its row)"
+    );
+}
+
+/// The §7.5 promise as a test: a brand-new accelerator is a few lines of
+/// declarative data, and once registered it is addressable by name and
+/// compilable through the Engine like any built-in machine.
+#[test]
+fn a_new_accelerator_is_a_few_lines_of_data() {
+    let desc = AcceleratorDesc {
+        name: "toy-dot4".into(),
+        levels: vec![
+            LevelDesc::new("pe-array", 1, 8 * 1024, 32.0),
+            LevelDesc::new("core", 2, 64 * 1024, 32.0),
+            LevelDesc::new("device", 4, 1 << 30, 64.0),
+        ],
+        intrinsics: vec![IntrinsicDesc {
+            name: "dot4".into(),
+            iters: vec![IterDesc::spatial("i1", 4), IterDesc::reduce("r1", 4)],
+            srcs: vec![
+                OperandDesc::simple("Src1", &[0, 1]),
+                OperandDesc::simple("Src2", &[1]),
+            ],
+            dst: OperandDesc::simple("Dst", &[0]),
+            op: OpKind::MulAcc,
+            memory: MemoryDesc::Implicit,
+            latency: 4,
+            initiation_interval: 2,
+            src_dtype: DType::F16,
+            acc_dtype: DType::F32,
+        }],
+        clock_ghz: 1.0,
+        scalar_ops_per_core_cycle: 2.0,
+    };
+
+    let mut registry = Registry::builtin();
+    registry.register(desc);
+    let toy = registry.build("toy-dot4").expect("registered by name");
+
+    let engine = Engine::with_config(golden_config());
+    let r = engine
+        .explore_op(&ops::gmv(64, 64), &toy)
+        .expect("GEMV maps onto a dot-product unit");
+    assert!(r.cycles() > 0.0);
+    assert_eq!(r.best_program.intrinsic().name, "dot4");
+}
