@@ -134,6 +134,7 @@ pub fn tuning_budget(seed: u64) -> ExplorerConfig {
         measure_top: 3,
         seed,
         jobs: 0,
+        ..Default::default()
     }
 }
 
@@ -233,6 +234,7 @@ pub fn evaluate_with(
                 measure_top: 6,
                 seed,
                 jobs: 0,
+                ..Default::default()
             };
             // AMOS measures candidates on the ground truth, so it also knows
             // when the scalar units beat the best tensor mapping (e.g. tiny

@@ -61,6 +61,7 @@ fn print_ablation() {
             measure_top: 4,
             seed,
             jobs: 0,
+            ..Default::default()
         });
         let guided = explorer.explore(&def, &accel).expect("explores");
         // Equalise the measurement budget to what the explorer spent.
@@ -97,6 +98,7 @@ fn print_jobs_scaling() {
         measure_top: 4,
         seed: 6,
         jobs,
+        ..Default::default()
     };
     let time_one = |jobs: usize| {
         let explorer = Explorer::with_config(config(jobs));
@@ -139,6 +141,7 @@ fn bench(c: &mut Criterion) {
             measure_top: 3,
             seed: 6,
             jobs: 1,
+            ..Default::default()
         });
         b.iter(|| explorer.explore(&def, &accel).expect("explores"))
     });
@@ -150,6 +153,7 @@ fn bench(c: &mut Criterion) {
             measure_top: 3,
             seed: 6,
             jobs: 0,
+            ..Default::default()
         });
         b.iter(|| explorer.explore(&def, &accel).expect("explores"))
     });

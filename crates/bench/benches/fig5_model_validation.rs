@@ -25,6 +25,7 @@ fn collect_pairs() -> Vec<(f64, f64)> {
             measure_top: 4,
             seed: amos_bench::stable_seed(&label),
             jobs: 0,
+            ..Default::default()
         });
         if let Ok(result) = explorer.explore(&def, &accel) {
             pairs.extend(result.evaluations);

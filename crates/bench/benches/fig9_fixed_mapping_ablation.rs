@@ -20,6 +20,7 @@ fn amos_budget(seed: u64) -> ExplorerConfig {
         measure_top: 4,
         seed,
         jobs: 0,
+        ..Default::default()
     }
 }
 

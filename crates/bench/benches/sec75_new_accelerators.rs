@@ -47,6 +47,7 @@ fn print_section() {
             measure_top: 3,
             seed: 75,
             jobs: 0,
+            ..Default::default()
         });
         match explorer.explore(&c3d, &accel) {
             Ok(r) => println!(

@@ -36,6 +36,7 @@ fn print_table() -> Vec<String> {
         measure_top: 4,
         seed: 55,
         jobs: 0,
+        ..Default::default()
     });
     let mut chosen = Vec::new();
     println!("{:<5} {:<62} paper", "layer", "ours");
@@ -70,6 +71,7 @@ fn bench(c: &mut Criterion) {
                 measure_top: 3,
                 seed: 55,
                 jobs: 0,
+                ..Default::default()
             });
             explorer.explore(&def, &accel).unwrap().cycles()
         })

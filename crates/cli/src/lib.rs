@@ -20,6 +20,14 @@
 //! CPU). Results are bit-identical for every value — only wall clock changes.
 //! `--list-accels` prints the registered accelerator names and exits.
 //!
+//! `--deadline-ms N` and `--max-measurements N` bound the exploration the
+//! `explore`/`ir`/`cuda` commands run (wall-clock milliseconds and
+//! ground-truth timing simulations, respectively). A run that hits a limit —
+//! or that quarantined panicking candidates — still prints its best-so-far
+//! mapping, reports the completion state, and exits with status 3 instead
+//! of 0 so scripts can tell a truncated answer from a complete one
+//! (usage and compilation errors stay exit status 2).
+//!
 //! Unknown flags and trailing arguments are rejected. All compilation runs
 //! through the shared [`amos_core::Engine`]; failures surface as
 //! [`amos_core::AmosError`] messages carrying stage, operator and
@@ -27,7 +35,7 @@
 
 #![warn(missing_docs)]
 
-use amos_core::{AmosError, Engine, ExplorerConfig, MappingGenerator};
+use amos_core::{AmosError, Budget, Completion, Engine, ExplorerConfig, MappingGenerator};
 use amos_hw::{AcceleratorSpec, Registry};
 use amos_ir::ComputeDef;
 use amos_workloads::ops;
@@ -44,6 +52,27 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// How a successful CLI invocation ended, for the process exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The command ran to completion; exit status 0.
+    Complete,
+    /// The command produced a usable answer, but the underlying exploration
+    /// was truncated by a [`Budget`] limit or degraded by quarantined
+    /// candidates; exit status 3.
+    Degraded,
+}
+
+impl RunStatus {
+    fn from_completion(completion: Completion) -> Self {
+        if completion.is_finished() {
+            RunStatus::Complete
+        } else {
+            RunStatus::Degraded
+        }
+    }
+}
 
 /// CLI usage errors join the unified [`AmosError`] hierarchy as usage
 /// failures, so callers embedding the CLI can handle one error type.
@@ -270,20 +299,25 @@ fn reject_extras(args: &[String], consumed: usize) -> Result<(), CliError> {
 }
 
 /// The small exploration budget the `ir`/`cuda` codegen commands use.
-fn codegen_budget(seed: u64, jobs: usize) -> ExplorerConfig {
-    ExplorerConfig {
+fn codegen_budget(seed: u64, jobs: usize, budget: Budget) -> ExplorerConfig {
+    let mut config = ExplorerConfig {
         population: 16,
         generations: 3,
         survivors: 4,
         measure_top: 3,
         seed,
         jobs,
-    }
+        ..Default::default()
+    };
+    config.budget = budget;
+    config
 }
 
 /// Runs the CLI with the given arguments (without the program name),
-/// writing output to `out`. Returns an error message for usage problems.
-pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+/// writing output to `out`. Returns an error message for usage problems;
+/// on success reports whether the answer is complete or a best-so-far
+/// from a truncated/degraded exploration (see [`RunStatus`]).
+pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, CliError> {
     let mut args: Vec<String> = args.to_vec();
     let accel_name = take_flag(&mut args, "--accel")?.unwrap_or_else(|| "v100".to_string());
     let seed: u64 = take_flag(&mut args, "--seed")?
@@ -300,6 +334,17 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         .map(|s| s.parse().map_err(|_| err("bad --jobs")))
         .transpose()?
         .unwrap_or(0);
+    // Exploration limits: the run stops cooperatively at the next generation
+    // boundary, keeps its best-so-far, and exits with status 3 (degraded).
+    let budget = Budget {
+        deadline_ms: take_flag(&mut args, "--deadline-ms")?
+            .map(|s| s.parse().map_err(|_| err("bad --deadline-ms")))
+            .transpose()?,
+        max_measurements: take_flag(&mut args, "--max-measurements")?
+            .map(|s| s.parse().map_err(|_| err("bad --max-measurements")))
+            .transpose()?,
+        ..Budget::default()
+    };
 
     let io = |e: std::io::Error| err(format!("io error: {e}"));
     if take_switch(&mut args, "--list-accels") {
@@ -307,7 +352,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         for name in Registry::builtin().names() {
             writeln!(out, "{name}").map_err(io)?;
         }
-        return Ok(());
+        return Ok(RunStatus::Complete);
     }
     match args.first().map(String::as_str) {
         Some("ops") => {
@@ -318,7 +363,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             }
             writeln!(out, "\nspec examples: gmm:512x512x256, gmv:1024x1024,").map_err(io)?;
             writeln!(out, "  c2d:n16,c64,k64,p56,q56,r3,s3,st1  dep:c128,p28,r3").map_err(io)?;
-            Ok(())
+            Ok(RunStatus::Complete)
         }
         Some("accels") => {
             reject_extras(&args, 1)?;
@@ -332,7 +377,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 )
                 .map_err(io)?;
             }
-            Ok(())
+            Ok(RunStatus::Complete)
         }
         Some("mappings") => {
             let spec = args.get(1).ok_or_else(|| err("mappings needs an operator spec"))?;
@@ -351,7 +396,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             for m in &mappings {
                 writeln!(out, "  {}", m.describe(&def, &accel.intrinsic)).map_err(io)?;
             }
-            Ok(())
+            Ok(RunStatus::Complete)
         }
         Some("explore") => {
             let spec = args.get(1).ok_or_else(|| err("explore needs an operator spec"))?;
@@ -361,6 +406,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
             let engine = Engine::with_config(ExplorerConfig {
                 seed,
                 jobs,
+                budget,
                 ..ExplorerConfig::default()
             });
             let result = engine
@@ -383,32 +429,34 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 }
             }
             writeln!(out, "{report}").map_err(io)?;
-            Ok(())
+            Ok(RunStatus::from_completion(result.completion))
         }
         Some("ir") => {
             let spec = args.get(1).ok_or_else(|| err("ir needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_config(codegen_budget(seed, jobs));
+            let engine = Engine::with_config(codegen_budget(seed, jobs, budget));
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
+            let status = RunStatus::from_completion(explored.result().completion);
             let artifact = engine.emit(&explored);
             write!(out, "{}", amos_ir::nodes::render_program(&artifact.ir)).map_err(io)?;
-            Ok(())
+            Ok(status)
         }
         Some("cuda") => {
             let spec = args.get(1).ok_or_else(|| err("cuda needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_config(codegen_budget(seed, jobs));
+            let engine = Engine::with_config(codegen_budget(seed, jobs, budget));
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
+            let status = RunStatus::from_completion(explored.result().completion);
             write!(out, "{}", engine.emit(&explored).cuda).map_err(io)?;
-            Ok(())
+            Ok(status)
         }
         Some("network") => {
             let name = args
@@ -460,7 +508,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 amos.sim_failures
             )
             .map_err(io)?;
-            Ok(())
+            Ok(RunStatus::Complete)
         }
         Some("table6") => {
             reject_extras(&args, 1)?;
@@ -475,11 +523,11 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
                 )
                 .map_err(io)?;
             }
-            Ok(())
+            Ok(RunStatus::Complete)
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--list-accels]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--deadline-ms N] [--max-measurements N] [--list-accels]",
         )),
     }
 }
@@ -488,11 +536,15 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
 mod tests {
     use super::*;
 
-    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+    fn run_with_status(args: &[&str]) -> Result<(RunStatus, String), CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut buf = Vec::new();
-        run(&args, &mut buf)?;
-        Ok(String::from_utf8(buf).expect("utf8 output"))
+        let status = run(&args, &mut buf)?;
+        Ok((status, String::from_utf8(buf).expect("utf8 output")))
+    }
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        run_with_status(args).map(|(_, out)| out)
     }
 
     #[test]
@@ -548,9 +600,36 @@ mod tests {
 
     #[test]
     fn explore_command_reports_a_mapping() {
-        let out = run_to_string(&["explore", "gmm:256x256x256", "--accel", "a100"]).unwrap();
+        let (status, out) =
+            run_with_status(&["explore", "gmm:256x256x256", "--accel", "a100"]).unwrap();
+        assert_eq!(status, RunStatus::Complete);
         assert!(out.contains("best       : [i1, i2, r1]"), "{out}");
         assert!(out.contains("cycles"));
+        assert!(!out.contains("completion"), "{out}");
+    }
+
+    #[test]
+    fn deadline_zero_degrades_but_still_answers() {
+        let (status, out) =
+            run_with_status(&["explore", "gmm:64x64x64", "--deadline-ms", "0"]).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(out.contains("best       : [i1, i2, r1]"), "{out}");
+        assert!(
+            out.contains("completion       : deadline exceeded"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn measurement_budget_degrades_but_still_answers() {
+        let (status, out) =
+            run_with_status(&["explore", "gmm:64x64x64", "--max-measurements", "1"]).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(out.contains("completion       : budget exhausted"), "{out}");
+        let e = run_to_string(&["explore", "gmm:64x64x64", "--max-measurements", "x"]).unwrap_err();
+        assert!(e.to_string().contains("bad --max-measurements"), "{e}");
+        let e = run_to_string(&["explore", "gmm:64x64x64", "--deadline-ms", "-1"]).unwrap_err();
+        assert!(e.to_string().contains("bad --deadline-ms"), "{e}");
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! The `amos` binary: see [`amos_cli`] for commands.
+//!
+//! Exit status: 0 on success, 2 on usage/compilation errors, 3 when the
+//! run produced a best-so-far answer but the exploration was truncated by
+//! a budget limit or degraded by quarantined candidates.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
-    if let Err(e) = amos_cli::run(&args, &mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(2);
+    match amos_cli::run(&args, &mut stdout) {
+        Ok(amos_cli::RunStatus::Complete) => {}
+        Ok(amos_cli::RunStatus::Degraded) => std::process::exit(3),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }

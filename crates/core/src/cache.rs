@@ -13,7 +13,7 @@
 //! [`ExplorerConfig::jobs`] — results are bit-identical for every thread
 //! count, so `jobs` must not split entries.
 
-use crate::explore::{ExplorationResult, ExploreError, Explorer, ExplorerConfig};
+use crate::explore::{Completion, ExplorationResult, ExploreError, Explorer, ExplorerConfig};
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
 use std::collections::HashMap;
@@ -146,11 +146,29 @@ impl ExplorationCache {
         // and store identical results — wasteful but correct.
         misses.fetch_add(1, Ordering::Relaxed);
         let result = run();
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key, result.clone());
+        if cacheable(&result) {
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .insert(key, result.clone());
+        }
         result
+    }
+}
+
+/// Whether one exploration outcome may populate the cache.
+///
+/// `Err` results are cached (a shape with no valid mapping stays
+/// unmappable), and so are clean [`Completion::Finished`] runs — which are
+/// budget-invariant, because cancellation only fires at generation
+/// boundaries: a budget loose enough to finish never changed any candidate.
+/// Truncated and degraded runs are **not** stored: replaying a
+/// deadline-clipped best-so-far as if it were the converged winner would
+/// poison every later lookup of the same shape.
+fn cacheable(result: &Result<ExplorationResult, ExploreError>) -> bool {
+    match result {
+        Err(_) => true,
+        Ok(r) => r.completion == Completion::Finished,
     }
 }
 
@@ -158,6 +176,9 @@ impl ExplorationCache {
 ///
 /// Deliberately *excludes* the computation's name (same-shape layers must
 /// share an entry) and `config.jobs` (results are thread-count-invariant).
+/// The [`crate::explore::Budget`] is excluded for the same reason the
+/// policy above is safe: only `Finished` results are stored, and those are
+/// identical under every budget.
 fn fingerprint(
     tag: &str,
     config: &ExplorerConfig,
@@ -175,6 +196,12 @@ fn fingerprint(
         config.seed,
         shape_fingerprint(def),
     );
+    // An active fault plan changes which candidates survive, so it must
+    // split cache entries (test-harness builds only).
+    #[cfg(feature = "fault-injection")]
+    {
+        let _ = write!(s, "faults:{};", config.faults);
+    }
     // The full accelerator description (hierarchy, memories, intrinsics) —
     // derived Debug covers every field, so two distinct machines never
     // collide.
@@ -229,6 +256,7 @@ mod tests {
             measure_top: 2,
             seed,
             jobs: 1,
+            ..Default::default()
         })
     }
 
@@ -292,6 +320,30 @@ mod tests {
             .explore_multi(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
             .unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn truncated_runs_do_not_populate_the_cache() {
+        use crate::explore::{Budget, Completion};
+        let cache = ExplorationCache::new();
+        let mut cfg = small_explorer(21).config().clone();
+        cfg.budget = Budget {
+            max_measurements: Some(1),
+            ..Budget::default()
+        };
+        let accel = catalog::v100();
+        let def = gemm("g", 64, 64, 64);
+        let truncated = cache
+            .explore_multi(&Explorer::with_config(cfg.clone()), &def, &accel)
+            .unwrap();
+        assert_eq!(truncated.completion, Completion::BudgetExhausted);
+        assert_eq!(cache.len(), 0, "a truncated best-so-far must not be stored");
+        // The same shape under the same config misses again (and is still
+        // counted as a miss, not an error).
+        cache
+            .explore_multi(&Explorer::with_config(cfg), &def, &accel)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
     }
 
     #[test]

@@ -518,6 +518,7 @@ mod tests {
             measure_top: 2,
             seed,
             jobs: 1,
+            ..Default::default()
         }
     }
 

@@ -21,8 +21,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Exploration failure modes.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +36,10 @@ pub enum ExploreError {
     },
     /// A simulator error escaped candidate repair.
     Sim(SimError),
+    /// The [`ExplorerConfig`] cannot drive a search (e.g. an empty
+    /// population or no survivors); rejected up front instead of panicking
+    /// or looping forever mid-search.
+    InvalidConfig { detail: String },
 }
 
 impl fmt::Display for ExploreError {
@@ -46,6 +50,9 @@ impl fmt::Display for ExploreError {
                 intrinsic,
             } => write!(f, "no valid mapping of `{computation}` onto `{intrinsic}`"),
             ExploreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExploreError::InvalidConfig { detail } => {
+                write!(f, "invalid explorer configuration: {detail}")
+            }
         }
     }
 }
@@ -55,6 +62,150 @@ impl std::error::Error for ExploreError {}
 impl From<SimError> for ExploreError {
     fn from(e: SimError) -> Self {
         ExploreError::Sim(e)
+    }
+}
+
+/// Resource limits for one exploration run. All limits default to `None`
+/// (unlimited); a violated limit stops the search **cooperatively at
+/// generation boundaries**, returning the best candidate measured so far
+/// instead of an error.
+///
+/// Counter-based limits (`max_measurements`, `max_evaluations`) truncate
+/// deterministically: the stop generation is a pure function of the config,
+/// so a truncated run is bit-identical to the prefix of the unlimited run.
+/// `deadline_ms` is wall-clock and therefore stops at a machine-dependent
+/// generation, but the result is still bit-deterministic *given* the stop
+/// generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit in milliseconds, measured from search entry.
+    pub deadline_ms: Option<u64>,
+    /// Maximum ground-truth measurements (timing simulations).
+    pub max_measurements: Option<usize>,
+    /// Maximum candidate evaluations (analytically screened slots).
+    pub max_evaluations: Option<usize>,
+}
+
+impl Budget {
+    /// `true` when no limit is set — the default.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none()
+            && self.max_measurements.is_none()
+            && self.max_evaluations.is_none()
+    }
+}
+
+/// How an exploration run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The full search ran with no quarantined candidates.
+    Finished,
+    /// The full search ran, but `quarantined` candidate evaluations
+    /// panicked and were isolated; the result covers the survivors only.
+    Degraded {
+        /// Number of quarantined candidate evaluations.
+        quarantined: usize,
+    },
+    /// A counter limit of the [`Budget`] was hit; the result is the best
+    /// candidate measured before the stop generation.
+    BudgetExhausted,
+    /// The wall-clock deadline passed; the result is the best candidate
+    /// measured before the stop generation.
+    DeadlineExceeded,
+}
+
+impl Completion {
+    /// `true` only for a full, fault-free run.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, Completion::Finished)
+    }
+
+    /// `true` when the search stopped early on a [`Budget`] limit.
+    pub fn is_truncated(&self) -> bool {
+        matches!(
+            self,
+            Completion::BudgetExhausted | Completion::DeadlineExceeded
+        )
+    }
+
+    /// Merge order: a truncation outranks degradation outranks a clean
+    /// finish, and the deadline (the hardest stop) outranks counters.
+    fn severity(&self) -> u8 {
+        match self {
+            Completion::Finished => 0,
+            Completion::Degraded { .. } => 1,
+            Completion::BudgetExhausted => 2,
+            Completion::DeadlineExceeded => 3,
+        }
+    }
+
+    fn merge(self, other: Completion) -> Completion {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completion::Finished => write!(f, "finished"),
+            Completion::Degraded { quarantined } => {
+                write!(f, "degraded ({quarantined} quarantined)")
+            }
+            Completion::BudgetExhausted => write!(f, "budget exhausted"),
+            Completion::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// One quarantined candidate evaluation: enough identity to replay it
+/// (`stream_rng(seed, generation, slot)` in `phase`) plus the panic payload
+/// text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Evaluation phase (`"seed"`, `"screen"`, `"breed"`, `"measure"`,
+    /// `"fallback"`).
+    pub phase: &'static str,
+    /// Generation the candidate belonged to.
+    pub generation: u64,
+    /// Candidate slot within the phase.
+    pub slot: u64,
+    /// The RNG seed of the run (refinement rounds derive their own).
+    pub seed: u64,
+    /// Panic payload text.
+    pub detail: String,
+}
+
+impl fmt::Display for QuarantineRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} g{} s{} (seed {:#x}): {}",
+            self.phase, self.generation, self.slot, self.seed, self.detail
+        )
+    }
+}
+
+/// Every candidate evaluation quarantined during one exploration run, in
+/// deterministic (reduction) order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QuarantineReport {
+    /// The quarantined evaluations.
+    pub records: Vec<QuarantineRecord>,
+}
+
+impl QuarantineReport {
+    /// `true` when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of quarantined evaluations.
+    pub fn len(&self) -> usize {
+        self.records.len()
     }
 }
 
@@ -76,6 +227,13 @@ pub struct ExplorerConfig {
     /// candidate slot draws from its own RNG stream derived from
     /// `(seed, generation, slot)`, and results are reduced in slot order.
     pub jobs: usize,
+    /// Resource limits; the default is unlimited. Like `jobs`, the budget
+    /// never changes *which* candidates a generation evaluates — it only
+    /// decides how many generations run.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan (test harness; inert by default).
+    #[cfg(feature = "fault-injection")]
+    pub faults: crate::faultplan::FaultPlan,
 }
 
 impl Default for ExplorerConfig {
@@ -87,6 +245,9 @@ impl Default for ExplorerConfig {
             measure_top: 4,
             seed: 0x5eed,
             jobs: 0,
+            budget: Budget::default(),
+            #[cfg(feature = "fault-injection")]
+            faults: crate::faultplan::FaultPlan::default(),
         }
     }
 }
@@ -102,6 +263,27 @@ impl ExplorerConfig {
         } else {
             self.jobs
         }
+    }
+
+    /// Rejects configurations that cannot drive a search. Run automatically
+    /// at every exploration entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidConfig`] when `population` or `survivors`
+    /// is zero.
+    pub fn validate(&self) -> Result<(), ExploreError> {
+        if self.population == 0 {
+            return Err(ExploreError::InvalidConfig {
+                detail: "population must be at least 1".into(),
+            });
+        }
+        if self.survivors == 0 {
+            return Err(ExploreError::InvalidConfig {
+                detail: "survivors must be at least 1".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -254,12 +436,130 @@ pub struct ExplorationResult {
     /// time), summed over refinement rounds. All fields except
     /// `screen_seconds` are deterministic for a given seed.
     pub screening: ScreeningStats,
+    /// How the run ended: complete, degraded by quarantined candidates, or
+    /// truncated by a [`Budget`] limit.
+    pub completion: Completion,
+    /// Generation-loop iterations fully completed before the run ended,
+    /// summed over refinement rounds and (for multi-intrinsic accelerators)
+    /// units.
+    pub generations_completed: usize,
+    /// Candidate evaluations that panicked and were isolated.
+    pub quarantine: QuarantineReport,
 }
 
 impl ExplorationResult {
     /// Best measured cycles.
     pub fn cycles(&self) -> f64 {
         self.best_report.cycles
+    }
+}
+
+/// Run-wide fault-tolerance state shared by every phase of one top-level
+/// exploration (including refinement sub-runs and multi-intrinsic units):
+/// the budget clock/counters consulted at generation boundaries, and the
+/// quarantine log of isolated panics.
+struct Supervisor {
+    deadline: Option<Instant>,
+    max_measurements: Option<usize>,
+    max_evaluations: Option<usize>,
+    measurements: AtomicUsize,
+    evaluations: AtomicUsize,
+    quarantine: Mutex<Vec<QuarantineRecord>>,
+}
+
+impl Supervisor {
+    fn new(budget: &Budget) -> Self {
+        Supervisor {
+            deadline: budget
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            max_measurements: budget.max_measurements,
+            max_evaluations: budget.max_evaluations,
+            measurements: AtomicUsize::new(0),
+            evaluations: AtomicUsize::new(0),
+            quarantine: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records `n` ground-truth measurements. Called with per-phase batch
+    /// sizes, which are deterministic, so counter-based truncation stops at
+    /// the same generation on every machine and thread count.
+    fn note_measurements(&self, n: usize) {
+        self.measurements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidate evaluations (screened slots).
+    fn note_evaluations(&self, n: usize) {
+        self.evaluations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The cooperative cancellation point: `Some` once a budget limit is
+    /// violated. Only consulted at phase/generation boundaries.
+    fn check(&self) -> Option<Completion> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Completion::DeadlineExceeded);
+            }
+        }
+        if let Some(max) = self.max_measurements {
+            if self.measurements.load(Ordering::Relaxed) >= max {
+                return Some(Completion::BudgetExhausted);
+            }
+        }
+        if let Some(max) = self.max_evaluations {
+            if self.evaluations.load(Ordering::Relaxed) >= max {
+                return Some(Completion::BudgetExhausted);
+            }
+        }
+        None
+    }
+
+    /// Logs one isolated panic. Callers invoke this from the sequential
+    /// reduction over slot outcomes (never from worker threads), so the log
+    /// order is deterministic.
+    fn quarantine(
+        &self,
+        phase: &'static str,
+        generation: u64,
+        slot: u64,
+        seed: u64,
+        detail: String,
+    ) {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(QuarantineRecord {
+                phase,
+                generation,
+                slot,
+                seed,
+                detail,
+            });
+    }
+
+    /// Drains the quarantine log into a report (top-level finalisation).
+    fn take_report(&self) -> QuarantineReport {
+        QuarantineReport {
+            records: std::mem::take(
+                &mut *self
+                    .quarantine
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            ),
+        }
+    }
+
+    /// Applies the quarantine log and completion to a finished top-level
+    /// result: a clean finish with a non-empty quarantine becomes
+    /// [`Completion::Degraded`].
+    fn finalize(&self, mut result: ExplorationResult) -> ExplorationResult {
+        result.quarantine = self.take_report();
+        if result.completion == Completion::Finished && !result.quarantine.is_empty() {
+            result.completion = Completion::Degraded {
+                quarantined: result.quarantine.len(),
+            };
+        }
+        result
     }
 }
 
@@ -420,11 +720,15 @@ impl Explorer {
         units: &[LoweredUnit],
         cache: Option<&ExplorationCache>,
     ) -> Result<ExplorationResult, ExploreError> {
+        self.config.validate()?;
+        let sup = Supervisor::new(&self.config.budget);
         let mut best: Option<ExplorationResult> = None;
         let mut evaluations = Vec::new();
         let mut num_mappings = 0usize;
         let mut sim_failures = 0usize;
         let mut screening = ScreeningStats::default();
+        let mut completion = Completion::Finished;
+        let mut generations_completed = 0usize;
         for unit in units {
             // A unit whose intrinsic admits no mapping simply contributes
             // nothing, exactly like the per-unit `NoValidMapping` of the
@@ -439,17 +743,25 @@ impl Explorer {
                 &unit.programs,
                 self.config.seed,
                 cache,
+                &sup,
             )?;
             evaluations.extend(result.evaluations.iter().copied());
             num_mappings += result.num_mappings;
             sim_failures += result.sim_failures;
             screening.absorb(&result.screening);
+            completion = completion.merge(result.completion);
+            generations_completed += result.generations_completed;
             let better = best
                 .as_ref()
                 .map(|b| result.cycles() < b.cycles())
                 .unwrap_or(true);
             if better {
                 best = Some(result);
+            }
+            // The budget covers the whole multi-unit search: once a unit
+            // truncates, later units must not start.
+            if completion.is_truncated() {
+                break;
             }
         }
         let mut best = best.ok_or_else(|| ExploreError::NoValidMapping {
@@ -464,7 +776,9 @@ impl Explorer {
         best.num_mappings = num_mappings;
         best.sim_failures = sim_failures;
         best.screening = screening;
-        Ok(best)
+        best.completion = completion;
+        best.generations_completed = generations_completed;
+        Ok(sup.finalize(best))
     }
 
     /// Explores with a fixed mapping set (used by the fixed-mapping baseline
@@ -496,6 +810,8 @@ impl Explorer {
         fixed: Option<Vec<Mapping>>,
         cache: Option<&ExplorationCache>,
     ) -> Result<ExplorationResult, ExploreError> {
+        self.config.validate()?;
+        let sup = Supervisor::new(&self.config.budget);
         let intr = &accel.intrinsic;
         let mappings = match fixed {
             Some(m) => m,
@@ -508,13 +824,28 @@ impl Explorer {
             });
         }
         let programs = self.lower_mappings(def, accel, &mappings)?;
-        self.explore_programs(def, accel, &mappings, &programs, self.config.seed, cache)
+        let result = self.explore_programs(
+            def,
+            accel,
+            &mappings,
+            &programs,
+            self.config.seed,
+            cache,
+            &sup,
+        )?;
+        Ok(sup.finalize(result))
     }
 
     /// The generation loop over already-lowered programs. Refinement
     /// re-enters this function on single-element slices of
     /// `mappings`/`programs`, so shortlisted mappings are never re-lowered
     /// and no `Explorer`/`ExplorerConfig` clones are made per round.
+    ///
+    /// Fault tolerance: every candidate evaluation runs inside
+    /// [`amos_sim::isolate::run_isolated`], so a panicking candidate is
+    /// quarantined into `sup` instead of unwinding the search; the budget in
+    /// `sup` is checked cooperatively at phase and generation boundaries.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors the phase inputs
     fn explore_programs(
         &self,
         def: &ComputeDef,
@@ -523,8 +854,12 @@ impl Explorer {
         programs: &[MappedProgram],
         seed: u64,
         cache: Option<&ExplorationCache>,
+        sup: &Supervisor,
     ) -> Result<ExplorationResult, ExploreError> {
         let jobs = self.config.effective_jobs();
+        // `Some` once a budget limit fires: later phases are skipped and the
+        // best-so-far is returned with the truncation status.
+        let mut truncated: Option<Completion> = sup.check();
         // One screening context per program: all per-candidate model queries
         // and feasibility probes run over these precomputed tables, with no
         // allocation on the hot path.
@@ -550,39 +885,54 @@ impl Explorer {
         // front. This anchors the search at the quality a hand-tuned library
         // ships (the library's fixed mapping is in our space), so exploration
         // can only improve on it.
-        let seed_count = mappings.len().min(64);
-        let stride = (mappings.len() / seed_count.max(1)).max(1);
-        let seed_idxs: Vec<usize> = (0..mappings.len())
-            .step_by(stride)
-            .take(seed_count)
-            .collect();
-        let seeded = parallel_map(jobs, seed_idxs.len(), |i| {
-            let idx = seed_idxs[i];
-            let prog = &programs[idx];
-            let schedule = Schedule::balanced(prog, accel);
-            simulate(prog, &schedule, accel).ok().map(|report| {
-                screened.fetch_add(1, Ordering::Relaxed);
-                let predicted = predict_with(&ctxs[idx], &schedule)
-                    .map(|b| b.cycles)
-                    .unwrap_or(report.cycles);
-                (schedule, predicted, report)
-            })
-        });
-        for (&idx, entry) in seed_idxs.iter().zip(seeded) {
-            let Some((schedule, predicted, report)) = entry else {
-                sim_failures += 1;
-                continue;
-            };
-            evaluations.push((predicted, report.cycles));
-            let e = best_per_mapping.entry(idx).or_insert(f64::INFINITY);
-            *e = e.min(report.cycles);
-            let better = best
-                .as_ref()
-                .map(|(_, _, b)| report.cycles < b.cycles)
-                .unwrap_or(true);
-            if better {
-                best = Some((idx, schedule, report));
+        if truncated.is_none() {
+            let seed_count = mappings.len().min(64);
+            let stride = (mappings.len() / seed_count.max(1)).max(1);
+            let seed_idxs: Vec<usize> = (0..mappings.len())
+                .step_by(stride)
+                .take(seed_count)
+                .collect();
+            let seeded = parallel_map(jobs, seed_idxs.len(), |i| {
+                let idx = seed_idxs[i];
+                let prog = &programs[idx];
+                amos_sim::isolate::run_isolated(|| {
+                    self.injected_fault("seed", seed, 0, i as u64)?;
+                    let schedule = Schedule::balanced(prog, accel);
+                    simulate(prog, &schedule, accel).map(|report| {
+                        screened.fetch_add(1, Ordering::Relaxed);
+                        let predicted = predict_with(&ctxs[idx], &schedule)
+                            .map(|b| b.cycles)
+                            .unwrap_or(report.cycles);
+                        (schedule, predicted, report)
+                    })
+                })
+            });
+            sup.note_measurements(seed_idxs.len());
+            sup.note_evaluations(seed_idxs.len());
+            for (i, (&idx, entry)) in seed_idxs.iter().zip(seeded).enumerate() {
+                let entry = match entry {
+                    Ok(outcome) => outcome,
+                    Err(detail) => {
+                        sup.quarantine("seed", 0, i as u64, seed, detail);
+                        continue;
+                    }
+                };
+                let Ok((schedule, predicted, report)) = entry else {
+                    sim_failures += 1;
+                    continue;
+                };
+                evaluations.push((predicted, report.cycles));
+                let e = best_per_mapping.entry(idx).or_insert(f64::INFINITY);
+                *e = e.min(report.cycles);
+                let better = best
+                    .as_ref()
+                    .map(|(_, _, b)| report.cycles < b.cycles)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((idx, schedule, report));
+                }
             }
+            truncated = sup.check();
         }
 
         // ---- initial population --------------------------------------------
@@ -593,33 +943,55 @@ impl Explorer {
         // return only plain metadata.
         let mut arena = PopulationArena::new();
         arena.ensure_slots(self.config.population);
-        let screen_start = Instant::now();
-        let metas = {
-            let screened = &screened;
-            let ctxs = &ctxs[..];
-            let num_programs = programs.len();
-            parallel_fill_map(
-                jobs,
-                &mut arena.schedules[..self.config.population],
-                |slot, sched| {
-                    let mut rng = stream_rng(seed, 0, slot as u64);
-                    for _ in 0..SLOT_ATTEMPTS {
-                        let mapping_idx = rng.gen_range(0..num_programs);
-                        let ctx = &ctxs[mapping_idx];
-                        random_schedule_into(ctx, sched, &mut rng, true);
-                        screened.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(b) = predict_with(ctx, sched) {
-                            return (mapping_idx, b.cycles, true);
+        if truncated.is_none() {
+            let screen_start = Instant::now();
+            let raw = {
+                let screened = &screened;
+                let ctxs = &ctxs[..];
+                let num_programs = programs.len();
+                parallel_fill_map(
+                    jobs,
+                    &mut arena.schedules[..self.config.population],
+                    |slot, sched| {
+                        match amos_sim::isolate::run_isolated(
+                            || -> Result<(usize, f64, bool), SimError> {
+                                self.injected_fault("screen", seed, 0, slot as u64)?;
+                                let mut rng = stream_rng(seed, 0, slot as u64);
+                                for _ in 0..SLOT_ATTEMPTS {
+                                    let mapping_idx = rng.gen_range(0..num_programs);
+                                    let ctx = &ctxs[mapping_idx];
+                                    random_schedule_into(ctx, sched, &mut rng, true);
+                                    screened.fetch_add(1, Ordering::Relaxed);
+                                    if let Ok(b) = predict_with(ctx, sched) {
+                                        return Ok((mapping_idx, b.cycles, true));
+                                    }
+                                }
+                                Ok((0, f64::INFINITY, false))
+                            },
+                        ) {
+                            Ok(Ok(meta)) => (meta, None),
+                            // An injected `SimError` concedes the slot, like a
+                            // slot whose draws keep failing the model.
+                            Ok(Err(_)) => ((0, f64::INFINITY, false), None),
+                            Err(detail) => ((0, f64::INFINITY, false), Some(detail)),
                         }
-                    }
-                    (0, f64::INFINITY, false)
-                },
-            )
-        };
-        arena.compact_accepted(0, metas);
-        screen_seconds += screen_start.elapsed().as_secs_f64();
+                    },
+                )
+            };
+            let metas = drain_quarantined(raw, "screen", 0, seed, sup);
+            sup.note_evaluations(self.config.population);
+            arena.compact_accepted(0, metas);
+            screen_seconds += screen_start.elapsed().as_secs_f64();
+        }
 
+        let mut generations_completed = 0usize;
         for generation in 0..self.config.generations {
+            if truncated.is_none() {
+                truncated = sup.check();
+            }
+            if truncated.is_some() {
+                break;
+            }
             // Stable sort: ties keep slot order, which is deterministic.
             arena.sort_live_by_predicted();
 
@@ -640,15 +1012,29 @@ impl Explorer {
                 let arena = &arena;
                 parallel_map(jobs, chosen.len(), |i| {
                     let rank = chosen[i];
-                    simulate(
-                        &programs[arena.mapping_idx[rank]],
-                        &arena.schedules[rank],
-                        accel,
-                    )
+                    amos_sim::isolate::run_isolated(|| {
+                        self.injected_fault("measure", seed, generation as u64, rank as u64)?;
+                        simulate(
+                            &programs[arena.mapping_idx[rank]],
+                            &arena.schedules[rank],
+                            accel,
+                        )
+                    })
                 })
             };
+            sup.note_measurements(chosen.len());
             for (&rank, outcome) in chosen.iter().zip(reports) {
                 let key = (arena.mapping_idx[rank], arena.schedules[rank].clone());
+                let outcome = match outcome {
+                    Ok(outcome) => outcome,
+                    Err(detail) => {
+                        // Quarantined (not a sim failure): poison the
+                        // candidate so it is never re-measured, and log it.
+                        sup.quarantine("measure", generation as u64, rank as u64, seed, detail);
+                        measured.insert(key, f64::INFINITY);
+                        continue;
+                    }
+                };
                 match outcome {
                     Ok(report) => {
                         evaluations.push((arena.predicted[rank], report.cycles));
@@ -683,6 +1069,7 @@ impl Explorer {
             // parallel, each on its own (seed, generation, slot) stream.
             arena.live = arena.live.min(self.config.survivors.max(1));
             if arena.live == 0 {
+                generations_completed = generation + 1;
                 continue;
             }
             if generation + 1 < self.config.generations {
@@ -692,7 +1079,7 @@ impl Explorer {
             let wanted = self.config.population.saturating_sub(survivors);
             arena.ensure_slots(survivors + wanted);
             let screen_start = Instant::now();
-            let metas = {
+            let raw = {
                 let (parents, rest) = arena.schedules.split_at_mut(survivors);
                 let parents: &[Schedule] = parents;
                 let child_slots = &mut rest[..wanted];
@@ -701,48 +1088,88 @@ impl Explorer {
                 let ctxs = &ctxs[..];
                 let num_programs = programs.len();
                 parallel_fill_map(jobs, child_slots, |slot, sched| {
-                    let mut rng = stream_rng(seed, generation as u64 + 1, slot as u64);
-                    for _ in 0..SLOT_ATTEMPTS {
-                        let p = rng.gen_range(0..parents.len());
-                        let mut mapping_idx = parent_maps[p];
-                        // Occasionally jump to a different mapping entirely.
-                        if rng.gen_bool(0.2) {
-                            mapping_idx = rng.gen_range(0..num_programs);
-                        }
-                        let ctx = &ctxs[mapping_idx];
-                        if mapping_idx == parent_maps[p] {
-                            sched.clone_from(&parents[p]);
-                        } else {
-                            random_schedule_into(ctx, sched, &mut rng, true);
-                        }
-                        mutate_schedule_ctx(ctx, sched, &mut rng);
-                        screened.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(b) = predict_with(ctx, sched) {
-                            return (mapping_idx, b.cycles, true);
-                        }
+                    match amos_sim::isolate::run_isolated(
+                        || -> Result<(usize, f64, bool), SimError> {
+                            self.injected_fault("breed", seed, generation as u64 + 1, slot as u64)?;
+                            let mut rng = stream_rng(seed, generation as u64 + 1, slot as u64);
+                            for _ in 0..SLOT_ATTEMPTS {
+                                let p = rng.gen_range(0..parents.len());
+                                let mut mapping_idx = parent_maps[p];
+                                // Occasionally jump to a different mapping entirely.
+                                if rng.gen_bool(0.2) {
+                                    mapping_idx = rng.gen_range(0..num_programs);
+                                }
+                                let ctx = &ctxs[mapping_idx];
+                                if mapping_idx == parent_maps[p] {
+                                    sched.clone_from(&parents[p]);
+                                } else {
+                                    random_schedule_into(ctx, sched, &mut rng, true);
+                                }
+                                mutate_schedule_ctx(ctx, sched, &mut rng);
+                                screened.fetch_add(1, Ordering::Relaxed);
+                                if let Ok(b) = predict_with(ctx, sched) {
+                                    return Ok((mapping_idx, b.cycles, true));
+                                }
+                            }
+                            Ok((0, f64::INFINITY, false))
+                        },
+                    ) {
+                        Ok(Ok(meta)) => (meta, None),
+                        Ok(Err(_)) => ((0, f64::INFINITY, false), None),
+                        Err(detail) => ((0, f64::INFINITY, false), Some(detail)),
                     }
-                    (0, f64::INFINITY, false)
                 })
             };
+            let metas = drain_quarantined(raw, "breed", generation as u64 + 1, seed, sup);
+            sup.note_evaluations(wanted);
             arena.compact_accepted(survivors, metas);
             screen_seconds += screen_start.elapsed().as_secs_f64();
+            generations_completed = generation + 1;
         }
 
         // Guarantee at least one measured candidate: fall back to the
-        // balanced schedule of the best-predicted mapping.
+        // balanced schedule of the best-predicted mapping. On a truncated
+        // run the sweep stops at the first mapping that simulates (bounded
+        // work past the deadline, still deterministic in mapping order);
+        // otherwise the full sweep runs and the best attempt wins.
         if best.is_none() {
-            let attempts = parallel_map(jobs, programs.len(), |i| {
-                let schedule = Schedule::balanced(&programs[i], accel);
-                simulate(&programs[i], &schedule, accel).ok().map(|report| {
-                    screened.fetch_add(1, Ordering::Relaxed);
-                    let predicted = predict_with(&ctxs[i], &schedule)
-                        .map(|b| b.cycles)
-                        .unwrap_or(report.cycles);
-                    (schedule, predicted, report)
+            let fallback = |i: usize| {
+                amos_sim::isolate::run_isolated(|| {
+                    self.injected_fault("fallback", seed, 0, i as u64)?;
+                    let schedule = Schedule::balanced(&programs[i], accel);
+                    simulate(&programs[i], &schedule, accel).map(|report| {
+                        screened.fetch_add(1, Ordering::Relaxed);
+                        let predicted = predict_with(&ctxs[i], &schedule)
+                            .map(|b| b.cycles)
+                            .unwrap_or(report.cycles);
+                        (schedule, predicted, report)
+                    })
                 })
-            });
+            };
+            let attempts: Vec<_> = if truncated.is_some() {
+                let mut attempts = Vec::new();
+                for i in 0..programs.len() {
+                    let attempt = fallback(i);
+                    let hit = matches!(attempt, Ok(Ok(_)));
+                    attempts.push(attempt);
+                    if hit {
+                        break;
+                    }
+                }
+                attempts
+            } else {
+                parallel_map(jobs, programs.len(), fallback)
+            };
+            sup.note_measurements(attempts.len());
             for (idx, entry) in attempts.into_iter().enumerate() {
-                let Some((schedule, predicted, report)) = entry else {
+                let entry = match entry {
+                    Ok(outcome) => outcome,
+                    Err(detail) => {
+                        sup.quarantine("fallback", 0, idx as u64, seed, detail);
+                        continue;
+                    }
+                };
+                let Ok((schedule, predicted, report)) = entry else {
                     sim_failures += 1;
                     continue;
                 };
@@ -777,12 +1204,16 @@ impl Explorer {
             screen_seconds,
         };
 
-        if mappings.len() > 1 {
+        if mappings.len() > 1 && truncated.is_none() {
             let mut shortlist: Vec<(usize, f64)> =
                 best_per_mapping.iter().map(|(&i, &c)| (i, c)).collect();
             shortlist.sort_by(|a, b| a.1.total_cmp(&b.1));
             shortlist.truncate(3);
             for (round, (ridx, _)) in shortlist.into_iter().enumerate() {
+                truncated = sup.check();
+                if truncated.is_some() {
+                    break;
+                }
                 // Re-enter the generation loop on a one-mapping slice: the
                 // program (and its screening context) is reused as-is — no
                 // re-lowering and no explorer/config clones per round. When
@@ -796,6 +1227,7 @@ impl Explorer {
                         &programs[ridx..=ridx],
                         refine_seed,
                         None,
+                        sup,
                     )
                 };
                 let refined = match cache {
@@ -812,6 +1244,15 @@ impl Explorer {
                     evaluations.extend(refined.evaluations.iter().copied());
                     sim_failures += refined.sim_failures;
                     screening.absorb(&refined.screening);
+                    generations_completed += refined.generations_completed;
+                    // A sub-run that hit the shared budget mid-round carries
+                    // the truncation status up.
+                    if refined.completion.is_truncated() {
+                        truncated = Some(match truncated {
+                            Some(t) => t.merge(refined.completion),
+                            None => refined.completion,
+                        });
+                    }
                     if refined.best_report.cycles < report.cycles {
                         schedule = refined.best_schedule;
                         report = refined.best_report;
@@ -830,8 +1271,72 @@ impl Explorer {
             num_mappings: mappings.len(),
             sim_failures,
             screening,
+            completion: truncated.unwrap_or(Completion::Finished),
+            generations_completed,
+            quarantine: QuarantineReport::default(),
         })
     }
+
+    /// Consults the configured [`crate::faultplan::FaultPlan`] for the
+    /// candidate identified by `(phase, seed, generation, slot)`: may panic
+    /// (caught by the surrounding isolation boundary), sleep, or return an
+    /// injected error. Compiled to a no-op without the `fault-injection`
+    /// feature.
+    #[cfg(feature = "fault-injection")]
+    fn injected_fault(
+        &self,
+        phase: &'static str,
+        seed: u64,
+        generation: u64,
+        slot: u64,
+    ) -> Result<(), SimError> {
+        use crate::faultplan::Fault;
+        match self.config.faults.draw(phase, seed, generation, slot) {
+            None => Ok(()),
+            Some(Fault::Panic) => {
+                panic!("injected fault: {phase} g{generation} s{slot}")
+            }
+            Some(Fault::SimError) => Err(SimError::InvalidSchedule {
+                detail: format!("injected fault: {phase} g{generation} s{slot}"),
+            }),
+            Some(Fault::Delay) => {
+                std::thread::sleep(Duration::from_micros(self.config.faults.delay_micros));
+                Ok(())
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn injected_fault(
+        &self,
+        _phase: &'static str,
+        _seed: u64,
+        _generation: u64,
+        _slot: u64,
+    ) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Logs the quarantined slots of one screening batch into `sup` (in slot
+/// order, on the reducing thread — deterministic) and strips the markers.
+fn drain_quarantined<T>(
+    raw: Vec<(T, Option<String>)>,
+    phase: &'static str,
+    generation: u64,
+    seed: u64,
+    sup: &Supervisor,
+) -> Vec<T> {
+    raw.into_iter()
+        .enumerate()
+        .map(|(slot, (meta, quarantined))| {
+            if let Some(detail) = quarantined {
+                sup.quarantine(phase, generation, slot as u64, seed, detail);
+            }
+            meta
+        })
+        .collect()
 }
 
 /// Attempts a candidate slot gets before conceding. The analytic model
@@ -899,7 +1404,7 @@ pub fn random_schedule_into(
                 s.grid[i] = random_pow2_at_most(a.extent, rng);
             }
             AxisKind::TileReduction(_) => {
-                s.stage[i] = *[1i64, 2, 4].choose(rng).expect("nonempty").min(&a.extent);
+                s.stage[i] = pick_124(rng).min(a.extent);
                 if allow_split_k && rng.gen_bool(0.25) {
                     s.split_k[i] = random_pow2_at_most(a.extent.min(8), rng);
                 }
@@ -911,7 +1416,7 @@ pub fn random_schedule_into(
             }
         }
         if matches!(a.kind, AxisKind::TileSpatial(_)) {
-            s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
+            s.warp[i] = pick_124(rng);
             s.warp[i] = s.warp[i].min(s.subcore_chunk(axes, i)).max(1);
         }
     }
@@ -965,12 +1470,12 @@ pub fn mutate_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule, rng: &mut i
         }
         1 => {
             if let Some(&i) = ctx.tile_spatial_axes.choose(rng) {
-                s.warp[i] = *[1i64, 2, 4].choose(rng).expect("nonempty");
+                s.warp[i] = pick_124(rng);
             }
         }
         2 => {
             if let Some(&i) = ctx.tile_reduction_axes.choose(rng) {
-                s.stage[i] = (*[1i64, 2, 4].choose(rng).expect("nonempty")).min(axes[i].extent);
+                s.stage[i] = pick_124(rng).min(axes[i].extent);
             }
         }
         3 => s.double_buffer = !s.double_buffer,
@@ -1015,6 +1520,14 @@ fn repair_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule) {
             }
         }
     }
+}
+
+/// Uniform draw from `{1, 2, 4}` — the warp/stage gene alphabet. Total (the
+/// slice can never be empty, so no `expect` on a user-reachable path) and
+/// draw-for-draw identical to `[1, 2, 4].choose(rng)`, which consumes one
+/// `next_u64` and indexes modulo the length.
+fn pick_124(rng: &mut impl Rng) -> i64 {
+    [1i64, 2, 4][(rng.next_u64() as usize) % 3]
 }
 
 fn random_pow2_at_most(max: i64, rng: &mut impl Rng) -> i64 {
@@ -1112,6 +1625,7 @@ mod tests {
             measure_top: 3,
             seed: 7,
             jobs: 2,
+            ..Default::default()
         });
         let result = explorer.explore(&def, &accel).unwrap();
         assert_eq!(result.num_mappings, 35);
@@ -1136,6 +1650,7 @@ mod tests {
             measure_top: 2,
             seed: 99,
             jobs: 1,
+            ..Default::default()
         });
         let a = e.explore(&def, &accel).unwrap();
         let b = e.explore(&def, &accel).unwrap();
@@ -1154,6 +1669,7 @@ mod tests {
             measure_top: 3,
             seed: 77,
             jobs: 2,
+            ..Default::default()
         });
 
         // A large square GEMM belongs on the cube unit.

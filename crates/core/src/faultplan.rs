@@ -1,0 +1,176 @@
+//! Deterministic fault injection for the explorer (feature
+//! `fault-injection`, off by default).
+//!
+//! A [`FaultPlan`] decides — as a pure function of the candidate identity
+//! `(phase, seed, generation, slot)` — whether an evaluation panics, fails
+//! with a `SimError`, or stalls for a fixed delay. Because the decision
+//! consumes no RNG draws and depends on nothing but the identity key, an
+//! injected run evaluates exactly the candidates of the fault-free run, and
+//! two injected runs with the same plan fail identically on every machine
+//! and thread count. That is what makes the fault-tolerance tests
+//! deterministic: "panic 10% of measurements" is a fixed, replayable set of
+//! candidates, not a coin flip.
+//!
+//! This module compiles only under the `fault-injection` feature; release
+//! binaries carry no injection code. [`crate::fault_injection_enabled`]
+//! reports the compile-time state either way.
+
+use std::fmt;
+
+/// The outcome kinds a plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the evaluation (caught at the isolation boundary and
+    /// quarantined).
+    Panic,
+    /// Return an injected `SimError` from the evaluation.
+    SimError,
+    /// Sleep for [`FaultPlan::delay_micros`] before evaluating (exercises
+    /// deadline enforcement without changing any result).
+    Delay,
+}
+
+/// A deterministic fault-injection plan. Rates are parts-per-million of
+/// candidate evaluations; the rates are cumulative and must sum to at most
+/// 1_000_000. The default plan is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Fraction of evaluations that panic, in ppm.
+    pub panic_ppm: u32,
+    /// Fraction of evaluations that fail with an injected `SimError`, in ppm.
+    pub sim_error_ppm: u32,
+    /// Fraction of evaluations delayed by [`FaultPlan::delay_micros`], in ppm.
+    pub delay_ppm: u32,
+    /// Length of an injected delay, in microseconds.
+    pub delay_micros: u64,
+    /// Restrict injection to one evaluation phase (`"seed"`, `"screen"`,
+    /// `"breed"`, `"measure"`, `"fallback"`); `None` injects everywhere.
+    pub only_phase: Option<&'static str>,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "panic={}ppm sim_error={}ppm delay={}ppm/{}us phase={}",
+            self.panic_ppm,
+            self.sim_error_ppm,
+            self.delay_ppm,
+            self.delay_micros,
+            self.only_phase.unwrap_or("*"),
+        )
+    }
+}
+
+impl FaultPlan {
+    /// `true` when the plan can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.panic_ppm == 0 && self.sim_error_ppm == 0 && self.delay_ppm == 0
+    }
+
+    /// The fault (if any) for the evaluation identified by
+    /// `(phase, seed, generation, slot)`. Pure and draw-free: repeated calls
+    /// with the same key always agree, and the explorer's RNG streams are
+    /// untouched.
+    pub fn draw(&self, phase: &str, seed: u64, generation: u64, slot: u64) -> Option<Fault> {
+        if self.is_inert() {
+            return None;
+        }
+        if let Some(only) = self.only_phase {
+            if only != phase {
+                return None;
+            }
+        }
+        let ticket = (mix_key(phase, seed, generation, slot) % 1_000_000) as u32;
+        if ticket < self.panic_ppm {
+            return Some(Fault::Panic);
+        }
+        if ticket < self.panic_ppm + self.sim_error_ppm {
+            return Some(Fault::SimError);
+        }
+        if ticket < self.panic_ppm + self.sim_error_ppm + self.delay_ppm {
+            return Some(Fault::Delay);
+        }
+        None
+    }
+}
+
+/// Hashes an evaluation identity to a uniform `u64`: FNV-1a over the phase
+/// tag folded with SplitMix64-style finalisation over the numeric key.
+fn mix_key(phase: &str, seed: u64, generation: u64, slot: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in phase.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let key = mix(seed ^ 0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(generation.wrapping_mul(0xd134_2543_de82_ef95))
+        .wrapping_add(slot.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    mix(h ^ key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        for slot in 0..1000 {
+            assert_eq!(plan.draw("measure", 1, 0, slot), None);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_phase_sensitive() {
+        let plan = FaultPlan {
+            panic_ppm: 500_000,
+            ..FaultPlan::default()
+        };
+        for slot in 0..64 {
+            assert_eq!(
+                plan.draw("measure", 7, 3, slot),
+                plan.draw("measure", 7, 3, slot)
+            );
+        }
+        // Distinct phases must not fail in lockstep.
+        let a: Vec<_> = (0..64).map(|s| plan.draw("measure", 7, 3, s)).collect();
+        let b: Vec<_> = (0..64).map(|s| plan.draw("screen", 7, 3, s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan {
+            panic_ppm: 100_000, // 10%
+            sim_error_ppm: 100_000,
+            ..FaultPlan::default()
+        };
+        let n = 10_000u64;
+        let panics = (0..n)
+            .filter(|&s| plan.draw("measure", 42, 0, s) == Some(Fault::Panic))
+            .count();
+        let errors = (0..n)
+            .filter(|&s| plan.draw("measure", 42, 0, s) == Some(Fault::SimError))
+            .count();
+        assert!((500..1500).contains(&panics), "panics={panics}");
+        assert!((500..1500).contains(&errors), "errors={errors}");
+    }
+
+    #[test]
+    fn phase_filter_restricts_injection() {
+        let plan = FaultPlan {
+            panic_ppm: 1_000_000,
+            only_phase: Some("measure"),
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.draw("measure", 1, 0, 0), Some(Fault::Panic));
+        assert_eq!(plan.draw("screen", 1, 0, 0), None);
+        assert_eq!(plan.draw("seed", 1, 0, 0), None);
+    }
+}

@@ -48,6 +48,7 @@
 //!     measure_top: 2,
 //!     seed: 1,
 //!     jobs: 1,
+//!     ..ExplorerConfig::default()
 //! });
 //! let analyzed = engine.analyze(&gemm, &v100);
 //! let mappings = engine.generate(analyzed)?;
@@ -71,6 +72,8 @@ mod cache;
 mod engine;
 mod error;
 mod explore;
+#[cfg(feature = "fault-injection")]
+pub mod faultplan;
 mod generate;
 mod mapping;
 mod parallel;
@@ -87,10 +90,17 @@ pub use engine::{Analyzed, Artifact, Engine, Explored, Lowered, MappingSet};
 pub use error::{AmosError, AmosErrorKind, Stage};
 pub use explore::{
     mutate_schedule, mutate_schedule_ctx, pairwise_accuracy, random_schedule, random_schedule_into,
-    random_schedule_with, top_rate_recall, ExplorationResult, ExploreError, Explorer,
-    ExplorerConfig, ScreeningStats,
+    random_schedule_with, top_rate_recall, Budget, Completion, ExplorationResult, ExploreError,
+    Explorer, ExplorerConfig, QuarantineRecord, QuarantineReport, ScreeningStats,
 };
 pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
 pub use mapping::Mapping;
 pub use parallel::{parallel_fill_map, parallel_map};
 pub use report::MappingReport;
+
+/// `true` when this build of `amos-core` was compiled with the
+/// `fault-injection` feature (the deterministic fault harness). The feature
+/// is off by default; CI asserts that release builds report `false`.
+pub fn fault_injection_enabled() -> bool {
+    cfg!(feature = "fault-injection")
+}

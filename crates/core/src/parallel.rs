@@ -6,8 +6,31 @@
 //! results **in index order**, so reductions over them are independent of
 //! thread count and scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The first panic payload captured from a worker thread, if any. Workers
+/// catch their own panics so that (a) the caller observes the *original*
+/// payload instead of a secondary poisoned-mutex panic, and (b) siblings
+/// stop claiming work promptly instead of running the range to completion.
+type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// Locks `m`, ignoring poison: the payload capture below is the panic
+/// handling, so a poisoned result lock carries no extra information.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Stores `payload` as the first worker panic if none has been recorded yet.
+fn record_panic(slot: &PanicSlot, stop: &AtomicBool, payload: Box<dyn Any + Send>) {
+    stop.store(true, Ordering::Relaxed);
+    let mut guard = lock_unpoisoned(slot);
+    if guard.is_none() {
+        *guard = Some(payload);
+    }
+}
 
 /// Maps `0..n` through `work` on up to `jobs` threads, returning results in
 /// index order.
@@ -17,6 +40,10 @@ use std::sync::Mutex;
 /// pairs locally, and the pairs are merged and sorted at the end. With
 /// `jobs <= 1` (or a trivial range) the work runs inline on the caller's
 /// thread with no synchronisation at all.
+///
+/// If `work` panics on any index, the panic is re-raised on the calling
+/// thread with its **original payload** (first panicking worker wins; other
+/// workers stop early).
 pub fn parallel_map<T, F>(jobs: usize, n: usize, work: F) -> Vec<T>
 where
     T: Send,
@@ -27,31 +54,43 @@ where
     }
     let workers = jobs.min(n);
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let panicked: PanicSlot = Mutex::new(None);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, work(i)));
                     }
-                    local.push((i, work(i)));
+                    local
+                }));
+                match outcome {
+                    Ok(mut local) => lock_unpoisoned(&collected).append(&mut local),
+                    Err(payload) => record_panic(&panicked, &stop, payload),
                 }
-                collected
-                    .lock()
-                    .expect("a worker panicked while holding the result lock")
-                    .append(&mut local);
             });
         }
     });
-    let mut pairs = collected
-        .into_inner()
-        .expect("a worker panicked while holding the result lock");
+    if let Some(payload) = lock_unpoisoned(&panicked).take() {
+        resume_unwind(payload);
+    }
+    let mut pairs = lock_unpoisoned(&collected);
     debug_assert_eq!(pairs.len(), n);
     pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, v)| v).collect()
+    std::mem::take(&mut *pairs)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
 }
 
 /// Like [`parallel_map`], but each index additionally gets **exclusive**
@@ -62,6 +101,8 @@ where
 /// Determinism matches `parallel_map`: every index runs exactly once (work
 /// is claimed from an atomic counter) and the returned metadata is in index
 /// order. With `jobs <= 1` (or a trivial range) everything runs inline.
+/// Worker panics propagate with their original payload, as in
+/// [`parallel_map`].
 pub fn parallel_fill_map<S, T, F>(jobs: usize, slots: &mut [S], work: F) -> Vec<T>
 where
     S: Send,
@@ -87,35 +128,47 @@ where
 
     let workers = jobs.min(n);
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let panicked: PanicSlot = Mutex::new(None);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: `fetch_add` yields each index exactly once,
+                        // so no other thread touches slot `i`; the scope
+                        // outlives every borrow.
+                        let slot = unsafe { &mut *cells[i].0.get() };
+                        local.push((i, work(i, slot)));
                     }
-                    // SAFETY: `fetch_add` yields each index exactly once, so
-                    // no other thread touches slot `i`; the scope outlives
-                    // every borrow.
-                    let slot = unsafe { &mut *cells[i].0.get() };
-                    local.push((i, work(i, slot)));
+                    local
+                }));
+                match outcome {
+                    Ok(mut local) => lock_unpoisoned(&collected).append(&mut local),
+                    Err(payload) => record_panic(&panicked, &stop, payload),
                 }
-                collected
-                    .lock()
-                    .expect("a worker panicked while holding the result lock")
-                    .append(&mut local);
             });
         }
     });
-    let mut pairs = collected
-        .into_inner()
-        .expect("a worker panicked while holding the result lock");
+    if let Some(payload) = lock_unpoisoned(&panicked).take() {
+        resume_unwind(payload);
+    }
+    let mut pairs = lock_unpoisoned(&collected);
     debug_assert_eq!(pairs.len(), n);
     pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, v)| v).collect()
+    std::mem::take(&mut *pairs)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
 }
 
 #[cfg(test)]
@@ -184,6 +237,47 @@ mod tests {
         assert_eq!(
             parallel_fill_map(4, &mut one, |i, s| *s as usize + i),
             vec![5]
+        );
+    }
+
+    #[test]
+    fn map_propagates_original_panic_payload() {
+        let caught = amos_sim::isolate::quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(4, 64, |i| {
+                    if i == 7 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            }))
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        assert_eq!(
+            amos_sim::isolate::payload_text(payload.as_ref()),
+            "boom 7",
+            "the original payload must survive, not a poisoned-lock panic"
+        );
+    }
+
+    #[test]
+    fn fill_map_propagates_original_panic_payload() {
+        let mut slots = vec![0u64; 64];
+        let caught = amos_sim::isolate::quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_fill_map(4, &mut slots, |i, s| {
+                    *s = i as u64;
+                    if i == 11 {
+                        panic!("slot failure {i}");
+                    }
+                    i
+                })
+            }))
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        assert_eq!(
+            amos_sim::isolate::payload_text(payload.as_ref()),
+            "slot failure 11"
         );
     }
 

@@ -3,7 +3,7 @@
 //! physical memory mapping, tile counts, padding efficiency, memory
 //! footprints and the measured timing.
 
-use crate::explore::{ExplorationResult, ScreeningStats};
+use crate::explore::{Completion, ExplorationResult, ScreeningStats};
 use crate::memory_map::{physical_memory_mapping, MemoryMapping};
 use amos_hw::AcceleratorSpec;
 use amos_sim::{ExecStats, Schedule, TimingReport};
@@ -48,6 +48,13 @@ pub struct MappingReport {
     /// affine index-evaluation hit ratio); attach via
     /// [`MappingReport::with_exec_stats`].
     pub exec_stats: Option<ExecStats>,
+    /// How the exploration ended: complete, degraded by quarantined
+    /// candidates, or truncated by a budget limit.
+    pub completion: Completion,
+    /// Generation-loop iterations completed before the run ended.
+    pub generations_completed: usize,
+    /// Candidate evaluations quarantined after panicking.
+    pub quarantined: usize,
 }
 
 impl MappingReport {
@@ -81,6 +88,9 @@ impl MappingReport {
             screening: result.screening,
             validation_calls: crate::validate::validation_calls(),
             exec_stats: None,
+            completion: result.completion,
+            generations_completed: result.generations_completed,
+            quarantined: result.quarantine.len(),
         }
     }
 
@@ -144,6 +154,15 @@ impl fmt::Display for MappingReport {
             "measured         : {:.0} cycles = {:.1} us, {:.1} GFLOPS",
             self.timing.cycles, self.microseconds, self.gflops
         )?;
+        // Only surfaced when noteworthy: a clean finish keeps the historical
+        // output byte-identical.
+        if self.completion != Completion::Finished {
+            writeln!(
+                f,
+                "completion       : {} after {} generations ({} quarantined)",
+                self.completion, self.generations_completed, self.quarantined
+            )?;
+        }
         write!(
             f,
             "occupancy {:.2}, utilization {:.3}",
@@ -177,6 +196,7 @@ mod tests {
             measure_top: 2,
             seed: 3,
             jobs: 1,
+            ..Default::default()
         });
         (explorer.explore(&def, &accel).unwrap(), accel)
     }
@@ -215,6 +235,10 @@ mod tests {
         assert!(text.contains("Algorithm-1 calls"));
         assert!(text.contains("survivor memo hits"));
         assert!(!text.contains("hot path"));
+        assert!(
+            !text.contains("completion"),
+            "a clean finish must keep the historical output"
+        );
 
         // Attaching functional counters adds the hot-path line.
         let tensors = amos_ir::interp::make_inputs(result.best_program.def(), 5);
@@ -223,5 +247,41 @@ mod tests {
         let text = report.with_exec_stats(stats).to_string();
         assert!(text.contains("hot path"));
         assert!(text.contains("affine index hits"));
+    }
+
+    #[test]
+    fn truncated_runs_surface_completion() {
+        use crate::Budget;
+        let mut b = ComputeBuilder::new("gemm");
+        let i = b.spatial("i", 64);
+        let j = b.spatial("j", 64);
+        let k = b.reduce("k", 64);
+        let a = b.input("a", &[64, 64], DType::F16);
+        let w = b.input("b", &[64, 64], DType::F16);
+        let c = b.output("c", &[64, 64], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, k]), w.at([k, j]));
+        let def = b.finish().unwrap();
+        let accel = catalog::v100();
+        let explorer = Explorer::with_config(ExplorerConfig {
+            population: 8,
+            generations: 2,
+            survivors: 3,
+            measure_top: 2,
+            seed: 3,
+            jobs: 1,
+            budget: Budget {
+                max_measurements: Some(1),
+                ..Budget::default()
+            },
+            ..Default::default()
+        });
+        let result = explorer.explore(&def, &accel).unwrap();
+        let report = MappingReport::from_result(&result, &accel);
+        assert_eq!(report.completion, Completion::BudgetExhausted);
+        let text = report.to_string();
+        assert!(
+            text.contains("completion       : budget exhausted"),
+            "{text}"
+        );
     }
 }

@@ -29,6 +29,11 @@ pub enum SimError {
     Ir(amos_ir::IrError),
     /// The operation kind cannot be executed by the intrinsic.
     UnsupportedOp { detail: String },
+    /// An evaluation panicked and was caught at an isolation boundary
+    /// ([`crate::isolate::run_isolated`]); `detail` is the panic payload
+    /// text. Produced by the `*_isolated` entry points and by the explorer's
+    /// fault-tolerant supervisor.
+    Panicked { detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +58,7 @@ impl fmt::Display for SimError {
             }
             SimError::Ir(e) => write!(f, "ir error: {e}"),
             SimError::UnsupportedOp { detail } => write!(f, "unsupported operation: {detail}"),
+            SimError::Panicked { detail } => write!(f, "evaluation panicked: {detail}"),
         }
     }
 }
@@ -93,6 +99,12 @@ mod tests {
 
         let e = SimError::ScheduleAxisMismatch;
         assert!(e.to_string().contains("does not match program axes"));
+        assert!(e.source().is_none());
+
+        let e = SimError::Panicked {
+            detail: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("evaluation panicked"));
         assert!(e.source().is_none());
     }
 }

@@ -109,6 +109,22 @@ pub fn execute_mapped(
     execute_mapped_with_stats(prog, tensors).map(|(out, _)| out)
 }
 
+/// [`execute_mapped`] behind a panic-isolation boundary: a panic anywhere in
+/// the functional executor surfaces as [`SimError::Panicked`] instead of
+/// unwinding into the caller.
+///
+/// # Errors
+///
+/// Same as [`execute_mapped`], plus [`SimError::Panicked`] carrying the
+/// payload text of a caught panic.
+pub fn execute_mapped_isolated(
+    prog: &MappedProgram,
+    tensors: &[TensorData],
+) -> Result<TensorData, SimError> {
+    crate::isolate::run_isolated(|| execute_mapped(prog, tensors))
+        .unwrap_or_else(|detail| Err(SimError::Panicked { detail }))
+}
+
 /// Like [`execute_mapped`], additionally returning execution statistics.
 ///
 /// Runs through the program's cached compiled lane programs:

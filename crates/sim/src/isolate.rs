@@ -1,0 +1,111 @@
+//! Panic isolation for candidate evaluation.
+//!
+//! The explorer evaluates thousands of candidates per run, and a single
+//! panicking evaluation — a bug in a cost model, a pathological schedule, an
+//! injected fault — must not take the whole search down. This module
+//! provides the one primitive the fault-tolerant supervisor needs:
+//! [`run_isolated`] executes a closure, converts any panic into an `Err`
+//! carrying the payload text, and keeps the default panic hook from spamming
+//! stderr while doing so.
+//!
+//! Suppression is scoped: a process-wide hook is installed once (lazily) and
+//! consults a thread-local flag plus a global depth counter, so panics from
+//! code that did *not* opt in are reported exactly as before.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+thread_local! {
+    /// Set while the current thread is inside [`run_isolated`].
+    static ISOLATING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide count of active [`quiet_panics`] scopes (test helper).
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+static HOOK: Once = Once::new();
+
+/// Installs (once) a panic hook that suppresses reporting for isolated
+/// sections and delegates to the previous hook everywhere else.
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let suppressed = ISOLATING.with(|f| f.get()) || QUIET_DEPTH.load(Ordering::Relaxed) > 0;
+            if !suppressed {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a panic payload as text: the `&str`/`String` message when there
+/// is one, a placeholder otherwise.
+pub fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, catching any panic and returning its payload text as `Err`.
+///
+/// The default panic hook is suppressed for the duration of the call on this
+/// thread, so quarantined candidates do not flood stderr; panics outside
+/// isolated sections keep their normal reporting.
+pub fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    let was = ISOLATING.with(|flag| flag.replace(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    ISOLATING.with(|flag| flag.set(was));
+    result.map_err(|p| payload_text(&*p))
+}
+
+/// Runs `f` with panic reporting suppressed process-wide — for tests that
+/// deliberately panic on worker threads (where no thread-local flag can be
+/// pre-set) and assert on the propagated payload.
+pub fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    install_hook();
+    QUIET_DEPTH.fetch_add(1, Ordering::Relaxed);
+    let out = f();
+    QUIET_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_success_passes_through() {
+        assert_eq!(run_isolated(|| 21 * 2), Ok(42));
+    }
+
+    #[test]
+    fn isolated_panic_is_captured_with_payload() {
+        let err = run_isolated(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        let err = run_isolated(|| -> u32 { std::panic::panic_any(3.5f64) }).unwrap_err();
+        assert_eq!(err, "non-string panic payload");
+    }
+
+    #[test]
+    fn isolation_flag_is_restored() {
+        let _ = run_isolated(|| ());
+        assert!(!ISOLATING.with(|f| f.get()));
+        let _ = run_isolated(|| run_isolated(|| -> u32 { panic!("inner") }));
+        assert!(!ISOLATING.with(|f| f.get()));
+    }
+
+    #[test]
+    fn quiet_scope_unwinds_depth() {
+        quiet_panics(|| {
+            assert!(QUIET_DEPTH.load(Ordering::Relaxed) >= 1);
+        });
+    }
+}

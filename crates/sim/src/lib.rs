@@ -26,16 +26,18 @@ mod schedule;
 mod screening;
 
 pub mod functional;
+pub mod isolate;
 pub mod timing;
 
 pub use error::SimError;
 pub use functional::{
-    execute_mapped, execute_mapped_reference, execute_mapped_with_stats, ExecStats,
+    execute_mapped, execute_mapped_isolated, execute_mapped_reference, execute_mapped_with_stats,
+    ExecStats,
 };
 pub use program::{div_ceil, Axis, AxisKind, FusedGroup, MappedProgram};
 pub use schedule::{subcores_per_core, Schedule};
 pub use screening::ScreeningContext;
-pub use timing::{scalar_fallback_cycles, simulate, TimingReport};
+pub use timing::{scalar_fallback_cycles, simulate, simulate_isolated, TimingReport};
 
 // The explorer shares programs, schedules and reports across worker threads
 // by reference; these compile-time assertions keep the types thread-safe.

@@ -132,6 +132,12 @@ impl Schedule {
     pub fn balanced(prog: &MappedProgram, accel: &AcceleratorSpec) -> Self {
         let axes = prog.axes();
         let mut s = Schedule::naive(prog);
+        // A degenerate accelerator with no memory hierarchy admits no
+        // parallelism or staging decisions; the naive schedule is the only
+        // sensible (and panic-free) answer.
+        if accel.levels.is_empty() {
+            return s;
+        }
         s.double_buffer = true;
         s.unroll = true;
         s.vectorize = true;
@@ -201,6 +207,17 @@ impl Schedule {
     /// [`SimError::CapacityExceeded`] when staging or register footprints
     /// exceed the hardware.
     pub fn validate(&self, prog: &MappedProgram, accel: &AcceleratorSpec) -> Result<(), SimError> {
+        // Guard the hierarchy lookups below: `shared_level()` (and the
+        // register-capacity probe at level 0) would panic on an accelerator
+        // description with no levels, which user code can construct.
+        if accel.levels.is_empty() {
+            return Err(SimError::InvalidSchedule {
+                detail: format!(
+                    "accelerator `{}` has no memory hierarchy levels",
+                    accel.name
+                ),
+            });
+        }
         let axes = prog.axes();
         let n = axes.len();
         for (name, v) in [
@@ -528,6 +545,19 @@ mod tests {
             s.validate(&prog, &catalog::v100()),
             Err(SimError::InvalidSchedule { .. })
         ));
+    }
+
+    #[test]
+    fn empty_hierarchy_is_a_typed_error_not_a_panic() {
+        let prog = gemm_prog(64, 64, 64);
+        let mut accel = catalog::v100();
+        accel.levels.clear();
+        let s = Schedule::naive(&prog);
+        assert!(matches!(
+            s.validate(&prog, &accel),
+            Err(SimError::InvalidSchedule { .. })
+        ));
+        assert_eq!(Schedule::balanced(&prog, &accel), Schedule::naive(&prog));
     }
 
     #[test]

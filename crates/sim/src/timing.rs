@@ -101,6 +101,33 @@ pub fn simulate(
     accel: &AcceleratorSpec,
 ) -> Result<TimingReport, SimError> {
     schedule.validate(prog, accel)?;
+    simulate_unchecked(prog, schedule, accel)
+}
+
+/// [`simulate`] behind a panic-isolation boundary: a panic anywhere in the
+/// timing model surfaces as [`SimError::Panicked`] instead of unwinding into
+/// the caller. This is the ground-truth entry point for callers that must
+/// survive individual candidate failures (the explorer's fault-tolerant
+/// supervisor, long-running services).
+///
+/// # Errors
+///
+/// Same as [`simulate`], plus [`SimError::Panicked`] carrying the payload
+/// text of a caught panic.
+pub fn simulate_isolated(
+    prog: &MappedProgram,
+    schedule: &Schedule,
+    accel: &AcceleratorSpec,
+) -> Result<TimingReport, SimError> {
+    crate::isolate::run_isolated(|| simulate(prog, schedule, accel))
+        .unwrap_or_else(|detail| Err(SimError::Panicked { detail }))
+}
+
+fn simulate_unchecked(
+    prog: &MappedProgram,
+    schedule: &Schedule,
+    accel: &AcceleratorSpec,
+) -> Result<TimingReport, SimError> {
     let axes = prog.axes();
     let intr = prog.intrinsic();
     let num_srcs = intr.compute.num_srcs();

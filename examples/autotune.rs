@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             measure_top: 4,
             seed: 7,
             jobs: 0,
+            ..Default::default()
         });
         match explorer.explore(&conv, &accel) {
             Ok(result) => {

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measure_top: 4,
         seed: 18,
         jobs: 0,
+        ..Default::default()
     });
 
     println!(

@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measure_top: 4,
         seed: 2022,
         jobs: 0,
+        ..Default::default()
     });
     let result = explorer.explore(&conv, &accel)?;
     println!(

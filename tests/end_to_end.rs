@@ -16,6 +16,7 @@ fn small_budget(seed: u64) -> ExplorerConfig {
         measure_top: 3,
         seed,
         jobs: 0,
+        ..Default::default()
     }
 }
 
@@ -86,6 +87,7 @@ fn perf_model_ranks_candidates_well() {
         measure_top: 4,
         seed: 11,
         jobs: 0,
+        ..Default::default()
     });
     let result = explorer.explore(&def, &accel).unwrap();
     assert!(
@@ -166,6 +168,7 @@ fn explorer_discovers_split_k_on_skinny_reductions() {
         measure_top: 6,
         seed: 404,
         jobs: 0,
+        ..Default::default()
     });
     let result = explorer.explore(&def, &accel).unwrap();
     assert!(

@@ -17,6 +17,7 @@ fn budget(seed: u64, jobs: usize) -> ExplorerConfig {
         measure_top: 3,
         seed,
         jobs,
+        ..Default::default()
     }
 }
 

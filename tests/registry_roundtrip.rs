@@ -25,6 +25,7 @@ fn golden_config() -> ExplorerConfig {
         measure_top: 2,
         seed: 2022,
         jobs: 2,
+        ..Default::default()
     }
 }
 
