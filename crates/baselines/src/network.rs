@@ -5,7 +5,7 @@
 //! glue operators (ReLU, pooling, softmax, ...) cost the same flat amount
 //! for every system.
 
-use crate::systems::{evaluate_with, System, SCALAR_OP_CYCLES};
+use crate::systems::{evaluate_with_warm, System, SCALAR_OP_CYCLES};
 use amos_core::{shape_fingerprint, CacheStats, Engine};
 use amos_hw::AcceleratorSpec;
 use amos_workloads::networks::Network;
@@ -21,6 +21,7 @@ use amos_workloads::networks::Network;
 #[derive(Debug, Default)]
 pub struct NetworkEvaluator {
     engine: Engine,
+    warm_start: bool,
 }
 
 /// Cost breakdown of one network under one system.
@@ -48,6 +49,16 @@ impl NetworkEvaluator {
         Self::default()
     }
 
+    /// Switches on the explorer's nearest-shape warm start for AMOS's
+    /// searches: each distinct layer shape still pays one exploration, but
+    /// misses seed their population from the best mapping of the nearest
+    /// previously-explored shape of the same operator class (counted under
+    /// [`CacheStats::warm_starts`]).
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
     /// Evaluates a network end-to-end at the given batch size.
     pub fn evaluate(
         &mut self,
@@ -71,7 +82,14 @@ impl NetworkEvaluator {
                     // shape run the same search, so the shared cache answers
                     // the second one and both cost the same.
                     let seed = fnv(&shape_fingerprint(&def));
-                    let sc = evaluate_with(&self.engine, system, &def, accel, seed);
+                    let sc = evaluate_with_warm(
+                        &self.engine,
+                        system,
+                        &def,
+                        accel,
+                        seed,
+                        self.warm_start,
+                    );
                     let cycles = sc.cycles * grp.count as f64;
                     cost.total_cycles += cycles;
                     cost.sim_failures += sc.sim_failures;
@@ -161,6 +179,50 @@ mod tests {
         let a = ev.evaluate(System::Amos, &net, 1, &accel);
         let b = ev.evaluate(System::Amos, &net, 1, &accel);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_start_seeds_later_shapes_of_the_same_class() {
+        use amos_workloads::networks::{NetOp, Network, OpGroup};
+        // Two matvec layers of different extents: same operator class, so
+        // with warm start on the second exploration seeds from the first.
+        let net = Network {
+            name: "two-linears",
+            groups: vec![
+                OpGroup {
+                    name: "fc1",
+                    count: 1,
+                    op: NetOp::MatVec { m: 256, k: 256 },
+                },
+                OpGroup {
+                    name: "fc2",
+                    count: 1,
+                    op: NetOp::MatVec { m: 256, k: 512 },
+                },
+            ],
+        };
+        let accel = catalog::v100();
+        let mut warm = NetworkEvaluator::new().with_warm_start(true);
+        let w = warm.evaluate(System::Amos, &net, 1, &accel);
+        let stats = warm.cache_stats();
+        assert_eq!(stats.misses, 1, "first shape runs cold: {stats:?}");
+        assert_eq!(
+            stats.warm_starts, 1,
+            "second shape finds a donor: {stats:?}"
+        );
+        // Warm start changes only the exploration trajectory, not what a
+        // mapping costs: every reported cost is still a ground-truth
+        // simulation, and mapped-op accounting is unaffected.
+        let mut cold = NetworkEvaluator::new();
+        let c = cold.evaluate(System::Amos, &net, 1, &accel);
+        assert_eq!(cold.cache_stats().warm_starts, 0);
+        assert_eq!(w.mapped_ops, c.mapped_ops);
+        assert!(
+            w.total_cycles <= c.total_cycles * 1.5,
+            "{} vs {}",
+            w.total_cycles,
+            c.total_cycles
+        );
     }
 
     #[test]

@@ -221,6 +221,21 @@ pub fn evaluate_with(
     accel: &AcceleratorSpec,
     seed: u64,
 ) -> SystemCost {
+    evaluate_with_warm(engine, system, def, accel, seed, false)
+}
+
+/// [`evaluate_with`] with the explorer's nearest-shape warm start switched
+/// on for AMOS's searches (the baselines' frozen-mapping tuning is
+/// unaffected): each cache miss seeds its population from the best mapping
+/// of the nearest previously-explored shape of the same operator class.
+pub fn evaluate_with_warm(
+    engine: &Engine,
+    system: System,
+    def: &ComputeDef,
+    accel: &AcceleratorSpec,
+    seed: u64,
+    warm_start: bool,
+) -> SystemCost {
     match system {
         System::Amos => {
             // AMOS searches the full mapping space (every unit of a
@@ -234,6 +249,7 @@ pub fn evaluate_with(
                 measure_top: 6,
                 seed,
                 jobs: 0,
+                warm_start,
                 ..Default::default()
             };
             // AMOS measures candidates on the ground truth, so it also knows

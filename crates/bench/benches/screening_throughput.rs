@@ -10,17 +10,20 @@
 //!   and accelerator on every call;
 //! * **precomputed** — `predict_with(ctx, schedule)`: straight-line
 //!   arithmetic over the flat tables of a `ScreeningContext` built once per
-//!   (program, accelerator) pair.
+//!   (program, accelerator) pair;
+//! * **batched** — `predict_batch_with(ctx, lanes, ...)`: the same
+//!   arithmetic over 8 candidates at a time in structure-of-arrays layout,
+//!   the path the explorer's generation loop actually drives.
 //!
-//! The two are asserted bit-identical on every schedule before timing (the
-//! rewrite must not move the search trajectory by even one ulp); the table
-//! reports candidates/second for both paths and their ratio.
+//! All three are asserted bit-identical on every schedule before timing (no
+//! rewrite may move the search trajectory by even one ulp); the table
+//! reports candidates/second for each path and their ratios.
 
-use amos_core::perf_model::{predict, predict_with, PerfBreakdown};
+use amos_core::perf_model::{predict, predict_batch_with, predict_with, PerfBreakdown};
 use amos_core::{random_schedule, MappingGenerator};
 use amos_hw::catalog;
 use amos_ir::ComputeDef;
-use amos_sim::Schedule;
+use amos_sim::{BatchTables, Schedule};
 use amos_workloads::ops::{self, ConvShape};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -77,14 +80,15 @@ fn assert_bitwise_equal(name: &str, a: &PerfBreakdown, b: &PerfBreakdown) {
 }
 
 fn print_screening_throughput() {
-    amos_bench::banner("Ablation: precomputed screening context vs reference analytic model");
+    amos_bench::banner("Ablation: reference vs precomputed vs batched screening");
     let accel = catalog::v100();
     let generator = MappingGenerator::new();
     println!(
-        "{:<5} {:>6} {:>16} {:>16} {:>8}",
-        "op", "axes", "reference c/s", "precomputed c/s", "ratio"
+        "{:<5} {:>6} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "op", "axes", "reference c/s", "precomp c/s", "batched c/s", "pre/ref", "bat/pre"
     );
     let mut ratios = Vec::new();
+    let mut batch_ratios = Vec::new();
     for (name, def) in operator_set() {
         let mappings = generator.enumerate(&def, &accel.intrinsic);
         let prog = mappings[0].lower(&def, &accel.intrinsic).expect("lower");
@@ -93,12 +97,18 @@ fn print_screening_throughput() {
         let schedules: Vec<Schedule> = (0..512)
             .map(|_| random_schedule(&prog, &accel, &mut rng))
             .collect();
-        // Correctness gate: both paths must agree bit-for-bit on every
+        let refs: Vec<&Schedule> = schedules.iter().collect();
+        let mut tables = BatchTables::default();
+        let mut batched = Vec::with_capacity(schedules.len());
+        // Correctness gate: all three paths must agree bit-for-bit on every
         // schedule before anything is timed.
-        for s in &schedules {
+        predict_batch_with(&ctx, &refs, &mut tables, &mut batched);
+        assert_eq!(batched.len(), schedules.len());
+        for (s, b) in schedules.iter().zip(&batched) {
             let reference = predict(&prog, s, &accel).expect("reference model");
             let fast = predict_with(&ctx, s).expect("precomputed model");
             assert_bitwise_equal(name, &reference, &fast);
+            assert_bitwise_equal(name, &fast, b.as_ref().expect("batched model"));
         }
         let reps = 50;
         let t_ref = time_runs(
@@ -117,21 +127,36 @@ fn print_screening_throughput() {
             },
             reps,
         );
+        let t_batch = time_runs(
+            || {
+                batched.clear();
+                predict_batch_with(&ctx, black_box(&refs), &mut tables, &mut batched);
+                black_box(&batched);
+            },
+            reps,
+        );
         let ref_cps = schedules.len() as f64 / t_ref;
         let fast_cps = schedules.len() as f64 / t_fast;
+        let batch_cps = schedules.len() as f64 / t_batch;
         let ratio = t_ref / t_fast;
+        let batch_ratio = t_fast / t_batch;
         ratios.push(ratio);
+        batch_ratios.push(batch_ratio);
         println!(
-            "{:<5} {:>6} {:>16.3e} {:>16.3e} {:>7.2}x",
+            "{:<5} {:>6} {:>14.3e} {:>14.3e} {:>14.3e} {:>7.2}x {:>7.2}x",
             name,
             ctx.axes.len(),
             ref_cps,
             fast_cps,
-            ratio
+            batch_cps,
+            ratio,
+            batch_ratio
         );
     }
     let geo = amos_baselines::geomean(&ratios);
-    println!("GEO   {geo:>52.2}x (target: >= 5x)");
+    let batch_geo = amos_baselines::geomean(&batch_ratios);
+    println!("GEO precomputed/reference {geo:>24.2}x (target: >= 5x)");
+    println!("GEO batched/precomputed   {batch_geo:>24.2}x (target: >= 2x)");
 }
 
 fn bench(c: &mut Criterion) {
@@ -151,6 +176,19 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("predict_precomputed_gmm256", |b| {
         b.iter(|| predict_with(black_box(&ctx), black_box(&schedule)).unwrap())
+    });
+    let schedules: Vec<Schedule> = (0..64)
+        .map(|_| random_schedule(&prog, &accel, &mut rng))
+        .collect();
+    let refs: Vec<&Schedule> = schedules.iter().collect();
+    let mut tables = BatchTables::default();
+    let mut out = Vec::with_capacity(refs.len());
+    group.bench_function("predict_batch_gmm256x64", |b| {
+        b.iter(|| {
+            out.clear();
+            predict_batch_with(black_box(&ctx), black_box(&refs), &mut tables, &mut out);
+            black_box(&out);
+        })
     });
     group.finish();
 }

@@ -1,0 +1,260 @@
+//! Records the screening perf trajectory to `BENCH_screening.json`.
+//!
+//! The analytic screening model bounds exploration throughput (every
+//! genetic generation funnels its whole population through it), so its
+//! candidates/second is the one number this repo tracks release over
+//! release. This binary measures the scalar (`predict_with`) and batched
+//! (`predict_batch_with`) paths over the Figure-6 operator families,
+//! asserts them bit-identical first, and writes the committed trajectory
+//! file at the repository root:
+//!
+//! ```text
+//! cargo run --release -p amos-bench --bin record_screening            # re-record
+//! cargo run --release -p amos-bench --bin record_screening -- --check # CI gate
+//! ```
+//!
+//! `--check` re-measures the batched path and fails (exit 1) when the
+//! committed file is malformed, when its recorded batched/scalar geomean
+//! speedup is below 2.0x, or when the live batched throughput has
+//! regressed to under 0.8x the recorded value.
+//!
+//! JSON is written and read by the tiny flat-schema helpers below — the
+//! build environment is offline, so no serde.
+
+use amos_baselines::{evaluate, geomean, System};
+use amos_core::perf_model::{predict_batch_with, predict_with, PerfBreakdown};
+use amos_core::{random_schedule, MappingGenerator};
+use amos_hw::catalog;
+use amos_ir::ComputeDef;
+use amos_sim::{BatchTables, Schedule};
+use amos_workloads::{configs, ops};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Same operator set as the `screening_throughput` bench: one shape per
+/// Figure-6 family exercised by the explorer (model cost depends on axis
+/// count and operand structure, not extents).
+fn operator_set() -> Vec<(&'static str, ComputeDef)> {
+    vec![
+        ("gmm", ops::gmm(256, 256, 256)),
+        ("gmv", ops::gmv(1024, 1024)),
+        (
+            "c2d",
+            ops::c2d(amos_workloads::ops::ConvShape {
+                n: 8,
+                c: 64,
+                k: 64,
+                p: 14,
+                q: 14,
+                r: 3,
+                s: 3,
+                stride: 1,
+            }),
+        ),
+        ("dep", ops::dep(8, 64, 14, 14, 3, 3)),
+    ]
+}
+
+/// Throughput sample for one operator family.
+struct OpSample {
+    name: &'static str,
+    scalar_cps: f64,
+    batched_cps: f64,
+}
+
+/// Best-of-`sets` wall time for `reps` calls of `f`, as seconds per call.
+/// Taking the minimum over several timing sets filters scheduler noise,
+/// which matters for a file whose values gate CI.
+fn best_time(mut f: impl FnMut(), reps: usize, sets: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..sets {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn assert_bitwise_equal(name: &str, a: &PerfBreakdown, b: &PerfBreakdown) {
+    for (field, x, y) in [
+        ("cycles", a.cycles, b.cycles),
+        ("l0_compute", a.l0_compute, b.l0_compute),
+        ("r_register", a.r_register, b.r_register),
+        ("r_shared", a.r_shared, b.r_shared),
+        ("r_device", a.r_device, b.r_device),
+        ("w_device", a.w_device, b.w_device),
+        ("s_device", a.s_device, b.s_device),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}: scalar and batched screening disagree on {field} ({x} vs {y})"
+        );
+    }
+}
+
+/// Measures scalar and batched screening throughput over every operator
+/// family, gating on bit-identity before timing anything.
+fn measure_ops() -> Vec<OpSample> {
+    let accel = catalog::v100();
+    let generator = MappingGenerator::new();
+    let mut samples = Vec::new();
+    for (name, def) in operator_set() {
+        let mappings = generator.enumerate(&def, &accel.intrinsic);
+        let prog = mappings[0].lower(&def, &accel.intrinsic).expect("lower");
+        let ctx = prog.screening_context(&accel);
+        let mut rng = StdRng::seed_from_u64(amos_bench::stable_seed(name));
+        let schedules: Vec<Schedule> = (0..512)
+            .map(|_| random_schedule(&prog, &accel, &mut rng))
+            .collect();
+        let refs: Vec<&Schedule> = schedules.iter().collect();
+        let mut tables = BatchTables::default();
+        let mut batched = Vec::with_capacity(refs.len());
+        predict_batch_with(&ctx, &refs, &mut tables, &mut batched);
+        for (s, b) in schedules.iter().zip(&batched) {
+            let scalar = predict_with(&ctx, s).expect("scalar model");
+            assert_bitwise_equal(name, &scalar, b.as_ref().expect("batched model"));
+        }
+        let t_scalar = best_time(
+            || {
+                for s in &schedules {
+                    std::hint::black_box(predict_with(&ctx, s).unwrap());
+                }
+            },
+            30,
+            5,
+        );
+        let t_batched = best_time(
+            || {
+                batched.clear();
+                predict_batch_with(&ctx, std::hint::black_box(&refs), &mut tables, &mut batched);
+                std::hint::black_box(&batched);
+            },
+            30,
+            5,
+        );
+        samples.push(OpSample {
+            name,
+            scalar_cps: schedules.len() as f64 / t_scalar,
+            batched_cps: schedules.len() as f64 / t_batched,
+        });
+    }
+    samples
+}
+
+/// Wall seconds for one representative Figure-6 exploration (the ResNet-18
+/// C5 layer at batch 16 on the A100-like accelerator — the same kernel the
+/// `fig6_operators` bench times), tying the micro-throughput numbers to an
+/// end-to-end cost in the same file.
+fn measure_fig6_wall() -> f64 {
+    let accel = catalog::a100();
+    let def = ops::c2d(configs::resnet18_conv_layers(16)[5].1);
+    let start = Instant::now();
+    std::hint::black_box(evaluate(System::Amos, &def, &accel, 5));
+    start.elapsed().as_secs_f64()
+}
+
+/// Path of the committed trajectory file: the repository root, two levels
+/// above this crate's manifest.
+fn trajectory_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_screening.json")
+}
+
+fn render_json(samples: &[OpSample], fig6_wall: f64) -> String {
+    let scalar: Vec<f64> = samples.iter().map(|s| s.scalar_cps).collect();
+    let batched: Vec<f64> = samples.iter().map(|s| s.batched_cps).collect();
+    let speedups: Vec<f64> = samples
+        .iter()
+        .map(|s| s.batched_cps / s.scalar_cps)
+        .collect();
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"ops\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_cps\": {:.0}, \"batched_cps\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            s.name,
+            s.scalar_cps,
+            s.batched_cps,
+            speedups[i],
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"geomean_scalar_cps\": {:.0},\n  \"geomean_batched_cps\": {:.0},\n  \"geomean_speedup\": {:.3},\n  \"fig6_c5_wall_seconds\": {:.3}\n}}\n",
+        geomean(&scalar),
+        geomean(&batched),
+        geomean(&speedups),
+        fig6_wall
+    ));
+    out
+}
+
+/// Extracts the number following `"key":` in the flat JSON this binary
+/// writes. Returns `None` when the key is missing or its value does not
+/// parse — both count as "malformed" for the `--check` gate.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn record() {
+    let samples = measure_ops();
+    let fig6_wall = measure_fig6_wall();
+    let json = render_json(&samples, fig6_wall);
+    let path = trajectory_path();
+    std::fs::write(&path, &json).expect("write BENCH_screening.json");
+    println!("wrote {}:\n{json}", path.display());
+}
+
+fn check() {
+    let path = trajectory_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let schema = json_number(&text, "schema");
+    let recorded_cps = json_number(&text, "geomean_batched_cps");
+    let recorded_speedup = json_number(&text, "geomean_speedup");
+    let (Some(schema), Some(recorded_cps), Some(recorded_speedup)) =
+        (schema, recorded_cps, recorded_speedup)
+    else {
+        eprintln!("FAIL: {} is malformed (missing keys)", path.display());
+        std::process::exit(1);
+    };
+    assert_eq!(schema, 1.0, "unknown trajectory schema");
+    if recorded_speedup < 2.0 {
+        eprintln!(
+            "FAIL: recorded batched/scalar geomean speedup {recorded_speedup:.3}x is below the 2.0x floor"
+        );
+        std::process::exit(1);
+    }
+    let samples = measure_ops();
+    let live_cps = geomean(&samples.iter().map(|s| s.batched_cps).collect::<Vec<_>>());
+    println!(
+        "recorded {recorded_cps:.3e} c/s ({recorded_speedup:.2}x over scalar), live {live_cps:.3e} c/s"
+    );
+    if live_cps < 0.8 * recorded_cps {
+        eprintln!(
+            "FAIL: live batched throughput {live_cps:.3e} c/s regressed below 0.8x the recorded {recorded_cps:.3e} c/s"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: trajectory file is well-formed and live throughput is within budget");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => record(),
+        Some("--check") if args.len() == 1 => check(),
+        _ => {
+            eprintln!("usage: record_screening [--check]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -13,21 +13,47 @@
 //! [`ExplorerConfig::jobs`] — results are bit-identical for every thread
 //! count, so `jobs` must not split entries.
 
-use crate::explore::{Completion, ExplorationResult, ExploreError, Explorer, ExplorerConfig};
+use crate::explore::{
+    Completion, ExplorationResult, ExploreError, Explorer, ExplorerConfig, LoweredUnit,
+};
+use crate::mapping::Mapping;
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
+use amos_sim::Schedule;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Hit/miss counters of the engine's structural exploration cache.
+/// Hit/miss counters of the engine's structural exploration cache. The three
+/// fields partition top-level lookups: every lookup is exactly one of an
+/// exact hit, a warm-started miss or a cold miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (exact structural key match).
     pub hits: usize,
-    /// Lookups that had to run the explorer.
+    /// Lookups that missed but ran the explorer seeded from the nearest
+    /// previously-explored shape (the similarity index; only populated when
+    /// [`ExplorerConfig::warm_start`] is on).
+    pub warm_starts: usize,
+    /// Lookups that ran the explorer cold.
     pub misses: usize,
+}
+
+/// One donor entry of the warm-start similarity index: the winning candidate
+/// of a previously-explored shape, keyed by operator class + accelerator and
+/// ranked by extent distance at lookup time.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmStart {
+    /// Iteration extents of the donor shape (the similarity metric's input).
+    pub(crate) extents: Vec<i64>,
+    /// The donor's winning mapping.
+    pub(crate) mapping: Mapping,
+    /// The donor's winning schedule.
+    pub(crate) schedule: Schedule,
+    /// Name of the intrinsic the winner mapped onto; units of a
+    /// heterogeneous accelerator only accept donors of their own intrinsic.
+    pub(crate) intrinsic: String,
 }
 
 /// A thread-safe memo table for exploration runs.
@@ -39,11 +65,19 @@ pub struct ExplorationCache {
     entries: Mutex<HashMap<String, Result<ExplorationResult, ExploreError>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    warm_starts: AtomicUsize,
     // The refinement phase's internal sub-runs are memoised under separate
     // counters so they don't distort the caller-visible `stats()` — a hit
     // rate over top-level lookups, as every existing consumer expects.
     refine_hits: AtomicUsize,
     refine_misses: AtomicUsize,
+    // The similarity index: operator class + accelerator -> donors, one per
+    // distinct donor shape (first clean result wins; exploration is
+    // deterministic, so re-running a shape can never produce a different
+    // donor). Recorded on every clean top-level result regardless of
+    // `warm_start`, so enabling the flag mid-session benefits from shapes
+    // explored before it.
+    warm_index: Mutex<HashMap<String, Vec<WarmStart>>>,
 }
 
 impl ExplorationCache {
@@ -56,6 +90,7 @@ impl ExplorationCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -79,17 +114,121 @@ impl ExplorationCache {
     /// [`Explorer::explore_multi`] with memoisation. The explorer's
     /// refinement phase also routes its per-mapping sub-runs through this
     /// cache, so a miss here still reuses any previously-tuned shortlisted
-    /// mappings.
+    /// mappings. With [`ExplorerConfig::warm_start`] on, a miss additionally
+    /// consults the similarity index and seeds the search from the nearest
+    /// previously-explored shape of the same operator class.
     pub fn explore_multi(
         &self,
         explorer: &Explorer,
         def: &ComputeDef,
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
-        let key = fingerprint("multi", explorer.config(), def, accel);
-        self.run_keyed(key, || {
-            explorer.explore_multi_cached(def, accel, Some(self))
+        self.explore_warm(explorer, def, accel, |warm| {
+            explorer.explore_multi_cached(def, accel, Some(self), warm)
         })
+    }
+
+    /// The staged-pipeline flavour of [`ExplorationCache::explore_multi`]:
+    /// runs the merge loop over pre-lowered units, under the *same* cache
+    /// key, so the staged [`crate::Engine`] pipeline and the one-shot path
+    /// share entries.
+    pub(crate) fn explore_units(
+        &self,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        units: &[LoweredUnit],
+    ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_warm(explorer, def, accel, |warm| {
+            explorer.explore_units_cached(def, accel, units, Some(self), warm)
+        })
+    }
+
+    /// The shared top-level lookup: resolve the structural key, consult the
+    /// similarity index on a miss (when enabled), run, then record the clean
+    /// winner as a donor for future shapes of the same class. The donor is
+    /// resolved *before* the run starts (and the run is deterministic given
+    /// that donor), so results are bit-identical for a fixed cache state at
+    /// any thread count.
+    fn explore_warm(
+        &self,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        run: impl FnOnce(Option<&WarmStart>) -> Result<ExplorationResult, ExploreError>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        let key = fingerprint("multi", explorer.config(), def, accel);
+        let cached = self.entries.lock().expect("cache lock").contains_key(&key);
+        let warm = if explorer.config().warm_start && !cached {
+            self.find_warm_start(def, accel)
+        } else {
+            None
+        };
+        // Exact hits stay `hits`; misses split by whether a donor seeded
+        // the run, so the three `CacheStats` fields partition lookups.
+        let miss_counter = if warm.is_some() {
+            &self.warm_starts
+        } else {
+            &self.misses
+        };
+        let result = self.run_counted(key, || run(warm.as_ref()), &self.hits, miss_counter);
+        self.record_warm_start(def, accel, &result);
+        result
+    }
+
+    /// Nearest previously-explored shape of `def`'s operator class on
+    /// `accel`: minimal sum of absolute log-ratios over iteration extents
+    /// (scale-invariant, so 64->128 is as far as 128->256). Ties keep the
+    /// first-recorded donor — deterministic for a fixed cache state.
+    fn find_warm_start(&self, def: &ComputeDef, accel: &AcceleratorSpec) -> Option<WarmStart> {
+        let key = warm_key(def, accel);
+        let extents: Vec<i64> = def.iters().iter().map(|it| it.extent).collect();
+        let index = self.warm_index.lock().expect("warm index lock");
+        let donors = index.get(&key)?;
+        let mut best: Option<(f64, &WarmStart)> = None;
+        for d in donors {
+            if d.extents.len() != extents.len() {
+                continue;
+            }
+            let dist: f64 = d
+                .extents
+                .iter()
+                .zip(&extents)
+                .map(|(&a, &b)| ((a as f64).ln() - (b as f64).ln()).abs())
+                .sum();
+            if best.as_ref().map(|&(bd, _)| dist < bd).unwrap_or(true) {
+                best = Some((dist, d));
+            }
+        }
+        best.map(|(_, d)| d.clone())
+    }
+
+    /// Records a clean top-level result as a donor for its operator class.
+    /// Only `Finished` runs qualify (a truncated best-so-far is not a
+    /// converged winner), and the first donor per distinct shape wins.
+    fn record_warm_start(
+        &self,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        result: &Result<ExplorationResult, ExploreError>,
+    ) {
+        let Ok(r) = result else { return };
+        if r.completion != Completion::Finished {
+            return;
+        }
+        let key = warm_key(def, accel);
+        let extents: Vec<i64> = def.iters().iter().map(|it| it.extent).collect();
+        let mut index = self.warm_index.lock().expect("warm index lock");
+        let donors = index.entry(key).or_default();
+        if donors.iter().any(|d| d.extents == extents) {
+            return;
+        }
+        donors.push(WarmStart {
+            extents,
+            mapping: r.best_mapping.clone(),
+            schedule: r.best_schedule.clone(),
+            intrinsic: r.best_program.intrinsic().name.clone(),
+        });
     }
 
     /// Memoises one refinement sub-run. Counted under the refinement
@@ -186,14 +325,17 @@ fn fingerprint(
     accel: &AcceleratorSpec,
 ) -> String {
     let mut s = String::with_capacity(512);
+    // `warm_start` splits entries: a warm-started result depends on the
+    // cache state at lookup time, so it must never answer a cold lookup.
     let _ = write!(
         s,
-        "{tag};cfg:{}/{}/{}/{}/{};{};",
+        "{tag};cfg:{}/{}/{}/{}/{}/w{};{};",
         config.population,
         config.generations,
         config.survivors,
         config.measure_top,
         config.seed,
+        config.warm_start as u8,
         shape_fingerprint(def),
     );
     // An active fault plan changes which candidates survive, so it must
@@ -227,6 +369,38 @@ pub fn shape_fingerprint(def: &ComputeDef) -> String {
         let _ = write!(s, "in:{:?};", a);
     }
     let _ = write!(s, "op:{:?};preds:{:?}", def.op(), def.predicates());
+    s
+}
+
+/// Operator-*class* identity: [`shape_fingerprint`] with every extent
+/// stripped — iteration names and kinds, tensor dtypes and roles, access
+/// patterns and the operator. Differently-sized instances of one operator
+/// family (all the 3x3 stride-1 convolutions of a network, say) share it;
+/// predicates are deliberately excluded because padding guards embed
+/// extents, and a donor only *seeds* the search — it is re-validated on the
+/// new shape, never trusted.
+fn class_fingerprint(def: &ComputeDef) -> String {
+    let mut s = String::with_capacity(256);
+    for it in def.iters() {
+        let _ = write!(s, "i:{}:{:?};", it.name, it.kind);
+    }
+    for t in def.tensors() {
+        let _ = write!(s, "t:{:?}:{:?};", t.dtype, t.role);
+    }
+    let _ = write!(s, "out:{:?};", def.output());
+    for a in def.inputs() {
+        let _ = write!(s, "in:{:?};", a);
+    }
+    let _ = write!(s, "op:{:?}", def.op());
+    s
+}
+
+/// Key of the warm-start similarity index: operator class + the full
+/// accelerator description (a donor tuned for one machine must not seed
+/// another).
+fn warm_key(def: &ComputeDef, accel: &AcceleratorSpec) -> String {
+    let mut s = class_fingerprint(def);
+    let _ = write!(s, ";accel:{accel:?}");
     s
 }
 
@@ -271,7 +445,14 @@ mod tests {
         let warm = cache
             .explore_multi(&e, &gemm("g_two", 64, 64, 64), &accel)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                warm_starts: 0,
+                misses: 1
+            }
+        );
         assert_eq!(cold.cycles(), warm.cycles());
         assert_eq!(cold.best_schedule, warm.best_schedule);
     }
@@ -299,7 +480,14 @@ mod tests {
                 &catalog::v100(),
             )
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                warm_starts: 0,
+                misses: 4
+            }
+        );
     }
 
     #[test]
@@ -319,7 +507,14 @@ mod tests {
         cache
             .explore_multi(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                warm_starts: 0,
+                misses: 1
+            }
+        );
     }
 
     #[test]
@@ -343,7 +538,14 @@ mod tests {
         cache
             .explore_multi(&Explorer::with_config(cfg), &def, &accel)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                warm_starts: 0,
+                misses: 2
+            }
+        );
     }
 
     #[test]
@@ -362,6 +564,102 @@ mod tests {
         let accel = catalog::v100();
         assert!(cache.explore_multi(&e, &def, &accel).is_err());
         assert!(cache.explore_multi(&e, &def, &accel).is_err());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                warm_starts: 0,
+                misses: 1
+            }
+        );
+    }
+
+    fn warm_explorer(seed: u64) -> Explorer {
+        let mut cfg = small_explorer(seed).config().clone();
+        cfg.warm_start = true;
+        Explorer::with_config(cfg)
+    }
+
+    #[test]
+    fn warm_start_counters_partition_lookups() {
+        let cache = ExplorationCache::new();
+        let e = warm_explorer(11);
+        let accel = catalog::v100();
+        // Cold: no donor of this class exists yet.
+        let cold = cache
+            .explore_multi(&e, &gemm("g", 64, 64, 64), &accel)
+            .unwrap();
+        // Same class, different extents: the 64^3 winner donates.
+        let seeded = cache
+            .explore_multi(&e, &gemm("g", 128, 128, 64), &accel)
+            .unwrap();
+        assert!(seeded.warm_start.donors > 0, "{:?}", seeded.warm_start);
+        assert!(
+            seeded.warm_start.seeded_slots > 0,
+            "{:?}",
+            seeded.warm_start
+        );
+        // Exact repeat of the first shape: an exact hit, not a warm start.
+        cache
+            .explore_multi(&e, &gemm("g2", 64, 64, 64), &accel)
+            .unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                warm_starts: 1,
+                misses: 1
+            }
+        );
+        assert_eq!(cold.warm_start, crate::explore::WarmStartStats::default());
+    }
+
+    #[test]
+    fn warm_start_flag_keys_the_cache() {
+        // The same shape explored warm and cold must not collide: the warm
+        // run's trajectory depends on the donor, so sharing an entry would
+        // make results depend on exploration order. (The cold winner still
+        // donates — at distance zero — so the warm run counts as warm.)
+        let cache = ExplorationCache::new();
+        let accel = catalog::v100();
+        cache
+            .explore_multi(&small_explorer(11), &gemm("g", 64, 64, 64), &accel)
+            .unwrap();
+        cache
+            .explore_multi(&warm_explorer(11), &gemm("g", 64, 64, 64), &accel)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                warm_starts: 1,
+                misses: 1
+            }
+        );
+    }
+
+    #[test]
+    fn donors_do_not_cross_operator_classes_or_machines() {
+        let cache = ExplorationCache::new();
+        let e = warm_explorer(11);
+        cache
+            .explore_multi(&e, &gemm("g", 64, 64, 64), &catalog::v100())
+            .unwrap();
+        // Same class on a different machine: no donor.
+        cache
+            .explore_multi(&e, &gemm("g", 128, 128, 64), &catalog::a100())
+            .unwrap();
+        // Different dtype (a different class) on the same machine: no donor.
+        let mut b = ComputeBuilder::new("g32");
+        let i = b.spatial("i", 128);
+        let j = b.spatial("j", 128);
+        let r = b.reduce("k", 64);
+        let a = b.input("a", &[128, 64], DType::F32);
+        let w = b.input("b", &[64, 128], DType::F32);
+        let c = b.output("c", &[128, 128], DType::F32);
+        b.mul_acc(c.at([i, j]), a.at([i, r]), w.at([r, j]));
+        let _ = cache.explore_multi(&e, &b.finish().unwrap(), &catalog::v100());
+        assert_eq!(cache.stats().warm_starts, 0, "{:?}", cache.stats());
     }
 }

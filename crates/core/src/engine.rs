@@ -363,11 +363,12 @@ impl Engine {
             units,
         } = lowered;
         let explorer = Explorer::with_config(config);
+        // Same key as the one-shot `explore_multi` path (so staged and
+        // one-shot lookups share entries), including the warm-start donor
+        // consultation on a miss.
         let result = self
             .cache
-            .explore_tagged("multi", &explorer, &def, &accel, || {
-                explorer.explore_units_cached(&def, &accel, &units, Some(&self.cache))
-            })
+            .explore_units(&explorer, &def, &accel, &units)
             .map_err(|e| {
                 AmosError::from(e)
                     .at_stage(Stage::Explore)

@@ -5,15 +5,16 @@
 //! analytic performance model, and the most promising ones are measured on
 //! the ground truth — real hardware in the paper, the timing simulator here.
 
-use crate::cache::ExplorationCache;
+use crate::cache::{ExplorationCache, WarmStart};
 use crate::generate::MappingGenerator;
 use crate::mapping::Mapping;
 use crate::parallel::{parallel_fill_map, parallel_map};
-use crate::perf_model::predict_with;
+use crate::perf_model::{predict_batch_with, predict_with, PerfBreakdown};
 use amos_hw::AcceleratorSpec;
 use amos_ir::ComputeDef;
 use amos_sim::{
-    simulate, AxisKind, MappedProgram, Schedule, ScreeningContext, SimError, TimingReport,
+    simulate, AxisKind, BatchTables, MappedProgram, Schedule, ScreeningContext, SimError,
+    TimingReport, BATCH_LANES,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -231,6 +232,13 @@ pub struct ExplorerConfig {
     /// never changes *which* candidates a generation evaluates — it only
     /// decides how many generations run.
     pub budget: Budget,
+    /// Seed the initial population from the best mapping/schedule of the
+    /// nearest previously-explored shape of the same operator class (the
+    /// cache's similarity index). Off by default: warm-started runs are
+    /// deterministic for a fixed cache state, but *which* shapes were
+    /// explored before changes the trajectory, so opting in trades
+    /// cold-state reproducibility for faster convergence on shape families.
+    pub warm_start: bool,
     /// Deterministic fault-injection plan (test harness; inert by default).
     #[cfg(feature = "fault-injection")]
     pub faults: crate::faultplan::FaultPlan,
@@ -246,6 +254,7 @@ impl Default for ExplorerConfig {
             seed: 0x5eed,
             jobs: 0,
             budget: Budget::default(),
+            warm_start: false,
             #[cfg(feature = "fault-injection")]
             faults: crate::faultplan::FaultPlan::default(),
         }
@@ -324,6 +333,31 @@ impl ScreeningStats {
     }
 }
 
+/// Counters of the nearest-shape warm-start path for one exploration run.
+/// All fields are deterministic for a fixed cache state (the donor index is
+/// consulted before any parallel phase starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStartStats {
+    /// Donors consulted: one per explored unit whose intrinsic matched the
+    /// similarity index's nearest previously-explored shape.
+    pub donors: usize,
+    /// Initial-population slots seeded from a donor's winning candidate
+    /// (slot 0 verbatim, the rest donor-plus-one-mutation).
+    pub seeded_slots: usize,
+    /// Slots that fell back to naive initialisation because the donor could
+    /// not be re-validated on this shape (mapping absent from the unit's
+    /// enumeration, or its schedule unrepairable on the new extents).
+    pub fallback_slots: usize,
+}
+
+impl WarmStartStats {
+    fn absorb(&mut self, other: &WarmStartStats) {
+        self.donors += other.donors;
+        self.seeded_slots += other.seeded_slots;
+        self.fallback_slots += other.fallback_slots;
+    }
+}
+
 /// Flat SoA arena holding the genetic population: parallel arrays indexed by
 /// slot, `live` marking the populated prefix. Slots beyond `live` keep their
 /// `Schedule` buffers allocated so breeding fills them in place; compaction
@@ -394,9 +428,9 @@ impl PopulationArena {
     /// slots starting at `start` into the live prefix: accepted slots are
     /// compacted forward in slot order (swapping `Schedule` buffers, so
     /// rejected slots keep theirs for reuse) and `live` is updated.
-    fn compact_accepted(&mut self, start: usize, metas: Vec<(usize, f64, bool)>) {
+    fn compact_accepted(&mut self, start: usize, metas: &[(usize, f64, bool)]) {
         let mut w = start;
-        for (k, (mapping_idx, predicted, accepted)) in metas.into_iter().enumerate() {
+        for (k, &(mapping_idx, predicted, accepted)) in metas.iter().enumerate() {
             if !accepted {
                 continue;
             }
@@ -436,6 +470,10 @@ pub struct ExplorationResult {
     /// time), summed over refinement rounds. All fields except
     /// `screen_seconds` are deterministic for a given seed.
     pub screening: ScreeningStats,
+    /// Nearest-shape warm-start counters (donors consulted, slots seeded or
+    /// fallen back), summed over units. All zeros unless
+    /// [`ExplorerConfig::warm_start`] found a donor.
+    pub warm_start: WarmStartStats,
     /// How the run ended: complete, degraded by quarantined candidates, or
     /// truncated by a [`Budget`] limit.
     pub completion: Completion,
@@ -642,7 +680,7 @@ impl Explorer {
         def: &ComputeDef,
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
-        self.explore_multi_cached(def, accel, None)
+        self.explore_multi_cached(def, accel, None, None)
     }
 
     /// [`Explorer::explore_multi`] with an optional shared cache for the
@@ -654,6 +692,7 @@ impl Explorer {
         def: &ComputeDef,
         accel: &AcceleratorSpec,
         cache: Option<&ExplorationCache>,
+        warm: Option<&WarmStart>,
     ) -> Result<ExplorationResult, ExploreError> {
         let units = self
             .unit_accelerators(accel)
@@ -668,7 +707,7 @@ impl Explorer {
                 })
             })
             .collect::<Result<Vec<_>, ExploreError>>()?;
-        self.explore_units_cached(def, accel, &units, cache)
+        self.explore_units_cached(def, accel, &units, cache, warm)
     }
 
     /// Decomposes a (possibly heterogeneous) accelerator into per-intrinsic
@@ -719,6 +758,7 @@ impl Explorer {
         accel: &AcceleratorSpec,
         units: &[LoweredUnit],
         cache: Option<&ExplorationCache>,
+        warm: Option<&WarmStart>,
     ) -> Result<ExplorationResult, ExploreError> {
         self.config.validate()?;
         let sup = Supervisor::new(&self.config.budget);
@@ -727,6 +767,7 @@ impl Explorer {
         let mut num_mappings = 0usize;
         let mut sim_failures = 0usize;
         let mut screening = ScreeningStats::default();
+        let mut warm_stats = WarmStartStats::default();
         let mut completion = Completion::Finished;
         let mut generations_completed = 0usize;
         for unit in units {
@@ -744,11 +785,13 @@ impl Explorer {
                 self.config.seed,
                 cache,
                 &sup,
+                warm,
             )?;
             evaluations.extend(result.evaluations.iter().copied());
             num_mappings += result.num_mappings;
             sim_failures += result.sim_failures;
             screening.absorb(&result.screening);
+            warm_stats.absorb(&result.warm_start);
             completion = completion.merge(result.completion);
             generations_completed += result.generations_completed;
             let better = best
@@ -776,6 +819,7 @@ impl Explorer {
         best.num_mappings = num_mappings;
         best.sim_failures = sim_failures;
         best.screening = screening;
+        best.warm_start = warm_stats;
         best.completion = completion;
         best.generations_completed = generations_completed;
         Ok(sup.finalize(best))
@@ -832,6 +876,7 @@ impl Explorer {
             self.config.seed,
             cache,
             &sup,
+            None,
         )?;
         Ok(sup.finalize(result))
     }
@@ -855,6 +900,7 @@ impl Explorer {
         seed: u64,
         cache: Option<&ExplorationCache>,
         sup: &Supervisor,
+        warm: Option<&WarmStart>,
     ) -> Result<ExplorationResult, ExploreError> {
         let jobs = self.config.effective_jobs();
         // `Some` once a budget limit fires: later phases are skipped and the
@@ -935,52 +981,96 @@ impl Explorer {
             truncated = sup.check();
         }
 
+        // ---- warm-start donor -----------------------------------------------
+        // Resolve the donor before any parallel phase starts: adaptation is a
+        // pure function of (donor, context), so the seeded population is
+        // deterministic for a fixed cache state at any thread count. A donor
+        // whose mapping is not in this unit's enumeration, or whose schedule
+        // cannot be re-validated on the new extents, is dropped and the
+        // affected slots fall back to the naive random init.
+        let mut warm_stats = WarmStartStats::default();
+        let warm_slots = self.config.survivors.min(self.config.population);
+        let mut warm_seed: Option<(usize, Schedule)> = None;
+        let mut warm_fallback = false;
+        if let Some(w) = warm {
+            // Units of a heterogeneous accelerator only accept donors tuned
+            // for their own intrinsic.
+            if w.intrinsic == accel.intrinsic.name {
+                warm_stats.donors = 1;
+                warm_seed = mappings.iter().position(|m| *m == w.mapping).and_then(|i| {
+                    let mut s = w.schedule.clone();
+                    adapt_schedule_to(&ctxs[i], &mut s).then_some((i, s))
+                });
+                warm_fallback = warm_seed.is_none();
+            }
+        }
+
         // ---- initial population --------------------------------------------
-        // One RNG stream per slot; a slot whose draws keep failing the model
-        // concedes after a bounded number of attempts, so the population is
-        // the same set for any thread count. Slots are reusable `Schedule`
-        // buffers in a flat arena: workers sample into them in place and
-        // return only plain metadata.
+        // Phase A: one RNG stream per slot, workers *sample* into reusable
+        // `Schedule` buffers in a flat arena and return only plain metadata —
+        // so the population is the same set for any thread count. The first
+        // `warm_slots` slots clone the adapted donor instead (slot 0
+        // verbatim, the rest with one mutation from the slot's own stream).
+        // Phase B then screens every sampled slot through the batched model
+        // ([`screen_sampled`]), bit-identical to per-candidate
+        // `predict_with`.
         let mut arena = PopulationArena::new();
         arena.ensure_slots(self.config.population);
+        let mut scratch = ScreenScratch::default();
+        let mut metas: Vec<(usize, f64, bool)> = Vec::new();
         if truncated.is_none() {
+            if warm_seed.is_some() {
+                warm_stats.seeded_slots = warm_slots;
+            } else if warm_fallback {
+                warm_stats.fallback_slots = warm_slots;
+            }
             let screen_start = Instant::now();
             let raw = {
-                let screened = &screened;
                 let ctxs = &ctxs[..];
                 let num_programs = programs.len();
+                let warm_seed = warm_seed.as_ref();
                 parallel_fill_map(
                     jobs,
                     &mut arena.schedules[..self.config.population],
                     |slot, sched| {
                         match amos_sim::isolate::run_isolated(
-                            || -> Result<(usize, f64, bool), SimError> {
+                            || -> Result<(usize, bool), SimError> {
                                 self.injected_fault("screen", seed, 0, slot as u64)?;
                                 let mut rng = stream_rng(seed, 0, slot as u64);
-                                for _ in 0..SLOT_ATTEMPTS {
-                                    let mapping_idx = rng.gen_range(0..num_programs);
-                                    let ctx = &ctxs[mapping_idx];
-                                    random_schedule_into(ctx, sched, &mut rng, true);
-                                    screened.fetch_add(1, Ordering::Relaxed);
-                                    if let Ok(b) = predict_with(ctx, sched) {
-                                        return Ok((mapping_idx, b.cycles, true));
+                                if let Some((widx, wsched)) = warm_seed {
+                                    if slot < warm_slots {
+                                        sched.clone_from(wsched);
+                                        if slot > 0 {
+                                            mutate_schedule_ctx(&ctxs[*widx], sched, &mut rng);
+                                        }
+                                        return Ok((*widx, true));
                                     }
                                 }
-                                Ok((0, f64::INFINITY, false))
+                                let mapping_idx = rng.gen_range(0..num_programs);
+                                random_schedule_into(&ctxs[mapping_idx], sched, &mut rng, true);
+                                Ok((mapping_idx, true))
                             },
                         ) {
                             Ok(Ok(meta)) => (meta, None),
-                            // An injected `SimError` concedes the slot, like a
-                            // slot whose draws keep failing the model.
-                            Ok(Err(_)) => ((0, f64::INFINITY, false), None),
-                            Err(detail) => ((0, f64::INFINITY, false), Some(detail)),
+                            // An injected `SimError` concedes the slot.
+                            Ok(Err(_)) => ((0, false), None),
+                            Err(detail) => ((0, false), Some(detail)),
                         }
                     },
                 )
             };
-            let metas = drain_quarantined(raw, "screen", 0, seed, sup);
+            let sampled = drain_quarantined(raw, "screen", 0, seed, sup);
+            screen_sampled(
+                &ctxs,
+                &arena.schedules,
+                0,
+                &sampled,
+                &screened,
+                &mut scratch,
+                &mut metas,
+            );
             sup.note_evaluations(self.config.population);
-            arena.compact_accepted(0, metas);
+            arena.compact_accepted(0, &metas);
             screen_seconds += screen_start.elapsed().as_secs_f64();
         }
 
@@ -1084,45 +1174,45 @@ impl Explorer {
                 let parents: &[Schedule] = parents;
                 let child_slots = &mut rest[..wanted];
                 let parent_maps = &arena.mapping_idx[..survivors];
-                let screened = &screened;
                 let ctxs = &ctxs[..];
                 let num_programs = programs.len();
                 parallel_fill_map(jobs, child_slots, |slot, sched| {
-                    match amos_sim::isolate::run_isolated(
-                        || -> Result<(usize, f64, bool), SimError> {
-                            self.injected_fault("breed", seed, generation as u64 + 1, slot as u64)?;
-                            let mut rng = stream_rng(seed, generation as u64 + 1, slot as u64);
-                            for _ in 0..SLOT_ATTEMPTS {
-                                let p = rng.gen_range(0..parents.len());
-                                let mut mapping_idx = parent_maps[p];
-                                // Occasionally jump to a different mapping entirely.
-                                if rng.gen_bool(0.2) {
-                                    mapping_idx = rng.gen_range(0..num_programs);
-                                }
-                                let ctx = &ctxs[mapping_idx];
-                                if mapping_idx == parent_maps[p] {
-                                    sched.clone_from(&parents[p]);
-                                } else {
-                                    random_schedule_into(ctx, sched, &mut rng, true);
-                                }
-                                mutate_schedule_ctx(ctx, sched, &mut rng);
-                                screened.fetch_add(1, Ordering::Relaxed);
-                                if let Ok(b) = predict_with(ctx, sched) {
-                                    return Ok((mapping_idx, b.cycles, true));
-                                }
-                            }
-                            Ok((0, f64::INFINITY, false))
-                        },
-                    ) {
+                    match amos_sim::isolate::run_isolated(|| -> Result<(usize, bool), SimError> {
+                        self.injected_fault("breed", seed, generation as u64 + 1, slot as u64)?;
+                        let mut rng = stream_rng(seed, generation as u64 + 1, slot as u64);
+                        let p = rng.gen_range(0..parents.len());
+                        let mut mapping_idx = parent_maps[p];
+                        // Occasionally jump to a different mapping entirely.
+                        if rng.gen_bool(0.2) {
+                            mapping_idx = rng.gen_range(0..num_programs);
+                        }
+                        let ctx = &ctxs[mapping_idx];
+                        if mapping_idx == parent_maps[p] {
+                            sched.clone_from(&parents[p]);
+                        } else {
+                            random_schedule_into(ctx, sched, &mut rng, true);
+                        }
+                        mutate_schedule_ctx(ctx, sched, &mut rng);
+                        Ok((mapping_idx, true))
+                    }) {
                         Ok(Ok(meta)) => (meta, None),
-                        Ok(Err(_)) => ((0, f64::INFINITY, false), None),
-                        Err(detail) => ((0, f64::INFINITY, false), Some(detail)),
+                        Ok(Err(_)) => ((0, false), None),
+                        Err(detail) => ((0, false), Some(detail)),
                     }
                 })
             };
-            let metas = drain_quarantined(raw, "breed", generation as u64 + 1, seed, sup);
+            let sampled = drain_quarantined(raw, "breed", generation as u64 + 1, seed, sup);
+            screen_sampled(
+                &ctxs,
+                &arena.schedules,
+                survivors,
+                &sampled,
+                &screened,
+                &mut scratch,
+                &mut metas,
+            );
             sup.note_evaluations(wanted);
-            arena.compact_accepted(survivors, metas);
+            arena.compact_accepted(survivors, &metas);
             screen_seconds += screen_start.elapsed().as_secs_f64();
             generations_completed = generation + 1;
         }
@@ -1228,6 +1318,7 @@ impl Explorer {
                         refine_seed,
                         None,
                         sup,
+                        None,
                     )
                 };
                 let refined = match cache {
@@ -1271,6 +1362,7 @@ impl Explorer {
             num_mappings: mappings.len(),
             sim_failures,
             screening,
+            warm_start: warm_stats,
             completion: truncated.unwrap_or(Completion::Finished),
             generations_completed,
             quarantine: QuarantineReport::default(),
@@ -1339,11 +1431,82 @@ fn drain_quarantined<T>(
         .collect()
 }
 
-/// Attempts a candidate slot gets before conceding. The analytic model
-/// rejects very few schedules, so this bound is almost never hit; it exists
-/// so every slot's RNG stream has bounded length and the population is a
-/// deterministic function of `(seed, generation)` alone.
-const SLOT_ATTEMPTS: usize = 8;
+/// Reusable buffers for [`screen_sampled`]: the mapping-grouped slot order,
+/// the batched integer tables and the per-chunk prediction outputs. One
+/// instance lives across every generation of a run, so screening allocates
+/// nothing after the first batch.
+#[derive(Default)]
+struct ScreenScratch {
+    /// `(mapping_idx, slot)` pairs of the sampled slots, sorted so equal
+    /// mappings are adjacent (chunks share one context).
+    order: Vec<(usize, usize)>,
+    tables: BatchTables,
+    out: Vec<Result<PerfBreakdown, SimError>>,
+}
+
+/// Phase B of a screening batch. The phase-A workers only *sample* (drawing
+/// exactly the RNG streams the former per-candidate path drew); this serial
+/// pass then batch-predicts every sampled slot through
+/// [`predict_batch_with`], grouped by mapping so each [`BATCH_LANES`]-wide
+/// chunk shares one [`ScreeningContext`].
+///
+/// Sampled schedules are always structurally valid for their context (the
+/// sampler resets to the context's axes; bred children clone a parent of the
+/// same mapping), so every lane predicts successfully — a slot conceded by
+/// an injected fault in phase A simply never reaches this pass, exactly like
+/// the former inline `predict_with` loop. `metas` is rebuilt in slot order,
+/// so [`PopulationArena::compact_accepted`] sees the same metadata for any
+/// thread count.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the phase state
+fn screen_sampled(
+    ctxs: &[Arc<ScreeningContext>],
+    schedules: &[Schedule],
+    start: usize,
+    sampled: &[(usize, bool)],
+    screened: &AtomicUsize,
+    scratch: &mut ScreenScratch,
+    metas: &mut Vec<(usize, f64, bool)>,
+) {
+    metas.clear();
+    metas.extend(sampled.iter().map(|&(m, _)| (m, f64::INFINITY, false)));
+    scratch.order.clear();
+    for (k, &(m, ok)) in sampled.iter().enumerate() {
+        if ok {
+            scratch.order.push((m, k));
+        }
+    }
+    scratch.order.sort_unstable();
+    let mut pos = 0;
+    while pos < scratch.order.len() {
+        let mapping = scratch.order[pos].0;
+        let mut end = pos + 1;
+        while end < scratch.order.len() && scratch.order[end].0 == mapping {
+            end += 1;
+        }
+        let ctx = &ctxs[mapping];
+        for group in scratch.order[pos..end].chunks(BATCH_LANES) {
+            let mut lanes = [&schedules[start + group[0].1]; BATCH_LANES];
+            for (j, &(_, k)) in group.iter().enumerate() {
+                lanes[j] = &schedules[start + k];
+            }
+            scratch.out.clear();
+            predict_batch_with(
+                ctx,
+                &lanes[..group.len()],
+                &mut scratch.tables,
+                &mut scratch.out,
+            );
+            screened.fetch_add(group.len(), Ordering::Relaxed);
+            for (j, &(_, k)) in group.iter().enumerate() {
+                if let Ok(b) = &scratch.out[j] {
+                    metas[k].1 = b.cycles;
+                    metas[k].2 = true;
+                }
+            }
+        }
+        pos = end;
+    }
+}
 
 /// An independent RNG stream for candidate slot `slot` of `generation`.
 ///
@@ -1488,6 +1651,37 @@ pub fn mutate_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule, rng: &mut i
 /// Shrinks footprint-heavy genes until the schedule passes the context's
 /// allocation-free feasibility check (agrees with `Schedule::validate` —
 /// asserted by the sim crate's tests).
+/// Adapts a donor schedule (tuned for a *similar* shape) to `ctx`'s axes:
+/// every per-axis factor is clamped to the new extents, then the footprints
+/// are repaired like any sampled candidate. Deterministic — a pure function
+/// of `(donor, ctx)`. Returns `false` when the donor cannot be re-validated
+/// (axis-structure mismatch, or infeasible even after repair), in which case
+/// the caller falls back to naive initialisation.
+fn adapt_schedule_to(ctx: &ScreeningContext, s: &mut Schedule) -> bool {
+    let axes = &ctx.axes[..];
+    let n = axes.len();
+    if s.grid.len() != n
+        || s.split_k.len() != n
+        || s.subcore.len() != n
+        || s.stage.len() != n
+        || s.warp.len() != n
+    {
+        return false;
+    }
+    for (i, a) in axes.iter().enumerate() {
+        let ext = a.extent.max(1);
+        s.grid[i] = s.grid[i].clamp(1, ext);
+        if s.grid[i] * s.split_k[i] > ext {
+            s.split_k[i] = (ext / s.grid[i]).max(1);
+        }
+        s.subcore[i] = s.subcore[i].clamp(1, ext);
+        s.stage[i] = s.stage[i].max(1);
+        s.warp[i] = s.warp[i].max(1);
+    }
+    repair_schedule_ctx(ctx, s);
+    ctx.schedule_feasible(s)
+}
+
 fn repair_schedule_ctx(ctx: &ScreeningContext, s: &mut Schedule) {
     for _ in 0..16 {
         if ctx.schedule_feasible(s) {
@@ -1612,6 +1806,44 @@ mod tests {
             wt.at([k.ex(), c.ex(), r.ex(), s.ex()]),
         );
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn adapt_schedule_to_clamps_or_rejects() {
+        let def = conv2d_small();
+        let accel = catalog::v100();
+        let mapping = crate::generate::MappingGenerator::new()
+            .enumerate(&def, &accel.intrinsic)
+            .into_iter()
+            .next()
+            .unwrap();
+        let prog = mapping.lower(&def, &accel.intrinsic).unwrap();
+        let ctx = prog.screening_context(&accel);
+        let mut rng = stream_rng(7, 0, 0);
+        let mut s = Schedule::naive(&prog);
+        random_schedule_into(&ctx, &mut s, &mut rng, true);
+
+        // A donor from the same context adapts cleanly.
+        let mut adapted = s.clone();
+        assert!(adapt_schedule_to(&ctx, &mut adapted));
+        assert!(ctx.schedule_feasible(&adapted));
+
+        // Oversized donor factors are clamped back into the extents.
+        let mut oversized = s.clone();
+        for g in &mut oversized.grid {
+            *g *= 1024;
+        }
+        assert!(adapt_schedule_to(&ctx, &mut oversized));
+        assert!(ctx.schedule_feasible(&oversized));
+        for (i, a) in ctx.axes.iter().enumerate() {
+            assert!(oversized.grid[i] <= a.extent.max(1));
+        }
+
+        // An axis-count mismatch (donor from another operator class) is
+        // rejected outright.
+        let mut wrong = s.clone();
+        wrong.grid.pop();
+        assert!(!adapt_schedule_to(&ctx, &mut wrong));
     }
 
     #[test]

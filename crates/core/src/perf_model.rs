@@ -28,10 +28,13 @@
 //! unit tests below and a proptest over the Figure-6 operator set.
 
 use amos_hw::{AcceleratorSpec, OperandRef};
-use amos_sim::{div_ceil, AxisKind, MappedProgram, Schedule, ScreeningContext, SimError};
+use amos_sim::{
+    div_ceil, AxisKind, BatchTables, MappedProgram, Schedule, ScreeningContext, SimError,
+    BATCH_LANES,
+};
 
 /// A per-level breakdown of the prediction, for diagnostics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PerfBreakdown {
     /// Predicted total cycles (`Perf` in the paper).
     pub cycles: f64,
@@ -231,6 +234,256 @@ pub fn predict_with(
     })
 }
 
+/// [`predict_with`] over many candidates at once: the batched screening hot
+/// path. Candidates are evaluated in chunks of up to [`BATCH_LANES`] lanes
+/// over the per-axis SoA tables of [`ScreeningContext::fill_batch_tables`],
+/// with every float accumulator widened to a lane array so the per-axis and
+/// per-operand loops run lane-minor over contiguous memory.
+///
+/// Each lane executes exactly the floating-point operation sequence of
+/// scalar [`predict_with`] (the integer hoisting differs, but integers are
+/// exact), so every result is **bit-identical** to the scalar path — asserted
+/// by unit tests, a proptest over random arenas and the
+/// `screening_throughput` bench gate.
+///
+/// Results are appended to `out` in candidate order; structurally malformed
+/// candidates (wrong axis count) yield `Err(SimError::ScheduleAxisMismatch)`
+/// in their slot without disturbing neighbouring lanes.
+pub fn predict_batch(
+    ctx: &ScreeningContext,
+    schedules: &[&Schedule],
+    out: &mut Vec<Result<PerfBreakdown, SimError>>,
+) {
+    let mut tables = BatchTables::default();
+    predict_batch_with(ctx, schedules, &mut tables, out);
+}
+
+/// [`predict_batch`] with caller-owned scratch [`BatchTables`], so a loop
+/// that screens generation after generation reuses one allocation.
+pub fn predict_batch_with(
+    ctx: &ScreeningContext,
+    schedules: &[&Schedule],
+    tables: &mut BatchTables,
+    out: &mut Vec<Result<PerfBreakdown, SimError>>,
+) {
+    let n = ctx.axes.len();
+    out.reserve(schedules.len());
+    let mut results = [PerfBreakdown::default(); BATCH_LANES];
+    for chunk in schedules.chunks(BATCH_LANES) {
+        // Fast path: a full chunk of structurally valid candidates (the only
+        // shape the explorer's generation loop ever produces) maps straight
+        // onto the lanes with no compaction bookkeeping.
+        if chunk.len() == BATCH_LANES && chunk.iter().all(|s| s.grid.len() == n) {
+            let lanes: &[&Schedule; BATCH_LANES] = chunk.try_into().expect("full chunk");
+            predict_chunk(ctx, lanes, tables, &mut results);
+            for r in &results {
+                out.push(Ok(*r));
+            }
+            continue;
+        }
+        // Compact the structurally valid candidates into lanes; malformed
+        // ones are rejected up front exactly like the scalar path.
+        let mut lanes = [chunk[0]; BATCH_LANES];
+        let mut lane_of = [usize::MAX; BATCH_LANES];
+        let mut width = 0usize;
+        for (c, s) in chunk.iter().enumerate() {
+            if s.grid.len() == n {
+                lanes[width] = s;
+                lane_of[c] = width;
+                width += 1;
+            }
+        }
+        // Pad short chunks with the first valid lane: every inner loop then
+        // runs exactly BATCH_LANES trips (the shape the vectoriser needs),
+        // and the duplicated lanes' results are simply never read.
+        for l in width..BATCH_LANES {
+            lanes[l] = lanes[0];
+        }
+        if width > 0 {
+            predict_chunk(ctx, &lanes, tables, &mut results);
+        }
+        for (c, _) in chunk.iter().enumerate() {
+            out.push(match lane_of[c] {
+                usize::MAX => Err(SimError::ScheduleAxisMismatch),
+                l => Ok(results[l]),
+            });
+        }
+    }
+}
+
+/// Evaluates one full chunk of [`BATCH_LANES`] structurally valid schedules
+/// (short chunks arrive padded with a duplicate lane), dispatching to the
+/// widest vector ISA the running CPU offers. The compiled variants differ
+/// only in vector width and instruction selection: Rust never contracts
+/// separate multiplies and adds into FMAs, so every elementwise IEEE result
+/// — and therefore the search trajectory — is identical on every path.
+fn predict_chunk(
+    ctx: &ScreeningContext,
+    lanes: &[&Schedule; BATCH_LANES],
+    tables: &mut BatchTables,
+    results: &mut [PerfBreakdown; BATCH_LANES],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 8 f64 lanes fill exactly one zmm register; AVX-512DQ adds the
+        // 64-bit integer multiplies and i64->f64 converts the integer
+        // product loops need, which AVX2 and baseline SSE2 lack.
+        if std::is_x86_feature_detected!("avx512dq") {
+            // SAFETY: feature presence checked at runtime on this CPU.
+            return unsafe { predict_chunk_avx512(ctx, lanes, tables, results) };
+        }
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked at runtime on this CPU.
+            return unsafe { predict_chunk_avx2(ctx, lanes, tables, results) };
+        }
+    }
+    predict_chunk_impl(ctx, lanes, tables, results);
+}
+
+/// [`predict_chunk_impl`] compiled for AVX-512F/DQ (8-wide f64, vector
+/// `i64` multiply and convert).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq")]
+unsafe fn predict_chunk_avx512(
+    ctx: &ScreeningContext,
+    lanes: &[&Schedule; BATCH_LANES],
+    tables: &mut BatchTables,
+    results: &mut [PerfBreakdown; BATCH_LANES],
+) {
+    predict_chunk_impl(ctx, lanes, tables, results);
+}
+
+/// [`predict_chunk_impl`] compiled for AVX2 (4-wide f64).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn predict_chunk_avx2(
+    ctx: &ScreeningContext,
+    lanes: &[&Schedule; BATCH_LANES],
+    tables: &mut BatchTables,
+    results: &mut [PerfBreakdown; BATCH_LANES],
+) {
+    predict_chunk_impl(ctx, lanes, tables, results);
+}
+
+/// Mirrors [`predict_with`] term by term with every scalar widened to a
+/// `[f64; BATCH_LANES]` accumulator; the fixed width keeps every inner loop
+/// a constant BATCH_LANES trips so they unroll and vectorise.
+#[inline(always)]
+fn predict_chunk_impl(
+    ctx: &ScreeningContext,
+    lanes: &[&Schedule; BATCH_LANES],
+    tables: &mut BatchTables,
+    results: &mut [PerfBreakdown; BATCH_LANES],
+) {
+    let n = ctx.axes.len();
+    ctx.fill_batch_tables(lanes, tables);
+    // Slicing to the exact table extent lets the compiler prove every
+    // `i * BATCH_LANES + l` access in-bounds and drop the checks.
+    let need = n * BATCH_LANES;
+    let blk = &tables.blk[..need];
+    let sub = &tables.sub[..need];
+    let steps = &tables.steps[..need];
+    let wsub = &tables.wsub[..need];
+
+    // ---- level 0: intrinsic issue ----------------------------------------
+    let mut calls = [1f64; BATCH_LANES];
+    for i in 0..n {
+        let row = i * BATCH_LANES;
+        for (l, c) in calls.iter_mut().enumerate() {
+            *c *= sub[row + l] as f64;
+        }
+    }
+    let mut l0 = [0f64; BATCH_LANES];
+    for l in 0..BATCH_LANES {
+        l0[l] = calls[l] * ctx.initiation_interval;
+    }
+
+    // ---- register-level read ----------------------------------------------
+    let mut register_bytes = [0f64; BATCH_LANES];
+    for m in 0..ctx.num_srcs {
+        let mut reuse = [1i64; BATCH_LANES];
+        let mut bits = ctx.tile_spatial_mask & !ctx.operand_masks[m];
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let row = i * BATCH_LANES;
+            for (l, r) in reuse.iter_mut().enumerate() {
+                *r *= wsub[row + l];
+            }
+        }
+        let frag = ctx.src_frag_bytes[m] as f64;
+        for l in 0..BATCH_LANES {
+            register_bytes[l] += calls[l] / reuse[l].max(1) as f64 * frag;
+        }
+    }
+    let mut r_register = [0f64; BATCH_LANES];
+    for l in 0..BATCH_LANES {
+        r_register[l] = register_bytes[l] * ctx.inv_register_bw;
+    }
+
+    // ---- staging-level read -----------------------------------------------
+    // Same integer product as `ScreeningContext::block_read_bytes`, but the
+    // per-axis chunks and staging steps come from the shared tables instead
+    // of being re-derived per operand.
+    let mut block_read = [0f64; BATCH_LANES];
+    for m in 0..ctx.num_srcs {
+        let mask = ctx.operand_masks[m];
+        let mut bytes_per_pass = [1i64; BATCH_LANES];
+        let mut passes = [1i64; BATCH_LANES];
+        for (i, a) in ctx.axes.iter().enumerate() {
+            let row = i * BATCH_LANES;
+            if mask >> i & 1 == 1 {
+                for (l, b) in bytes_per_pass.iter_mut().enumerate() {
+                    *b *= blk[row + l];
+                }
+            } else if a.kind.is_spatial() {
+                for (l, p) in passes.iter_mut().enumerate() {
+                    *p *= steps[row + l];
+                }
+            }
+        }
+        let frag = ctx.src_frag_bytes[m];
+        for l in 0..BATCH_LANES {
+            block_read[l] += (bytes_per_pass[l] as u64 * passes[l] as u64 * frag) as f64;
+        }
+    }
+
+    // ---- device-level write volume -----------------------------------------
+    let mut dst_tiles = [1f64; BATCH_LANES];
+    let mut bits = ctx.operand_masks[ctx.num_srcs] & ctx.spatial_mask;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let row = i * BATCH_LANES;
+        for (l, d) in dst_tiles.iter_mut().enumerate() {
+            *d *= blk[row + l] as f64;
+        }
+    }
+
+    // ---- remaining terms + hierarchy recursion, per lane -------------------
+    for l in 0..BATCH_LANES {
+        let r_shared = block_read[l] * ctx.inv_shared_bw;
+        let blocks = tables.blocks[l] as f64;
+        let active = blocks.min(ctx.cores);
+        let r_device = block_read[l] * (active * ctx.inv_device_load_bw);
+        let write_bytes = dst_tiles[l] * ctx.dst_frag_bytes as f64;
+        let w_device = write_bytes * (active * ctx.inv_device_store_bw);
+        let l1 = l0[l].max(r_register[l]);
+        let l2 = l1.max(r_shared).max(r_device).max(w_device);
+        let s_device = blocks * ctx.inv_cores;
+        let cycles = s_device.max(1.0) * l2;
+        results[l] = PerfBreakdown {
+            cycles,
+            l0_compute: l0[l],
+            r_register: r_register[l],
+            r_shared,
+            r_device,
+            w_device,
+            s_device,
+        };
+    }
+}
+
 /// Convenience wrapper returning only the predicted cycle count.
 pub fn predict_cycles(
     prog: &MappedProgram,
@@ -379,6 +632,65 @@ mod tests {
                     &predict(&prog, &s, &accel).unwrap(),
                     &predict_with(&ctx, &s).unwrap(),
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_predict_with() {
+        use crate::explore::random_schedule;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let prog = gemm_prog(1024, 768, 512);
+        for accel in [catalog::v100(), catalog::a100()] {
+            let ctx = prog.screening_context(&accel);
+            let mut rng = StdRng::seed_from_u64(0xBA7C);
+            let scheds: Vec<Schedule> = (0..64)
+                .map(|_| random_schedule(&prog, &accel, &mut rng))
+                .collect();
+            // Every batch width from a single remainder lane up to several
+            // full chunks must agree lane-for-lane with the scalar path.
+            for count in [1, 2, 7, 8, 9, 16, 17, 63, 64] {
+                let lanes: Vec<&Schedule> = scheds[..count].iter().collect();
+                let mut out = Vec::new();
+                predict_batch(&ctx, &lanes, &mut out);
+                assert_eq!(out.len(), count);
+                for (s, got) in lanes.iter().zip(&out) {
+                    assert_bitwise_equal(&predict_with(&ctx, s).unwrap(), got.as_ref().unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_isolates_malformed_candidates() {
+        use crate::explore::random_schedule;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let prog = gemm_prog(512, 512, 256);
+        let accel = catalog::v100();
+        let ctx = prog.screening_context(&accel);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scheds: Vec<Schedule> = (0..10)
+            .map(|_| random_schedule(&prog, &accel, &mut rng))
+            .collect();
+        // Break a few candidates structurally; their lanes must error while
+        // every neighbour still matches the scalar path bitwise.
+        scheds[0].grid.pop();
+        scheds[4].grid.push(1);
+        scheds[9].grid.clear();
+        let lanes: Vec<&Schedule> = scheds.iter().collect();
+        let mut out = Vec::new();
+        predict_batch(&ctx, &lanes, &mut out);
+        assert_eq!(out.len(), lanes.len());
+        for (i, (s, got)) in lanes.iter().zip(&out).enumerate() {
+            if matches!(i, 0 | 4 | 9) {
+                assert!(
+                    matches!(got, Err(SimError::ScheduleAxisMismatch)),
+                    "lane {i} must reject the malformed schedule"
+                );
+            } else {
+                assert_bitwise_equal(&predict_with(&ctx, s).unwrap(), got.as_ref().unwrap());
             }
         }
     }

@@ -17,6 +17,52 @@ use crate::program::{Axis, AxisKind, MappedProgram};
 use crate::schedule::{subcores_per_core, Schedule};
 use amos_hw::{AcceleratorSpec, OperandRef};
 
+/// Number of candidate lanes the batched screening path evaluates together
+/// (see [`ScreeningContext::fill_batch_tables`] and
+/// `amos_core::perf_model::predict_batch`). Eight `f64` lanes fill two AVX2
+/// registers (or one AVX-512 register), and the remainder chunk of a batch
+/// simply runs with fewer live lanes.
+pub const BATCH_LANES: usize = 8;
+
+/// Reusable per-axis, per-lane integer tables for one chunk of schedules.
+///
+/// Layout is axis-major, lane-minor: entry `i * BATCH_LANES + l` belongs to
+/// axis `i` of lane (candidate) `l`, so the model's per-axis loops walk
+/// contiguous lanes — the shape auto-vectorisers want. The buffers grow to
+/// the widest program seen and are never shrunk, so a caller that keeps one
+/// `BatchTables` alive screens entire generations without allocating.
+#[derive(Debug, Default)]
+pub struct BatchTables {
+    /// Per-block chunk of each axis (`Schedule::block_chunk`).
+    pub blk: Vec<i64>,
+    /// Per-sub-core chunk of each axis (`Schedule::subcore_chunk`).
+    pub sub: Vec<i64>,
+    /// Sequential staging steps along spatial axes
+    /// (`Schedule::spatial_steps`); untouched on non-spatial axes.
+    pub steps: Vec<i64>,
+    /// Per-axis register reuse factor `warp.min(sub)` — the model's
+    /// register-level walk reads it on tile-spatial axes, precomputed here so
+    /// the walk never chases `Schedule` pointers.
+    pub wsub: Vec<i64>,
+    /// Blocks launched by each lane (`Schedule::blocks`).
+    pub blocks: [i64; BATCH_LANES],
+}
+
+/// [`div_ceil`](crate::div_ceil) with a shift fast path for power-of-two
+/// divisors — the only factors the schedule sampler emits. Value-identical
+/// to the plain division for every positive divisor, so the batched tables
+/// stay integer-identical to the scalar helpers.
+#[inline]
+fn div_ceil_pow2(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let t = a + b - 1;
+    if b > 0 && b & (b - 1) == 0 {
+        t >> b.trailing_zeros()
+    } else {
+        t / b
+    }
+}
+
 /// Flat, allocation-free view of everything the analytic model and the
 /// schedule sampler need about one `(MappedProgram, AcceleratorSpec)` pair.
 ///
@@ -259,6 +305,60 @@ impl ScreeningContext {
         total
     }
 
+    /// Fills the per-axis SoA tables for one full chunk of [`BATCH_LANES`]
+    /// schedules, computing every integer quantity the analytic model needs
+    /// exactly once per (axis, lane) — the scalar path re-derives block
+    /// chunks and staging steps once per *operand*, so batching also halves
+    /// the integer divisions before the float part even starts.
+    ///
+    /// Every lane must already have this context's axis count; the batched
+    /// predictor rejects mismatched candidates and pads short chunks with a
+    /// valid lane before gathering. The fixed width keeps every inner loop a
+    /// constant [`BATCH_LANES`] trips, which is what lets the compiler
+    /// unroll and vectorise them.
+    #[inline]
+    pub fn fill_batch_tables(&self, lanes: &[&Schedule; BATCH_LANES], t: &mut BatchTables) {
+        let axes = &self.axes[..];
+        let need = axes.len() * BATCH_LANES;
+        if t.blk.len() < need {
+            t.blk.resize(need, 1);
+            t.sub.resize(need, 1);
+            t.steps.resize(need, 1);
+            t.wsub.resize(need, 1);
+        }
+        let n = axes.len();
+        let (blk_t, sub_t) = (&mut t.blk[..need], &mut t.sub[..need]);
+        let (wsub_t, steps_t) = (&mut t.wsub[..need], &mut t.steps[..need]);
+        // Lane-major: each lane's schedule vectors are sliced to the axis
+        // count once, hoisting both the `Schedule` pointer chase and the
+        // bounds checks out of the per-axis loop.
+        for (l, s) in lanes.iter().enumerate() {
+            let grid = &s.grid[..n];
+            let split_k = &s.split_k[..n];
+            let subcore = &s.subcore[..n];
+            let warp = &s.warp[..n];
+            for (i, a) in axes.iter().enumerate() {
+                let blk = div_ceil_pow2(a.extent, grid[i] * split_k[i]);
+                let sub = div_ceil_pow2(blk, subcore[i]);
+                let row = i * BATCH_LANES + l;
+                blk_t[row] = blk;
+                sub_t[row] = sub;
+                wsub_t[row] = warp[i].min(sub);
+                // Staging steps are only ever read on spatial axes (the
+                // model's pass count for operands that skip the axis).
+                if a.kind.is_spatial() {
+                    let resident = if matches!(a.kind, AxisKind::TileSpatial(_)) {
+                        (subcore[i] * warp[i]).min(blk)
+                    } else {
+                        1
+                    };
+                    steps_t[row] = div_ceil_pow2(blk, resident);
+                }
+            }
+            t.blocks[l] = s.blocks();
+        }
+    }
+
     /// Allocation-free mirror of [`Schedule::validate`]: the same checks, a
     /// `bool` verdict instead of error construction. Used by schedule repair,
     /// which probes feasibility up to 16 times per candidate.
@@ -400,6 +500,69 @@ mod tests {
         s.grid.pop();
         assert!(!ctx.schedule_feasible(&s));
         assert!(s.validate(&prog, &accel).is_err());
+    }
+
+    #[test]
+    fn div_ceil_pow2_matches_div_ceil() {
+        use crate::program::div_ceil;
+        for a in 0..200 {
+            for b in 1..40 {
+                assert_eq!(div_ceil_pow2(a, b), div_ceil(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_tables_match_scalar_schedule_helpers() {
+        let prog = gemm_prog(512, 256, 1024);
+        let accel = catalog::v100();
+        let ctx = ScreeningContext::build(&prog, &accel);
+        let axes = &ctx.axes[..];
+        // A handful of distinct schedules, including non-trivial warp/stage
+        // factors, batched together.
+        let mut scheds = Vec::new();
+        for (grid, splitk, warp, stage) in [
+            (1, 1, 1, 1),
+            (4, 2, 2, 2),
+            (16, 1, 4, 4),
+            (2, 4, 1, 8),
+            (8, 2, 2, 1),
+        ] {
+            let mut s = Schedule::balanced(&prog, &accel);
+            s.grid[0] = grid;
+            s.split_k[2] = splitk;
+            s.warp[1] = warp;
+            s.stage[2] = stage;
+            scheds.push(s);
+        }
+        // Short chunk padded to the fixed width with the first lane, as the
+        // batched predictor does.
+        let mut lanes = [&scheds[0]; BATCH_LANES];
+        for (l, s) in scheds.iter().enumerate() {
+            lanes[l] = s;
+        }
+        let mut t = BatchTables::default();
+        ctx.fill_batch_tables(&lanes, &mut t);
+        for (l, s) in lanes.iter().enumerate() {
+            assert_eq!(t.blocks[l], s.blocks(), "lane {l}: blocks");
+            for i in 0..axes.len() {
+                let e = i * BATCH_LANES + l;
+                assert_eq!(t.blk[e], s.block_chunk(axes, i), "lane {l} axis {i}: blk");
+                assert_eq!(t.sub[e], s.subcore_chunk(axes, i), "lane {l} axis {i}: sub");
+                assert_eq!(
+                    t.wsub[e],
+                    s.warp[i].min(s.subcore_chunk(axes, i)),
+                    "lane {l} axis {i}: wsub"
+                );
+                if axes[i].kind.is_spatial() {
+                    assert_eq!(
+                        t.steps[e],
+                        s.spatial_steps(axes, i),
+                        "lane {l} axis {i}: steps"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -387,6 +387,69 @@ proptest! {
     }
 
     #[test]
+    fn batched_screening_is_bit_identical_to_scalar_screening(
+        op in 0usize..4,
+        accel_pick in 0usize..2,
+        count in 1usize..24,
+        broken in 0usize..24,
+        seed in 0u64..10_000,
+    ) {
+        use amos::core::perf_model::{predict_batch, predict_with};
+        use amos::sim::SimError;
+        use rand::SeedableRng;
+        let def = match op {
+            0 => amos::workloads::ops::gmm(128, 64, 64),
+            1 => amos::workloads::ops::gmv(128, 128),
+            2 => amos::workloads::ops::c2d(amos::workloads::ops::ConvShape {
+                n: 2, c: 32, k: 32, p: 7, q: 7, r: 3, s: 3, stride: 1,
+            }),
+            _ => amos::workloads::ops::dep(2, 32, 7, 7, 3, 3),
+        };
+        let accel = if accel_pick == 0 { catalog::v100() } else { catalog::a100() };
+        let mappings = MappingGenerator::new().enumerate(&def, &accel.intrinsic);
+        prop_assume!(!mappings.is_empty());
+        let prog = mappings[seed as usize % mappings.len()]
+            .lower(&def, &accel.intrinsic)
+            .expect("lower");
+        let ctx = prog.screening_context(&accel);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // A random arena of schedules, with one candidate possibly
+        // malformed (wrong axis count): the batched path must isolate it in
+        // its own lane without disturbing its neighbours.
+        let mut arena: Vec<amos::sim::Schedule> = (0..count)
+            .map(|_| {
+                let mut s = amos::core::random_schedule(&prog, &accel, &mut rng);
+                amos::core::mutate_schedule(&mut s, &prog, &accel, &mut rng);
+                s
+            })
+            .collect();
+        if broken < count {
+            arena[broken].grid.pop();
+        }
+        let refs: Vec<&amos::sim::Schedule> = arena.iter().collect();
+        let mut batched = Vec::new();
+        predict_batch(&ctx, &refs, &mut batched);
+        prop_assert_eq!(batched.len(), arena.len());
+        for (s, b) in arena.iter().zip(&batched) {
+            match (predict_with(&ctx, s), b) {
+                (Ok(reference), Ok(fast)) => {
+                    // Exact f64 identity: batching must not move the search
+                    // trajectory by even one ulp.
+                    prop_assert_eq!(reference.cycles.to_bits(), fast.cycles.to_bits());
+                    prop_assert_eq!(reference.l0_compute.to_bits(), fast.l0_compute.to_bits());
+                    prop_assert_eq!(reference.r_register.to_bits(), fast.r_register.to_bits());
+                    prop_assert_eq!(reference.r_shared.to_bits(), fast.r_shared.to_bits());
+                    prop_assert_eq!(reference.r_device.to_bits(), fast.r_device.to_bits());
+                    prop_assert_eq!(reference.w_device.to_bits(), fast.w_device.to_bits());
+                    prop_assert_eq!(reference.s_device.to_bits(), fast.s_device.to_bits());
+                }
+                (Err(SimError::ScheduleAxisMismatch), Err(SimError::ScheduleAxisMismatch)) => {}
+                (r, b) => prop_assert!(false, "verdicts diverge: {:?} vs {:?}", r, b),
+            }
+        }
+    }
+
+    #[test]
     fn schedules_survive_arbitrary_mutation_chains(seed in 0u64..10_000) {
         use rand::SeedableRng;
         let def = gemm_def(512, 512, 256);

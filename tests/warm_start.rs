@@ -1,0 +1,124 @@
+//! Regression tests for nearest-shape warm-start transfer: seeding an
+//! exploration from the best mapping of the nearest previously-explored
+//! shape must be a pure function of the cache state — bit-identical at any
+//! thread count — and must never make the search worse than cold init on
+//! the donor's own class.
+
+use amos::core::{Engine, ExplorationResult, ExplorerConfig};
+use amos::hw::catalog;
+use amos::ir::ComputeDef;
+use amos::workloads::ops;
+
+fn warm_config(seed: u64, jobs: usize) -> ExplorerConfig {
+    ExplorerConfig {
+        population: 12,
+        generations: 3,
+        survivors: 4,
+        measure_top: 3,
+        seed,
+        jobs,
+        warm_start: true,
+        ..Default::default()
+    }
+}
+
+/// Explores `donor` then `target` through a fresh engine, returning the
+/// target's result. The donor populates the similarity index, so the target
+/// run is warm-started from it.
+fn explore_pair(
+    donor: &ComputeDef,
+    target: &ComputeDef,
+    seed: u64,
+    jobs: usize,
+) -> (ExplorationResult, amos::core::CacheStats) {
+    let engine = Engine::with_config(warm_config(seed, jobs));
+    engine
+        .explore_op(donor, &catalog::v100())
+        .expect("donor exploration succeeds");
+    let result = engine
+        .explore_op(target, &catalog::v100())
+        .expect("target exploration succeeds");
+    (result, engine.cache_stats())
+}
+
+#[test]
+fn warm_started_exploration_is_jobs_invariant() {
+    let donor = ops::gmm(64, 64, 64);
+    let target = ops::gmm(128, 128, 64);
+    let (base, base_stats) = explore_pair(&donor, &target, 2022, 1);
+    assert_eq!(base_stats.warm_starts, 1, "{base_stats:?}");
+    assert!(
+        base.warm_start.donors > 0 && base.warm_start.seeded_slots > 0,
+        "{:?}",
+        base.warm_start
+    );
+    for jobs in [2, 8] {
+        let (other, stats) = explore_pair(&donor, &target, 2022, jobs);
+        assert_eq!(stats, base_stats, "cache counters differ at jobs={jobs}");
+        assert_eq!(
+            base.best_mapping, other.best_mapping,
+            "winning mapping differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            base.best_schedule, other.best_schedule,
+            "winning schedule differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            base.cycles().to_bits(),
+            other.cycles().to_bits(),
+            "measured cycles differ between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            base.evaluations, other.evaluations,
+            "ground-truth evaluation trace differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(base.screening.screened, other.screening.screened);
+        assert_eq!(base.warm_start, other.warm_start);
+    }
+}
+
+#[test]
+fn warm_start_never_loses_to_cold_init_on_the_donor_class() {
+    // Same budget, same seed: the warm run's survivor pool starts from a
+    // tuned donor plus its mutations, so its best measured cycles can only
+    // match or beat the cold run's on the shapes the donor transfers to.
+    let donor = ops::gmm(256, 256, 128);
+    let targets = [ops::gmm(512, 256, 128), ops::gmm(256, 512, 256)];
+    for target in &targets {
+        let (warm, _) = explore_pair(&donor, target, 7, 2);
+        let cold = Engine::with_config(ExplorerConfig {
+            warm_start: false,
+            ..warm_config(7, 2)
+        })
+        .explore_op(target, &catalog::v100())
+        .expect("cold exploration succeeds");
+        assert!(
+            warm.cycles() <= cold.cycles(),
+            "warm start regressed on {}: warm {} vs cold {}",
+            target.name(),
+            warm.cycles(),
+            cold.cycles()
+        );
+    }
+}
+
+#[test]
+fn unseedable_donors_fall_back_to_naive_init() {
+    // A donor of a different operator class must not seed the target: the
+    // run falls back to cold init and still succeeds, with zero donors
+    // consulted.
+    let donor = ops::gmv(1024, 1024);
+    let target = ops::gmm(128, 128, 64);
+    let (result, stats) = explore_pair(&donor, &target, 11, 2);
+    assert_eq!(result.warm_start.donors, 0, "{:?}", result.warm_start);
+    assert_eq!(stats.warm_starts, 0, "{stats:?}");
+    assert_eq!(stats.misses, 2, "{stats:?}");
+
+    // Bit-identical to a run that never had the donor in the cache at all.
+    let cold_engine = Engine::with_config(warm_config(11, 2));
+    let cold = cold_engine
+        .explore_op(&target, &catalog::v100())
+        .expect("exploration succeeds");
+    assert_eq!(result.best_schedule, cold.best_schedule);
+    assert_eq!(result.cycles().to_bits(), cold.cycles().to_bits());
+}
