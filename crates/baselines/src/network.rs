@@ -5,10 +5,12 @@
 //! glue operators (ReLU, pooling, softmax, ...) cost the same flat amount
 //! for every system.
 
-use crate::systems::{evaluate_with_warm, System, SCALAR_OP_CYCLES};
-use amos_core::{shape_fingerprint, CacheStats, Engine};
+use crate::systems::{evaluate_opts, EvalOpts, System, SystemCost, SCALAR_OP_CYCLES};
+use amos_core::{fnv1a, parallel_map, shape_fingerprint, CacheStats, Engine};
 use amos_hw::AcceleratorSpec;
+use amos_ir::ComputeDef;
 use amos_workloads::networks::Network;
+use std::collections::HashMap;
 
 /// Network evaluator sharing one [`Engine`] (and thus one structural
 /// exploration cache) across every exploration the underlying systems run.
@@ -17,11 +19,15 @@ use amos_workloads::networks::Network;
 /// replayed everywhere else).
 ///
 /// Exploration is deterministic per key, so caching is purely a speedup:
-/// a warm evaluation returns bit-identical costs to a cold one.
+/// a warm evaluation returns bit-identical costs to a cold one. The same
+/// holds for [`with_jobs`](Self::with_jobs): distinct layer shapes are
+/// independent searches, so exploring them concurrently changes wall-clock
+/// only — costs and cache statistics match the sequential path bit for bit.
 #[derive(Debug, Default)]
 pub struct NetworkEvaluator {
     engine: Engine,
     warm_start: bool,
+    jobs: usize,
 }
 
 /// Cost breakdown of one network under one system.
@@ -49,6 +55,26 @@ impl NetworkEvaluator {
         Self::default()
     }
 
+    /// New evaluator over a caller-built engine — the hook for a
+    /// disk-backed exploration cache
+    /// ([`Engine::with_cache`](amos_core::Engine::with_cache)).
+    pub fn with_engine(engine: Engine) -> Self {
+        Self {
+            engine,
+            ..Self::default()
+        }
+    }
+
+    /// Worker-thread budget for one [`evaluate`](Self::evaluate) call: `0`
+    /// means all cores, `1` forces the sequential path. When the budget
+    /// exceeds one, distinct layer shapes are explored concurrently (each
+    /// lane getting an equal share of the threads); results are
+    /// bit-identical at any setting.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Switches on the explorer's nearest-shape warm start for AMOS's
     /// searches: each distinct layer shape still pays one exploration, but
     /// misses seed their population from the best mapping of the nearest
@@ -60,6 +86,14 @@ impl NetworkEvaluator {
     }
 
     /// Evaluates a network end-to-end at the given batch size.
+    ///
+    /// Runs in three passes: collect the distinct layer shapes (ResNet
+    /// repeats a handful of conv shapes across its blocks), explore each
+    /// distinct shape exactly once — concurrently when the thread budget
+    /// allows — then replay the per-group accounting sequentially from the
+    /// per-shape costs. The replay order is the group order, so the
+    /// resulting [`NetworkCost`] is independent of which lane finished
+    /// first.
     pub fn evaluate(
         &mut self,
         system: System,
@@ -67,6 +101,61 @@ impl NetworkEvaluator {
         batch: i64,
         accel: &AcceleratorSpec,
     ) -> NetworkCost {
+        // Pass 1: distinct shapes in first-appearance order, plus each
+        // group's index into them (None for scalar glue operators).
+        let mut distinct: Vec<(String, ComputeDef)> = Vec::new();
+        let mut fp_index: HashMap<String, usize> = HashMap::new();
+        let mut group_shape: Vec<Option<usize>> = Vec::with_capacity(net.groups.len());
+        for grp in &net.groups {
+            group_shape.push(grp.op.compute_def(batch).map(|def| {
+                let fp = shape_fingerprint(&def);
+                *fp_index.entry(fp.clone()).or_insert_with(|| {
+                    distinct.push((fp, def));
+                    distinct.len() - 1
+                })
+            }));
+        }
+
+        // Pass 2: one exploration per distinct shape. The seed derives from
+        // the shape fingerprint, so two groups with the same layer shape run
+        // the same search and the shared cache answers the second one.
+        // Distinct shapes are independent searches with disjoint cache keys,
+        // so exploring them concurrently cannot race on an entry; the warm
+        // start is the one cross-shape dependency (later shapes seed from
+        // earlier donors), so it keeps the sequential order.
+        let jobs = self.effective_jobs();
+        let engine = &self.engine;
+        let shapes = &distinct;
+        let lane = |warm_start: bool, inner: Option<usize>| {
+            move |i: usize| {
+                let (fp, def) = &shapes[i];
+                evaluate_opts(
+                    engine,
+                    system,
+                    def,
+                    accel,
+                    fnv1a(fp),
+                    EvalOpts {
+                        warm_start,
+                        shape_fp: Some(fp),
+                        jobs: inner,
+                    },
+                )
+            }
+        };
+        let shape_costs: Vec<SystemCost> = if jobs > 1 && distinct.len() > 1 && !self.warm_start {
+            // Split the thread budget: `lanes` shapes in flight, each
+            // exploring with `inner` worker threads.
+            let lanes = jobs.min(distinct.len());
+            let inner = jobs.div_ceil(lanes);
+            parallel_map(lanes, distinct.len(), lane(false, Some(inner)))
+        } else {
+            (0..distinct.len())
+                .map(lane(self.warm_start, None))
+                .collect()
+        };
+
+        // Pass 3: sequential replay of the per-group accounting.
         let mut cost = NetworkCost {
             total_cycles: 0.0,
             tensor_cycles: 0.0,
@@ -75,21 +164,10 @@ impl NetworkEvaluator {
             total_ops: net.total_ops(),
             sim_failures: 0,
         };
-        for grp in &net.groups {
-            match grp.op.compute_def(batch) {
-                Some(def) => {
-                    // Shape-derived seed: two groups with the same layer
-                    // shape run the same search, so the shared cache answers
-                    // the second one and both cost the same.
-                    let seed = fnv(&shape_fingerprint(&def));
-                    let sc = evaluate_with_warm(
-                        &self.engine,
-                        system,
-                        &def,
-                        accel,
-                        seed,
-                        self.warm_start,
-                    );
+        for (grp, shape) in net.groups.iter().zip(&group_shape) {
+            match shape {
+                Some(i) => {
+                    let sc = shape_costs[*i];
                     let cycles = sc.cycles * grp.count as f64;
                     cost.total_cycles += cycles;
                     cost.sim_failures += sc.sim_failures;
@@ -108,6 +186,17 @@ impl NetworkEvaluator {
             }
         }
         cost
+    }
+
+    /// The thread budget with `0` resolved to the machine's core count.
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
     }
 
     /// Hit/miss counters of the shared engine's exploration cache. Hits
@@ -130,15 +219,6 @@ impl NetworkEvaluator {
         let cb = self.evaluate(b, net, batch, accel);
         cb.total_cycles / ca.total_cycles
     }
-}
-
-fn fnv(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in key.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 #[cfg(test)]

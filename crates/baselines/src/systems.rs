@@ -144,17 +144,23 @@ fn explore_fixed(
     accel: &AcceleratorSpec,
     kind: FixedKind,
     seed: u64,
+    opts: EvalOpts<'_>,
 ) -> Option<SystemCost> {
     let mapping = fixed_mapping(def, &accel.intrinsic, kind)?;
+    let mut config = tuning_budget(seed);
+    if let Some(jobs) = opts.jobs {
+        config.jobs = jobs;
+    }
     // The fixed kind keys the cache entry: Im2col and FuseHw freeze
     // different mappings over the same shape.
     engine
-        .explore_fixed(
+        .explore_fixed_shaped(
             &format!("fixed:{kind:?}"),
-            tuning_budget(seed),
+            config,
             def,
             accel,
             vec![mapping],
+            opts.shape_fp,
         )
         .ok()
         .map(|r| SystemCost {
@@ -236,6 +242,49 @@ pub fn evaluate_with_warm(
     seed: u64,
     warm_start: bool,
 ) -> SystemCost {
+    evaluate_opts(
+        engine,
+        system,
+        def,
+        accel,
+        seed,
+        EvalOpts {
+            warm_start,
+            ..EvalOpts::default()
+        },
+    )
+}
+
+/// Per-call knobs of [`evaluate_opts`], all defaulting to the
+/// [`evaluate_with`] behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOpts<'a> {
+    /// Switch on the explorer's nearest-shape warm start for AMOS's
+    /// searches (see [`evaluate_with_warm`]).
+    pub warm_start: bool,
+    /// Precomputed `amos_core::shape_fingerprint(def)`, reused for the
+    /// cache keys instead of being recomputed per lookup. **Must** match
+    /// `def` when given.
+    pub shape_fp: Option<&'a str>,
+    /// Worker-thread count for the explorations this evaluation runs
+    /// (`Some(1)` forces serial). `None` uses each config's default (all
+    /// cores). Exploration results are bit-identical at any thread count,
+    /// so this only affects wall-clock — network evaluation uses it to
+    /// split cores between concurrent layers.
+    pub jobs: Option<usize>,
+}
+
+/// [`evaluate_with`] with every per-call knob explicit: warm start, a
+/// precomputed shape fingerprint and a worker-thread override.
+pub fn evaluate_opts(
+    engine: &Engine,
+    system: System,
+    def: &ComputeDef,
+    accel: &AcceleratorSpec,
+    seed: u64,
+    opts: EvalOpts<'_>,
+) -> SystemCost {
+    let warm_start = opts.warm_start;
     match system {
         System::Amos => {
             // AMOS searches the full mapping space (every unit of a
@@ -248,7 +297,7 @@ pub fn evaluate_with_warm(
                 survivors: 8,
                 measure_top: 6,
                 seed,
-                jobs: 0,
+                jobs: opts.jobs.unwrap_or(0),
                 warm_start,
                 ..Default::default()
             };
@@ -257,7 +306,7 @@ pub fn evaluate_with_warm(
             // depthwise layers whose padded lanes waste the tensor unit) and
             // keeps the faster backend.
             let scalar = scalar_cost(system, def, accel);
-            let result = engine.explore_op_with(config, def, accel);
+            let result = engine.explore_op_shaped(config, def, accel, opts.shape_fp);
             match result {
                 Ok(r) if r.cycles() <= scalar.cycles => SystemCost {
                     cycles: r.cycles(),
@@ -282,7 +331,7 @@ pub fn evaluate_with_warm(
             // Stock templates: NHWC convolutions and GEMM only.
             let matcher = TemplateMatcher::new();
             if matcher.matches(def) {
-                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed, opts)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -292,7 +341,7 @@ pub fn evaluate_with_warm(
             // Expert template: the library pattern set, fixed im2col mapping,
             // full schedule tuning.
             if library_tensor_supported(def) {
-                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed, opts)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -301,7 +350,7 @@ pub fn evaluate_with_warm(
         System::Ansor => scalar_cost(system, def, accel),
         System::Unit => {
             if library_tensor_supported(def) {
-                explore_fixed(engine, def, accel, FixedKind::FuseHw, seed)
+                explore_fixed(engine, def, accel, FixedKind::FuseHw, seed, opts)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)
@@ -309,7 +358,7 @@ pub fn evaluate_with_warm(
         }
         System::Akg => {
             if akg_supported(def) {
-                explore_fixed(engine, def, accel, FixedKind::Im2col, seed)
+                explore_fixed(engine, def, accel, FixedKind::Im2col, seed, opts)
                     .unwrap_or_else(|| scalar_cost(system, def, accel))
             } else {
                 scalar_cost(system, def, accel)

@@ -1,0 +1,67 @@
+//! Whole-network exploration throughput: the three layers of the
+//! network-evaluation fast path, timed over one ResNet-18 AMOS evaluation
+//! on the V100-like accelerator.
+//!
+//! * `resnet18_cold_sequential` — one shape at a time, every exploration
+//!   from scratch (the pre-parallel baseline);
+//! * `resnet18_cold_parallel` — distinct layer shapes explored
+//!   concurrently on all cores;
+//! * `resnet18_disk_warm` — a fresh evaluator (fresh in-memory cache, as a
+//!   new process would have) answering every shape from a populated
+//!   on-disk cache directory.
+//!
+//! All three produce bit-identical [`NetworkCost`]s — asserted here before
+//! timing — so the spread between them is pure wall-clock. The committed
+//! trajectory numbers live in `BENCH_network.json` (see the
+//! `record_network` binary).
+
+use amos_baselines::{NetworkCost, NetworkEvaluator, System};
+use amos_core::{CacheConfig, Engine, ExplorerConfig};
+use amos_hw::catalog;
+use amos_workloads::networks;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::Path;
+
+fn evaluate(mut ev: NetworkEvaluator) -> NetworkCost {
+    ev.evaluate(System::Amos, &networks::resnet18(), 1, &catalog::v100())
+}
+
+fn disk_evaluator(dir: &Path) -> NetworkEvaluator {
+    let engine = Engine::with_cache(
+        ExplorerConfig::default(),
+        CacheConfig {
+            cache_dir: Some(dir.to_path_buf()),
+        },
+    );
+    NetworkEvaluator::with_engine(engine)
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("amos-bench-network-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate the disk tier and pin down the one answer every layer of the
+    // fast path must reproduce.
+    let expected = evaluate(disk_evaluator(&dir));
+    assert_eq!(evaluate(NetworkEvaluator::new().with_jobs(1)), expected);
+    assert_eq!(evaluate(NetworkEvaluator::new()), expected);
+    assert_eq!(evaluate(disk_evaluator(&dir)), expected);
+
+    let mut group = c.benchmark_group("network_throughput");
+    group.sample_size(10);
+    group.bench_function("resnet18_cold_sequential", |b| {
+        b.iter(|| evaluate(NetworkEvaluator::new().with_jobs(1)).total_cycles)
+    });
+    group.bench_function("resnet18_cold_parallel", |b| {
+        b.iter(|| evaluate(NetworkEvaluator::new()).total_cycles)
+    });
+    group.bench_function("resnet18_disk_warm", |b| {
+        b.iter(|| evaluate(disk_evaluator(&dir)).total_cycles)
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -52,14 +52,10 @@ impl EvalCache {
     }
 }
 
-/// Deterministic seed per workload label so reruns are reproducible.
+/// Deterministic seed per workload label so reruns are reproducible
+/// (the workspace's shared FNV-1a hash).
 pub fn stable_seed(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in key.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    amos_core::fnv1a(key)
 }
 
 /// Prints a header line for a reproduced table/figure.

@@ -10,6 +10,8 @@
 //! amos table6   [--accel A]       reproduce the Table 6 mapping counts
 //! amos network  <name> [--accel A] [--batch N] [--warm-start]
 //!                                 end-to-end network cost under AMOS vs PyTorch
+//! amos cache    <stats|clear> --cache-dir DIR
+//!                                 inspect or empty a persistent cache directory
 //! ```
 //!
 //! Operator specs are `family:dims`, e.g. `gmm:512x512x256`,
@@ -19,6 +21,13 @@
 //! `--jobs N` sets the explorer's worker-thread count (0 or omitted: one per
 //! CPU). Results are bit-identical for every value — only wall clock changes.
 //! `--list-accels` prints the registered accelerator names and exits.
+//!
+//! `--cache-dir DIR` puts an on-disk tier behind the exploration cache:
+//! finished explorations are persisted there and later processes answer the
+//! same workloads from disk instead of re-exploring. Entries are re-validated
+//! on load and keyed by a code-version salt, so a stale or corrupted
+//! directory can only cost time, never change an answer. `amos cache stats`
+//! and `amos cache clear` inspect and empty such a directory.
 //!
 //! `--deadline-ms N` and `--max-measurements N` bound the exploration the
 //! `explore`/`ir`/`cuda` commands run (wall-clock milliseconds and
@@ -35,11 +44,14 @@
 
 #![warn(missing_docs)]
 
-use amos_core::{AmosError, Budget, Completion, Engine, ExplorerConfig, MappingGenerator};
+use amos_core::{
+    AmosError, Budget, CacheConfig, Completion, Engine, ExplorerConfig, MappingGenerator,
+};
 use amos_hw::{AcceleratorSpec, Registry};
 use amos_ir::ComputeDef;
 use amos_workloads::ops;
 use std::fmt;
+use std::path::PathBuf;
 
 /// CLI usage / parse errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -334,6 +346,12 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         .map(|s| s.parse().map_err(|_| err("bad --jobs")))
         .transpose()?
         .unwrap_or(0);
+    // Optional on-disk cache tier: explorations are persisted here and
+    // re-validated on load, so reruns skip straight to the answer.
+    let cache_dir: Option<PathBuf> = take_flag(&mut args, "--cache-dir")?.map(PathBuf::from);
+    let cache_config = CacheConfig {
+        cache_dir: cache_dir.clone(),
+    };
     // Exploration limits: the run stops cooperatively at the next generation
     // boundary, keeps its best-so-far, and exits with status 3 (degraded).
     let budget = Budget {
@@ -403,12 +421,15 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_config(ExplorerConfig {
-                seed,
-                jobs,
-                budget,
-                ..ExplorerConfig::default()
-            });
+            let engine = Engine::with_cache(
+                ExplorerConfig {
+                    seed,
+                    jobs,
+                    budget,
+                    ..ExplorerConfig::default()
+                },
+                cache_config,
+            );
             let result = engine
                 .explore_op(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -436,7 +457,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_config(codegen_budget(seed, jobs, budget));
+            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config);
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -450,7 +471,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
             let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_config(codegen_budget(seed, jobs, budget));
+            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config);
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -479,7 +500,10 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let warm_start = take_switch(&mut args, "--warm-start");
             reject_extras(&args, 2)?;
             let accel = parse_accelerator(&accel_name)?;
-            let mut ev = amos_baselines::NetworkEvaluator::new().with_warm_start(warm_start);
+            let engine = Engine::with_cache(ExplorerConfig::default(), cache_config);
+            let mut ev = amos_baselines::NetworkEvaluator::with_engine(engine)
+                .with_warm_start(warm_start)
+                .with_jobs(jobs);
             let amos = ev.evaluate(amos_baselines::System::Amos, &net, batch, &accel);
             let torch = ev.evaluate(amos_baselines::System::PyTorch, &net, batch, &accel);
             writeln!(out, "{} on {} (batch {batch}):", net.name, accel.name).map_err(io)?;
@@ -504,8 +528,8 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let stats = ev.cache_stats();
             writeln!(
                 out,
-                "  explorations cached: {} exact hits, {} warm starts, {} cold misses (distinct layer shapes)",
-                stats.hits, stats.warm_starts, stats.misses
+                "  explorations cached: {} exact hits, {} disk hits, {} warm starts, {} cold misses (distinct layer shapes)",
+                stats.hits, stats.l2_hits, stats.warm_starts, stats.misses
             )
             .map_err(io)?;
             writeln!(
@@ -514,6 +538,33 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
                 amos.sim_failures
             )
             .map_err(io)?;
+            Ok(RunStatus::Complete)
+        }
+        Some("cache") => {
+            let verb = args
+                .get(1)
+                .ok_or_else(|| err("cache needs a verb: stats or clear"))?
+                .clone();
+            reject_extras(&args, 2)?;
+            let dir = cache_dir
+                .ok_or_else(|| err("cache needs --cache-dir DIR (the directory to inspect)"))?;
+            match verb.as_str() {
+                "stats" => {
+                    let stats =
+                        amos_core::cache_dir_stats(&dir).map_err(|e| err(e.to_string()))?;
+                    writeln!(out, "cache dir: {}", dir.display()).map_err(io)?;
+                    writeln!(out, "salt     : {}", amos_core::cache_salt()).map_err(io)?;
+                    writeln!(out, "entries  : {}", stats.entries).map_err(io)?;
+                    writeln!(out, "bytes    : {}", stats.bytes).map_err(io)?;
+                }
+                "clear" => {
+                    let removed =
+                        amos_core::clear_cache_dir(&dir).map_err(|e| err(e.to_string()))?;
+                    writeln!(out, "removed {removed} entries from {}", dir.display())
+                        .map_err(io)?;
+                }
+                other => return Err(err(format!("unknown cache verb `{other}`; known: stats, clear"))),
+            }
             Ok(RunStatus::Complete)
         }
         Some("table6") => {
@@ -533,7 +584,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
         )),
     }
 }
@@ -691,6 +742,37 @@ mod tests {
         assert!(out.contains("1 cold misses"), "{out}");
         assert!(out.contains("0 warm starts"), "{out}");
         assert!(out.contains("speedup"), "{out}");
+    }
+
+    #[test]
+    fn cache_stats_and_clear_on_a_fresh_dir() {
+        let dir = std::env::temp_dir().join(format!("amos-cli-cache-{}", std::process::id()));
+        let dir_arg = dir.to_str().unwrap();
+        let out = run_to_string(&["cache", "stats", "--cache-dir", dir_arg]).unwrap();
+        assert!(out.contains("entries  : 0"), "{out}");
+        assert!(out.contains(&amos_core::cache_salt()), "{out}");
+        let out = run_to_string(&["cache", "clear", "--cache-dir", dir_arg]).unwrap();
+        assert!(out.contains("removed 0 entries"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_command_requires_a_directory_and_a_known_verb() {
+        let e = run_to_string(&["cache", "stats"]).unwrap_err();
+        assert!(e.to_string().contains("--cache-dir"), "{e}");
+        let e = run_to_string(&["cache", "prune", "--cache-dir", "/tmp/x"]).unwrap_err();
+        assert!(e.to_string().contains("unknown cache verb"), "{e}");
+        let e = run_to_string(&["cache"]).unwrap_err();
+        assert!(e.to_string().contains("stats or clear"), "{e}");
+    }
+
+    #[test]
+    fn network_jobs_flag_is_cost_invariant() {
+        // The parallel wave must answer bit-identically to the forced
+        // sequential path, and the footer partition must not change.
+        let a = run_to_string(&["network", "milstm", "--jobs", "1"]).unwrap();
+        let b = run_to_string(&["network", "milstm", "--jobs", "4"]).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

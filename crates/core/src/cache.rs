@@ -13,6 +13,7 @@
 //! [`ExplorerConfig::jobs`] — results are bit-identical for every thread
 //! count, so `jobs` must not split entries.
 
+use crate::disk::{CacheConfig, DiskCache};
 use crate::explore::{
     Completion, ExplorationResult, ExploreError, Explorer, ExplorerConfig, LoweredUnit,
 };
@@ -25,13 +26,18 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Hit/miss counters of the engine's structural exploration cache. The three
+/// Hit/miss counters of the engine's structural exploration cache. The four
 /// fields partition top-level lookups: every lookup is exactly one of an
-/// exact hit, a warm-started miss or a cold miss.
+/// in-memory (L1) hit, an on-disk (L2) hit, a warm-started miss or a cold
+/// miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache (exact structural key match).
+    /// Lookups answered from the in-memory L1 (exact structural key match).
     pub hits: usize,
+    /// Lookups answered from the persistent on-disk L2 (validated entry
+    /// written by an earlier process; always 0 without a
+    /// [`CacheConfig::cache_dir`]).
+    pub l2_hits: usize,
     /// Lookups that missed but ran the explorer seeded from the nearest
     /// previously-explored shape (the similarity index; only populated when
     /// [`ExplorerConfig::warm_start`] is on).
@@ -63,7 +69,11 @@ pub(crate) struct WarmStart {
 #[derive(Debug, Default)]
 pub struct ExplorationCache {
     entries: Mutex<HashMap<String, Result<ExplorationResult, ExploreError>>>,
+    // The persistent L2 behind the in-memory map, when configured. Probed
+    // after an L1 miss; clean `Finished` misses write through to it.
+    disk: Option<DiskCache>,
     hits: AtomicUsize,
+    l2_hits: AtomicUsize,
     misses: AtomicUsize,
     warm_starts: AtomicUsize,
     // The refinement phase's internal sub-runs are memoised under separate
@@ -86,10 +96,21 @@ impl ExplorationCache {
         Self::default()
     }
 
+    /// An empty L1 over the configured persistent L2 (when
+    /// [`CacheConfig::cache_dir`] is set). Construction is infallible: an
+    /// unusable directory degrades every lookup to a cold miss and every
+    /// store to a no-op.
+    pub(crate) fn with_disk(config: &CacheConfig) -> Self {
+        let mut cache = Self::new();
+        cache.disk = config.cache_dir.clone().map(DiskCache::new);
+        cache
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
@@ -123,7 +144,21 @@ impl ExplorationCache {
         def: &ComputeDef,
         accel: &AcceleratorSpec,
     ) -> Result<ExplorationResult, ExploreError> {
-        self.explore_warm(explorer, def, accel, |warm| {
+        self.explore_multi_shaped(explorer, def, accel, None)
+    }
+
+    /// [`ExplorationCache::explore_multi`] with a precomputed
+    /// [`shape_fingerprint`] of `def`, so callers that already derived one
+    /// (e.g. for per-shape seeds) don't pay for it twice. `shape` **must**
+    /// equal `shape_fingerprint(def)`.
+    pub(crate) fn explore_multi_shaped(
+        &self,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        shape: Option<&str>,
+    ) -> Result<ExplorationResult, ExploreError> {
+        self.explore_warm(explorer, def, accel, shape, |warm| {
             explorer.explore_multi_cached(def, accel, Some(self), warm)
         })
     }
@@ -139,47 +174,96 @@ impl ExplorationCache {
         accel: &AcceleratorSpec,
         units: &[LoweredUnit],
     ) -> Result<ExplorationResult, ExploreError> {
-        self.explore_warm(explorer, def, accel, |warm| {
+        self.explore_warm(explorer, def, accel, None, |warm| {
             explorer.explore_units_cached(def, accel, units, Some(self), warm)
         })
     }
 
-    /// The shared top-level lookup: resolve the structural key, consult the
-    /// similarity index on a miss (when enabled), run, then record the clean
-    /// winner as a donor for future shapes of the same class. The donor is
-    /// resolved *before* the run starts (and the run is deterministic given
-    /// that donor), so results are bit-identical for a fixed cache state at
-    /// any thread count.
+    /// The shared top-level lookup: resolve the structural key, probe L1
+    /// then the persistent L2, consult the similarity index on a full miss
+    /// (when enabled), run, then record the clean winner as a donor for
+    /// future shapes of the same class. The donor is resolved *before* the
+    /// run starts (and the run is deterministic given that donor), so
+    /// results are bit-identical for a fixed cache state at any thread
+    /// count. An L2 hit is promoted into L1 and — like an L1 hit — still
+    /// records its winner as a donor, so a warm process rebuilds its
+    /// similarity index from disk.
     fn explore_warm(
         &self,
         explorer: &Explorer,
         def: &ComputeDef,
         accel: &AcceleratorSpec,
+        shape: Option<&str>,
         run: impl FnOnce(Option<&WarmStart>) -> Result<ExplorationResult, ExploreError>,
     ) -> Result<ExplorationResult, ExploreError> {
-        let key = fingerprint("multi", explorer.config(), def, accel);
-        let cached = self.entries.lock().expect("cache lock").contains_key(&key);
-        let warm = if explorer.config().warm_start && !cached {
+        let key = fingerprint("multi", explorer.config(), def, accel, shape);
+        if let Some(hit) = self.probe_tiers(&key, def, accel) {
+            self.record_warm_start(def, accel, &hit);
+            return hit;
+        }
+        let warm = if explorer.config().warm_start {
             self.find_warm_start(def, accel)
         } else {
             None
         };
-        // Exact hits stay `hits`; misses split by whether a donor seeded
-        // the run, so the three `CacheStats` fields partition lookups.
+        // L1/L2 hits were counted above; misses split by whether a donor
+        // seeded the run, so the four `CacheStats` fields partition lookups.
         let miss_counter = if warm.is_some() {
             &self.warm_starts
         } else {
             &self.misses
         };
-        let result = self.run_counted(key, || run(warm.as_ref()), &self.hits, miss_counter);
+        miss_counter.fetch_add(1, Ordering::Relaxed);
+        let result = run(warm.as_ref());
+        self.insert(key, &result);
         self.record_warm_start(def, accel, &result);
         result
     }
 
+    /// Probes L1 then L2 for `key`, counting whichever answers. An L2 hit
+    /// is promoted into L1 so later lookups skip re-validation.
+    fn probe_tiers(
+        &self,
+        key: &str,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Option<Result<ExplorationResult, ExploreError>> {
+        if let Some(cached) = self.entries.lock().expect("cache lock").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(cached.clone());
+        }
+        let loaded = self.disk.as_ref()?.load(key, def, accel)?;
+        self.l2_hits.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), Ok(loaded.clone()));
+        Some(Ok(loaded))
+    }
+
+    /// Stores a cacheable result in L1 and writes clean `Finished` results
+    /// through to L2 (`Err` entries stay in-memory: "this shape has no
+    /// valid mapping" is cheap to rediscover and not worth trusting across
+    /// code versions).
+    fn insert(&self, key: String, result: &Result<ExplorationResult, ExploreError>) {
+        if !cacheable(result) {
+            return;
+        }
+        if let (Some(disk), Ok(r)) = (&self.disk, result) {
+            disk.store(&key, r);
+        }
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, result.clone());
+    }
+
     /// Nearest previously-explored shape of `def`'s operator class on
     /// `accel`: minimal sum of absolute log-ratios over iteration extents
-    /// (scale-invariant, so 64->128 is as far as 128->256). Ties keep the
-    /// first-recorded donor — deterministic for a fixed cache state.
+    /// (scale-invariant, so 64->128 is as far as 128->256). Donors are kept
+    /// sorted by extents, so ties resolve to the lexicographically smallest
+    /// donor shape — deterministic for a fixed cache *population*,
+    /// independent of the order explorations completed in.
     fn find_warm_start(&self, def: &ComputeDef, accel: &AcceleratorSpec) -> Option<WarmStart> {
         let key = warm_key(def, accel);
         let extents: Vec<i64> = def.iters().iter().map(|it| it.extent).collect();
@@ -205,7 +289,10 @@ impl ExplorationCache {
 
     /// Records a clean top-level result as a donor for its operator class.
     /// Only `Finished` runs qualify (a truncated best-so-far is not a
-    /// converged winner), and the first donor per distinct shape wins.
+    /// converged winner). One donor per distinct shape, kept sorted by
+    /// extents: exploration is deterministic per shape, so duplicates are
+    /// identical, and sorted order makes the index independent of the order
+    /// concurrent explorations complete in.
     fn record_warm_start(
         &self,
         def: &ComputeDef,
@@ -220,15 +307,18 @@ impl ExplorationCache {
         let extents: Vec<i64> = def.iters().iter().map(|it| it.extent).collect();
         let mut index = self.warm_index.lock().expect("warm index lock");
         let donors = index.entry(key).or_default();
-        if donors.iter().any(|d| d.extents == extents) {
+        let Err(pos) = donors.binary_search_by(|d| d.extents.cmp(&extents)) else {
             return;
-        }
-        donors.push(WarmStart {
-            extents,
-            mapping: r.best_mapping.clone(),
-            schedule: r.best_schedule.clone(),
-            intrinsic: r.best_program.intrinsic().name.clone(),
-        });
+        };
+        donors.insert(
+            pos,
+            WarmStart {
+                extents,
+                mapping: r.best_mapping.clone(),
+                schedule: r.best_schedule.clone(),
+                intrinsic: r.best_program.intrinsic().name.clone(),
+            },
+        );
     }
 
     /// Memoises one refinement sub-run. Counted under the refinement
@@ -241,7 +331,7 @@ impl ExplorationCache {
         accel: &AcceleratorSpec,
         run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
     ) -> Result<ExplorationResult, ExploreError> {
-        let key = fingerprint(tag, config, def, accel);
+        let key = fingerprint(tag, config, def, accel, None);
         self.run_counted(key, run, &self.refine_hits, &self.refine_misses)
     }
 
@@ -256,18 +346,37 @@ impl ExplorationCache {
         accel: &AcceleratorSpec,
         run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
     ) -> Result<ExplorationResult, ExploreError> {
-        let key = fingerprint(tag, explorer.config(), def, accel);
-        self.run_keyed(key, run)
+        self.explore_tagged_shaped(tag, explorer, def, accel, None, run)
     }
 
-    fn run_keyed(
+    /// [`ExplorationCache::explore_tagged`] with a precomputed
+    /// [`shape_fingerprint`] of `def` (must equal `shape_fingerprint(def)`).
+    pub(crate) fn explore_tagged_shaped(
         &self,
-        key: String,
+        tag: &str,
+        explorer: &Explorer,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        shape: Option<&str>,
         run: impl FnOnce() -> Result<ExplorationResult, ExploreError>,
     ) -> Result<ExplorationResult, ExploreError> {
-        self.run_counted(key, run, &self.hits, &self.misses)
+        let key = fingerprint(tag, explorer.config(), def, accel, shape);
+        if let Some(hit) = self.probe_tiers(&key, def, accel) {
+            return hit;
+        }
+        // The lock is NOT held while exploring: a search can take seconds and
+        // other layers (other threads) must be able to probe the cache. Two
+        // threads racing on the same key both run the (deterministic) search
+        // and store identical results — wasteful but correct.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = run();
+        self.insert(key, &result);
+        result
     }
 
+    /// L1-only memoisation (the refinement path: sub-runs are internal to
+    /// one exploration, so persisting them would only duplicate the
+    /// top-level entry's information on disk).
     fn run_counted(
         &self,
         key: String,
@@ -279,10 +388,6 @@ impl ExplorationCache {
             hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
-        // The lock is NOT held while exploring: a search can take seconds and
-        // other layers (other threads) must be able to probe the cache. Two
-        // threads racing on the same key both run the (deterministic) search
-        // and store identical results — wasteful but correct.
         misses.fetch_add(1, Ordering::Relaxed);
         let result = run();
         if cacheable(&result) {
@@ -323,7 +428,22 @@ fn fingerprint(
     config: &ExplorerConfig,
     def: &ComputeDef,
     accel: &AcceleratorSpec,
+    shape: Option<&str>,
 ) -> String {
+    // Callers may pass `def`'s shape fingerprint when they already computed
+    // one (network evaluation derives per-shape seeds from it), saving the
+    // rebuild; it is the caller's contract that the two match.
+    let owned;
+    let shape = match shape {
+        Some(fp) => {
+            debug_assert_eq!(fp, shape_fingerprint(def), "stale shape fingerprint");
+            fp
+        }
+        None => {
+            owned = shape_fingerprint(def);
+            &owned
+        }
+    };
     let mut s = String::with_capacity(512);
     // `warm_start` splits entries: a warm-started result depends on the
     // cache state at lookup time, so it must never answer a cold lookup.
@@ -336,7 +456,7 @@ fn fingerprint(
         config.measure_top,
         config.seed,
         config.warm_start as u8,
-        shape_fingerprint(def),
+        shape,
     );
     // An active fault plan changes which candidates survive, so it must
     // split cache entries (test-harness builds only).
@@ -349,6 +469,15 @@ fn fingerprint(
     // collide.
     let _ = write!(s, "accel:{accel:?}");
     s
+}
+
+/// FNV-1a over a string, 64-bit variant — the workspace's one seed/label
+/// hash (per-shape exploration seeds, bench labels, on-disk cache file
+/// names, the proptest stand-in's per-test streams). Delegates to the
+/// single shared loop in the `rand` stand-in so every layer hashes
+/// identically.
+pub fn fnv1a(key: &str) -> u64 {
+    rand::fnv1a_64(key.as_bytes())
 }
 
 /// Structural identity of a computation alone: iteration space, tensor
@@ -449,6 +578,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
+                l2_hits: 0,
                 warm_starts: 0,
                 misses: 1
             }
@@ -484,6 +614,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 0,
+                l2_hits: 0,
                 warm_starts: 0,
                 misses: 4
             }
@@ -511,6 +642,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
+                l2_hits: 0,
                 warm_starts: 0,
                 misses: 1
             }
@@ -542,6 +674,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 0,
+                l2_hits: 0,
                 warm_starts: 0,
                 misses: 2
             }
@@ -568,6 +701,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
+                l2_hits: 0,
                 warm_starts: 0,
                 misses: 1
             }
@@ -607,6 +741,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
+                l2_hits: 0,
                 warm_starts: 1,
                 misses: 1
             }
@@ -633,6 +768,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 0,
+                l2_hits: 0,
                 warm_starts: 1,
                 misses: 1
             }
@@ -661,5 +797,196 @@ mod tests {
         b.mul_acc(c.at([i, j]), a.at([i, r]), w.at([r, j]));
         let _ = cache.explore_multi(&e, &b.finish().unwrap(), &catalog::v100());
         assert_eq!(cache.stats().warm_starts, 0, "{:?}", cache.stats());
+    }
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // The FNV-1a 64-bit reference values; every copy of the hash in the
+        // workspace was unified onto this implementation, so pin it.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    // ---- the persistent L2 tier --------------------------------------------
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("amos-l2-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn disk_cache(dir: &std::path::Path) -> ExplorationCache {
+        ExplorationCache::with_disk(&CacheConfig {
+            cache_dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// The single `.amosc` entry file in `dir`.
+    fn entry_path(dir: &std::path::Path) -> std::path::PathBuf {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .expect("cache dir")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "amosc"))
+            .collect();
+        assert_eq!(entries.len(), 1, "expected one entry: {entries:?}");
+        entries.pop().expect("one entry")
+    }
+
+    #[test]
+    fn l2_answers_a_fresh_process_bit_identically() {
+        let dir = tmp_dir("roundtrip");
+        let accel = catalog::v100();
+        let def = gemm("g", 64, 64, 64);
+        let first = disk_cache(&dir);
+        let cold = first
+            .explore_multi(&small_explorer(11), &def, &accel)
+            .unwrap();
+        assert_eq!(
+            first.stats(),
+            CacheStats {
+                hits: 0,
+                l2_hits: 0,
+                warm_starts: 0,
+                misses: 1
+            }
+        );
+        // A second cache over the same directory models a fresh process: the
+        // lookup is answered from disk, with zero explorations run.
+        let second = disk_cache(&dir);
+        let warm = second
+            .explore_multi(&small_explorer(11), &def, &accel)
+            .unwrap();
+        assert_eq!(
+            second.stats(),
+            CacheStats {
+                hits: 0,
+                l2_hits: 1,
+                warm_starts: 0,
+                misses: 0
+            }
+        );
+        assert_eq!(cold.cycles().to_bits(), warm.cycles().to_bits());
+        assert_eq!(cold.best_schedule, warm.best_schedule);
+        assert_eq!(cold.best_mapping.groups, warm.best_mapping.groups);
+        assert_eq!(cold.evaluations, warm.evaluations);
+        assert_eq!(cold.num_mappings, warm.num_mappings);
+        assert_eq!(cold.sim_failures, warm.sim_failures);
+        assert_eq!(cold.completion, warm.completion);
+        // The L2 hit was promoted into L1: repeating the lookup is an L1 hit.
+        second
+            .explore_multi(&small_explorer(11), &def, &accel)
+            .unwrap();
+        assert_eq!(second.stats().hits, 1);
+        assert_eq!(second.stats().l2_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_truncated_and_stale_entries_degrade_to_cold_misses() {
+        let dir = tmp_dir("degrade");
+        let accel = catalog::v100();
+        let def = gemm("g", 64, 64, 64);
+        let reference = disk_cache(&dir)
+            .explore_multi(&small_explorer(11), &def, &accel)
+            .unwrap();
+        let path = entry_path(&dir);
+        let good = std::fs::read(&path).expect("entry bytes");
+
+        let tamper = |bytes: &[u8]| std::fs::write(&path, bytes).expect("tamper");
+        let mut scenarios: Vec<(&str, Vec<u8>)> = vec![
+            ("garbage", b"not a cache entry at all".to_vec()),
+            ("truncated", good[..good.len() / 2].to_vec()),
+            ("empty", Vec::new()),
+        ];
+        // Version mismatch: an otherwise-perfect entry from a different
+        // schema/code version.
+        let stale = String::from_utf8_lossy(&good)
+            .replacen("amos-l2 schema", "amos-l2 schema999x", 1)
+            .into_bytes();
+        scenarios.push(("stale-salt", stale));
+        // A lying report: flip one digit of the stored cycles bits. The
+        // entry parses, but re-simulation cannot reproduce it.
+        let text = String::from_utf8_lossy(&good).to_string();
+        let report_at = text.find("\nreport ").expect("report line") + "\nreport ".len();
+        let mut lying = text.into_bytes();
+        lying[report_at] = if lying[report_at] == b'0' { b'1' } else { b'0' };
+        scenarios.push(("lying-report", lying));
+
+        for (name, bytes) in scenarios {
+            tamper(&bytes);
+            let cache = disk_cache(&dir);
+            let got = cache
+                .explore_multi(&small_explorer(11), &def, &accel)
+                .unwrap();
+            assert_eq!(
+                cache.stats(),
+                CacheStats {
+                    hits: 0,
+                    l2_hits: 0,
+                    warm_starts: 0,
+                    misses: 1
+                },
+                "scenario `{name}` must be a cold miss"
+            );
+            assert_eq!(
+                got.cycles().to_bits(),
+                reference.cycles().to_bits(),
+                "scenario `{name}` must still return the right answer"
+            );
+            assert_eq!(got.best_schedule, reference.best_schedule, "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_dir_degrades_to_memory_only() {
+        // Place the "directory" under a plain file so it can never be
+        // created: every store fails, every load misses, nothing panics.
+        let blocker = std::env::temp_dir().join(format!("amos-l2-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, "not a directory").expect("blocker file");
+        let dir = blocker.join("sub");
+        let accel = catalog::v100();
+        let def = gemm("g", 64, 64, 64);
+        let a = disk_cache(&dir);
+        let first = a.explore_multi(&small_explorer(11), &def, &accel).unwrap();
+        // Nothing persisted: a fresh cache misses again.
+        let b = disk_cache(&dir);
+        let second = b.explore_multi(&small_explorer(11), &def, &accel).unwrap();
+        assert_eq!(a.stats().misses, 1);
+        assert_eq!(b.stats().misses, 1);
+        assert_eq!(b.stats().l2_hits, 0);
+        assert_eq!(first.cycles().to_bits(), second.cycles().to_bits());
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn truncated_and_failed_runs_stay_off_disk() {
+        use crate::explore::Budget;
+        let dir = tmp_dir("finished-only");
+        let accel = catalog::v100();
+        // A budget-truncated run must not be persisted...
+        let mut cfg = small_explorer(21).config().clone();
+        cfg.budget = Budget {
+            max_measurements: Some(1),
+            ..Budget::default()
+        };
+        let cache = disk_cache(&dir);
+        cache
+            .explore_multi(&Explorer::with_config(cfg), &gemm("g", 64, 64, 64), &accel)
+            .unwrap();
+        // ...and neither is a failed exploration (`Err` entries are L1-only).
+        let mut b = ComputeBuilder::new("sum");
+        let i = b.spatial("i", 4);
+        let k = b.reduce("k", 4);
+        let a = b.input("a", &[4, 4], DType::F32);
+        let o = b.output("o", &[4], DType::F32);
+        b.add_acc(o.at([i]), a.at([i, k]));
+        assert!(cache
+            .explore_multi(&small_explorer(1), &b.finish().unwrap(), &accel)
+            .is_err());
+        let written = std::fs::read_dir(&dir).map(|rd| rd.count()).unwrap_or(0);
+        assert_eq!(written, 0, "only clean Finished results are persisted");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

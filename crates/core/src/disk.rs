@@ -1,0 +1,522 @@
+//! The on-disk L2 behind the in-memory exploration cache.
+//!
+//! Exploration is a deterministic function of `(workload shape, accelerator,
+//! config)`, so a winner found yesterday is exactly the winner a fresh
+//! process would find today — provided nothing about the *code* producing it
+//! changed. Entries are therefore keyed by the same structural fingerprint
+//! as the in-memory L1, hashed into a file name, and every file carries a
+//! **version salt** (cache schema + crate version + the hardware
+//! abstraction's [`amos_hw::ABSTRACTION_VERSION`]): any incompatible change
+//! invalidates cleanly, as a cold miss.
+//!
+//! Three properties the tier guarantees:
+//!
+//! * **Never a wrong result.** Only clean [`Completion::Finished`] runs are
+//!   persisted (the PR-5 invariant: truncated and degraded best-so-fars are
+//!   not converged winners), the full key is stored inside the file and
+//!   compared on load (hash collisions degrade to misses), and the stored
+//!   winner is **re-validated by re-simulation**: the mapping is re-lowered
+//!   and re-measured, and the file is only trusted when the fresh
+//!   [`TimingReport`] reproduces the stored one bit-for-bit.
+//! * **Never a panic.** Corrupted, truncated, version-mismatched or
+//!   unreadable files — and unwritable directories — degrade to cold
+//!   misses; every failure path in this module returns `None` or `()`.
+//! * **Atomic writes.** Entries are written to a process-unique temp file
+//!   and `rename`d into place, so a concurrent reader sees either the old
+//!   complete file or the new complete file, never a torn one.
+
+use crate::cache::fnv1a;
+use crate::error::AmosError;
+use crate::explore::{
+    Completion, ExplorationResult, QuarantineReport, ScreeningStats, WarmStartStats,
+};
+use crate::mapping::Mapping;
+use amos_hw::AcceleratorSpec;
+use amos_ir::{ComputeDef, IterId};
+use amos_sim::{simulate, FusedGroup, Schedule, TimingReport};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Layout version of the on-disk entry format itself. Bump on any change to
+/// the serialization below.
+const SCHEMA: u32 = 1;
+
+/// Entries larger than this are rejected unread (a corrupted length field
+/// must not make a lookup allocate gigabytes).
+const MAX_FILE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// File extension of cache entries; everything else in the directory is
+/// ignored (and left alone by [`clear_cache_dir`]).
+const EXT: &str = ".amosc";
+
+/// Cache placement knobs of an [`crate::Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Directory of the persistent L2 exploration cache, shared across
+    /// processes. `None` (the default) keeps the engine memory-only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The combined version salt embedded in every entry. A mismatch in any
+/// component — entry layout, crate version, hardware-abstraction semantics —
+/// turns the entry into a cold miss.
+pub fn cache_salt() -> String {
+    format!(
+        "schema{SCHEMA}+core{}+hw{}",
+        env!("CARGO_PKG_VERSION"),
+        amos_hw::ABSTRACTION_VERSION
+    )
+}
+
+fn header() -> String {
+    format!("amos-l2 {}\n", cache_salt())
+}
+
+fn file_name(key: &str) -> String {
+    format!("{:016x}{EXT}", fnv1a(key))
+}
+
+/// The persistent tier. Thread-safe without locks: stores are atomic
+/// renames, loads re-validate, and two processes racing on one key both
+/// write identical bytes.
+#[derive(Debug)]
+pub(crate) struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    pub(crate) fn new(dir: PathBuf) -> Self {
+        DiskCache { dir }
+    }
+
+    /// Persists a clean `Finished` result under `key`. Best-effort: an
+    /// unwritable directory or full disk silently skips the store — the
+    /// result is still correct, it just stays process-local.
+    pub(crate) fn store(&self, key: &str, r: &ExplorationResult) {
+        if r.completion != Completion::Finished {
+            return;
+        }
+        let intrinsic = &r.best_program.intrinsic().name;
+        if intrinsic.is_empty() || intrinsic.contains(char::is_whitespace) {
+            return; // unserializable name; skip rather than corrupt
+        }
+        let text = render(key, r, intrinsic);
+        let _ = std::fs::create_dir_all(&self.dir);
+        let name = file_name(key);
+        let tmp = self.dir.join(format!(".tmp-{}-{name}", std::process::id()));
+        if std::fs::write(&tmp, text.as_bytes()).is_ok()
+            && std::fs::rename(&tmp, self.dir.join(name)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Loads, parses and re-validates the entry for `key`. Any failure —
+    /// missing file, bad salt, torn write, hash collision, a winner the
+    /// current simulator does not reproduce — returns `None` (a cold miss).
+    pub(crate) fn load(
+        &self,
+        key: &str,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+    ) -> Option<ExplorationResult> {
+        let path = self.dir.join(file_name(key));
+        if std::fs::metadata(&path).ok()?.len() > MAX_FILE_BYTES {
+            return None;
+        }
+        let text = std::fs::read_to_string(&path).ok()?;
+        parse_and_validate(&text, key, def, accel)
+    }
+}
+
+// ---- serialization ---------------------------------------------------------
+
+/// `f64` as 16 hex digits of its bit pattern: exact round-trip, including
+/// negative zero, infinities and NaN payloads.
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unbits(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn render(key: &str, r: &ExplorationResult, intrinsic: &str) -> String {
+    let mut s = String::with_capacity(1024 + key.len());
+    s.push_str(&header());
+    let _ = writeln!(s, "key {}", key.len());
+    s.push_str(key);
+    s.push('\n');
+    let _ = writeln!(s, "intrinsic {intrinsic}");
+    let _ = writeln!(s, "groups {}", r.best_mapping.groups.len());
+    for g in &r.best_mapping.groups {
+        s.push('g');
+        for it in &g.iters {
+            let _ = write!(s, " {}", it.0);
+        }
+        s.push('\n');
+    }
+    s.push_str("corr");
+    for &c in &r.best_mapping.correspondence {
+        let _ = write!(s, " {c}");
+    }
+    s.push('\n');
+    let sched = &r.best_schedule;
+    for (tag, axes) in [
+        ("grid", &sched.grid),
+        ("splitk", &sched.split_k),
+        ("subcore", &sched.subcore),
+        ("stage", &sched.stage),
+        ("warp", &sched.warp),
+    ] {
+        s.push_str(tag);
+        for &v in axes {
+            let _ = write!(s, " {v}");
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(
+        s,
+        "flags {} {} {}",
+        sched.double_buffer as u8, sched.unroll as u8, sched.vectorize as u8
+    );
+    let t = &r.best_report;
+    let _ = writeln!(
+        s,
+        "report {} {} {} {} {} {} {} {} {} {}",
+        bits(t.cycles),
+        t.blocks,
+        t.waves,
+        bits(t.occupancy),
+        bits(t.utilization),
+        t.dram_read_bytes,
+        t.dram_write_bytes,
+        t.register_traffic_bytes,
+        bits(t.block_compute_cycles),
+        bits(t.block_transfer_cycles),
+    );
+    let _ = writeln!(s, "nmap {}", r.num_mappings);
+    let _ = writeln!(s, "simf {}", r.sim_failures);
+    let _ = writeln!(
+        s,
+        "screen {} {} {} {}",
+        r.screening.screened,
+        r.screening.survivor_memo_hits,
+        r.screening.measured_memo_hits,
+        bits(r.screening.screen_seconds),
+    );
+    let _ = writeln!(
+        s,
+        "warm {} {} {}",
+        r.warm_start.donors, r.warm_start.seeded_slots, r.warm_start.fallback_slots
+    );
+    let _ = writeln!(s, "gens {}", r.generations_completed);
+    let _ = writeln!(s, "evals {}", r.evaluations.len());
+    for &(p, m) in &r.evaluations {
+        let _ = writeln!(s, "e {} {}", bits(p), bits(m));
+    }
+    s.push_str("end\n");
+    s
+}
+
+// ---- parsing + re-validation -----------------------------------------------
+
+/// Consumes one line of the form `<tag>` or `<tag> <payload>`; the payload
+/// (possibly empty) on a match, `None` otherwise.
+fn tagged<'a>(lines: &mut std::str::Lines<'a>, tag: &str) -> Option<&'a str> {
+    let line = lines.next()?;
+    if line == tag {
+        return Some("");
+    }
+    line.strip_prefix(tag)?.strip_prefix(' ')
+}
+
+fn ints<T: std::str::FromStr>(payload: &str) -> Option<Vec<T>> {
+    payload.split_whitespace().map(|w| w.parse().ok()).collect()
+}
+
+fn parse_and_validate(
+    text: &str,
+    key: &str,
+    def: &ComputeDef,
+    accel: &AcceleratorSpec,
+) -> Option<ExplorationResult> {
+    // Version salt first: entries from any other build are invisible.
+    let rest = text.strip_prefix(&header())?;
+    // The full key is stored verbatim (length-prefixed, since accelerator
+    // Debug output may contain anything but newlines) and must match the
+    // request — two keys colliding on the 64-bit file hash miss cleanly.
+    let len: usize = tagged(&mut rest.lines(), "key")?.parse().ok()?;
+    let rest = rest.split_once('\n')?.1;
+    let bytes = rest.as_bytes();
+    if bytes.get(..len)? != key.as_bytes() || *bytes.get(len)? != b'\n' {
+        return None;
+    }
+    let rest = std::str::from_utf8(&bytes[len + 1..]).ok()?;
+    let mut lines = rest.lines();
+
+    let intrinsic_name = tagged(&mut lines, "intrinsic")?;
+    let ngroups: usize = tagged(&mut lines, "groups")?.parse().ok()?;
+    if ngroups > 1024 {
+        return None;
+    }
+    let mut groups = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        let ids: Vec<u32> = ints(tagged(&mut lines, "g")?)?;
+        groups.push(FusedGroup::of(ids.into_iter().map(IterId).collect()));
+    }
+    let correspondence: Vec<usize> = ints(tagged(&mut lines, "corr")?)?;
+    let grid: Vec<i64> = ints(tagged(&mut lines, "grid")?)?;
+    let split_k: Vec<i64> = ints(tagged(&mut lines, "splitk")?)?;
+    let subcore: Vec<i64> = ints(tagged(&mut lines, "subcore")?)?;
+    let stage: Vec<i64> = ints(tagged(&mut lines, "stage")?)?;
+    let warp: Vec<i64> = ints(tagged(&mut lines, "warp")?)?;
+    let flags: Vec<u8> = ints(tagged(&mut lines, "flags")?)?;
+    let [db, unroll, vec] = flags.as_slice() else {
+        return None;
+    };
+    if flags.iter().any(|&f| f > 1) {
+        return None;
+    }
+    let rep: Vec<&str> = tagged(&mut lines, "report")?.split_whitespace().collect();
+    let [cyc, blocks, waves, occ, util, dr, dw, reg, bcc, btc] = rep.as_slice() else {
+        return None;
+    };
+    let stored = TimingReport {
+        cycles: unbits(cyc)?,
+        blocks: blocks.parse().ok()?,
+        waves: waves.parse().ok()?,
+        occupancy: unbits(occ)?,
+        utilization: unbits(util)?,
+        dram_read_bytes: dr.parse().ok()?,
+        dram_write_bytes: dw.parse().ok()?,
+        register_traffic_bytes: reg.parse().ok()?,
+        block_compute_cycles: unbits(bcc)?,
+        block_transfer_cycles: unbits(btc)?,
+    };
+    let num_mappings: usize = tagged(&mut lines, "nmap")?.parse().ok()?;
+    let sim_failures: usize = tagged(&mut lines, "simf")?.parse().ok()?;
+    let scr: Vec<&str> = tagged(&mut lines, "screen")?.split_whitespace().collect();
+    let [screened, survivor, measured, secs] = scr.as_slice() else {
+        return None;
+    };
+    let screening = ScreeningStats {
+        screened: screened.parse().ok()?,
+        survivor_memo_hits: survivor.parse().ok()?,
+        measured_memo_hits: measured.parse().ok()?,
+        screen_seconds: unbits(secs)?,
+    };
+    let warm: Vec<usize> = ints(tagged(&mut lines, "warm")?)?;
+    let [donors, seeded, fallback] = warm.as_slice() else {
+        return None;
+    };
+    let warm_start = WarmStartStats {
+        donors: *donors,
+        seeded_slots: *seeded,
+        fallback_slots: *fallback,
+    };
+    let generations_completed: usize = tagged(&mut lines, "gens")?.parse().ok()?;
+    let nevals: usize = tagged(&mut lines, "evals")?.parse().ok()?;
+    if nevals > 1_000_000 {
+        return None;
+    }
+    let mut evaluations = Vec::with_capacity(nevals);
+    for _ in 0..nevals {
+        let (p, m) = tagged(&mut lines, "e")?.split_once(' ')?;
+        evaluations.push((unbits(p)?, unbits(m)?));
+    }
+    if lines.next() != Some("end") || lines.next().is_some() {
+        return None;
+    }
+
+    // Re-validation by re-simulation: re-lower the stored mapping on the
+    // unit the winner targeted (the accelerator re-targeted at the named
+    // intrinsic, extra intrinsics cleared — exactly how the explorer
+    // simulates candidates) and require the fresh measurement to reproduce
+    // the stored report bit-for-bit. A file that lies about its provenance
+    // cannot pass; a file from a subtly different model version cannot
+    // either, even if its salt somehow matched.
+    let intrinsic = accel
+        .all_intrinsics()
+        .find(|i| i.name == intrinsic_name)?
+        .clone();
+    let mut unit = accel.clone();
+    unit.intrinsic = intrinsic;
+    unit.extra_intrinsics.clear();
+    let best_mapping = Mapping {
+        groups,
+        correspondence,
+    };
+    let best_program = best_mapping.lower(def, &unit.intrinsic).ok()?;
+    let best_schedule = Schedule {
+        grid,
+        split_k,
+        subcore,
+        stage,
+        warp,
+        double_buffer: *db == 1,
+        unroll: *unroll == 1,
+        vectorize: *vec == 1,
+    };
+    let best_report = simulate(&best_program, &best_schedule, &unit).ok()?;
+    if !report_bits_eq(&best_report, &stored) {
+        return None;
+    }
+    Some(ExplorationResult {
+        best_mapping,
+        best_program,
+        best_schedule,
+        best_report,
+        evaluations,
+        num_mappings,
+        sim_failures,
+        screening,
+        warm_start,
+        completion: Completion::Finished,
+        generations_completed,
+        quarantine: QuarantineReport::default(),
+    })
+}
+
+fn report_bits_eq(a: &TimingReport, b: &TimingReport) -> bool {
+    a.cycles.to_bits() == b.cycles.to_bits()
+        && a.blocks == b.blocks
+        && a.waves == b.waves
+        && a.occupancy.to_bits() == b.occupancy.to_bits()
+        && a.utilization.to_bits() == b.utilization.to_bits()
+        && a.dram_read_bytes == b.dram_read_bytes
+        && a.dram_write_bytes == b.dram_write_bytes
+        && a.register_traffic_bytes == b.register_traffic_bytes
+        && a.block_compute_cycles.to_bits() == b.block_compute_cycles.to_bits()
+        && a.block_transfer_cycles.to_bits() == b.block_transfer_cycles.to_bits()
+}
+
+// ---- user-requested directory operations ------------------------------------
+
+/// Aggregate numbers over one cache directory, for `amos cache stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskDirStats {
+    /// Cache entry files present.
+    pub entries: usize,
+    /// Their total size in bytes.
+    pub bytes: u64,
+}
+
+fn entry_files(dir: &Path) -> Result<Vec<(PathBuf, u64)>, AmosError> {
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        // A directory that was never written to is an empty cache, not an
+        // error — `--cache-dir` creates it lazily on the first store.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(AmosError::io(format!("cache dir {}: {e}", dir.display()))),
+    };
+    let mut files = Vec::new();
+    for entry in rd {
+        let entry =
+            entry.map_err(|e| AmosError::io(format!("cache dir {}: {e}", dir.display())))?;
+        let name = entry.file_name();
+        if !name.to_string_lossy().ends_with(EXT) {
+            continue;
+        }
+        let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        files.push((entry.path(), len));
+    }
+    Ok(files)
+}
+
+/// Counts the entries of an on-disk cache directory. A missing directory is
+/// an empty cache.
+///
+/// # Errors
+///
+/// [`AmosError`] (kind [`crate::AmosErrorKind::Io`]) when the directory
+/// exists but cannot be read.
+pub fn cache_dir_stats(dir: &Path) -> Result<DiskDirStats, AmosError> {
+    let files = entry_files(dir)?;
+    Ok(DiskDirStats {
+        entries: files.len(),
+        bytes: files.iter().map(|(_, len)| len).sum(),
+    })
+}
+
+/// Removes every cache entry (including stale temp files) from `dir`,
+/// leaving unrelated files alone. Returns the number of files removed; a
+/// missing directory removes zero.
+///
+/// # Errors
+///
+/// [`AmosError`] (kind [`crate::AmosErrorKind::Io`]) when the directory
+/// cannot be read or an entry cannot be removed.
+pub fn clear_cache_dir(dir: &Path) -> Result<usize, AmosError> {
+    let files = entry_files(dir)?;
+    let count = files.len();
+    for (path, _) in files {
+        std::fs::remove_file(&path)
+            .map_err(|e| AmosError::io(format!("removing {}: {e}", path.display())))?;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amos-disk-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE, 1e300] {
+            assert_eq!(unbits(&bits(v)).unwrap().to_bits(), v.to_bits());
+        }
+        assert!(unbits(&bits(f64::NAN)).unwrap().is_nan());
+        assert_eq!(unbits("zz"), None);
+        assert_eq!(unbits("00"), None, "length must be exactly 16");
+    }
+
+    #[test]
+    fn salt_names_every_version_component() {
+        let salt = cache_salt();
+        assert!(salt.contains("schema"), "{salt}");
+        assert!(salt.contains("hw"), "{salt}");
+        assert!(salt.contains(env!("CARGO_PKG_VERSION")), "{salt}");
+    }
+
+    #[test]
+    fn stats_and_clear_on_missing_dir_are_empty() {
+        let dir = tmp("missing");
+        assert_eq!(cache_dir_stats(&dir).unwrap(), DiskDirStats::default());
+        assert_eq!(clear_cache_dir(&dir).unwrap(), 0);
+    }
+
+    #[test]
+    fn clear_removes_only_cache_entries() {
+        let dir = tmp("clear");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("0123456789abcdef.amosc"), "junk").unwrap();
+        std::fs::write(dir.join(".tmp-1-feed.amosc"), "torn").unwrap();
+        std::fs::write(dir.join("README.txt"), "keep me").unwrap();
+        let stats = cache_dir_stats(&dir).unwrap();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        assert_eq!(clear_cache_dir(&dir).unwrap(), 2);
+        assert!(dir.join("README.txt").exists());
+        assert_eq!(cache_dir_stats(&dir).unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tagged_lines_parse_strictly() {
+        let text = "g 1 2\ncorr\nend\n";
+        let mut lines = text.lines();
+        assert_eq!(tagged(&mut lines, "g"), Some("1 2"));
+        assert_eq!(tagged(&mut lines, "corr"), Some(""));
+        assert_eq!(tagged(&mut lines, "evals"), None, "wrong tag rejects");
+    }
+}

@@ -26,6 +26,7 @@
 //! operator and accelerator context.
 
 use crate::cache::{CacheStats, ExplorationCache};
+use crate::disk::CacheConfig;
 use crate::error::{AmosError, Stage};
 use crate::explore::{ExplorationResult, ExploreError, Explorer, ExplorerConfig, LoweredUnit};
 use crate::mapping::Mapping;
@@ -189,6 +190,7 @@ pub struct Artifact {
 pub struct Engine {
     base: ExplorerConfig,
     cache: ExplorationCache,
+    cache_config: CacheConfig,
 }
 
 impl Engine {
@@ -199,10 +201,25 @@ impl Engine {
 
     /// An engine with a custom base configuration.
     pub fn with_config(base: ExplorerConfig) -> Self {
+        Engine::with_cache(base, CacheConfig::default())
+    }
+
+    /// An engine whose exploration cache is backed by the persistent
+    /// on-disk tier of [`CacheConfig::cache_dir`] (when set): clean
+    /// finished explorations are written through to disk and answer
+    /// lookups in later processes. Infallible — an unusable directory
+    /// degrades to a memory-only engine.
+    pub fn with_cache(base: ExplorerConfig, cache_config: CacheConfig) -> Self {
         Engine {
             base,
-            cache: ExplorationCache::new(),
+            cache: ExplorationCache::with_disk(&cache_config),
+            cache_config,
         }
+    }
+
+    /// The cache placement this engine was built with.
+    pub fn cache_config(&self) -> &CacheConfig {
+        &self.cache_config
     }
 
     /// The base configuration used when no per-call override is given.
@@ -462,6 +479,33 @@ impl Engine {
             })
     }
 
+    /// [`Engine::explore_op_with`] for callers that already computed
+    /// [`crate::shape_fingerprint`]`(def)` — network evaluation derives
+    /// per-shape seeds from it — so the cache key reuses it instead of
+    /// rebuilding it. `shape`, when given, **must** equal
+    /// `shape_fingerprint(def)` (debug builds assert this).
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore_op_shaped(
+        &self,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        shape: Option<&str>,
+    ) -> Result<ExplorationResult, AmosError> {
+        let explorer = Explorer::with_config(config);
+        self.cache
+            .explore_multi_shaped(&explorer, def, accel, shape)
+            .map_err(|e| {
+                AmosError::from(e)
+                    .at_stage(Stage::Explore)
+                    .for_operator(def.name())
+                    .on_accelerator(&accel.name)
+            })
+    }
+
     /// Explores with a *fixed* mapping set under `tag` (the §7.6
     /// fixed-mapping baselines: AMOS's schedule tuner with the mapping
     /// frozen). The tag keeps different mapping flavours over the same
@@ -481,6 +525,35 @@ impl Engine {
         let explorer = Explorer::with_config(config);
         self.cache
             .explore_tagged(tag, &explorer, def, accel, || {
+                explorer.explore_mappings_cached(def, accel, Some(mappings), Some(&self.cache))
+            })
+            .map_err(|e| {
+                AmosError::from(e)
+                    .at_stage(Stage::Explore)
+                    .for_operator(def.name())
+                    .on_accelerator(&accel.name)
+            })
+    }
+
+    /// [`Engine::explore_fixed`] with a precomputed
+    /// [`crate::shape_fingerprint`]`(def)` (same contract as
+    /// [`Engine::explore_op_shaped`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Stage::Explore`] wrapping the exploration failure.
+    pub fn explore_fixed_shaped(
+        &self,
+        tag: &str,
+        config: ExplorerConfig,
+        def: &ComputeDef,
+        accel: &AcceleratorSpec,
+        mappings: Vec<Mapping>,
+        shape: Option<&str>,
+    ) -> Result<ExplorationResult, AmosError> {
+        let explorer = Explorer::with_config(config);
+        self.cache
+            .explore_tagged_shaped(tag, &explorer, def, accel, shape, || {
                 explorer.explore_mappings_cached(def, accel, Some(mappings), Some(&self.cache))
             })
             .map_err(|e| {

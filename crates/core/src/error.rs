@@ -53,6 +53,11 @@ pub enum AmosErrorKind {
     Explore(ExploreError),
     /// A usage error (bad CLI arguments, unknown accelerator name).
     Usage(String),
+    /// A filesystem failure on an operation the user explicitly requested
+    /// (`amos cache stats|clear` on an unreadable directory). Background
+    /// cache I/O never raises this — the two-tier cache degrades to cold
+    /// misses silently.
+    Io(String),
 }
 
 impl fmt::Display for AmosErrorKind {
@@ -62,6 +67,7 @@ impl fmt::Display for AmosErrorKind {
             AmosErrorKind::Sim(e) => write!(f, "{e}"),
             AmosErrorKind::Explore(e) => write!(f, "{e}"),
             AmosErrorKind::Usage(msg) => write!(f, "{msg}"),
+            AmosErrorKind::Io(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -93,6 +99,11 @@ impl AmosError {
     /// A usage error (bad arguments, unknown names).
     pub fn usage(msg: impl Into<String>) -> Self {
         AmosError::new(AmosErrorKind::Usage(msg.into()))
+    }
+
+    /// A filesystem error on a user-requested cache operation.
+    pub fn io(msg: impl Into<String>) -> Self {
+        AmosError::new(AmosErrorKind::Io(msg.into()))
     }
 
     /// Attaches the pipeline stage.
@@ -141,7 +152,7 @@ impl std::error::Error for AmosError {
             AmosErrorKind::Ir(e) => Some(e),
             AmosErrorKind::Sim(e) => Some(e),
             AmosErrorKind::Explore(e) => Some(e),
-            AmosErrorKind::Usage(_) => None,
+            AmosErrorKind::Usage(_) | AmosErrorKind::Io(_) => None,
         }
     }
 }

@@ -69,6 +69,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod disk;
 mod engine;
 mod error;
 mod explore;
@@ -85,7 +86,8 @@ pub mod perf_model;
 pub mod report;
 pub mod validate;
 
-pub use cache::{shape_fingerprint, CacheStats};
+pub use cache::{fnv1a, shape_fingerprint, CacheStats};
+pub use disk::{cache_dir_stats, cache_salt, clear_cache_dir, CacheConfig, DiskDirStats};
 pub use engine::{Analyzed, Artifact, Engine, Explored, Lowered, MappingSet};
 pub use error::{AmosError, AmosErrorKind, Stage};
 pub use explore::{

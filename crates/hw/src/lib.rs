@@ -52,6 +52,16 @@ pub use intrinsic::Intrinsic;
 pub use memory::{MemStatement, MemoryAbstraction, TransferDir};
 pub use registry::Registry;
 
+/// Version of the hardware abstraction's *semantics*, as seen by persisted
+/// exploration results. The structural cache fingerprint already captures
+/// every field of an [`AcceleratorSpec`] via its `Debug` output, but a
+/// change to what those fields *mean* (a new timing term, a reinterpreted
+/// constraint matrix) leaves the fingerprint unchanged while invalidating
+/// stored winners. Bump this constant on any such change: it is folded into
+/// the on-disk cache salt, so stale entries degrade to cold misses instead
+/// of replaying results the current model would never produce.
+pub const ABSTRACTION_VERSION: u32 = 1;
+
 // Accelerator descriptions are shared by reference across explorer worker
 // threads; keep them free of interior mutability.
 const _: () = {

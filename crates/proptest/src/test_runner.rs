@@ -48,14 +48,10 @@ impl TestCaseError {
     }
 }
 
-/// FNV-1a, used to derive per-test seed streams from the test name.
+/// FNV-1a, used to derive per-test seed streams from the test name (the
+/// workspace-shared implementation in the `rand` stand-in).
 fn fnv1a(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in key.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    rand::fnv1a_64(key.as_bytes())
 }
 
 /// Runs `body` against `config.cases` generated cases. Called by the

@@ -107,6 +107,23 @@ macro_rules! impl_sample_range {
 
 impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
+/// FNV-1a over a byte string (64-bit offset basis / prime).
+///
+/// Not part of upstream `rand`'s API — this is the workspace's one shared
+/// implementation of the seed-hash every layer uses (per-test seed streams,
+/// per-shape exploration seeds, bench labels). It lives here, at the bottom
+/// of the dependency graph, so both the `proptest` stand-in and `amos-core`
+/// (which re-exports it as `amos_core::fnv1a`) can call the same loop
+/// instead of keeping copies.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// The generators.
 pub mod rngs {
     use super::{splitmix64, RngCore, SeedableRng};
