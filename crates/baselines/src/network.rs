@@ -28,6 +28,7 @@ pub struct NetworkEvaluator {
     engine: Engine,
     warm_start: bool,
     jobs: usize,
+    depth: usize,
 }
 
 /// Cost breakdown of one network under one system.
@@ -67,11 +68,20 @@ impl NetworkEvaluator {
 
     /// Worker-thread budget for one [`evaluate`](Self::evaluate) call: `0`
     /// means all cores, `1` forces the sequential path. When the budget
-    /// exceeds one, distinct layer shapes are explored concurrently (each
-    /// lane getting an equal share of the threads); results are
-    /// bit-identical at any setting.
+    /// exceeds one, distinct layer shapes are explored concurrently as one
+    /// flat wave on the shared worker pool; results are bit-identical at
+    /// any setting.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Exploration-budget multiplier forwarded to every per-shape search
+    /// (see [`EvalOpts::depth`]): `0`/`1` is the standard budget,
+    /// larger values scale every search's generation count. Benchmarks use
+    /// this to make cold exploration long enough to time.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
         self
     }
 
@@ -126,6 +136,7 @@ impl NetworkEvaluator {
         let jobs = self.effective_jobs();
         let engine = &self.engine;
         let shapes = &distinct;
+        let depth = self.depth;
         let lane = |warm_start: bool, inner: Option<usize>| {
             move |i: usize| {
                 let (fp, def) = &shapes[i];
@@ -139,16 +150,21 @@ impl NetworkEvaluator {
                         warm_start,
                         shape_fp: Some(fp),
                         jobs: inner,
+                        depth,
                     },
                 )
             }
         };
         let shape_costs: Vec<SystemCost> = if jobs > 1 && distinct.len() > 1 && !self.warm_start {
-            // Split the thread budget: `lanes` shapes in flight, each
-            // exploring with `inner` worker threads.
-            let lanes = jobs.min(distinct.len());
-            let inner = jobs.div_ceil(lanes);
-            parallel_map(lanes, distinct.len(), lane(false, Some(inner)))
+            // One flat wave over the distinct shapes: every shape is a slot
+            // on the shared worker pool and each per-shape search runs with
+            // a serial inner budget. (An earlier revision split the budget
+            // lanes x inner, carving the pool into starved sub-pools; the
+            // flat wave keeps all threads busy as long as shapes remain,
+            // which is what turns network-level parallelism into an actual
+            // speedup.) Per-shape searches are jobs-invariant, so forcing
+            // inner = 1 cannot change any cost.
+            parallel_map(jobs, distinct.len(), lane(false, Some(1)))
         } else {
             (0..distinct.len())
                 .map(lane(self.warm_start, None))
@@ -188,12 +204,10 @@ impl NetworkEvaluator {
         cost
     }
 
-    /// The thread budget with `0` resolved to the machine's core count.
+    /// The thread budget with `0` resolved to [`amos_core::default_jobs`].
     fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            amos_core::default_jobs()
         } else {
             self.jobs
         }

@@ -151,6 +151,7 @@ fn explore_fixed(
     if let Some(jobs) = opts.jobs {
         config.jobs = jobs;
     }
+    config.generations *= opts.depth.max(1);
     // The fixed kind keys the cache entry: Im2col and FuseHw freeze
     // different mappings over the same shape.
     engine
@@ -270,8 +271,18 @@ pub struct EvalOpts<'a> {
     /// (`Some(1)` forces serial). `None` uses each config's default (all
     /// cores). Exploration results are bit-identical at any thread count,
     /// so this only affects wall-clock — network evaluation uses it to
-    /// split cores between concurrent layers.
+    /// explore distinct layer shapes concurrently with serial inner
+    /// searches.
     pub jobs: Option<usize>,
+    /// Exploration-budget multiplier: the generation count of every search
+    /// this evaluation runs (AMOS's full search and the baselines'
+    /// frozen-mapping tuning alike) is scaled by `depth.max(1)`. `0` and
+    /// `1` are the standard budget; benchmarks raise it to make cold
+    /// exploration long enough to measure (`record_network`). Results stay
+    /// deterministic per depth, and depth changes the cache fingerprint
+    /// (the generation count is part of it), so different depths never
+    /// answer each other's lookups.
+    pub depth: usize,
 }
 
 /// [`evaluate_with`] with every per-call knob explicit: warm start, a
@@ -293,7 +304,7 @@ pub fn evaluate_opts(
             // AMOS tunes thousands of trials.
             let config = ExplorerConfig {
                 population: 32,
-                generations: 8,
+                generations: 8 * opts.depth.max(1),
                 survivors: 8,
                 measure_top: 6,
                 seed,

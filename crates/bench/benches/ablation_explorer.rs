@@ -143,10 +143,7 @@ fn print_warm_start_curve() {
 fn print_jobs_scaling() {
     // At least 2 so the parallel leg differs from the serial one even on a
     // single-core host (where the speedup honestly reports ~1x or below).
-    let n = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .max(2);
+    let n = amos_core::default_jobs().max(2);
     amos_bench::banner(&format!(
         "Parallel engine: exploration wall clock, jobs=1 vs jobs={n} (A100)"
     ));

@@ -2,13 +2,18 @@
 //!
 //! Network evaluation is the end-to-end workload this repo optimises: every
 //! distinct layer shape costs one genetic exploration, so wall-clock is
-//! governed by (a) how many shapes explore concurrently and (b) whether a
-//! previous process already persisted the answers. This binary measures one
-//! ResNet-18 AMOS evaluation on the V100-like accelerator through three
-//! layers — sequential cold, parallel cold, and disk-warm (a fresh process
-//! image answering everything from a populated `--cache-dir`) — asserts all
-//! of them bit-identical first, and writes the committed trajectory file at
-//! the repository root:
+//! governed by (a) how many shapes explore concurrently on the persistent
+//! worker pool and (b) whether a previous process already persisted the
+//! answers. This binary measures AMOS evaluations of a multi-network
+//! workload (ResNet-18/50, MobileNet-V1, BERT-base, ShuffleNet and
+//! MI-LSTM across several batch sizes, exploration depth raised so a cold
+//! sequential pass takes ≥ 1 s — small enough for
+//! CI, large enough that parallelism is measurable) on the V100-like
+//! accelerator through four layers — a cold jobs-scaling curve
+//! (jobs ∈ {1, 2, 4, 8}), parallel cold at the machine's full budget, and
+//! disk-warm (a fresh process image answering everything from a populated
+//! `--cache-dir`) — asserts every layer bit-identical first, and writes the
+//! committed trajectory file at the repository root:
 //!
 //! ```text
 //! cargo run --release -p amos-bench --bin record_network            # re-record
@@ -16,8 +21,12 @@
 //! ```
 //!
 //! `--check` fails (exit 1) when the committed file is malformed, when its
-//! recorded warm-process speedup is below 2.0x, or when the live warm
-//! speedup has regressed to under 0.8x the recorded one.
+//! recorded warm-process speedup is below 2.0x, when the live warm speedup
+//! has regressed to under 0.8x the recorded one, or — on machines with at
+//! least [`MIN_PARALLEL_CORES`] cores — when the recorded or live parallel
+//! speedup is below 2.0x. The parallel floor is conditional on the core
+//! count (recorded `cores` for the recorded value, the live machine for
+//! the live value): a 1- or 2-core runner cannot honestly show 2x.
 //!
 //! JSON is written and read by tiny flat-schema helpers — the build
 //! environment is offline, so no serde.
@@ -25,37 +34,79 @@
 use amos_baselines::{NetworkCost, NetworkEvaluator, System};
 use amos_core::{CacheConfig, Engine, ExplorerConfig};
 use amos_hw::catalog;
-use amos_workloads::networks;
+use amos_workloads::networks::{self, Network};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// One ResNet-18 AMOS evaluation through an evaluator built by `make`,
-/// returning the cost and the wall seconds. Each call builds a fresh
-/// evaluator, so nothing leaks between timing sets.
-fn run_once(make: impl Fn() -> NetworkEvaluator) -> (NetworkCost, f64) {
-    let accel = catalog::v100();
-    let net = networks::resnet18();
-    let mut ev = make();
-    let start = Instant::now();
-    let cost = ev.evaluate(System::Amos, &net, 1, &accel);
-    (cost, start.elapsed().as_secs_f64())
+/// Exploration-budget multiplier for every search in this workload (see
+/// `NetworkEvaluator::with_depth`): scales each search's generation count
+/// so the cold sequential pass runs ≥ 1 s.
+const DEPTH: usize = 48;
+
+/// Core count below which the 2.0x parallel-speedup floor is not enforced.
+const MIN_PARALLEL_CORES: f64 = 4.0;
+
+/// The jobs values of the recorded cold scaling curve.
+const CURVE_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// The evaluated (network, batch) combinations. Distinct batches produce
+/// distinct layer shapes, so each combo adds a fresh set of explorations —
+/// wall-clock scales with the distinct-shape count, and a wide shape set
+/// keeps a multi-core wave busy (the speedup on N cores is limited by the
+/// longest single-shape search relative to the total).
+fn combos() -> Vec<(Network, i64)> {
+    let batches = [1, 2, 4, 8, 16];
+    let mut combos: Vec<(Network, i64)> = Vec::new();
+    for b in batches {
+        combos.push((networks::resnet18(), b));
+        combos.push((networks::mobilenet_v1(), b));
+    }
+    for b in [1, 16] {
+        combos.push((networks::resnet50(), b));
+        combos.push((networks::bert_base(), b));
+        combos.push((networks::shufflenet(), b));
+    }
+    combos.push((networks::mi_lstm(), 1));
+    combos
 }
 
-/// Best-of-`sets` wall seconds (and the cost, asserted stable across sets).
-/// The minimum filters scheduler noise, which matters for a file whose
-/// values gate CI.
-fn best_run(make: impl Fn() -> NetworkEvaluator, sets: usize) -> (NetworkCost, f64) {
+fn workload_name() -> String {
+    "resnet18+mobilenet_v1 @ batch {1,2,4,8,16}; resnet50+bert_base+shufflenet @ batch {1,16}; mi_lstm @ 1".to_string()
+}
+
+/// One AMOS pass over every combo through an evaluator built by `make`,
+/// returning the per-combo costs and the wall seconds. Each call builds a
+/// fresh evaluator, so nothing leaks between timing sets.
+fn run_once(make: impl Fn() -> NetworkEvaluator) -> (Vec<NetworkCost>, f64) {
+    let accel = catalog::v100();
+    let mut ev = make();
+    let start = Instant::now();
+    let costs = combos()
+        .iter()
+        .map(|(net, batch)| ev.evaluate(System::Amos, net, *batch, &accel))
+        .collect();
+    (costs, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`sets` wall seconds (and the costs, asserted stable across
+/// sets). The minimum filters scheduler noise, which matters for a file
+/// whose values gate CI.
+fn best_run(make: impl Fn() -> NetworkEvaluator, sets: usize) -> (Vec<NetworkCost>, f64) {
     let mut best = f64::INFINITY;
-    let mut cost: Option<NetworkCost> = None;
+    let mut costs: Option<Vec<NetworkCost>> = None;
     for _ in 0..sets {
         let (c, secs) = run_once(&make);
-        if let Some(prev) = &cost {
+        if let Some(prev) = &costs {
             assert_eq!(prev, &c, "evaluation must be deterministic across runs");
         }
-        cost = Some(c);
+        costs = Some(c);
         best = best.min(secs);
     }
-    (cost.expect("at least one set"), best)
+    (costs.expect("at least one set"), best)
+}
+
+fn fresh_evaluator(jobs: usize) -> NetworkEvaluator {
+    NetworkEvaluator::new().with_depth(DEPTH).with_jobs(jobs)
 }
 
 fn disk_evaluator(dir: &Path) -> NetworkEvaluator {
@@ -65,19 +116,25 @@ fn disk_evaluator(dir: &Path) -> NetworkEvaluator {
             cache_dir: Some(dir.to_path_buf()),
         },
     );
-    NetworkEvaluator::with_engine(engine)
+    NetworkEvaluator::with_engine(engine).with_depth(DEPTH)
 }
 
 struct Sample {
-    sequential_cold_seconds: f64,
+    cores: usize,
+    /// Cold wall seconds per `CURVE_JOBS` entry.
+    curve: [f64; CURVE_JOBS.len()],
     parallel_cold_seconds: f64,
     populate_seconds: f64,
     warm_seconds: f64,
+    pool: amos_core::PoolStats,
 }
 
 impl Sample {
+    fn sequential_cold_seconds(&self) -> f64 {
+        self.curve[0]
+    }
     fn parallel_speedup(&self) -> f64 {
-        self.sequential_cold_seconds / self.parallel_cold_seconds
+        self.sequential_cold_seconds() / self.parallel_cold_seconds
     }
     fn warm_speedup(&self) -> f64 {
         self.parallel_cold_seconds / self.warm_seconds
@@ -90,29 +147,46 @@ fn measure() -> Sample {
     let dir = std::env::temp_dir().join(format!("amos-record-network-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let (seq_cost, sequential_cold_seconds) = best_run(|| NetworkEvaluator::new().with_jobs(1), 3);
-    let (par_cost, parallel_cold_seconds) = best_run(NetworkEvaluator::new, 3);
-    // Populate the disk tier once (a cold process writing through)...
-    let (populate_cost, populate_seconds) = run_once(|| disk_evaluator(&dir));
-    // ... then time fresh process images answering purely from disk.
-    let (warm_cost, warm_seconds) = best_run(|| disk_evaluator(&dir), 3);
+    // Cold jobs-scaling curve. jobs=1 is the sequential baseline.
+    let mut curve = [0.0; CURVE_JOBS.len()];
+    let mut reference: Option<Vec<NetworkCost>> = None;
+    for (slot, &jobs) in CURVE_JOBS.iter().enumerate() {
+        let (costs, secs) = best_run(|| fresh_evaluator(jobs), 2);
+        if let Some(prev) = &reference {
+            assert_eq!(prev, &costs, "jobs={jobs} must not change any cost");
+        }
+        reference = Some(costs);
+        curve[slot] = secs;
+    }
+    let reference = reference.expect("curve ran");
 
-    assert_eq!(seq_cost, par_cost, "parallel wave must not change the cost");
+    // Cold at the machine's full thread budget (jobs = 0).
+    let (par_costs, parallel_cold_seconds) = best_run(|| fresh_evaluator(0), 2);
     assert_eq!(
-        seq_cost, populate_cost,
-        "disk tier must not change the cost"
+        reference, par_costs,
+        "full-budget wave must not change any cost"
     );
+
+    // Populate the disk tier once (a cold process writing through)...
+    let (populate_costs, populate_seconds) = run_once(|| disk_evaluator(&dir));
+    assert_eq!(reference, populate_costs, "disk tier must not change costs");
+    // ... then time fresh process images answering purely from disk.
+    let (warm_costs, warm_seconds) = best_run(|| disk_evaluator(&dir), 2);
     assert_eq!(
-        seq_cost, warm_cost,
+        reference, warm_costs,
         "persisted answers must be bit-identical"
     );
 
     let _ = std::fs::remove_dir_all(&dir);
     Sample {
-        sequential_cold_seconds,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        curve,
         parallel_cold_seconds,
         populate_seconds,
         warm_seconds,
+        pool: amos_core::pool_stats(),
     }
 }
 
@@ -123,18 +197,42 @@ fn trajectory_path() -> PathBuf {
 }
 
 fn render_json(s: &Sample) -> String {
-    format!(
-        "{{\n  \"schema\": 1,\n  \"network\": \"resnet18\",\n  \"accelerator\": \"v100\",\n  \
-         \"sequential_cold_seconds\": {:.6},\n  \"parallel_cold_seconds\": {:.6},\n  \
-         \"populate_seconds\": {:.6},\n  \"warm_seconds\": {:.6},\n  \
-         \"parallel_speedup\": {:.3},\n  \"warm_speedup\": {:.3}\n}}\n",
-        s.sequential_cold_seconds,
-        s.parallel_cold_seconds,
-        s.populate_seconds,
-        s.warm_seconds,
-        s.parallel_speedup(),
-        s.warm_speedup()
-    )
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 2,\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", workload_name()));
+    out.push_str("  \"accelerator\": \"v100\",\n");
+    out.push_str(&format!("  \"depth\": {DEPTH},\n"));
+    out.push_str(&format!("  \"cores\": {},\n", s.cores));
+    for (slot, &jobs) in CURVE_JOBS.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"cold_seconds_jobs{jobs}\": {:.6},\n",
+            s.curve[slot]
+        ));
+    }
+    out.push_str(&format!(
+        "  \"sequential_cold_seconds\": {:.6},\n",
+        s.sequential_cold_seconds()
+    ));
+    out.push_str(&format!(
+        "  \"parallel_cold_seconds\": {:.6},\n",
+        s.parallel_cold_seconds
+    ));
+    out.push_str(&format!(
+        "  \"populate_seconds\": {:.6},\n",
+        s.populate_seconds
+    ));
+    out.push_str(&format!("  \"warm_seconds\": {:.6},\n", s.warm_seconds));
+    out.push_str(&format!(
+        "  \"parallel_speedup\": {:.3},\n",
+        s.parallel_speedup()
+    ));
+    out.push_str(&format!("  \"warm_speedup\": {:.3},\n", s.warm_speedup()));
+    out.push_str(&format!("  \"pool_threads\": {},\n", s.pool.threads));
+    out.push_str(&format!("  \"pool_waves\": {},\n", s.pool.waves));
+    out.push_str(&format!("  \"pool_tasks\": {},\n", s.pool.tasks));
+    out.push_str(&format!("  \"pool_chunks\": {}\n", s.pool.chunks));
+    out.push_str("}\n");
+    out
 }
 
 /// Extracts the number following `"key":` in the flat JSON this binary
@@ -163,26 +261,62 @@ fn check() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let schema = json_number(&text, "schema");
+    let recorded_cores = json_number(&text, "cores");
     let recorded_warm = json_number(&text, "warm_speedup");
     let recorded_parallel = json_number(&text, "parallel_speedup");
-    let (Some(schema), Some(recorded_warm), Some(_)) = (schema, recorded_warm, recorded_parallel)
+    let recorded_seq = json_number(&text, "sequential_cold_seconds");
+    let (
+        Some(schema),
+        Some(recorded_cores),
+        Some(recorded_warm),
+        Some(recorded_parallel),
+        Some(recorded_seq),
+    ) = (
+        schema,
+        recorded_cores,
+        recorded_warm,
+        recorded_parallel,
+        recorded_seq,
+    )
     else {
         eprintln!("FAIL: {} is malformed (missing keys)", path.display());
         std::process::exit(1);
     };
-    assert_eq!(schema, 1.0, "unknown trajectory schema");
+    assert_eq!(schema, 2.0, "unknown trajectory schema");
+    if recorded_seq < 1.0 {
+        eprintln!(
+            "FAIL: recorded sequential cold pass took {recorded_seq:.3}s — the workload is \
+             too small to measure parallelism (floor: 1 s)"
+        );
+        std::process::exit(1);
+    }
     if recorded_warm < 2.0 {
         eprintln!(
             "FAIL: recorded warm-process speedup {recorded_warm:.3}x is below the 2.0x floor"
         );
         std::process::exit(1);
     }
+    if recorded_cores >= MIN_PARALLEL_CORES && recorded_parallel < 2.0 {
+        eprintln!(
+            "FAIL: recorded parallel speedup {recorded_parallel:.3}x is below the 2.0x floor \
+             (recorded on {recorded_cores:.0} cores)"
+        );
+        std::process::exit(1);
+    }
     let live = measure();
     let live_warm = live.warm_speedup();
+    let live_parallel = live.parallel_speedup();
     println!(
         "recorded warm speedup {recorded_warm:.2}x, live {live_warm:.2}x \
          (cold {:.3}s -> warm {:.3}s)",
         live.parallel_cold_seconds, live.warm_seconds
+    );
+    println!(
+        "recorded parallel speedup {recorded_parallel:.2}x on {recorded_cores:.0} cores, \
+         live {live_parallel:.2}x on {} cores (seq {:.3}s -> parallel {:.3}s)",
+        live.cores,
+        live.sequential_cold_seconds(),
+        live.parallel_cold_seconds
     );
     if live_warm < 0.8 * recorded_warm {
         eprintln!(
@@ -190,7 +324,17 @@ fn check() {
         );
         std::process::exit(1);
     }
-    println!("OK: trajectory file is well-formed and the disk tier still pays for itself");
+    if live.cores as f64 >= MIN_PARALLEL_CORES && live_parallel < 2.0 {
+        eprintln!(
+            "FAIL: live parallel speedup {live_parallel:.2}x is below the 2.0x floor on a \
+             {}-core machine",
+            live.cores
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: trajectory file is well-formed; the pool and the disk tier still pay for themselves"
+    );
 }
 
 fn main() {

@@ -567,6 +567,19 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             }
             Ok(RunStatus::Complete)
         }
+        Some("pool") => {
+            // Observability for the process-wide persistent worker pool.
+            // Deliberately a separate verb: `network`/`explore` output must
+            // stay byte-identical at any --jobs, and these counters are not.
+            reject_extras(&args, 1)?;
+            let stats = amos_core::pool_stats();
+            writeln!(out, "worker pool (process-wide, cumulative):").map_err(io)?;
+            writeln!(out, "  threads : {}", stats.threads).map_err(io)?;
+            writeln!(out, "  waves   : {}", stats.waves).map_err(io)?;
+            writeln!(out, "  tasks   : {}", stats.tasks).map_err(io)?;
+            writeln!(out, "  chunks  : {}", stats.chunks).map_err(io)?;
+            Ok(RunStatus::Complete)
+        }
         Some("table6") => {
             reject_extras(&args, 1)?;
             let accel = parse_accelerator(&accel_name)?;
@@ -584,7 +597,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache|pool> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
         )),
     }
 }
@@ -647,6 +660,16 @@ mod tests {
         let out = run_to_string(&["accels"]).unwrap();
         assert!(out.contains("v100"));
         assert!(out.contains("mali-g76"));
+    }
+
+    #[test]
+    fn pool_command_prints_the_counters() {
+        let (status, out) = run_with_status(&["pool"]).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        for key in ["threads", "waves", "tasks", "chunks"] {
+            assert!(out.contains(key), "missing `{key}` in {out}");
+        }
+        assert!(run_to_string(&["pool", "extra"]).is_err(), "strict args");
     }
 
     #[test]

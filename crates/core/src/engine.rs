@@ -241,6 +241,16 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Counters of the persistent worker pool this engine's parallel
+    /// explorations run on (threads spawned, waves submitted, tasks and
+    /// chunks claimed). The pool is process-wide — workers are spawned
+    /// lazily on the first parallel wave and reused by every engine and
+    /// every exploration thereafter — so these counters are cumulative for
+    /// the process, not per-engine.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        crate::pool::pool_stats()
+    }
+
     /// Number of distinct (shape, accelerator, config) entries cached.
     pub fn cache_len(&self) -> usize {
         self.cache.len()

@@ -262,13 +262,12 @@ impl Default for ExplorerConfig {
 }
 
 impl ExplorerConfig {
-    /// The worker-thread count after resolving `jobs == 0` to the machine's
-    /// available parallelism.
+    /// The worker-thread count after resolving `jobs == 0` to
+    /// [`crate::default_jobs`] (the `AMOS_JOBS` override, else the machine's
+    /// available parallelism).
     pub fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            crate::parallel::default_jobs()
         } else {
             self.jobs
         }

@@ -78,6 +78,7 @@ pub mod faultplan;
 mod generate;
 mod mapping;
 mod parallel;
+mod pool;
 
 pub mod codegen;
 pub mod cuda_like;
@@ -97,7 +98,8 @@ pub use explore::{
 };
 pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
 pub use mapping::Mapping;
-pub use parallel::{parallel_fill_map, parallel_map};
+pub use parallel::{default_jobs, parallel_fill_map, parallel_map};
+pub use pool::{pool_stats, PoolStats};
 pub use report::MappingReport;
 
 /// `true` when this build of `amos-core` was compiled with the

@@ -1,95 +1,106 @@
-//! A tiny deterministic fork–join pool over `std::thread::scope`.
+//! Deterministic data-parallel map primitives over the persistent worker
+//! pool ([`crate::pool`]).
 //!
-//! The sandbox has no crates.io access, so the explorer cannot lean on rayon;
-//! this module provides the one primitive it needs: map an index range
-//! through a pure function on a fixed number of workers and return the
-//! results **in index order**, so reductions over them are independent of
-//! thread count and scheduling.
+//! The sandbox has no crates.io access, so the explorer cannot lean on
+//! rayon; this module provides the one primitive it needs: map an index
+//! range through a pure function on a fixed number of workers and return
+//! the results **in index order**, so reductions over them are independent
+//! of thread count and scheduling.
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` threads per call
+//! and merged `(index, value)` pairs through a mutex plus a final sort.
+//! Both entry points are now thin wrappers that submit one *wave* to the
+//! process-wide pool and write each result directly into its preallocated
+//! per-index slot — no collection lock, no sort, no thread spawns after
+//! the pool has warmed up. With `jobs <= 1`, a trivial range, or when the
+//! caller is itself pool work (nested parallelism), the work runs inline
+//! on the calling thread with no synchronisation at all.
 
-use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
 
-/// The first panic payload captured from a worker thread, if any. Workers
-/// catch their own panics so that (a) the caller observes the *original*
-/// payload instead of a secondary poisoned-mutex panic, and (b) siblings
-/// stop claiming work promptly instead of running the range to completion.
-type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
+/// A shared view of a slot array. `UnsafeCell<S>` has the same layout as
+/// `S` (it is `repr(transparent)`), so casting `&mut [S]` to `&[SlotCell<S>]`
+/// only reinterprets the element type; the `Sync` impl is sound because the
+/// pool's claim counter hands each index — and therefore each slot — to
+/// exactly one participant.
+struct SlotCell<S>(UnsafeCell<S>);
+unsafe impl<S: Send> Sync for SlotCell<S> {}
 
-/// Locks `m`, ignoring poison: the payload capture below is the panic
-/// handling, so a poisoned result lock carries no extra information.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Reinterprets exclusive access to `slots` as a shared slice of cells for
+/// the duration of one wave.
+fn as_cells<S: Send>(slots: &mut [S]) -> &[SlotCell<S>] {
+    let n = slots.len();
+    unsafe { std::slice::from_raw_parts(slots.as_mut_ptr().cast::<SlotCell<S>>(), n) }
 }
 
-/// Stores `payload` as the first worker panic if none has been recorded yet.
-fn record_panic(slot: &PanicSlot, stop: &AtomicBool, payload: Box<dyn Any + Send>) {
-    stop.store(true, Ordering::Relaxed);
-    let mut guard = lock_unpoisoned(slot);
-    if guard.is_none() {
-        *guard = Some(payload);
-    }
+/// Chunk size for one wave: aim for several chunks per worker so uneven
+/// task costs still balance (candidate simulation times vary by an order
+/// of magnitude), while paying one `fetch_add` per chunk instead of per
+/// index on cheap tasks. Deterministic in (n, workers) only — it never
+/// affects *what* runs, merely how indices are batched onto claims.
+fn chunk_for(n: usize, workers: usize) -> usize {
+    (n / (workers * 8)).clamp(1, 64)
+}
+
+/// The default worker count used when `ExplorerConfig::jobs == 0` (and by
+/// every CLI/bench surface that wants "all cores"): the `AMOS_JOBS`
+/// environment variable if set to a positive integer (the CI jobs matrix
+/// uses this to pin every `jobs = 0` resolution in a process), otherwise
+/// [`std::thread::available_parallelism`], otherwise 1. Cached after the
+/// first call.
+pub fn default_jobs() -> usize {
+    static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("AMOS_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Maps `0..n` through `work` on up to `jobs` threads, returning results in
 /// index order.
 ///
-/// Workers drain a shared atomic counter (dynamic load balancing — candidate
-/// simulation times vary by an order of magnitude), collect `(index, value)`
-/// pairs locally, and the pairs are merged and sorted at the end. With
-/// `jobs <= 1` (or a trivial range) the work runs inline on the caller's
-/// thread with no synchronisation at all.
+/// Parallel calls run as one wave on the persistent pool: participants
+/// claim index chunks from a shared counter (dynamic load balancing) and
+/// write each value straight into its preallocated slot, so the output is
+/// index-ordered by construction and bit-identical at any `jobs`. With
+/// `jobs <= 1`, a trivial range, or when called from inside pool work, the
+/// work runs inline on the caller's thread.
 ///
 /// If `work` panics on any index, the panic is re-raised on the calling
-/// thread with its **original payload** (first panicking worker wins; other
-/// workers stop early).
+/// thread with its **original payload** (first panicking participant wins;
+/// the others stop early).
 pub fn parallel_map<T, F>(jobs: usize, n: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if jobs <= 1 || n <= 1 {
+    if jobs <= 1 || n <= 1 || crate::pool::in_pool() {
         return (0..n).map(work).collect();
     }
-    let workers = jobs.min(n);
-    let next = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let panicked: PanicSlot = Mutex::new(None);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, work(i)));
-                    }
-                    local
-                }));
-                match outcome {
-                    Ok(mut local) => lock_unpoisoned(&collected).append(&mut local),
-                    Err(payload) => record_panic(&panicked, &stop, payload),
-                }
-            });
-        }
-    });
-    if let Some(payload) = lock_unpoisoned(&panicked).take() {
-        resume_unwind(payload);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let cells = as_cells(&mut out);
+        let task = |i: usize| {
+            let value = work(i);
+            // SAFETY: the pool hands index `i` to exactly one participant,
+            // so this is the only reference to slot `i`; the wave completes
+            // before `out` is touched again.
+            unsafe { *cells[i].0.get() = Some(value) };
+        };
+        let workers = jobs.min(n);
+        crate::pool::global().run(workers, n, chunk_for(n, workers), &task);
     }
-    let mut pairs = lock_unpoisoned(&collected);
-    debug_assert_eq!(pairs.len(), n);
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    std::mem::take(&mut *pairs)
-        .into_iter()
-        .map(|(_, v)| v)
+    debug_assert!(out.iter().all(Option::is_some), "wave skipped an index");
+    out.into_iter()
+        .map(|slot| slot.expect("pool executes every index exactly once"))
         .collect()
 }
 
@@ -99,9 +110,10 @@ where
 /// `Schedule` buffers in place instead of allocating and returning them.
 ///
 /// Determinism matches `parallel_map`: every index runs exactly once (work
-/// is claimed from an atomic counter) and the returned metadata is in index
-/// order. With `jobs <= 1` (or a trivial range) everything runs inline.
-/// Worker panics propagate with their original payload, as in
+/// is claimed in chunks from the pool's wave counter) and the returned
+/// metadata is in index order, written directly into per-index slots. With
+/// `jobs <= 1`, a trivial range, or from inside pool work, everything runs
+/// inline. Worker panics propagate with their original payload, as in
 /// [`parallel_map`].
 pub fn parallel_fill_map<S, T, F>(jobs: usize, slots: &mut [S], work: F) -> Vec<T>
 where
@@ -110,70 +122,39 @@ where
     F: Fn(usize, &mut S) -> T + Sync,
 {
     let n = slots.len();
-    if jobs <= 1 || n <= 1 {
+    if jobs <= 1 || n <= 1 || crate::pool::in_pool() {
         return slots
             .iter_mut()
             .enumerate()
             .map(|(i, s)| work(i, s))
             .collect();
     }
-    // A shared view of the slot array. `UnsafeCell<S>` has the same layout
-    // as `S` (it is `repr(transparent)`), so the cast below only reinterprets
-    // the element type; the `Sync` impl is sound because the atomic counter
-    // hands each index — and therefore each slot — to exactly one worker.
-    struct SlotCell<S>(std::cell::UnsafeCell<S>);
-    unsafe impl<S: Send> Sync for SlotCell<S> {}
-    let cells: &[SlotCell<S>] =
-        unsafe { std::slice::from_raw_parts(slots.as_mut_ptr().cast::<SlotCell<S>>(), n) };
-
-    let workers = jobs.min(n);
-    let next = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let panicked: PanicSlot = Mutex::new(None);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        // SAFETY: `fetch_add` yields each index exactly once,
-                        // so no other thread touches slot `i`; the scope
-                        // outlives every borrow.
-                        let slot = unsafe { &mut *cells[i].0.get() };
-                        local.push((i, work(i, slot)));
-                    }
-                    local
-                }));
-                match outcome {
-                    Ok(mut local) => lock_unpoisoned(&collected).append(&mut local),
-                    Err(payload) => record_panic(&panicked, &stop, payload),
-                }
-            });
-        }
-    });
-    if let Some(payload) = lock_unpoisoned(&panicked).take() {
-        resume_unwind(payload);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let slot_cells = as_cells(slots);
+        let out_cells = as_cells(&mut out);
+        let task = |i: usize| {
+            // SAFETY: the pool hands index `i` to exactly one participant,
+            // so these are the only references to slot `i` and output `i`;
+            // the wave completes before either array is touched again.
+            let slot = unsafe { &mut *slot_cells[i].0.get() };
+            let value = work(i, slot);
+            unsafe { *out_cells[i].0.get() = Some(value) };
+        };
+        let workers = jobs.min(n);
+        crate::pool::global().run(workers, n, chunk_for(n, workers), &task);
     }
-    let mut pairs = lock_unpoisoned(&collected);
-    debug_assert_eq!(pairs.len(), n);
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    std::mem::take(&mut *pairs)
-        .into_iter()
-        .map(|(_, v)| v)
+    debug_assert!(out.iter().all(Option::is_some), "wave skipped an index");
+    out.into_iter()
+        .map(|slot| slot.expect("pool executes every index exactly once"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -191,6 +172,16 @@ mod tests {
     fn empty_and_singleton_ranges() {
         assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nested_parallel_maps_run_inline_without_deadlock() {
+        // A task that itself calls parallel_map must not submit a nested
+        // wave (the pool's claim counter is per-wave); the inner call falls
+        // back to inline execution and the result is unchanged.
+        let out = parallel_map(4, 16, |i| parallel_map(4, 8, move |j| i * 8 + j));
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..128).collect::<Vec<_>>());
     }
 
     #[test]
@@ -282,6 +273,23 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_usable_after_a_panicking_call() {
+        let caught = amos_sim::isolate::quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(4, 64, |i| {
+                    if i == 3 {
+                        panic!("transient");
+                    }
+                    i
+                })
+            }))
+        });
+        assert!(caught.is_err());
+        let out = parallel_map(4, 64, |i| i + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn uneven_work_is_balanced() {
         // Items near the front are much heavier; dynamic draining must still
         // return everything, in order.
@@ -295,5 +303,13 @@ mod tests {
         });
         assert_eq!(out.len(), 64);
         assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
+    }
+
+    #[test]
+    fn default_jobs_is_positive_and_stable() {
+        let a = default_jobs();
+        let b = default_jobs();
+        assert!(a >= 1);
+        assert_eq!(a, b, "default_jobs must be cached");
     }
 }

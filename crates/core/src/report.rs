@@ -59,6 +59,11 @@ pub struct MappingReport {
     pub generations_completed: usize,
     /// Candidate evaluations quarantined after panicking.
     pub quarantined: usize,
+    /// Process-wide worker-pool counters snapshotted when the report was
+    /// built (see [`crate::pool_stats`]). Deliberately **not** printed by
+    /// `Display`: `threads`/`waves` depend on the thread budget, and report
+    /// output must stay byte-identical at any `--jobs`.
+    pub pool: crate::pool::PoolStats,
 }
 
 impl MappingReport {
@@ -96,6 +101,7 @@ impl MappingReport {
             completion: result.completion,
             generations_completed: result.generations_completed,
             quarantined: result.quarantine.len(),
+            pool: crate::pool::pool_stats(),
         }
     }
 

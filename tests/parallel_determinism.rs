@@ -22,51 +22,54 @@ fn budget(seed: u64, jobs: usize) -> ExplorerConfig {
 }
 
 /// Same seed, different thread counts: best mapping, best schedule, measured
-/// cycles and even the raw (predicted, measured) trace must be identical.
+/// cycles and even the raw (predicted, measured) trace must be identical at
+/// every pooled width, not just one.
 fn assert_jobs_invariant(def: &amos::ir::ComputeDef, seed: u64) {
     let serial = Engine::with_config(budget(seed, 1))
         .explore_op(def, &catalog::v100())
         .expect("serial exploration succeeds");
-    let parallel = Engine::with_config(budget(seed, 4))
-        .explore_op(def, &catalog::v100())
-        .expect("parallel exploration succeeds");
-    assert_eq!(
-        serial.best_mapping, parallel.best_mapping,
-        "winning mapping differs between jobs=1 and jobs=4"
-    );
-    assert_eq!(
-        serial.best_schedule, parallel.best_schedule,
-        "winning schedule differs between jobs=1 and jobs=4"
-    );
-    assert_eq!(
-        serial.cycles(),
-        parallel.cycles(),
-        "measured cycles differ between jobs=1 and jobs=4"
-    );
-    assert_eq!(
-        serial.evaluations, parallel.evaluations,
-        "ground-truth evaluation trace differs between jobs=1 and jobs=4"
-    );
-    assert_eq!(serial.num_mappings, parallel.num_mappings);
-    assert_eq!(
-        serial.sim_failures, parallel.sim_failures,
-        "infeasible-simulation count differs between jobs=1 and jobs=4"
-    );
-    // The screening counters are part of the determinism contract too —
-    // every field except the wall-clock `screen_seconds`.
-    assert_eq!(
-        serial.screening.screened, parallel.screening.screened,
-        "screened-candidate count differs between jobs=1 and jobs=4"
-    );
-    assert_eq!(
-        serial.screening.survivor_memo_hits, parallel.screening.survivor_memo_hits,
-        "survivor memo hits differ between jobs=1 and jobs=4"
-    );
-    assert_eq!(
-        serial.screening.measured_memo_hits, parallel.screening.measured_memo_hits,
-        "measured memo hits differ between jobs=1 and jobs=4"
-    );
     assert!(serial.screening.screened > 0, "screening must have run");
+    for jobs in [2, 4, 8] {
+        let parallel = Engine::with_config(budget(seed, jobs))
+            .explore_op(def, &catalog::v100())
+            .expect("parallel exploration succeeds");
+        assert_eq!(
+            serial.best_mapping, parallel.best_mapping,
+            "winning mapping differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            serial.best_schedule, parallel.best_schedule,
+            "winning schedule differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            serial.cycles(),
+            parallel.cycles(),
+            "measured cycles differ between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            serial.evaluations, parallel.evaluations,
+            "ground-truth evaluation trace differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(serial.num_mappings, parallel.num_mappings);
+        assert_eq!(
+            serial.sim_failures, parallel.sim_failures,
+            "infeasible-simulation count differs between jobs=1 and jobs={jobs}"
+        );
+        // The screening counters are part of the determinism contract too —
+        // every field except the wall-clock `screen_seconds`.
+        assert_eq!(
+            serial.screening.screened, parallel.screening.screened,
+            "screened-candidate count differs between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            serial.screening.survivor_memo_hits, parallel.screening.survivor_memo_hits,
+            "survivor memo hits differ between jobs=1 and jobs={jobs}"
+        );
+        assert_eq!(
+            serial.screening.measured_memo_hits, parallel.screening.measured_memo_hits,
+            "measured memo hits differ between jobs=1 and jobs={jobs}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! The persistent worker pool behind `parallel_map`/`parallel_fill_map`:
+//! worker threads must be spawned once and reused by every subsequent
+//! exploration, a panicking wave must leave the pool healthy, and the
+//! pooled path must preserve the bit-identical jobs-invariance contract.
+//!
+//! The pool is process-wide and its counters are cumulative, so every test
+//! here first warms the pool to the widest wave this binary ever submits
+//! (jobs = 8): afterwards `PoolStats::threads` can only stay constant, no
+//! matter how the test harness interleaves threads.
+
+use amos::core::{parallel_map, pool_stats, Engine, ExplorerConfig};
+use amos::hw::catalog;
+use amos::workloads::ops::{self, ConvShape};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Widest thread budget any test in this binary uses.
+const MAX_JOBS: usize = 8;
+
+/// Warms the process pool to its maximal width for this binary, so thread
+/// counts observed afterwards are stable.
+fn warm_pool() {
+    let out = parallel_map(MAX_JOBS, 64, |i| i);
+    assert_eq!(out, (0..64).collect::<Vec<_>>());
+    assert!(pool_stats().threads >= MAX_JOBS - 1);
+}
+
+fn budget(seed: u64, jobs: usize) -> ExplorerConfig {
+    ExplorerConfig {
+        population: 12,
+        generations: 3,
+        survivors: 4,
+        measure_top: 3,
+        seed,
+        jobs,
+        ..Default::default()
+    }
+}
+
+fn conv() -> amos::ir::ComputeDef {
+    ops::c2d(ConvShape {
+        n: 4,
+        c: 32,
+        k: 32,
+        p: 14,
+        q: 14,
+        r: 3,
+        s: 3,
+        stride: 1,
+    })
+}
+
+#[test]
+fn consecutive_explorations_reuse_the_same_worker_threads() {
+    warm_pool();
+    let before = pool_stats();
+    for seed in [3, 5, 9] {
+        for jobs in [2, MAX_JOBS] {
+            let engine = Engine::with_config(budget(seed, jobs));
+            let result = engine.explore_op(&conv(), &catalog::v100());
+            assert!(result.is_ok(), "exploration must succeed");
+        }
+    }
+    let after = pool_stats();
+    assert_eq!(
+        after.threads, before.threads,
+        "six explorations must reuse the warm pool, not spawn: {after:?}"
+    );
+    assert!(
+        after.waves > before.waves,
+        "parallel explorations must submit waves: {before:?} -> {after:?}"
+    );
+    assert!(after.tasks > before.tasks);
+    assert!(after.chunks >= after.waves, "every wave claims >= 1 chunk");
+}
+
+#[test]
+fn engine_surfaces_the_process_pool_counters() {
+    warm_pool();
+    let engine = Engine::with_config(budget(11, 4));
+    engine
+        .explore_op(&conv(), &catalog::v100())
+        .expect("exploration succeeds");
+    let via_engine = engine.pool_stats();
+    assert!(via_engine.threads >= MAX_JOBS - 1);
+    assert!(via_engine.waves > 0);
+    // Engine::pool_stats is a snapshot of the same process-wide counters.
+    let direct = pool_stats();
+    assert!(direct.waves >= via_engine.waves);
+}
+
+#[test]
+fn panicking_wave_leaves_the_pool_usable_for_the_next_exploration() {
+    warm_pool();
+    let caught = amos::sim::isolate::quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(4, 64, |i| {
+                if i == 9 {
+                    panic!("injected wave failure {i}");
+                }
+                i
+            })
+        }))
+    });
+    let payload = caught.expect_err("the wave panic must propagate");
+    assert_eq!(
+        amos::sim::isolate::payload_text(payload.as_ref()),
+        "injected wave failure 9"
+    );
+
+    // The same pool (same threads) must serve a full exploration next.
+    let threads = pool_stats().threads;
+    let serial = Engine::with_config(budget(21, 1))
+        .explore_op(&conv(), &catalog::v100())
+        .expect("serial exploration succeeds");
+    let pooled = Engine::with_config(budget(21, 4))
+        .explore_op(&conv(), &catalog::v100())
+        .expect("pooled exploration succeeds after the panic");
+    assert_eq!(serial.cycles(), pooled.cycles());
+    assert_eq!(serial.evaluations, pooled.evaluations);
+    assert_eq!(
+        pool_stats().threads,
+        threads,
+        "recovery must not respawn workers"
+    );
+}
+
+#[test]
+fn pooled_explorations_are_bit_identical_at_every_width() {
+    warm_pool();
+    let accel = catalog::v100();
+    let def = conv();
+    let mut reference = None;
+    for jobs in [1, 2, 4, MAX_JOBS] {
+        let engine = Engine::with_config(budget(77, jobs));
+        let result = engine
+            .explore_op(&def, &accel)
+            .expect("exploration succeeds");
+        let stats = engine.cache_stats();
+        let snapshot = (
+            result.best_mapping.clone(),
+            result.best_schedule.clone(),
+            result.cycles().to_bits(),
+            result.evaluations.clone(),
+            result.sim_failures,
+            result.screening.screened,
+            result.screening.survivor_memo_hits,
+            result.screening.measured_memo_hits,
+            result.quarantine.clone(),
+            result.completion,
+            result.generations_completed,
+            stats,
+        );
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(first) => assert_eq!(
+                first, &snapshot,
+                "results and counters must be bit-identical at jobs={jobs}"
+            ),
+        }
+    }
+}
