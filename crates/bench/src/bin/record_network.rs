@@ -32,6 +32,7 @@
 //! environment is offline, so no serde.
 
 use amos_baselines::{NetworkCost, NetworkEvaluator, System};
+use amos_bench::json_number;
 use amos_core::{CacheConfig, Engine, ExplorerConfig};
 use amos_hw::catalog;
 use amos_workloads::networks::{self, Network};
@@ -233,19 +234,6 @@ fn render_json(s: &Sample) -> String {
     out.push_str(&format!("  \"pool_chunks\": {}\n", s.pool.chunks));
     out.push_str("}\n");
     out
-}
-
-/// Extracts the number following `"key":` in the flat JSON this binary
-/// writes. `None` (missing or unparsable) counts as "malformed" for the
-/// `--check` gate.
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn record() {

@@ -22,6 +22,7 @@
 //! build environment is offline, so no serde.
 
 use amos_baselines::{evaluate, geomean, System};
+use amos_bench::json_number;
 use amos_core::perf_model::{predict_batch_with, predict_with, PerfBreakdown};
 use amos_core::{random_schedule, MappingGenerator};
 use amos_hw::catalog;
@@ -189,19 +190,6 @@ fn render_json(samples: &[OpSample], fig6_wall: f64) -> String {
         fig6_wall
     ));
     out
-}
-
-/// Extracts the number following `"key":` in the flat JSON this binary
-/// writes. Returns `None` when the key is missing or its value does not
-/// parse — both count as "malformed" for the `--check` gate.
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn record() {

@@ -12,6 +12,14 @@
 //!                                 end-to-end network cost under AMOS vs PyTorch
 //! amos cache    <stats|clear> --cache-dir DIR
 //!                                 inspect or empty a persistent cache directory
+//! amos accel lint FILE...         validate accelerator/ISA data files
+//! amos accel show <name|file>     describe one machine in human terms
+//! amos accel export <name> [--out FILE]
+//! amos accel export --all --out DIR
+//!                                 write machines as loadable data files
+//! amos accel derive <isa-file> [--out FILE]
+//!                                 run the §4.1 derivation pass on a primitive
+//!                                 ISA description, print the accelerator file
 //! ```
 //!
 //! Operator specs are `family:dims`, e.g. `gmm:512x512x256`,
@@ -21,6 +29,13 @@
 //! `--jobs N` sets the explorer's worker-thread count (0 or omitted: one per
 //! CPU). Results are bit-identical for every value — only wall clock changes.
 //! `--list-accels` prints the registered accelerator names and exits.
+//!
+//! `--accel-dir DIR` layers every `*.toml` accelerator (or primitive ISA)
+//! data file in `DIR` over the built-in catalog before any verb runs: a file
+//! defining a built-in name replaces it, new names append, and every verb —
+//! `explore`, `network`, `--list-accels`, … — sees the merged registry. A
+//! malformed file fails the whole invocation with a `file:line: message`
+//! diagnostic.
 //!
 //! `--cache-dir DIR` puts an on-disk tier behind the exploration cache:
 //! finished explorations are persisted there and later processes answer the
@@ -45,13 +60,15 @@
 #![warn(missing_docs)]
 
 use amos_core::{
-    AmosError, Budget, CacheConfig, Completion, Engine, ExplorerConfig, MappingGenerator,
+    load_registry, AmosError, Budget, CacheConfig, Completion, Engine, ExplorerConfig,
+    MappingGenerator,
 };
-use amos_hw::{AcceleratorSpec, Registry};
-use amos_ir::ComputeDef;
+use amos_hw::desc::{AcceleratorDesc, IterDesc, MemoryDesc, OperandDesc};
+use amos_hw::{AcceleratorSpec, Registry, SourceKind};
+use amos_ir::{ComputeDef, OpKind};
 use amos_workloads::ops;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// CLI usage / parse errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,9 +115,16 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
-/// Parses an accelerator name through the declarative [`Registry`].
+/// Parses an accelerator name through the built-in [`Registry`]. The CLI
+/// itself resolves through the `--accel-dir`-aware merged registry; this
+/// stays as the catalog-only entry point for embedders.
 pub fn parse_accelerator(name: &str) -> Result<AcceleratorSpec, CliError> {
-    let registry = Registry::builtin();
+    resolve_accelerator(&Registry::builtin(), name)
+}
+
+/// Builds `name` from a (possibly file-extended) registry, with the known
+/// names listed on failure.
+fn resolve_accelerator(registry: &Registry, name: &str) -> Result<AcceleratorSpec, CliError> {
     registry.build(name).ok_or_else(|| {
         err(format!(
             "unknown accelerator `{name}`; known: {}",
@@ -325,6 +349,229 @@ fn codegen_budget(seed: u64, jobs: usize, budget: Budget) -> ExplorerConfig {
     config
 }
 
+/// Formats one operand access (`C[i1, i2 + r1]`) against its intrinsic's
+/// iteration list.
+fn operand_string(o: &OperandDesc, iters: &[IterDesc]) -> String {
+    if o.index.is_empty() {
+        return o.name.clone();
+    }
+    let dims: Vec<String> = o
+        .index
+        .iter()
+        .map(|terms| {
+            terms
+                .iter()
+                .map(|&t| iters[t].name.clone())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        })
+        .collect();
+    format!("{}[{}]", o.name, dims.join(", "))
+}
+
+/// Renders one machine description as a human-readable summary (the
+/// `accel show` output).
+fn describe(desc: &AcceleratorDesc) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("name       : {}\n", desc.name));
+    s.push_str(&format!("clock      : {} GHz\n", desc.clock_ghz));
+    s.push_str(&format!(
+        "scalar ops : {} per core cycle\n",
+        desc.scalar_ops_per_core_cycle
+    ));
+    s.push_str(&format!(
+        "pe arrays  : {}\n",
+        desc.build().total_pe_arrays()
+    ));
+    s.push_str("levels (innermost first):\n");
+    for (i, l) in desc.levels.iter().enumerate() {
+        s.push_str(&format!(
+            "  [{i}] {:<14} x{:<5} {} B capacity, {} B/cycle\n",
+            l.name, l.inner_units, l.capacity_bytes, l.bytes_per_cycle
+        ));
+    }
+    s.push_str("intrinsics:\n");
+    for intr in &desc.intrinsics {
+        let op = match intr.op {
+            OpKind::MulAcc => "mul-acc",
+            OpKind::AddAcc => "add-acc",
+            OpKind::MaxAcc => "max-acc",
+        };
+        let memory = match &intr.memory {
+            MemoryDesc::Fragment { load, store } => {
+                format!("fragment (load {load}, store {store})")
+            }
+            MemoryDesc::Implicit => "implicit".to_string(),
+        };
+        s.push_str(&format!(
+            "  {} ({op}) latency {}, ii {}, {} -> {}, memory {memory}\n",
+            intr.name, intr.latency, intr.initiation_interval, intr.src_dtype, intr.acc_dtype
+        ));
+        let iters: Vec<String> = intr
+            .iters
+            .iter()
+            .map(|it| format!("{} {} {}", it.name, it.kind, it.extent))
+            .collect();
+        s.push_str(&format!("    iters  : {}\n", iters.join(", ")));
+        let srcs: Vec<String> = intr
+            .srcs
+            .iter()
+            .map(|o| operand_string(o, &intr.iters))
+            .collect();
+        s.push_str(&format!(
+            "    compute: {} <- {op}({})\n",
+            operand_string(&intr.dst, &intr.iters),
+            srcs.join(", ")
+        ));
+    }
+    s
+}
+
+/// `name-or-file` resolution for `accel show`: an existing file path is
+/// loaded (primitive ISA files run through the derivation pass); anything
+/// else is looked up in the registry.
+fn load_target(registry: &Registry, target: &str) -> Result<AcceleratorDesc, CliError> {
+    let path = Path::new(target);
+    if path.is_file() {
+        let (desc, _) = amos_hw::text::load_path(path).map_err(|e| err(e.to_string()))?;
+        Ok(desc)
+    } else {
+        registry.get(target).cloned().ok_or_else(|| {
+            err(format!(
+                "no accelerator named `{target}` and no such file; known: {}",
+                registry.names().join(", ")
+            ))
+        })
+    }
+}
+
+/// The `amos accel <lint|show|export|derive>` verb — authoring tools for
+/// accelerator data files.
+fn run_accel(
+    args: &mut Vec<String>,
+    registry: &Registry,
+    out: &mut impl std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let io = |e: std::io::Error| err(format!("io error: {e}"));
+    let verb = args
+        .get(1)
+        .ok_or_else(|| err("accel needs a verb: lint, show, export or derive"))?
+        .clone();
+    match verb.as_str() {
+        "lint" => {
+            let files = &args[2..];
+            if files.is_empty() {
+                return Err(err("accel lint needs one or more data files"));
+            }
+            if let Some(flag) = files.iter().find(|f| f.starts_with("--")) {
+                return Err(err(format!("unknown flag `{flag}`")));
+            }
+            let mut failures = 0usize;
+            for file in files {
+                match amos_hw::text::load_path(Path::new(file)) {
+                    Ok((desc, kind)) => {
+                        let kind = match kind {
+                            SourceKind::Accelerator => "accelerator",
+                            SourceKind::Isa => "isa, derivation ok",
+                        };
+                        writeln!(out, "OK   {file} ({}; {kind})", desc.name).map_err(io)?;
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        writeln!(out, "FAIL {e}").map_err(io)?;
+                    }
+                }
+            }
+            if failures > 0 {
+                Err(err(format!(
+                    "{failures} of {} files failed lint",
+                    files.len()
+                )))
+            } else {
+                Ok(RunStatus::Complete)
+            }
+        }
+        "show" => {
+            let target = args
+                .get(2)
+                .ok_or_else(|| err("accel show needs an accelerator name or a data file"))?
+                .clone();
+            reject_extras(args, 3)?;
+            let desc = load_target(registry, &target)?;
+            write!(out, "{}", describe(&desc)).map_err(io)?;
+            Ok(RunStatus::Complete)
+        }
+        "export" => {
+            let out_path = take_flag(args, "--out")?;
+            if take_switch(args, "--all") {
+                let dir = PathBuf::from(
+                    out_path.ok_or_else(|| err("accel export --all needs --out DIR"))?,
+                );
+                reject_extras(args, 2)?;
+                std::fs::create_dir_all(&dir).map_err(io)?;
+                for desc in registry.descs() {
+                    std::fs::write(dir.join(format!("{}.toml", desc.name)), desc.to_text())
+                        .map_err(io)?;
+                }
+                writeln!(
+                    out,
+                    "wrote {} machines to {}",
+                    registry.len(),
+                    dir.display()
+                )
+                .map_err(io)?;
+            } else {
+                let name = args.get(2).ok_or_else(|| {
+                    err("accel export needs an accelerator name (or --all --out DIR)")
+                })?;
+                reject_extras(args, 3)?;
+                let desc = registry.get(name).ok_or_else(|| {
+                    err(format!(
+                        "unknown accelerator `{name}`; known: {}",
+                        registry.names().join(", ")
+                    ))
+                })?;
+                match out_path {
+                    Some(path) => {
+                        std::fs::write(&path, desc.to_text()).map_err(io)?;
+                        writeln!(out, "wrote {path}").map_err(io)?;
+                    }
+                    None => write!(out, "{}", desc.to_text()).map_err(io)?,
+                }
+            }
+            Ok(RunStatus::Complete)
+        }
+        "derive" => {
+            let out_path = take_flag(args, "--out")?;
+            let file = args
+                .get(2)
+                .ok_or_else(|| err("accel derive needs a primitive ISA data file"))?
+                .clone();
+            reject_extras(args, 3)?;
+            let (desc, kind) =
+                amos_hw::text::load_path(Path::new(&file)).map_err(|e| err(e.to_string()))?;
+            if kind != SourceKind::Isa {
+                return Err(err(format!(
+                    "{file} is already a full accelerator description (kind = \"accelerator\"); \
+                     derive expects kind = \"isa\""
+                )));
+            }
+            let text = desc.to_text();
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, text).map_err(io)?;
+                    writeln!(out, "wrote {path}").map_err(io)?;
+                }
+                None => write!(out, "{text}").map_err(io)?,
+            }
+            Ok(RunStatus::Complete)
+        }
+        other => Err(err(format!(
+            "unknown accel verb `{other}`; known: lint, show, export, derive"
+        ))),
+    }
+}
+
 /// Runs the CLI with the given arguments (without the program name),
 /// writing output to `out`. Returns an error message for usage problems;
 /// on success reports whether the answer is complete or a best-so-far
@@ -332,6 +579,10 @@ fn codegen_budget(seed: u64, jobs: usize, budget: Budget) -> ExplorerConfig {
 pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, CliError> {
     let mut args: Vec<String> = args.to_vec();
     let accel_name = take_flag(&mut args, "--accel")?.unwrap_or_else(|| "v100".to_string());
+    // Accelerator data files layered over the built-in catalog; every verb
+    // resolves machine names against the merged registry.
+    let accel_dir: Option<PathBuf> = take_flag(&mut args, "--accel-dir")?.map(PathBuf::from);
+    let registry = load_registry(accel_dir.as_deref()).map_err(|e| err(e.to_string()))?;
     let seed: u64 = take_flag(&mut args, "--seed")?
         .map(|s| s.parse().map_err(|_| err("bad --seed")))
         .transpose()?
@@ -367,7 +618,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
     let io = |e: std::io::Error| err(format!("io error: {e}"));
     if take_switch(&mut args, "--list-accels") {
         reject_extras(&args, 0)?;
-        for name in Registry::builtin().names() {
+        for name in registry.names() {
             writeln!(out, "{name}").map_err(io)?;
         }
         return Ok(RunStatus::Complete);
@@ -385,7 +636,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         }
         Some("accels") => {
             reject_extras(&args, 1)?;
-            for a in Registry::builtin().build_all() {
+            for a in registry.build_all() {
                 writeln!(
                     out,
                     "{:<14} intrinsic {:<22} {} PE arrays",
@@ -401,7 +652,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let spec = args.get(1).ok_or_else(|| err("mappings needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
-            let accel = parse_accelerator(&accel_name)?;
+            let accel = resolve_accelerator(&registry, &accel_name)?;
             let mappings = MappingGenerator::new().enumerate(&def, &accel.intrinsic);
             writeln!(
                 out,
@@ -420,7 +671,6 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let spec = args.get(1).ok_or_else(|| err("explore needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
-            let accel = parse_accelerator(&accel_name)?;
             let engine = Engine::with_cache(
                 ExplorerConfig {
                     seed,
@@ -429,7 +679,11 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
                     ..ExplorerConfig::default()
                 },
                 cache_config,
-            );
+            )
+            .with_registry(registry);
+            let accel = engine
+                .accelerator(&accel_name)
+                .map_err(|e| err(e.to_string()))?;
             let result = engine
                 .explore_op(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -456,8 +710,11 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let spec = args.get(1).ok_or_else(|| err("ir needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
-            let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config);
+            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config)
+                .with_registry(registry);
+            let accel = engine
+                .accelerator(&accel_name)
+                .map_err(|e| err(e.to_string()))?;
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -470,8 +727,11 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             let spec = args.get(1).ok_or_else(|| err("cuda needs an operator spec"))?;
             reject_extras(&args, 2)?;
             let def = parse_op(spec)?;
-            let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config);
+            let engine = Engine::with_cache(codegen_budget(seed, jobs, budget), cache_config)
+                .with_registry(registry);
+            let accel = engine
+                .accelerator(&accel_name)
+                .map_err(|e| err(e.to_string()))?;
             let explored = engine
                 .compile(&def, &accel)
                 .map_err(|e| err(e.to_string()))?;
@@ -499,8 +759,11 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             // order-independent cold baseline.
             let warm_start = take_switch(&mut args, "--warm-start");
             reject_extras(&args, 2)?;
-            let accel = parse_accelerator(&accel_name)?;
-            let engine = Engine::with_cache(ExplorerConfig::default(), cache_config);
+            let engine = Engine::with_cache(ExplorerConfig::default(), cache_config)
+                .with_registry(registry);
+            let accel = engine
+                .accelerator(&accel_name)
+                .map_err(|e| err(e.to_string()))?;
             let mut ev = amos_baselines::NetworkEvaluator::with_engine(engine)
                 .with_warm_start(warm_start)
                 .with_jobs(jobs);
@@ -580,9 +843,10 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             writeln!(out, "  chunks  : {}", stats.chunks).map_err(io)?;
             Ok(RunStatus::Complete)
         }
+        Some("accel") => run_accel(&mut args, &registry, out),
         Some("table6") => {
             reject_extras(&args, 1)?;
-            let accel = parse_accelerator(&accel_name)?;
+            let accel = resolve_accelerator(&registry, &accel_name)?;
             let generator = MappingGenerator::new();
             for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
                 writeln!(
@@ -597,7 +861,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache|pool> [args] [--accel NAME] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache|pool|accel> [args] [--accel NAME] [--accel-dir DIR] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
         )),
     }
 }
@@ -827,6 +1091,137 @@ mod tests {
         assert_eq!(names, amos_hw::Registry::builtin().names());
         assert!(names.contains(&"v100"));
         assert!(names.contains(&"gemmini-like"));
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amos-cli-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn accel_export_round_trips_via_from_text() {
+        let out = run_to_string(&["accel", "export", "mini"]).unwrap();
+        let reparsed = AcceleratorDesc::from_text(&out).unwrap();
+        assert_eq!(&reparsed, Registry::builtin().get("mini").unwrap());
+        let e = run_to_string(&["accel", "export", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("unknown accelerator `nope`"), "{e}");
+    }
+
+    #[test]
+    fn accel_export_all_writes_every_machine() {
+        let dir = scratch_dir("export-all");
+        let dir_arg = dir.to_str().unwrap().to_string();
+        let out = run_to_string(&["accel", "export", "--all", "--out", &dir_arg]).unwrap();
+        assert!(out.contains("wrote 12 machines"), "{out}");
+        for name in Registry::builtin().names() {
+            let text = std::fs::read_to_string(dir.join(format!("{name}.toml"))).unwrap();
+            assert_eq!(
+                &AcceleratorDesc::from_text(&text).unwrap(),
+                Registry::builtin().get(name).unwrap()
+            );
+        }
+        let e = run_to_string(&["accel", "export", "--all"]).unwrap_err();
+        assert!(e.to_string().contains("--out DIR"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn accel_show_describes_a_machine_or_file() {
+        let out = run_to_string(&["accel", "show", "v100"]).unwrap();
+        assert!(out.contains("name       : v100"), "{out}");
+        assert!(out.contains("mma_sync"), "{out}");
+        assert!(out.contains("r1 reduction 16"), "{out}");
+        assert!(
+            out.contains("Dst[i1, i2] <- mul-acc(Src1[i1, r1], Src2[r1, i2])"),
+            "{out}"
+        );
+
+        let dir = scratch_dir("show-file");
+        let file = dir.join("m.toml");
+        std::fs::write(&file, Registry::builtin().get("mini").unwrap().to_text()).unwrap();
+        let out = run_to_string(&["accel", "show", file.to_str().unwrap()]).unwrap();
+        assert!(out.contains("name       : mini"), "{out}");
+
+        let e = run_to_string(&["accel", "show", "no-such-thing"]).unwrap_err();
+        assert!(e.to_string().contains("no accelerator named"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn accel_lint_reports_per_file_verdicts() {
+        let dir = scratch_dir("lint");
+        let good = dir.join("good.toml");
+        std::fs::write(&good, Registry::builtin().get("mini").unwrap().to_text()).unwrap();
+        let bad = dir.join("bad.toml");
+        std::fs::write(
+            &bad,
+            "format = 1\nname = \"x\"\nclock_ghz = 1.0\nscalar_ops_per_core_cycle = 1.0\nfrob = 3\n",
+        )
+        .unwrap();
+
+        let out = run_to_string(&["accel", "lint", good.to_str().unwrap()]).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("(mini; accelerator)"), "{out}");
+
+        let mut buf = Vec::new();
+        let args: Vec<String> = ["accel", "lint"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain([
+                good.to_str().unwrap().to_string(),
+                bad.to_str().unwrap().to_string(),
+            ])
+            .collect();
+        let e = run(&args, &mut buf).unwrap_err();
+        assert!(e.to_string().contains("1 of 2 files failed lint"), "{e}");
+        let printed = String::from_utf8(buf).unwrap();
+        assert!(printed.contains("FAIL"), "{printed}");
+        assert!(printed.contains("bad.toml:5"), "{printed}");
+        assert!(printed.contains("unknown key `frob`"), "{printed}");
+
+        assert!(run_to_string(&["accel", "lint"]).is_err(), "needs files");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn accel_derive_runs_the_derivation_pass() {
+        let dir = scratch_dir("derive");
+        let desc = Registry::builtin().get("gemmini-like").unwrap().clone();
+        let isa = amos_hw::IsaDesc::from_accelerator(&desc).unwrap();
+        let file = dir.join("gemmini.toml");
+        std::fs::write(&file, isa.to_text()).unwrap();
+        let out = run_to_string(&["accel", "derive", file.to_str().unwrap()]).unwrap();
+        assert_eq!(AcceleratorDesc::from_text(&out).unwrap(), desc);
+
+        // A full accelerator file is not an input to the derivation pass.
+        let full = dir.join("full.toml");
+        std::fs::write(&full, desc.to_text()).unwrap();
+        let e = run_to_string(&["accel", "derive", full.to_str().unwrap()]).unwrap_err();
+        assert!(e.to_string().contains("already a full accelerator"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn accel_needs_a_known_verb() {
+        let e = run_to_string(&["accel"]).unwrap_err();
+        assert!(
+            e.to_string().contains("lint, show, export or derive"),
+            "{e}"
+        );
+        let e = run_to_string(&["accel", "frob"]).unwrap_err();
+        assert!(e.to_string().contains("unknown accel verb `frob`"), "{e}");
+    }
+
+    #[test]
+    fn accel_dir_errors_name_the_file_and_line() {
+        let dir = scratch_dir("accel-dir-bad");
+        std::fs::write(dir.join("bad.toml"), "format = 99\nname = \"x\"\n").unwrap();
+        let dir_arg = dir.to_str().unwrap().to_string();
+        let e = run_to_string(&["--accel-dir", &dir_arg, "--list-accels"]).unwrap_err();
+        assert!(e.to_string().contains("bad.toml:1"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -31,9 +31,10 @@ use crate::error::{AmosError, Stage};
 use crate::explore::{ExplorationResult, ExploreError, Explorer, ExplorerConfig, LoweredUnit};
 use crate::mapping::Mapping;
 use crate::report::MappingReport;
-use amos_hw::AcceleratorSpec;
+use amos_hw::{AcceleratorSpec, Registry};
 use amos_ir::nodes::Stmt;
 use amos_ir::ComputeDef;
+use std::path::Path;
 
 /// An operator bound to an accelerator and decomposed into per-intrinsic
 /// exploration units. Output of [`Engine::analyze`].
@@ -186,11 +187,18 @@ pub struct Artifact {
 /// exploration cache by hand. Repeated structures — same shape, accelerator and budget — are answered
 /// from cache, including across the staged and one-shot APIs and across the
 /// refinement sub-runs of different calls.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     base: ExplorerConfig,
     cache: ExplorationCache,
     cache_config: CacheConfig,
+    registry: Registry,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::with_cache(ExplorerConfig::default(), CacheConfig::default())
+    }
 }
 
 impl Engine {
@@ -214,7 +222,38 @@ impl Engine {
             base,
             cache: ExplorationCache::with_disk(&cache_config),
             cache_config,
+            registry: Registry::builtin(),
         }
+    }
+
+    /// Replaces the accelerator registry this engine resolves names
+    /// against — the `--accel-dir` path: build the registry with
+    /// [`load_registry`] and every verb sees the file-loaded machines.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The accelerator registry this engine resolves names against.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Builds the named accelerator from the engine's registry.
+    ///
+    /// # Errors
+    ///
+    /// A usage error listing the known machines when `name` is not
+    /// registered.
+    pub fn accelerator(&self, name: &str) -> Result<AcceleratorSpec, AmosError> {
+        self.registry.build(name).ok_or_else(|| {
+            AmosError::usage(format!(
+                "unknown accelerator `{name}` (known: {})",
+                self.registry.names().join(", ")
+            ))
+            .on_accelerator(name)
+        })
     }
 
     /// The cache placement this engine was built with.
@@ -575,6 +614,22 @@ impl Engine {
     }
 }
 
+/// The registry an `--accel-dir` invocation runs against: the built-in
+/// catalog, layered with every accelerator file in `accel_dir` when one is
+/// given (same-name file wins; ISA-kind files are run through the
+/// derivation pass).
+///
+/// # Errors
+///
+/// `AmosErrorKind::Accel` wrapping the file/line diagnostic of the first
+/// unreadable or invalid file.
+pub fn load_registry(accel_dir: Option<&Path>) -> Result<Registry, AmosError> {
+    match accel_dir {
+        None => Ok(Registry::builtin()),
+        Some(dir) => Registry::load_dir(dir).map_err(AmosError::from),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,5 +748,39 @@ mod tests {
         assert_eq!(err.accelerator.as_deref(), Some("v100"));
         assert!(matches!(err.kind, AmosErrorKind::Explore(_)));
         assert!(err.to_string().contains("[generate]"));
+    }
+
+    #[test]
+    fn engine_resolves_accelerators_from_its_registry() {
+        let engine = Engine::with_config(tiny_config(1));
+        assert_eq!(engine.accelerator("v100").unwrap(), catalog::v100());
+        let err = engine.accelerator("z9000").unwrap_err();
+        assert!(matches!(err.kind, AmosErrorKind::Usage(_)));
+        assert_eq!(err.accelerator.as_deref(), Some("z9000"));
+        assert!(err.to_string().contains("v100"), "{err}");
+
+        // A custom registry changes what the engine sees.
+        let mut registry = amos_hw::Registry::builtin();
+        let mut custom = registry.get("mini").unwrap().clone();
+        custom.name = "my-npu".into();
+        registry.register(custom);
+        let engine = Engine::with_config(tiny_config(1)).with_registry(registry);
+        assert!(engine.accelerator("my-npu").is_ok());
+    }
+
+    #[test]
+    fn load_registry_surfaces_accel_errors() {
+        assert_eq!(
+            load_registry(None).unwrap().names(),
+            amos_hw::Registry::builtin().names()
+        );
+        let dir = std::env::temp_dir().join(format!("amos-engine-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.toml"), "format = 1\nwhat = 3\n").unwrap();
+        let err = load_registry(Some(&dir)).unwrap_err();
+        assert!(matches!(err.kind, AmosErrorKind::Accel(_)));
+        assert!(err.to_string().contains("bad.toml"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -58,6 +58,10 @@ pub enum AmosErrorKind {
     /// cache I/O never raises this — the two-tier cache degrades to cold
     /// misses silently.
     Io(String),
+    /// An accelerator-file failure (parse/validation/derivation diagnostics
+    /// with file and line context) from `--accel-dir` or the `amos accel`
+    /// verbs. Boxed to keep `AmosError` small on the `Ok` path.
+    Accel(Box<amos_hw::FileError>),
 }
 
 impl fmt::Display for AmosErrorKind {
@@ -68,6 +72,7 @@ impl fmt::Display for AmosErrorKind {
             AmosErrorKind::Explore(e) => write!(f, "{e}"),
             AmosErrorKind::Usage(msg) => write!(f, "{msg}"),
             AmosErrorKind::Io(msg) => write!(f, "{msg}"),
+            AmosErrorKind::Accel(e) => write!(f, "{e}"),
         }
     }
 }
@@ -152,8 +157,15 @@ impl std::error::Error for AmosError {
             AmosErrorKind::Ir(e) => Some(e),
             AmosErrorKind::Sim(e) => Some(e),
             AmosErrorKind::Explore(e) => Some(e),
+            AmosErrorKind::Accel(e) => Some(e.as_ref()),
             AmosErrorKind::Usage(_) | AmosErrorKind::Io(_) => None,
         }
+    }
+}
+
+impl From<amos_hw::FileError> for AmosError {
+    fn from(e: amos_hw::FileError) -> Self {
+        AmosError::new(AmosErrorKind::Accel(Box::new(e)))
     }
 }
 

@@ -89,7 +89,7 @@ pub mod validate;
 
 pub use cache::{fnv1a, shape_fingerprint, CacheStats};
 pub use disk::{cache_dir_stats, cache_salt, clear_cache_dir, CacheConfig, DiskDirStats};
-pub use engine::{Analyzed, Artifact, Engine, Explored, Lowered, MappingSet};
+pub use engine::{load_registry, Analyzed, Artifact, Engine, Explored, Lowered, MappingSet};
 pub use error::{AmosError, AmosErrorKind, Stage};
 pub use explore::{
     mutate_schedule, mutate_schedule_ctx, pairwise_accuracy, random_schedule, random_schedule_into,

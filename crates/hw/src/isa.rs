@@ -1,0 +1,757 @@
+//! Primitive intrinsic-ISA descriptions and the derivation pass.
+//!
+//! An [`AcceleratorDesc`] already labels every iteration axis spatial or
+//! reduction and names an abstract memory style — information Algorithm 1
+//! (paper §4.1) consumes directly. Following ACT ("Automatically Generating
+//! Compiler Backends from Tensor Accelerator ISA Descriptions"), this module
+//! accepts something strictly *more primitive*: an [`IsaDesc`] records only
+//! what an ISA manual states — loop trip counts, operand access expressions,
+//! dtypes, and the per-level load/store instructions with their base+stride
+//! addressing — and [`derive_abstraction`] computes the rest:
+//!
+//! * **Iteration kinds** (the §4.1 index-match constraint-matrix inputs):
+//!   an axis is spatial iff it appears in the destination's access
+//!   expression; every other axis accumulates in place and is a reduction.
+//!   The derived kinds are exactly what `constraint_matrices()` needs to
+//!   build the A/B/C systems of Algorithm 1.
+//! * **Memory abstraction** (Def 4.2 stride/fragment parameters): operands
+//!   with explicit load/store instructions become the fragment style; the
+//!   declared strides are checked against the dense row-major strides of the
+//!   fragment shape implied by the access expressions (dimension `d` spans
+//!   `1 + Σ_terms (trip − 1)` elements), so an inconsistent ISA descriptor
+//!   is rejected instead of silently mis-modelled. No transfers at all means
+//!   the implicit style (AVX-512 / `arm_dot`).
+//!
+//! The inverse, [`IsaDesc::from_accelerator`], re-expresses a hand-written
+//! description as its primitive ISA form (failing with
+//! [`DeriveError::NotExpressible`] when the kinds are not dst-determined);
+//! `derive_abstraction(&IsaDesc::from_accelerator(d)?) == d` for the whole
+//! built-in catalog, which is the property the derivation tests pin.
+
+use std::fmt;
+
+use crate::desc::{AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc};
+use amos_ir::{DType, IterKind, OpKind};
+
+/// One loop of a primitive intrinsic, with no spatial/reduction label — the
+/// derivation pass computes the kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaLoop {
+    /// Loop name (`i1`, `r1`, ...).
+    pub name: String,
+    /// Trip count.
+    pub trip: i64,
+}
+
+/// One operand access expression: `dims[d]` lists the loop positions summed
+/// to index dimension `d` (empty `dims` is a scalar operand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaAccess {
+    /// Operand name (`Src1`, `Dst`, ...).
+    pub name: String,
+    /// Per-dimension sums of loop positions into [`IsaIntrinsic::loops`].
+    pub dims: Vec<Vec<usize>>,
+}
+
+/// A load or store instruction moving one operand between levels, with
+/// base+stride addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaTransfer {
+    /// Instruction mnemonic (`load_matrix_sync`, `mvin`, ...).
+    pub instruction: String,
+    /// Name of the operand it moves.
+    pub operand: String,
+    /// Row-major element strides per fragment dimension; `None` lets the
+    /// derivation pass compute the dense strides from the access expression.
+    pub strides: Option<Vec<i64>>,
+    /// Optional symbolic base address (documentation only; addressing is
+    /// relative to the fragment).
+    pub base: Option<String>,
+}
+
+/// A primitive intrinsic: shape, accesses, timing, dtypes and transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsaIntrinsic {
+    /// Compute instruction mnemonic.
+    pub name: String,
+    /// The arithmetic operation.
+    pub op: OpKind,
+    /// Loops in declaration order; accesses refer to these by position.
+    pub loops: Vec<IsaLoop>,
+    /// Source operand accesses (must match `op.arity()`).
+    pub srcs: Vec<IsaAccess>,
+    /// Destination operand access.
+    pub dst: IsaAccess,
+    /// Load instructions (one per source for fragment-style machines; empty
+    /// for implicit-style machines).
+    pub loads: Vec<IsaTransfer>,
+    /// Store instruction for the destination, if explicit.
+    pub store: Option<IsaTransfer>,
+    /// Issue-to-retire latency in cycles.
+    pub latency: u64,
+    /// Pipelined initiation interval in cycles.
+    pub initiation_interval: u64,
+    /// Element type of the sources.
+    pub src_dtype: DType,
+    /// Element type of the accumulator/destination.
+    pub acc_dtype: DType,
+}
+
+/// A complete primitive ISA description of one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsaDesc {
+    /// Machine name; becomes the registry key of the derived description.
+    pub name: String,
+    /// Hierarchy levels, innermost first (same shape as the desc layer).
+    pub levels: Vec<LevelDesc>,
+    /// Primitive intrinsics; the first is primary.
+    pub intrinsics: Vec<IsaIntrinsic>,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Scalar multiply-add throughput per core per cycle.
+    pub scalar_ops_per_core_cycle: f64,
+}
+
+/// Why the derivation pass (or its inverse) rejected a description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeriveError {
+    /// The description lists no intrinsics.
+    NoIntrinsics,
+    /// An intrinsic has no loops.
+    EmptyLoops {
+        /// The offending intrinsic.
+        intrinsic: String,
+    },
+    /// Two loops share a name.
+    DuplicateLoop {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The repeated loop name.
+        name: String,
+    },
+    /// A loop with a non-positive trip count.
+    BadTrip {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The loop name.
+        name: String,
+        /// Its declared trip count.
+        trip: i64,
+    },
+    /// An access referencing a loop position that does not exist.
+    UnknownLoop {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The operand whose access is broken.
+        operand: String,
+        /// The out-of-range loop position.
+        position: usize,
+    },
+    /// An access dimension with no terms.
+    EmptyDim {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The operand whose access is broken.
+        operand: String,
+    },
+    /// Source count does not match the operation's arity.
+    ArityMismatch {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The declared operation.
+        op: OpKind,
+        /// Number of sources given.
+        srcs: usize,
+    },
+    /// A transfer naming an operand the intrinsic does not have.
+    UnknownTransferOperand {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The unresolvable operand name.
+        operand: String,
+    },
+    /// Loads/stores present but not covering every operand exactly once.
+    InconsistentTransfers {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// What is missing or duplicated.
+        detail: String,
+    },
+    /// Sources loaded by different instructions (the fragment style has one
+    /// load mnemonic).
+    MixedLoadInstructions {
+        /// The offending intrinsic.
+        intrinsic: String,
+    },
+    /// Declared strides disagree with the dense strides of the fragment
+    /// shape implied by the access expression.
+    StrideMismatch {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// The operand whose strides are wrong.
+        operand: String,
+        /// Dense strides the access expression implies.
+        expected: Vec<i64>,
+        /// Strides the descriptor declared.
+        got: Vec<i64>,
+    },
+    /// (Inverse direction) the hand-written description cannot be expressed
+    /// as a primitive ISA description.
+    NotExpressible {
+        /// The offending intrinsic.
+        intrinsic: String,
+        /// Why the kinds are not dst-determined.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::NoIntrinsics => write!(f, "the description lists no intrinsics"),
+            DeriveError::EmptyLoops { intrinsic } => {
+                write!(f, "intrinsic `{intrinsic}` has no loops")
+            }
+            DeriveError::DuplicateLoop { intrinsic, name } => {
+                write!(f, "intrinsic `{intrinsic}` declares loop `{name}` twice")
+            }
+            DeriveError::BadTrip {
+                intrinsic,
+                name,
+                trip,
+            } => write!(
+                f,
+                "intrinsic `{intrinsic}` loop `{name}` has non-positive trip count {trip}"
+            ),
+            DeriveError::UnknownLoop {
+                intrinsic,
+                operand,
+                position,
+            } => write!(
+                f,
+                "intrinsic `{intrinsic}` operand `{operand}` references loop position \
+                 {position}, which does not exist"
+            ),
+            DeriveError::EmptyDim { intrinsic, operand } => write!(
+                f,
+                "intrinsic `{intrinsic}` operand `{operand}` has an access dimension with \
+                 no terms"
+            ),
+            DeriveError::ArityMismatch {
+                intrinsic,
+                op,
+                srcs,
+            } => write!(
+                f,
+                "intrinsic `{intrinsic}`: operation `{op}` takes {} source(s), got {srcs}",
+                op.arity()
+            ),
+            DeriveError::UnknownTransferOperand { intrinsic, operand } => write!(
+                f,
+                "intrinsic `{intrinsic}` has a transfer for unknown operand `{operand}`"
+            ),
+            DeriveError::InconsistentTransfers { intrinsic, detail } => {
+                write!(f, "intrinsic `{intrinsic}`: {detail}")
+            }
+            DeriveError::MixedLoadInstructions { intrinsic } => write!(
+                f,
+                "intrinsic `{intrinsic}` loads its sources with different instructions; \
+                 the fragment style has a single load mnemonic"
+            ),
+            DeriveError::StrideMismatch {
+                intrinsic,
+                operand,
+                expected,
+                got,
+            } => write!(
+                f,
+                "intrinsic `{intrinsic}` operand `{operand}`: declared strides {got:?} \
+                 disagree with the dense fragment strides {expected:?}"
+            ),
+            DeriveError::NotExpressible { intrinsic, detail } => write!(
+                f,
+                "intrinsic `{intrinsic}` is not expressible as a primitive ISA \
+                 description: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+/// The fragment shape an access expression implies: dimension `d` of the
+/// operand spans `1 + Σ_{t ∈ dims[d]} (trip(t) − 1)` distinct elements
+/// (each term contributes its full travel; compound window dims like
+/// `i2 + r2` overlap accordingly). Matches
+/// `ComputeAbstraction::fragment_shape` for descriptions in this index
+/// language.
+pub fn access_shape(loops: &[IsaLoop], access: &IsaAccess) -> Vec<i64> {
+    access
+        .dims
+        .iter()
+        .map(|terms| 1 + terms.iter().map(|&t| loops[t].trip - 1).sum::<i64>())
+        .collect()
+}
+
+/// Dense row-major element strides of a fragment shape (innermost dimension
+/// last, stride 1).
+pub fn dense_strides(shape: &[i64]) -> Vec<i64> {
+    let mut strides = vec![1i64; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    strides
+}
+
+/// Validates the structural part of one primitive intrinsic (loops, trips,
+/// access references, arity).
+fn validate_shape(intr: &IsaIntrinsic) -> Result<(), DeriveError> {
+    if intr.loops.is_empty() {
+        return Err(DeriveError::EmptyLoops {
+            intrinsic: intr.name.clone(),
+        });
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for l in &intr.loops {
+        if seen.contains(&l.name.as_str()) {
+            return Err(DeriveError::DuplicateLoop {
+                intrinsic: intr.name.clone(),
+                name: l.name.clone(),
+            });
+        }
+        seen.push(&l.name);
+        if l.trip <= 0 {
+            return Err(DeriveError::BadTrip {
+                intrinsic: intr.name.clone(),
+                name: l.name.clone(),
+                trip: l.trip,
+            });
+        }
+    }
+    if intr.srcs.len() != intr.op.arity() {
+        return Err(DeriveError::ArityMismatch {
+            intrinsic: intr.name.clone(),
+            op: intr.op,
+            srcs: intr.srcs.len(),
+        });
+    }
+    for access in intr.srcs.iter().chain([&intr.dst]) {
+        for terms in &access.dims {
+            if terms.is_empty() {
+                return Err(DeriveError::EmptyDim {
+                    intrinsic: intr.name.clone(),
+                    operand: access.name.clone(),
+                });
+            }
+            for &t in terms {
+                if t >= intr.loops.len() {
+                    return Err(DeriveError::UnknownLoop {
+                        intrinsic: intr.name.clone(),
+                        operand: access.name.clone(),
+                        position: t,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Derives the memory abstraction style from the declared transfers, checking
+/// stride consistency along the way.
+fn derive_memory(intr: &IsaIntrinsic) -> Result<MemoryDesc, DeriveError> {
+    if intr.loads.is_empty() && intr.store.is_none() {
+        return Ok(MemoryDesc::Implicit);
+    }
+    let err = |detail: String| DeriveError::InconsistentTransfers {
+        intrinsic: intr.name.clone(),
+        detail,
+    };
+    // Every transfer must name a real operand.
+    for t in intr.loads.iter().chain(intr.store.as_ref()) {
+        let known = intr.srcs.iter().any(|s| s.name == t.operand) || intr.dst.name == t.operand;
+        if !known {
+            return Err(DeriveError::UnknownTransferOperand {
+                intrinsic: intr.name.clone(),
+                operand: t.operand.clone(),
+            });
+        }
+    }
+    // Exactly one load per source.
+    let mut load_instruction: Option<&str> = None;
+    for src in &intr.srcs {
+        let loads: Vec<&IsaTransfer> = intr
+            .loads
+            .iter()
+            .filter(|t| t.operand == src.name)
+            .collect();
+        match loads.len() {
+            0 => {
+                return Err(err(format!(
+                    "source `{}` has no load instruction",
+                    src.name
+                )))
+            }
+            1 => {}
+            n => {
+                return Err(err(format!(
+                    "source `{}` has {n} load instructions (expected 1)",
+                    src.name
+                )))
+            }
+        }
+        let load = loads[0];
+        match load_instruction {
+            None => load_instruction = Some(&load.instruction),
+            Some(first) if first != load.instruction => {
+                return Err(DeriveError::MixedLoadInstructions {
+                    intrinsic: intr.name.clone(),
+                })
+            }
+            Some(_) => {}
+        }
+        check_strides(intr, src, load)?;
+    }
+    // Loads must not target the destination.
+    if intr.loads.iter().any(|t| t.operand == intr.dst.name) {
+        return Err(err(format!(
+            "destination `{}` has a load instruction (only sources are loaded)",
+            intr.dst.name
+        )));
+    }
+    let store = intr
+        .store
+        .as_ref()
+        .ok_or_else(|| err("sources are loaded but the destination has no store".into()))?;
+    if store.operand != intr.dst.name {
+        return Err(err(format!(
+            "store targets `{}`, but the destination is `{}`",
+            store.operand, intr.dst.name
+        )));
+    }
+    check_strides(intr, &intr.dst, store)?;
+    Ok(MemoryDesc::Fragment {
+        load: load_instruction
+            .expect("every op has at least one source")
+            .to_string(),
+        store: store.instruction.clone(),
+    })
+}
+
+/// Declared strides must equal the dense row-major strides of the fragment
+/// shape the access expression implies.
+fn check_strides(
+    intr: &IsaIntrinsic,
+    access: &IsaAccess,
+    transfer: &IsaTransfer,
+) -> Result<(), DeriveError> {
+    if let Some(got) = &transfer.strides {
+        let expected = dense_strides(&access_shape(&intr.loops, access));
+        if *got != expected {
+            return Err(DeriveError::StrideMismatch {
+                intrinsic: intr.name.clone(),
+                operand: access.name.clone(),
+                expected,
+                got: got.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Derives a full [`AcceleratorDesc`] from a primitive ISA description.
+///
+/// Iteration kinds are computed from the destination access (spatial iff the
+/// loop indexes the destination), memory style from the declared transfers,
+/// and both are validated so the returned description always passes
+/// [`AcceleratorDesc::build`]'s Algorithm-1 input checks.
+pub fn derive_abstraction(isa: &IsaDesc) -> Result<AcceleratorDesc, DeriveError> {
+    if isa.intrinsics.is_empty() {
+        return Err(DeriveError::NoIntrinsics);
+    }
+    let mut intrinsics = Vec::with_capacity(isa.intrinsics.len());
+    for intr in &isa.intrinsics {
+        validate_shape(intr)?;
+        // A loop is spatial iff it addresses the destination; everything
+        // else accumulates in place (reduction). This is the Algorithm-1
+        // constraint-matrix partition of §4.1.
+        let mut is_spatial = vec![false; intr.loops.len()];
+        for terms in &intr.dst.dims {
+            for &t in terms {
+                is_spatial[t] = true;
+            }
+        }
+        let iters: Vec<IterDesc> = intr
+            .loops
+            .iter()
+            .zip(&is_spatial)
+            .map(|(l, &spatial)| IterDesc {
+                name: l.name.clone(),
+                extent: l.trip,
+                kind: if spatial {
+                    IterKind::Spatial
+                } else {
+                    IterKind::Reduction
+                },
+            })
+            .collect();
+        let memory = derive_memory(intr)?;
+        intrinsics.push(IntrinsicDesc {
+            name: intr.name.clone(),
+            iters,
+            srcs: intr
+                .srcs
+                .iter()
+                .map(|a| OperandDesc {
+                    name: a.name.clone(),
+                    index: a.dims.clone(),
+                })
+                .collect(),
+            dst: OperandDesc {
+                name: intr.dst.name.clone(),
+                index: intr.dst.dims.clone(),
+            },
+            op: intr.op,
+            memory,
+            latency: intr.latency,
+            initiation_interval: intr.initiation_interval,
+            src_dtype: intr.src_dtype,
+            acc_dtype: intr.acc_dtype,
+        });
+    }
+    Ok(AcceleratorDesc {
+        name: isa.name.clone(),
+        levels: isa.levels.clone(),
+        intrinsics,
+        clock_ghz: isa.clock_ghz,
+        scalar_ops_per_core_cycle: isa.scalar_ops_per_core_cycle,
+    })
+}
+
+impl IsaDesc {
+    /// Re-expresses a hand-written description in the primitive ISA form,
+    /// the inverse of [`derive_abstraction`].
+    ///
+    /// Fails with [`DeriveError::NotExpressible`] when the iteration kinds
+    /// are not determined by the destination access (a spatial axis missing
+    /// from the destination, or a reduction axis indexing it) — such a
+    /// machine cannot be described by loops + accesses alone.
+    pub fn from_accelerator(desc: &AcceleratorDesc) -> Result<IsaDesc, DeriveError> {
+        let mut intrinsics = Vec::with_capacity(desc.intrinsics.len());
+        for intr in &desc.intrinsics {
+            let mut in_dst = vec![false; intr.iters.len()];
+            for terms in &intr.dst.index {
+                for &t in terms {
+                    if let Some(slot) = in_dst.get_mut(t) {
+                        *slot = true;
+                    }
+                }
+            }
+            for (pos, iter) in intr.iters.iter().enumerate() {
+                let derived = if in_dst[pos] {
+                    IterKind::Spatial
+                } else {
+                    IterKind::Reduction
+                };
+                if derived != iter.kind {
+                    return Err(DeriveError::NotExpressible {
+                        intrinsic: intr.name.clone(),
+                        detail: format!(
+                            "iteration `{}` is {} but {} the destination",
+                            iter.name,
+                            iter.kind,
+                            if in_dst[pos] {
+                                "indexes"
+                            } else {
+                                "never indexes"
+                            }
+                        ),
+                    });
+                }
+            }
+            let loops: Vec<IsaLoop> = intr
+                .iters
+                .iter()
+                .map(|it| IsaLoop {
+                    name: it.name.clone(),
+                    trip: it.extent,
+                })
+                .collect();
+            let srcs: Vec<IsaAccess> = intr
+                .srcs
+                .iter()
+                .map(|o| IsaAccess {
+                    name: o.name.clone(),
+                    dims: o.index.clone(),
+                })
+                .collect();
+            let dst = IsaAccess {
+                name: intr.dst.name.clone(),
+                dims: intr.dst.index.clone(),
+            };
+            let (loads, store) = match &intr.memory {
+                MemoryDesc::Fragment { load, store } => {
+                    let loads = srcs
+                        .iter()
+                        .map(|src| IsaTransfer {
+                            instruction: load.clone(),
+                            operand: src.name.clone(),
+                            strides: Some(dense_strides(&access_shape(&loops, src))),
+                            base: None,
+                        })
+                        .collect();
+                    let store = IsaTransfer {
+                        instruction: store.clone(),
+                        operand: dst.name.clone(),
+                        strides: Some(dense_strides(&access_shape(&loops, &dst))),
+                        base: None,
+                    };
+                    (loads, Some(store))
+                }
+                MemoryDesc::Implicit => (Vec::new(), None),
+            };
+            intrinsics.push(IsaIntrinsic {
+                name: intr.name.clone(),
+                op: intr.op,
+                loops,
+                srcs,
+                dst,
+                loads,
+                store,
+                latency: intr.latency,
+                initiation_interval: intr.initiation_interval,
+                src_dtype: intr.src_dtype,
+                acc_dtype: intr.acc_dtype,
+            });
+        }
+        Ok(IsaDesc {
+            name: desc.name.clone(),
+            levels: desc.levels.clone(),
+            intrinsics,
+            clock_ghz: desc.clock_ghz,
+            scalar_ops_per_core_cycle: desc.scalar_ops_per_core_cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn whole_catalog_round_trips_through_the_isa_form() {
+        for desc in catalog::descriptors() {
+            let isa = IsaDesc::from_accelerator(&desc)
+                .unwrap_or_else(|e| panic!("{} not expressible: {e}", desc.name));
+            let derived = derive_abstraction(&isa)
+                .unwrap_or_else(|e| panic!("{} derivation failed: {e}", desc.name));
+            assert_eq!(
+                derived, desc,
+                "derive(from_accelerator) != id for {}",
+                desc.name
+            );
+        }
+    }
+
+    #[test]
+    fn derived_kinds_are_dst_determined() {
+        let isa = IsaDesc::from_accelerator(&catalog::descriptors()[0]).unwrap();
+        // wmma: Dst[i1, i2] — i1/i2 spatial, r1 reduction.
+        let derived = derive_abstraction(&isa).unwrap();
+        let kinds: Vec<IterKind> = derived.intrinsics[0].iters.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![IterKind::Spatial, IterKind::Spatial, IterKind::Reduction]
+        );
+    }
+
+    #[test]
+    fn omitted_strides_are_derived_dense() {
+        let mut isa = IsaDesc::from_accelerator(&catalog::descriptors()[0]).unwrap();
+        for intr in &mut isa.intrinsics {
+            for load in &mut intr.loads {
+                load.strides = None;
+            }
+            if let Some(store) = &mut intr.store {
+                store.strides = None;
+            }
+        }
+        assert_eq!(derive_abstraction(&isa).unwrap(), catalog::descriptors()[0]);
+    }
+
+    #[test]
+    fn wrong_strides_are_rejected() {
+        let mut isa = IsaDesc::from_accelerator(&catalog::descriptors()[0]).unwrap();
+        isa.intrinsics[0].loads[0].strides = Some(vec![1, 16]);
+        let err = derive_abstraction(&isa).unwrap_err();
+        assert!(
+            matches!(err, DeriveError::StrideMismatch { ref operand, .. } if operand == "Src1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn window_access_shape_overlaps() {
+        // virtual-conv's Src1[r1, i2 + r2]: the line buffer spans
+        // i2 + r2 − 1 positions.
+        let conv = catalog::descriptors()
+            .into_iter()
+            .find(|d| d.name == "virtual-conv")
+            .unwrap();
+        let isa = IsaDesc::from_accelerator(&conv).unwrap();
+        let intr = &isa.intrinsics[0];
+        let src1 = &intr.srcs[0];
+        let shape = access_shape(&intr.loops, src1);
+        let built = conv.intrinsics[0].build();
+        let spec_shape = built
+            .compute
+            .fragment_shape(crate::abstraction::OperandRef::Src(0));
+        assert_eq!(shape, spec_shape);
+    }
+
+    #[test]
+    fn missing_store_is_inconsistent() {
+        let mut isa = IsaDesc::from_accelerator(&catalog::descriptors()[0]).unwrap();
+        isa.intrinsics[0].store = None;
+        let err = derive_abstraction(&isa).unwrap_err();
+        assert!(
+            matches!(err, DeriveError::InconsistentTransfers { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mixed_load_instructions_are_rejected() {
+        let mut isa = IsaDesc::from_accelerator(&catalog::descriptors()[0]).unwrap();
+        isa.intrinsics[0].loads[1].instruction = "other_load".into();
+        let err = derive_abstraction(&isa).unwrap_err();
+        assert!(
+            matches!(err, DeriveError::MixedLoadInstructions { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spatial_axis_missing_from_dst_is_not_expressible() {
+        let mut desc = catalog::descriptors()[5].clone(); // mini
+                                                          // Force a reduction axis to be labelled spatial: the ISA form cannot
+                                                          // represent that.
+        let pos = desc.intrinsics[0]
+            .iters
+            .iter()
+            .position(|i| i.kind == IterKind::Reduction)
+            .unwrap();
+        desc.intrinsics[0].iters[pos].kind = IterKind::Spatial;
+        let err = IsaDesc::from_accelerator(&desc).unwrap_err();
+        assert!(matches!(err, DeriveError::NotExpressible { .. }), "{err}");
+    }
+
+    #[test]
+    fn dense_strides_are_row_major() {
+        assert_eq!(dense_strides(&[4, 10]), vec![10, 1]);
+        assert_eq!(dense_strides(&[2, 3, 5]), vec![15, 5, 1]);
+        assert_eq!(dense_strides(&[7]), vec![1]);
+        assert_eq!(dense_strides(&[]), Vec::<i64>::new());
+    }
+}

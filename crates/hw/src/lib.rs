@@ -11,7 +11,14 @@
 //! * [`desc`] — declarative plain-data descriptions ([`AcceleratorDesc`],
 //!   [`IntrinsicDesc`]) that lower to the spec types,
 //! * [`Registry`] — name → description lookup, pre-populated from the
-//!   catalog and extensible with new accelerators (§7.5),
+//!   catalog, extensible with new accelerators (§7.5) and layerable with
+//!   on-disk machines via [`Registry::load_dir`],
+//! * [`text`] — the versioned on-disk text format (`to_text`/`from_text`
+//!   with line-numbered diagnostics) behind the `data/accels/` catalog,
+//! * [`isa`] — primitive intrinsic-ISA descriptions and
+//!   [`derive_abstraction`], which computes iteration kinds (Algorithm-1
+//!   constraint-matrix inputs) and memory stride/fragment parameters
+//!   automatically,
 //! * [`catalog`] — Tensor Core (V100/A100/T4), AVX-512 VNNI, Mali
 //!   `arm_dot`, the Figure-3 mini accelerator, TPU/Gemmini/Ascend-style
 //!   devices, and the §7.5 virtual AXPY/GEMV/CONV accelerators — all
@@ -44,13 +51,17 @@ mod registry;
 
 pub mod catalog;
 pub mod desc;
+pub mod isa;
+pub mod text;
 
 pub use abstraction::{ComputeAbstraction, IntrinsicIter, OperandRef, OperandSpec};
 pub use accelerator::{AcceleratorSpec, Level, MemorySpec};
 pub use desc::{AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc};
 pub use intrinsic::Intrinsic;
+pub use isa::{derive_abstraction, DeriveError, IsaDesc, IsaIntrinsic, IsaLoop, IsaTransfer};
 pub use memory::{MemStatement, MemoryAbstraction, TransferDir};
 pub use registry::Registry;
+pub use text::{AccelError, FileError, SourceKind, TextError, TextErrorKind, TEXT_FORMAT_VERSION};
 
 /// Version of the hardware abstraction's *semantics*, as seen by persisted
 /// exploration results. The structural cache fingerprint already captures

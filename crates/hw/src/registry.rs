@@ -6,9 +6,12 @@
 //! user-supplied [`AcceleratorDesc`] — the §7.5 "new accelerator in a few
 //! lines" path.
 
+use std::path::{Path, PathBuf};
+
 use crate::accelerator::AcceleratorSpec;
 use crate::catalog;
 use crate::desc::AcceleratorDesc;
+use crate::text::{self, AccelError, FileError};
 
 /// An ordered collection of accelerator descriptions addressable by name.
 ///
@@ -34,12 +37,67 @@ impl Registry {
     }
 
     /// Adds a description, replacing any existing entry with the same name
-    /// (replacement keeps the original position; new names append).
+    /// (last wins; replacement keeps the original position, new names
+    /// append) — so [`Registry::names`] never lists duplicates.
     pub fn register(&mut self, desc: AcceleratorDesc) {
         match self.entries.iter_mut().find(|e| e.name == desc.name) {
             Some(slot) => *slot = desc,
             None => self.entries.push(desc),
         }
+    }
+
+    /// The built-in catalog layered with every accelerator file in `dir`:
+    /// a file defining the same machine name as a built-in replaces it
+    /// (keeping its catalog position), new names append in filename order.
+    ///
+    /// Files are `*.toml` documents of either kind — full accelerator
+    /// descriptions or primitive ISA descriptions, which are run through
+    /// [`derive_abstraction`](crate::isa::derive_abstraction). Two *files*
+    /// defining the same machine name is an authoring error and fails with
+    /// [`AccelError::Duplicate`]; everything else in the directory is
+    /// ignored.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Registry, FileError> {
+        let mut registry = Registry::builtin();
+        registry.extend_from_dir(dir.as_ref())?;
+        Ok(registry)
+    }
+
+    /// The [`Registry::load_dir`] layering step on an existing registry;
+    /// returns the machine names loaded from `dir`, in filename order.
+    pub fn extend_from_dir(&mut self, dir: &Path) -> Result<Vec<String>, FileError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| FileError {
+            file: dir.to_path_buf(),
+            error: AccelError::Io(e.to_string()),
+        })?;
+        let mut files: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| FileError {
+                file: dir.to_path_buf(),
+                error: AccelError::Io(e.to_string()),
+            })?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "toml") && path.is_file() {
+                files.push(path);
+            }
+        }
+        // Filename order, so layering is deterministic across platforms.
+        files.sort();
+        let mut loaded: Vec<(String, PathBuf)> = Vec::new();
+        for path in &files {
+            let (desc, _kind) = text::load_path(path)?;
+            if let Some((_, earlier)) = loaded.iter().find(|(name, _)| *name == desc.name) {
+                return Err(FileError {
+                    file: path.clone(),
+                    error: AccelError::Duplicate {
+                        name: desc.name,
+                        earlier: earlier.clone(),
+                    },
+                });
+            }
+            loaded.push((desc.name.clone(), path.clone()));
+            self.register(desc);
+        }
+        Ok(loaded.into_iter().map(|(name, _)| name).collect())
     }
 
     /// Accelerator names in registry order.
@@ -105,6 +163,81 @@ mod tests {
         assert_eq!(reg.build("nonexistent"), None);
     }
 
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amos-registry-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_dir_layers_files_over_builtin() {
+        let dir = scratch_dir("layering");
+        // A brand-new machine plus a file overriding a built-in.
+        let mut fresh = Registry::builtin().get("mini").unwrap().clone();
+        fresh.name = "file-machine".into();
+        std::fs::write(dir.join("file-machine.toml"), fresh.to_text()).unwrap();
+        let mut overridden = Registry::builtin().get("mini").unwrap().clone();
+        overridden.clock_ghz = 9.0;
+        std::fs::write(dir.join("mini.toml"), overridden.to_text()).unwrap();
+        // Non-.toml entries are ignored.
+        std::fs::write(dir.join("README.md"), "not a machine").unwrap();
+
+        let reg = Registry::load_dir(&dir).unwrap();
+        assert_eq!(reg.len(), Registry::builtin().len() + 1);
+        let pos = Registry::builtin()
+            .names()
+            .iter()
+            .position(|&n| n == "mini")
+            .unwrap();
+        assert_eq!(reg.names()[pos], "mini", "override keeps catalog position");
+        assert_eq!(reg.get("mini").unwrap().clock_ghz, 9.0, "file wins");
+        assert_eq!(reg.get("file-machine").unwrap(), &fresh);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_rejects_two_files_with_one_name() {
+        let dir = scratch_dir("duplicate");
+        let desc = Registry::builtin().get("mini").unwrap().clone();
+        std::fs::write(dir.join("a.toml"), desc.to_text()).unwrap();
+        std::fs::write(dir.join("b.toml"), desc.to_text()).unwrap();
+        let err = Registry::load_dir(&dir).unwrap_err();
+        assert!(
+            matches!(err.error, AccelError::Duplicate { ref name, .. } if name == "mini"),
+            "{err}"
+        );
+        assert_eq!(err.file, dir.join("b.toml"), "reported at the later file");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_surfaces_parse_errors_with_file_and_line() {
+        let dir = scratch_dir("parse-error");
+        std::fs::write(
+            dir.join("bad.toml"),
+            "format = 1\nname = \"x\"\nclock_ghz = 1.0\nscalar_ops_per_core_cycle = 1.0\nfrob = 3\n",
+        )
+        .unwrap();
+        let err = Registry::load_dir(&dir).unwrap_err();
+        assert_eq!(err.file, dir.join("bad.toml"));
+        assert!(err.to_string().contains("bad.toml:5"), "{err}");
+        assert!(err.to_string().contains("unknown key `frob`"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_derives_isa_files() {
+        let dir = scratch_dir("isa");
+        let desc = Registry::builtin().get("gemmini-like").unwrap().clone();
+        let isa = crate::isa::IsaDesc::from_accelerator(&desc).unwrap();
+        std::fs::write(dir.join("gemmini-like.toml"), isa.to_text()).unwrap();
+        let reg = Registry::load_dir(&dir).unwrap();
+        assert_eq!(reg.get("gemmini-like").unwrap(), &desc);
+        assert_eq!(reg.len(), Registry::builtin().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn register_replaces_in_place_and_appends_new() {
         let mut reg = Registry::builtin();
@@ -123,5 +256,20 @@ mod tests {
         reg.register(fresh);
         assert_eq!(reg.len(), n + 1);
         assert_eq!(*reg.names().last().unwrap(), "mini-2");
+
+        // Last wins: registering the same name repeatedly keeps exactly one
+        // entry, and `names()` never lists duplicates.
+        for ghz in [3.0, 4.0, 5.0] {
+            let mut again = reg.get("mini-2").unwrap().clone();
+            again.clock_ghz = ghz;
+            reg.register(again);
+        }
+        assert_eq!(reg.len(), n + 1);
+        assert_eq!(reg.build("mini-2").unwrap().clock_ghz, 5.0);
+        let names = reg.names();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "names() must be duplicate-free");
     }
 }

@@ -1,0 +1,302 @@
+//! Property tests for the on-disk text format and the ISA derivation pass.
+//!
+//! * `AcceleratorDesc -> to_text -> from_text` is the identity over
+//!   randomized descriptions (including window-style compound indices,
+//!   implicit memory, scalar operands and bit-exotic floats).
+//! * Corrupt inputs — truncations, unknown keys, bad integers — yield a
+//!   line-numbered diagnostic, never a panic.
+//! * For every machine expressible as an `IsaDesc`, `derive_abstraction`
+//!   reproduces the hand-written description exactly, so the built
+//!   intrinsics have identical `constraint_matrices()`.
+
+use amos_hw::desc::{AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc};
+use amos_hw::isa::{derive_abstraction, IsaDesc};
+use amos_hw::text::TextErrorKind;
+use amos_ir::{DType, IterKind, OpKind};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Seeded generator
+//
+// The offline proptest stub has no flat_map, so variable-length structures
+// are generated from one seed via splitmix64 — every draw is a pure function
+// of the seed, which the harness reports on failure.
+// ---------------------------------------------------------------------------
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // splitmix64
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A positive finite f64 — usually a "nice" value, sometimes one with a
+    /// full random mantissa to exercise shortest-round-trip formatting.
+    fn positive_f64(&mut self) -> f64 {
+        if self.flag() {
+            (self.range(1, 4096) as f64) / 16.0
+        } else {
+            let v = f64::from_bits(self.next()).abs();
+            if v.is_finite() && v > 0.0 && v < 1e300 {
+                v
+            } else {
+                1.5
+            }
+        }
+    }
+}
+
+fn random_operand(g: &mut Gen, name: &str, n_iters: usize) -> OperandDesc {
+    let n_dims = g.range(0, 3) as usize;
+    let index = (0..n_dims)
+        .map(|_| {
+            let n_terms = g.range(1, 2) as usize;
+            (0..n_terms)
+                .map(|_| g.range(0, n_iters as u64 - 1) as usize)
+                .collect()
+        })
+        .collect();
+    OperandDesc {
+        name: name.to_string(),
+        index,
+    }
+}
+
+fn random_desc(seed: u64) -> AcceleratorDesc {
+    let mut g = Gen(seed);
+    let n_levels = g.range(1, 4);
+    let levels = (0..n_levels)
+        .map(|i| LevelDesc {
+            name: format!("lvl{i}"),
+            inner_units: g.range(1, 8),
+            // Outer levels may legitimately have no addressable capacity
+            // (the v100 `sub-core` pattern); the innermost must not.
+            capacity_bytes: if i == 0 {
+                g.range(1, 1 << 20)
+            } else {
+                g.range(0, 1 << 20)
+            },
+            bytes_per_cycle: g.positive_f64(),
+        })
+        .collect();
+    let n_intr = g.range(1, 3);
+    let intrinsics = (0..n_intr)
+        .map(|k| {
+            let op = match g.range(0, 2) {
+                0 => OpKind::MulAcc,
+                1 => OpKind::AddAcc,
+                _ => OpKind::MaxAcc,
+            };
+            let n_iters = g.range(1, 4) as usize;
+            let iters = (0..n_iters)
+                .map(|i| IterDesc {
+                    name: format!("i{i}"),
+                    extent: g.range(1, 16) as i64,
+                    kind: if g.flag() {
+                        IterKind::Spatial
+                    } else {
+                        IterKind::Reduction
+                    },
+                })
+                .collect();
+            let srcs = (0..op.arity())
+                .map(|s| random_operand(&mut g, &format!("Src{}", s + 1), n_iters))
+                .collect();
+            let dst = random_operand(&mut g, "Dst", n_iters);
+            let memory = if g.flag() {
+                MemoryDesc::Fragment {
+                    load: format!("ld{k}"),
+                    store: format!("st{k}"),
+                }
+            } else {
+                MemoryDesc::Implicit
+            };
+            let initiation_interval = g.range(1, 16);
+            IntrinsicDesc {
+                name: format!("intr{k}"),
+                iters,
+                srcs,
+                dst,
+                op,
+                memory,
+                latency: initiation_interval + g.range(0, 16),
+                initiation_interval,
+                src_dtype: match g.range(0, 3) {
+                    0 => DType::F16,
+                    1 => DType::F32,
+                    2 => DType::I8,
+                    _ => DType::I32,
+                },
+                acc_dtype: if g.flag() { DType::F32 } else { DType::I32 },
+            }
+        })
+        .collect();
+    AcceleratorDesc {
+        name: format!("m{}", seed % 100_000),
+        levels,
+        intrinsics,
+        clock_ghz: g.positive_f64(),
+        scalar_ops_per_core_cycle: g.positive_f64(),
+    }
+}
+
+/// Relabels every iteration kind to be destination-determined (spatial iff
+/// the axis indexes the destination) — the class of machines the primitive
+/// ISA form can express.
+fn make_dst_determined(mut desc: AcceleratorDesc) -> AcceleratorDesc {
+    for intr in &mut desc.intrinsics {
+        let mut in_dst = vec![false; intr.iters.len()];
+        for terms in &intr.dst.index {
+            for &t in terms {
+                in_dst[t] = true;
+            }
+        }
+        for (iter, &spatial) in intr.iters.iter_mut().zip(&in_dst) {
+            iter.kind = if spatial {
+                IterKind::Spatial
+            } else {
+                IterKind::Reduction
+            };
+        }
+    }
+    desc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn to_text_from_text_is_identity(seed in 0u64..(1 << 48)) {
+        let desc = random_desc(seed);
+        let text = desc.to_text();
+        let reparsed = AcceleratorDesc::from_text(&text)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}\n{text}")))?;
+        prop_assert_eq!(reparsed, desc);
+    }
+
+    #[test]
+    fn truncated_input_never_panics(seed in 0u64..(1 << 48), cut_permille in 0u64..1000) {
+        // Cutting a valid document at any char boundary must yield Ok (a
+        // prefix can be complete) or a line-numbered error — never a panic.
+        let desc = random_desc(seed);
+        let text = desc.to_text();
+        let n_chars = text.chars().count();
+        let keep = (n_chars as u64 * cut_permille / 1000) as usize;
+        let truncated: String = text.chars().take(keep).collect();
+        if let Err(e) = AcceleratorDesc::from_text(&truncated) {
+            let lines = truncated.lines().count();
+            prop_assert!(e.line >= 1 && e.line <= lines.max(1), "line {} of {lines}", e.line);
+        }
+    }
+
+    #[test]
+    fn derivation_reproduces_dst_determined_descs(seed in 0u64..(1 << 48)) {
+        // Satellite property: for every machine expressible as an IsaDesc,
+        // the derivation pass rebuilds the hand-written desc exactly, so
+        // Algorithm-1 validation sees identical constraint matrices.
+        let desc = make_dst_determined(random_desc(seed));
+        let isa = IsaDesc::from_accelerator(&desc)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        let derived = derive_abstraction(&isa)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        prop_assert_eq!(&derived, &desc);
+        // The ISA text format round-trips too.
+        let reparsed = IsaDesc::from_text(&isa.to_text())
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        prop_assert_eq!(reparsed, isa);
+        for (d, h) in derived.intrinsics.iter().zip(&desc.intrinsics) {
+            prop_assert_eq!(
+                d.build().compute.constraint_matrices(),
+                h.build().compute.constraint_matrices()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-input diagnostics (deterministic cases)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_file_reports_a_line_number() {
+    let text = random_desc(7).to_text();
+    // Keep only the first half of the lines: some required key of the last
+    // open section is now missing.
+    let lines: Vec<&str> = text.lines().collect();
+    let truncated: String = lines[..lines.len() / 2]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let err = AcceleratorDesc::from_text(&truncated).expect_err("half a file must not parse");
+    assert!(err.line >= 1 && err.line <= lines.len() / 2, "{err}");
+    assert!(err.to_string().starts_with(&format!("line {}", err.line)));
+}
+
+#[test]
+fn unknown_key_reports_the_offending_line() {
+    let mut text = String::from("format = 1\nname = \"x\"\n");
+    text.push_str("widgets = 3\n");
+    text.push_str("clock_ghz = 1.0\nscalar_ops_per_core_cycle = 1.0\n");
+    let err = AcceleratorDesc::from_text(&text).unwrap_err();
+    assert_eq!(err.kind, TextErrorKind::UnknownKey("widgets".into()));
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn bad_integer_reports_the_offending_line() {
+    let desc = random_desc(11);
+    let text: String = desc
+        .to_text()
+        .lines()
+        .map(|l| {
+            if l.starts_with("inner_units = ") {
+                "inner_units = twelve\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let err = AcceleratorDesc::from_text(&text).unwrap_err();
+    let expected_line = text
+        .lines()
+        .position(|l| l.starts_with("inner_units = twelve"))
+        .unwrap()
+        + 1;
+    assert_eq!(err.line, expected_line, "{err}");
+    assert!(matches!(err.kind, TextErrorKind::Syntax(_)), "{err}");
+}
+
+#[test]
+fn float_in_integer_position_is_a_bad_value() {
+    let desc = random_desc(13);
+    let text: String = desc
+        .to_text()
+        .lines()
+        .map(|l| {
+            if l.starts_with("latency = ") {
+                "latency = 2.5\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let err = AcceleratorDesc::from_text(&text).unwrap_err();
+    assert!(
+        matches!(err.kind, TextErrorKind::BadValue { ref key, .. } if key == "latency"),
+        "{err}"
+    );
+}

@@ -1,50 +1,27 @@
-//! Bring your own accelerator (paper §7.5).
+//! Bring your own accelerator (paper §7.5) — from a data file.
 //!
-//! Defines a brand-new spatial accelerator — an 8×8 outer-product unit that
-//! nothing in the catalog ships — as a few lines of *declarative data*
-//! ([`AcceleratorDesc`]), registers it alongside the built-in machines, and
-//! lets AMOS map a 3D convolution onto it with zero templates. Also
-//! reproduces the §7.5 mapping-count experiment on the catalog's
-//! AXPY/GEMV/CONV units.
+//! The brand-new spatial accelerator here — an 8×8 outer-product unit that
+//! nothing in the catalog ships — is not defined in this program at all: it
+//! lives in `examples/accels/outer-product-npu.toml`, a declarative text
+//! file. [`Registry::load_dir`] layers every file in that directory over the
+//! built-in catalog, and from then on the machine is addressable by name
+//! like any built-in: AMOS maps a 3D convolution onto it with zero
+//! templates. Also reproduces the §7.5 mapping-count experiment on the
+//! catalog's AXPY/GEMV/CONV units.
+//!
+//! The same file works machine-wide from the CLI:
+//!
+//! ```text
+//! amos accel lint examples/accels/outer-product-npu.toml
+//! amos explore gmm:256x256x256 --accel outer-product-npu --accel-dir examples/accels
+//! ```
 //!
 //! Run with: `cargo run --example new_accelerator`
 
 use amos::core::{Engine, MappingGenerator};
-use amos::hw::{
-    AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc, Registry,
-};
-use amos::ir::{DType, OpKind};
+use amos::hw::Registry;
 use amos::workloads::ops;
-
-/// A custom outer-product accelerator, `Dst[i1, i2] += Src1[i1] * Src2[i2]`,
-/// described entirely as data: three hierarchy rows and one intrinsic table.
-fn outer_product_accelerator() -> AcceleratorDesc {
-    AcceleratorDesc {
-        name: "outer-product-npu".into(),
-        levels: vec![
-            LevelDesc::new("pe-array", 1, 8 * 1024, 32.0),
-            LevelDesc::new("core", 2, 32 * 1024, 32.0),
-            LevelDesc::new("device", 8, 4 << 30, 128.0),
-        ],
-        intrinsics: vec![IntrinsicDesc {
-            name: "outer8x8".into(),
-            iters: vec![IterDesc::spatial("i1", 8), IterDesc::spatial("i2", 8)],
-            srcs: vec![
-                OperandDesc::simple("Src1", &[0]),
-                OperandDesc::simple("Src2", &[1]),
-            ],
-            dst: OperandDesc::simple("Dst", &[0, 1]),
-            op: OpKind::MulAcc,
-            memory: MemoryDesc::fragment("load_vec", "store_tile"),
-            latency: 8,
-            initiation_interval: 4,
-            src_dtype: DType::F16,
-            acc_dtype: DType::F32,
-        }],
-        clock_ghz: 1.0,
-        scalar_ops_per_core_cycle: 2.0,
-    }
-}
+use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = MappingGenerator::new();
@@ -52,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("software: {c3d}\n");
 
     // ---- the §7.5 experiment: BLAS-level virtual accelerators -------------
-    let mut registry = Registry::builtin();
+    // One call loads every accelerator data file in the directory on top of
+    // the built-in catalog; no Rust definition of the new machine exists.
+    let accel_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/accels");
+    let registry = Registry::load_dir(&accel_dir)?;
     println!("mapping counts for C3D on the virtual accelerators (paper §7.5):");
     for (name, paper) in [
         ("virtual-axpy", 15),
@@ -64,12 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<22} {:>4} mappings (paper: {paper})", name, count);
     }
 
-    // ---- a brand-new unit: a few lines of data, then one register() -------
-    registry.register(outer_product_accelerator());
+    // ---- a brand-new unit: one data file, then addressable by name --------
     let npu = registry
         .build("outer-product-npu")
-        .expect("just registered");
-    println!("\ncustom accelerator:\n{npu}");
+        .expect("loaded from examples/accels/outer-product-npu.toml");
+    println!(
+        "\ncustom accelerator (from {}):\n{npu}",
+        accel_dir.join("outer-product-npu.toml").display()
+    );
     println!("compute abstraction: {}", npu.intrinsic.compute);
     let mappings = generator.enumerate(&c3d, &npu.intrinsic);
     println!(
@@ -85,8 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The reduction happens entirely in outer loops on this unit (it has no
     // reduction axis), yet the mapping is still valid and executable. The
-    // Engine drives the same staged pipeline the CLI and baselines use.
-    let engine = Engine::new();
+    // Engine drives the same staged pipeline the CLI and baselines use —
+    // and resolves names from the file-extended registry.
+    let engine = Engine::new().with_registry(registry);
     let result = engine.explore_op(&c3d, &npu)?;
     println!(
         "\nbest mapping: {} -> {:.0} cycles",
@@ -95,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- heterogeneous units: the explorer picks per operator -------------
-    let ascend = registry.build("ascend-npu").expect("catalog accelerator");
+    let ascend = engine.accelerator("ascend-npu")?;
     println!("\nheterogeneous accelerator `{}`:", ascend.name);
     for intr in ascend.all_intrinsics() {
         println!(

@@ -1,0 +1,204 @@
+//! The committed on-disk catalog (`data/accels/*.toml`) is the single source
+//! of truth for what the text format ships:
+//!
+//! * **Byte identity** — every committed file is exactly
+//!   `desc.to_text()` of its Rust catalog twin, so regenerating the catalog
+//!   (`amos accel export --all --out data/accels`) is a no-op until the Rust
+//!   side changes, and a drifted file fails here first.
+//! * **Reload identity** — `Registry::load_dir("data/accels")` parses every
+//!   file back to a `PartialEq`-identical description, in unchanged registry
+//!   order.
+//! * **Golden exploration** — machines built *from the files* reproduce the
+//!   [`common::GOLDEN`] exploration rows bit-identically (cycles via
+//!   `f64::to_bits`, plus every search counter).
+//! * **Derivation equivalence** — for the machines expressible as a
+//!   primitive `IsaDesc`, the §4.1 derivation pass rebuilds the same
+//!   description, with identical Algorithm-1 constraint matrices and
+//!   identical §7.5 mapping counts on the representative operator set.
+
+mod common;
+
+use amos::core::{Engine, MappingGenerator};
+use amos::hw::{derive_abstraction, AcceleratorDesc, IsaDesc, Registry};
+use amos::workloads::ops;
+use common::{candidate, golden_config, GOLDEN};
+use std::path::{Path, PathBuf};
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("data/accels")
+}
+
+#[test]
+fn committed_files_are_byte_identical_to_the_catalog_export() {
+    for desc in Registry::builtin().descs() {
+        let path = data_dir().join(format!("{}.toml", desc.name));
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} (regenerate with `amos accel export --all --out data/accels`)",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk,
+            desc.to_text(),
+            "{} drifted from the Rust catalog; regenerate with \
+             `amos accel export --all --out data/accels`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn data_dir_contains_no_stray_machines() {
+    let builtin = Registry::builtin();
+    let mut files: Vec<String> = std::fs::read_dir(data_dir())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    let mut expected: Vec<String> = builtin
+        .names()
+        .iter()
+        .map(|n| format!("{n}.toml"))
+        .collect();
+    expected.sort();
+    assert_eq!(files, expected);
+}
+
+#[test]
+fn load_dir_reloads_the_catalog_identically() {
+    let reloaded = Registry::load_dir(data_dir()).expect("committed catalog must load");
+    let builtin = Registry::builtin();
+    assert_eq!(reloaded.names(), builtin.names(), "registry order");
+    for desc in builtin.descs() {
+        assert_eq!(
+            reloaded.get(&desc.name),
+            Some(desc),
+            "`{}` reparsed differently",
+            desc.name
+        );
+    }
+}
+
+#[test]
+fn file_loaded_machines_reproduce_the_golden_rows_bit_identically() {
+    let registry = Registry::load_dir(data_dir()).expect("committed catalog must load");
+    for &(name, label, cycles_bits, num_mappings, sim_failures, screened, survivor, measured) in
+        GOLDEN
+    {
+        let accel = registry
+            .build(name)
+            .unwrap_or_else(|| panic!("file-loaded registry must know `{name}`"));
+        let engine = Engine::with_config(golden_config());
+        let r = engine
+            .explore_op(&candidate(label), &accel)
+            .unwrap_or_else(|e| panic!("`{label}` must map onto file-loaded `{name}`: {e}"));
+        assert_eq!(
+            r.cycles().to_bits(),
+            cycles_bits,
+            "`{name}` from file: cycles drifted ({} vs golden {})",
+            r.cycles(),
+            f64::from_bits(cycles_bits),
+        );
+        assert_eq!(r.num_mappings, num_mappings, "`{name}` from file: mappings");
+        assert_eq!(
+            r.sim_failures, sim_failures,
+            "`{name}` from file: sim failures"
+        );
+        assert_eq!(
+            r.screening.screened, screened,
+            "`{name}` from file: screened"
+        );
+        assert_eq!(
+            r.screening.survivor_memo_hits, survivor,
+            "`{name}` from file: survivor memo hits"
+        );
+        assert_eq!(
+            r.screening.measured_memo_hits, measured,
+            "`{name}` from file: measured memo hits"
+        );
+    }
+}
+
+/// Satellite 4, catalog half: every built-in expressible in the primitive
+/// ISA form derives back to the identical description — same Algorithm-1
+/// constraint matrices, same Table-6 mapping counts on the §7.5 operator
+/// set.
+#[test]
+fn derivation_matches_hand_written_descs_on_the_operator_set() {
+    let generator = MappingGenerator::new();
+    let mut expressible = 0;
+    for desc in Registry::builtin().descs() {
+        let Ok(isa) = IsaDesc::from_accelerator(desc) else {
+            // Machines whose iteration kinds are not destination-determined
+            // (none today) would fall outside the primitive ISA form.
+            continue;
+        };
+        expressible += 1;
+        let derived =
+            derive_abstraction(&isa).unwrap_or_else(|e| panic!("`{}` must derive: {e}", desc.name));
+        assert_eq!(
+            &derived, desc,
+            "`{}`: derivation is not the identity",
+            desc.name
+        );
+        for (d, h) in derived.intrinsics.iter().zip(&desc.intrinsics) {
+            assert_eq!(
+                d.build().compute.constraint_matrices(),
+                h.build().compute.constraint_matrices(),
+                "`{}`/`{}`: constraint matrices",
+                desc.name,
+                h.name
+            );
+        }
+        let hand = desc.build();
+        let auto = derived.build();
+        for (def, name) in ops::representative_ops().iter().zip(ops::OPERATOR_NAMES) {
+            for (hi, ai) in hand.all_intrinsics().zip(auto.all_intrinsics()) {
+                assert_eq!(
+                    generator.count(def, hi),
+                    generator.count(def, ai),
+                    "`{}` x {name}: mapping count diverged after derivation",
+                    desc.name
+                );
+            }
+        }
+    }
+    assert_eq!(expressible, 12, "the whole catalog is ISA-expressible");
+}
+
+/// An ISA-kind file dropped into a directory behaves exactly like its
+/// accelerator-kind twin once loaded (the derivation runs at load time).
+#[test]
+fn isa_files_load_equivalently_to_accelerator_files() {
+    let dir = std::env::temp_dir().join(format!("amos-accel-files-isa-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let desc = Registry::builtin().get("tpu-like").unwrap().clone();
+    let isa = IsaDesc::from_accelerator(&desc).unwrap();
+    std::fs::write(dir.join("tpu-like.toml"), isa.to_text()).unwrap();
+    let reg = Registry::load_dir(&dir).unwrap();
+    assert_eq!(reg.get("tpu-like"), Some(&desc));
+    // And the canonical text of the loaded machine matches the committed
+    // accelerator-kind file.
+    let committed = std::fs::read_to_string(data_dir().join("tpu-like.toml")).unwrap();
+    assert_eq!(reg.get("tpu-like").unwrap().to_text(), committed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The text-format version string appears in every committed file, so a
+/// future format bump forces a regeneration commit.
+#[test]
+fn committed_files_declare_format_one() {
+    for desc in Registry::builtin().descs() {
+        let path = data_dir().join(format!("{}.toml", desc.name));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().any(|l| l == "format = 1"),
+            "{}: missing `format = 1`",
+            path.display()
+        );
+        let reparsed = AcceleratorDesc::from_text(&text).unwrap();
+        assert_eq!(reparsed.name, desc.name);
+    }
+}

@@ -8,77 +8,19 @@
 //! `PartialEq`-identical to the hand-written ones, the registry resolves the
 //! same machines the catalog functions built, and the Engine's cache-backed
 //! `explore_op` is observationally equivalent to an uncached `explore_multi`.
+//!
+//! (The same [`common::GOLDEN`] table also pins the on-disk catalog — see
+//! `accel_files.rs`.)
 
-use amos::core::{Engine, ExplorerConfig};
+mod common;
+
+use amos::core::Engine;
 use amos::hw::{
     AcceleratorDesc, IntrinsicDesc, IterDesc, LevelDesc, MemoryDesc, OperandDesc, Registry,
 };
-use amos::ir::{ComputeDef, DType, OpKind};
-use amos::workloads::ops::{self, ConvShape};
-
-/// The exploration budget the golden values were captured under.
-fn golden_config() -> ExplorerConfig {
-    ExplorerConfig {
-        population: 8,
-        generations: 2,
-        survivors: 3,
-        measure_top: 2,
-        seed: 2022,
-        jobs: 2,
-        ..Default::default()
-    }
-}
-
-/// Candidate operators tried in order until one maps onto the accelerator
-/// (the BLAS-level virtual units reject GEMM's shape family, so each machine
-/// records which operator it was measured on).
-fn candidate(label: &str) -> ComputeDef {
-    match label {
-        "gmm" => ops::gmm(64, 64, 64),
-        "gmv" => ops::gmv(256, 256),
-        "c2d" => ops::c2d(ConvShape {
-            n: 2,
-            c: 8,
-            k: 8,
-            p: 7,
-            q: 7,
-            r: 3,
-            s: 3,
-            stride: 1,
-        }),
-        other => panic!("unknown candidate label {other}"),
-    }
-}
-
-/// One golden row: `(name, op, cycles_bits, num_mappings, sim_failures,
-/// screened, survivor_memo_hits, measured_memo_hits)`.
-type GoldenRow = (
-    &'static str,
-    &'static str,
-    u64,
-    usize,
-    usize,
-    usize,
-    usize,
-    usize,
-);
-
-/// Golden values captured on the pre-refactor pipeline, one row per built-in
-/// accelerator.
-const GOLDEN: &[GoldenRow] = &[
-    ("v100", "gmm", 0x40a1c00000000000, 1, 0, 19, 3, 2),
-    ("a100", "gmm", 0x40a1000000000000, 1, 0, 19, 3, 2),
-    ("t4", "gmm", 0x40a1c90be1c159a7, 1, 0, 19, 3, 1),
-    ("xeon-avx512", "gmm", 0x40bdd00000000000, 2, 0, 58, 9, 6),
-    ("mali-g76", "gmm", 0x40e0226bca1af287, 1, 0, 19, 3, 2),
-    ("mini", "gmm", 0x40d3360000000000, 1, 0, 19, 3, 2),
-    ("ascend-npu", "gmm", 0x40a1600000000000, 3, 0, 77, 12, 8),
-    ("tpu-like", "gmm", 0x40a3a00000000000, 1, 0, 19, 3, 3),
-    ("gemmini-like", "gmm", 0x40a9a00000000000, 1, 0, 19, 3, 2),
-    ("virtual-axpy", "gmm", 0x40b3180000000000, 2, 0, 58, 9, 6),
-    ("virtual-gemv", "gmm", 0x40b0100000000000, 2, 0, 58, 9, 6),
-    ("virtual-conv", "c2d", 0x40a06c0000000000, 4, 0, 79, 12, 6),
-];
+use amos::ir::{DType, OpKind};
+use amos::workloads::ops;
+use common::{candidate, golden_config, GOLDEN};
 
 #[test]
 fn registry_reproduces_pre_refactor_results_bit_identically() {
