@@ -1,0 +1,298 @@
+//! Records the `amosd` service trajectory to `BENCH_serve.json`.
+//!
+//! The serve layer's value is measured on two axes: (a) in-flight request
+//! deduplication — N concurrent identical requests must collapse onto one
+//! exploration, so the dedup ratio under a synchronized burst should be
+//! close to 1.0 — and (b) answer latency once the disk tier holds the
+//! result, reported as p50/p99 over a run of sequential cached repeats.
+//! Both are measured against a live in-process daemon over a real Unix
+//! socket, so the numbers include the full request path (connect, encode,
+//! dispatch, cache lookup, render, reply):
+//!
+//! ```text
+//! cargo run --release -p amos-bench --bin record_serve            # re-record
+//! cargo run --release -p amos-bench --bin record_serve -- --check # CI gate
+//! ```
+//!
+//! `--check` fails (exit 1) when the committed file is malformed, when it
+//! records unanswered requests or a dedup ratio below 0.5, or when a live
+//! re-measurement violates the same floors. The latency gate is
+//! deliberately loose (p50 under 500 ms for a cached repeat) — it pins the
+//! structural fact that repeats are served from cache rather than
+//! re-explored, not a machine-dependent microsecond figure.
+//!
+//! JSON is written and read by tiny flat-schema helpers — the build
+//! environment is offline, so no serde.
+
+use amos_bench::json_number;
+use amos_core::ExplorerConfig;
+use amos_serve::proto::{ExploreRequest, Request, Response};
+use amos_serve::{client, RetryPolicy, ServeConfig, Server};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Concurrent identical requests in the dedup burst.
+const BURST: usize = 8;
+
+/// Sequential cached repeats timed for the latency distribution.
+const REPEATS: usize = 20;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("amos-record-serve-{tag}-{}", std::process::id()))
+}
+
+fn one_shot() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 1,
+        ..RetryPolicy::default()
+    }
+}
+
+fn explore_req(deadline_ms: Option<u64>) -> Request {
+    Request::Explore(ExploreRequest {
+        spec: "gmm:64x64x64".into(),
+        accel: None,
+        seed: None,
+        deadline_ms,
+        max_evaluations: None,
+        max_measurements: None,
+    })
+}
+
+fn start(config: ServeConfig) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
+    let socket = config.socket.clone();
+    let server = Server::bind(config).expect("bind amosd");
+    let handle = std::thread::spawn(move || server.run());
+    (socket, handle)
+}
+
+fn drain(socket: &Path, handle: std::thread::JoinHandle<Result<(), String>>) {
+    let (resp, _) = client::submit(socket, &Request::Drain, &one_shot()).expect("drain");
+    assert_eq!(resp, Response::Drained);
+    handle.join().unwrap().expect("daemon must exit cleanly");
+}
+
+fn server_stats(socket: &Path) -> amos_serve::ServerStats {
+    match client::submit(socket, &Request::Stats, &one_shot())
+        .unwrap()
+        .0
+    {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+struct Sample {
+    requests: usize,
+    answered: usize,
+    dedup_candidates: u64,
+    dedup_joined: u64,
+    repeat_requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Sample {
+    fn dedup_ratio(&self) -> f64 {
+        if self.dedup_candidates == 0 {
+            return 1.0;
+        }
+        self.dedup_joined as f64 / self.dedup_candidates as f64
+    }
+}
+
+/// A synchronized burst of identical requests against a search far slower
+/// than their shared deadline: every request must be answered, and all but
+/// the flight owner should join the owner's exploration.
+fn measure_dedup() -> (usize, usize, u64, u64) {
+    let socket = tmp_path("dedup.sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut config = ServeConfig::new(&socket);
+    config.base = ExplorerConfig {
+        generations: 1_000_000,
+        population: 8,
+        survivors: 4,
+        measure_top: 2,
+        seed: 11,
+        jobs: 1,
+        ..ExplorerConfig::default()
+    };
+    config.grace_ms = 10_000;
+    let (socket, handle) = start(config);
+
+    let mut threads = Vec::new();
+    for _ in 0..BURST {
+        let socket = socket.clone();
+        threads.push(std::thread::spawn(move || {
+            client::submit(&socket, &explore_req(Some(1_000)), &one_shot())
+                .expect("submit")
+                .0
+        }));
+    }
+    let answered = threads
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .filter(|r| matches!(r, Response::Ok(_)))
+        .count();
+    let stats = server_stats(&socket);
+    drain(&socket, handle);
+    (BURST, answered, (BURST - 1) as u64, stats.dedup_joined)
+}
+
+/// One cold exploration to populate the disk tier, then timed sequential
+/// repeats — each a full socket round-trip answered from cache.
+fn measure_latency() -> (usize, f64, f64) {
+    let socket = tmp_path("latency.sock");
+    let cache_dir = tmp_path("latency-cache");
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut config = ServeConfig::new(&socket);
+    config.base = ExplorerConfig {
+        population: 6,
+        generations: 2,
+        survivors: 3,
+        measure_top: 2,
+        seed: 11,
+        jobs: 1,
+        ..ExplorerConfig::default()
+    };
+    config.cache_dir = Some(cache_dir.clone());
+    let (socket, handle) = start(config);
+
+    let (cold, _) = client::submit(&socket, &explore_req(None), &one_shot()).expect("cold");
+    assert!(matches!(cold, Response::Ok(_)), "{cold:?}");
+
+    let mut latencies_ms: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let started = Instant::now();
+            let (resp, _) =
+                client::submit(&socket, &explore_req(None), &one_shot()).expect("repeat");
+            assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = latencies_ms[REPEATS / 2];
+    let p99 = latencies_ms[REPEATS - 1];
+
+    drain(&socket, handle);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    (REPEATS, p50, p99)
+}
+
+fn measure() -> Sample {
+    let (requests, answered, dedup_candidates, dedup_joined) = measure_dedup();
+    let (repeat_requests, p50_ms, p99_ms) = measure_latency();
+    Sample {
+        requests,
+        answered,
+        dedup_candidates,
+        dedup_joined,
+        repeat_requests,
+        p50_ms,
+        p99_ms,
+    }
+}
+
+/// Path of the committed trajectory file: the repository root, two levels
+/// above this crate's manifest.
+fn trajectory_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+fn render_json(s: &Sample) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"workload\": \"gmm:64x64x64 on v100 via amosd over a unix socket\",\n");
+    out.push_str(&format!("  \"requests\": {},\n", s.requests));
+    out.push_str(&format!("  \"answered\": {},\n", s.answered));
+    out.push_str(&format!(
+        "  \"dedup_candidates\": {},\n",
+        s.dedup_candidates
+    ));
+    out.push_str(&format!("  \"dedup_joined\": {},\n", s.dedup_joined));
+    out.push_str(&format!("  \"dedup_ratio\": {:.3},\n", s.dedup_ratio()));
+    out.push_str(&format!("  \"repeat_requests\": {},\n", s.repeat_requests));
+    out.push_str(&format!("  \"p50_ms\": {:.3},\n", s.p50_ms));
+    out.push_str(&format!("  \"p99_ms\": {:.3}\n", s.p99_ms));
+    out.push_str("}\n");
+    out
+}
+
+/// The floors a sample must clear, recorded or live. These are structural
+/// facts about the service, not machine-speed figures.
+fn enforce_floors(tag: &str, requests: f64, answered: f64, dedup_ratio: f64, p50_ms: f64) {
+    if answered < requests {
+        eprintln!("FAIL: {tag} answered {answered:.0} of {requests:.0} requests");
+        std::process::exit(1);
+    }
+    if dedup_ratio < 0.5 {
+        eprintln!("FAIL: {tag} dedup ratio {dedup_ratio:.3} is below the 0.5 floor");
+        std::process::exit(1);
+    }
+    if p50_ms >= 500.0 {
+        eprintln!(
+            "FAIL: {tag} cached-repeat p50 {p50_ms:.1} ms — repeats are not being served \
+             from cache (floor: 500 ms)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn record() {
+    let sample = measure();
+    let json = render_json(&sample);
+    let path = trajectory_path();
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {}:\n{json}", path.display());
+}
+
+fn check() {
+    let path = trajectory_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let (Some(schema), Some(requests), Some(answered), Some(ratio), Some(p50), Some(p99)) = (
+        json_number(&text, "schema"),
+        json_number(&text, "requests"),
+        json_number(&text, "answered"),
+        json_number(&text, "dedup_ratio"),
+        json_number(&text, "p50_ms"),
+        json_number(&text, "p99_ms"),
+    ) else {
+        eprintln!("FAIL: {} is malformed (missing keys)", path.display());
+        std::process::exit(1);
+    };
+    assert_eq!(schema, 1.0, "unknown trajectory schema");
+    enforce_floors("recorded", requests, answered, ratio, p50);
+    let live = measure();
+    println!(
+        "recorded dedup ratio {ratio:.3}, live {:.3} ({} joined of {} candidates)",
+        live.dedup_ratio(),
+        live.dedup_joined,
+        live.dedup_candidates
+    );
+    println!(
+        "recorded cached-repeat p50 {p50:.2} ms / p99 {p99:.2} ms, live p50 {:.2} ms / p99 {:.2} ms",
+        live.p50_ms, live.p99_ms
+    );
+    enforce_floors(
+        "live",
+        live.requests as f64,
+        live.answered as f64,
+        live.dedup_ratio(),
+        live.p50_ms,
+    );
+    println!("OK: trajectory file is well-formed; dedup and the cached fast path still hold");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => record(),
+        Some("--check") if args.len() == 1 => check(),
+        _ => {
+            eprintln!("usage: record_serve [--check]");
+            std::process::exit(2);
+        }
+    }
+}

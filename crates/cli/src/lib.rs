@@ -20,6 +20,10 @@
 //! amos accel derive <isa-file> [--out FILE]
 //!                                 run the §4.1 derivation pass on a primitive
 //!                                 ISA description, print the accelerator file
+//! amos serve  --socket PATH [--workers N] [--queue N] [--grace-ms N]
+//!                                 run amosd, the compilation service
+//! amos submit <spec|ping|stats|drain> --socket PATH [--deadline-ms N]
+//!                                 send one request to a running amosd
 //! ```
 //!
 //! Operator specs are `family:dims`, e.g. `gmm:512x512x256`,
@@ -44,13 +48,23 @@
 //! directory can only cost time, never change an answer. `amos cache stats`
 //! and `amos cache clear` inspect and empty such a directory.
 //!
-//! `--deadline-ms N` and `--max-measurements N` bound the exploration the
-//! `explore`/`ir`/`cuda` commands run (wall-clock milliseconds and
-//! ground-truth timing simulations, respectively). A run that hits a limit —
-//! or that quarantined panicking candidates — still prints its best-so-far
+//! `--deadline-ms N`, `--max-measurements N` and `--max-evaluations N`
+//! bound the exploration the `explore`/`ir`/`cuda` commands run
+//! (wall-clock milliseconds, ground-truth timing simulations, and screened
+//! candidate evaluations, respectively). A run that hits a limit — or that
+//! quarantined panicking candidates — still prints its best-so-far
 //! mapping, reports the completion state, and exits with status 3 instead
 //! of 0 so scripts can tell a truncated answer from a complete one
-//! (usage and compilation errors stay exit status 2).
+//! (usage and compilation errors stay exit status 2). Ctrl-C takes the
+//! same path: long `explore`/`network` runs route SIGINT through the
+//! cooperative cancel token, print the best-so-far report with a
+//! `cancelled` completion, and exit 3 instead of dying mid-search.
+//! `--generations N` overrides the search depth of `explore` (and the
+//! base depth of `serve`).
+//!
+//! A malformed `AMOS_JOBS` environment value (anything but a positive
+//! integer) is rejected up front as a usage error — never silently
+//! ignored.
 //!
 //! Unknown flags and trailing arguments are rejected. All compilation runs
 //! through the shared [`amos_core::Engine`]; failures surface as
@@ -60,7 +74,7 @@
 #![warn(missing_docs)]
 
 use amos_core::{
-    load_registry, AmosError, Budget, CacheConfig, Completion, Engine, ExplorerConfig,
+    load_registry, AmosError, Budget, CacheConfig, CancelToken, Completion, Engine, ExplorerConfig,
     MappingGenerator,
 };
 use amos_hw::desc::{AcceleratorDesc, IterDesc, MemoryDesc, OperandDesc};
@@ -115,6 +129,54 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Ctrl-C plumbing for the binary: SIGINT raises a process-wide flag from
+/// the (async-signal-safe) handler, and a watcher thread turns the flag
+/// into a cooperative [`CancelToken`] cancellation — the exploration stops
+/// at its next generation boundary with its best-so-far answer instead of
+/// the process dying mid-search.
+pub mod sigint {
+    use amos_core::CancelToken;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // The only thing safe (and needed) in a signal handler: one store.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    /// Installs the SIGINT handler and returns the token it cancels.
+    /// Call once from `main`; the watcher thread is detached and dies with
+    /// the process.
+    pub fn install() -> CancelToken {
+        let token = CancelToken::new();
+        // SAFETY: `on_sigint` only performs an atomic store, which is
+        // async-signal-safe; replacing the default SIGINT disposition is
+        // the entire point.
+        unsafe {
+            signal(
+                SIGINT,
+                on_sigint as extern "C" fn(i32) as *const () as usize,
+            );
+        }
+        let watched = token.clone();
+        std::thread::spawn(move || loop {
+            if INTERRUPTED.load(Ordering::SeqCst) {
+                watched.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+        token
+    }
+}
+
 /// Parses an accelerator name through the built-in [`Registry`]. The CLI
 /// itself resolves through the `--accel-dir`-aware merged registry; this
 /// stays as the catalog-only entry point for embedders.
@@ -133,169 +195,11 @@ fn resolve_accelerator(registry: &Registry, name: &str) -> Result<AcceleratorSpe
     })
 }
 
-/// Parses `key1,key2,...` dims like `n16,c64,k64,p56,q56,r3,s3,st1` into
-/// (key, value) pairs.
-fn parse_kv(dims: &str) -> Result<Vec<(String, i64)>, CliError> {
-    dims.split(',')
-        .map(|part| {
-            let split = part
-                .find(|c: char| c.is_ascii_digit() || c == '-')
-                .ok_or_else(|| err(format!("malformed dimension `{part}`")))?;
-            let (key, val) = part.split_at(split);
-            let v: i64 = val
-                .parse()
-                .map_err(|_| err(format!("bad number in `{part}`")))?;
-            Ok((key.to_string(), v))
-        })
-        .collect()
-}
-
-fn get(kv: &[(String, i64)], key: &str, default: i64) -> i64 {
-    kv.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| *v)
-        .unwrap_or(default)
-}
-
-/// Parses an `MxNx...` dimension list.
-fn parse_x(dims: &str, expect: usize) -> Result<Vec<i64>, CliError> {
-    let vals: Result<Vec<i64>, _> = dims.split('x').map(str::parse).collect();
-    let vals = vals.map_err(|_| err(format!("bad dimensions `{dims}`")))?;
-    if vals.len() != expect {
-        return Err(err(format!(
-            "expected {expect} `x`-separated dimensions, got {}",
-            vals.len()
-        )));
-    }
-    Ok(vals)
-}
-
-/// Parses an operator spec (`family:dims`) into a computation.
+/// Parses an operator spec (`family:dims`) into a computation. The grammar
+/// lives in [`amos_workloads::spec`] so `amosd` accepts the same specs over
+/// the wire.
 pub fn parse_op(spec: &str) -> Result<ComputeDef, CliError> {
-    let (family, dims) = spec
-        .split_once(':')
-        .ok_or_else(|| err("operator spec must be `family:dims`, e.g. gmm:512x512x256"))?;
-    match family.to_lowercase().as_str() {
-        "gmm" => {
-            let d = parse_x(dims, 3)?;
-            Ok(ops::gmm(d[0], d[1], d[2]))
-        }
-        "gmv" => {
-            let d = parse_x(dims, 2)?;
-            Ok(ops::gmv(d[0], d[1]))
-        }
-        "scn" => {
-            let d = parse_x(dims, 2)?;
-            Ok(ops::scn(d[0], d[1]))
-        }
-        "men" => {
-            let d = parse_x(dims, 2)?;
-            Ok(ops::men(d[0], d[1]))
-        }
-        "c2d" => {
-            let kv = parse_kv(dims)?;
-            Ok(ops::c2d(ops::ConvShape {
-                n: get(&kv, "n", 1),
-                c: get(&kv, "c", 64),
-                k: get(&kv, "k", 64),
-                p: get(&kv, "p", 28),
-                q: get(&kv, "q", get(&kv, "p", 28)),
-                r: get(&kv, "r", 3),
-                s: get(&kv, "s", get(&kv, "r", 3)),
-                stride: get(&kv, "st", 1),
-            }))
-        }
-        "dep" => {
-            let kv = parse_kv(dims)?;
-            let p = get(&kv, "p", 28);
-            let r = get(&kv, "r", 3);
-            Ok(ops::dep(get(&kv, "n", 1), get(&kv, "c", 64), p, p, r, r))
-        }
-        "c3d" => {
-            let kv = parse_kv(dims)?;
-            Ok(ops::c3d(
-                get(&kv, "n", 1),
-                get(&kv, "c", 8),
-                get(&kv, "k", 8),
-                get(&kv, "d", 6),
-                get(&kv, "p", 6),
-                get(&kv, "q", get(&kv, "p", 6)),
-                3,
-                3,
-                3,
-            ))
-        }
-        "c1d" => {
-            let kv = parse_kv(dims)?;
-            Ok(ops::c1d(
-                get(&kv, "n", 1),
-                get(&kv, "c", 64),
-                get(&kv, "k", 64),
-                get(&kv, "q", 256),
-                get(&kv, "s", 3),
-                get(&kv, "st", 1),
-            ))
-        }
-        "t2d" => {
-            let kv = parse_kv(dims)?;
-            let h = get(&kv, "h", 7);
-            let r = get(&kv, "r", 3);
-            Ok(ops::t2d(
-                get(&kv, "n", 1),
-                get(&kv, "c", 8),
-                get(&kv, "k", 8),
-                h,
-                get(&kv, "w", h),
-                r,
-                r,
-            ))
-        }
-        "bcv" => {
-            let kv = parse_kv(dims)?;
-            let p = get(&kv, "p", 14);
-            let r = get(&kv, "r", 3);
-            Ok(ops::bcv(
-                get(&kv, "n", 8),
-                get(&kv, "c", 16),
-                get(&kv, "k", 16),
-                p,
-                p,
-                r,
-                r,
-            ))
-        }
-        "gfc" => {
-            let kv = parse_kv(dims)?;
-            Ok(ops::gfc(
-                get(&kv, "b", 16),
-                get(&kv, "g", 4),
-                get(&kv, "k", 64),
-                get(&kv, "c", 64),
-            ))
-        }
-        "var" => {
-            let d = parse_x(dims, 2)?;
-            Ok(ops::var(d[0], d[1]))
-        }
-        "grp" => {
-            let kv = parse_kv(dims)?;
-            let p = get(&kv, "p", 14);
-            let r = get(&kv, "r", 3);
-            Ok(ops::grp(
-                get(&kv, "n", 1),
-                get(&kv, "g", 4),
-                get(&kv, "c", 16),
-                get(&kv, "k", 16),
-                p,
-                p,
-                r,
-                r,
-            ))
-        }
-        other => Err(err(format!(
-            "unknown operator family `{other}`; known: gmm, gmv, c1d, c2d, c3d, t2d, dep, grp, bcv, gfc, men, var, scn"
-        ))),
-    }
+    amos_workloads::spec::parse_spec(spec).map_err(err)
 }
 
 /// Simple flag extraction: removes `--flag value` pairs from the arg list.
@@ -321,6 +225,16 @@ pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     } else {
         false
     }
+}
+
+/// `take_flag` + parse, with a uniform `bad --flag` error.
+fn take_parsed_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, CliError> {
+    take_flag(args, flag)?
+        .map(|s| s.parse::<T>().map_err(|_| err(format!("bad {flag}"))))
+        .transpose()
 }
 
 /// Rejects anything left over once the command and its positional arguments
@@ -577,26 +491,36 @@ fn run_accel(
 /// on success reports whether the answer is complete or a best-so-far
 /// from a truncated/degraded exploration (see [`RunStatus`]).
 pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, CliError> {
+    run_with_cancel(args, out, None)
+}
+
+/// [`run`] with a cooperative cancellation token (the binary passes the
+/// [`sigint`] token so Ctrl-C degrades long explorations instead of
+/// killing them).
+pub fn run_with_cancel(
+    args: &[String],
+    out: &mut impl std::io::Write,
+    cancel: Option<CancelToken>,
+) -> Result<RunStatus, CliError> {
+    // A malformed AMOS_JOBS is rejected before any verb runs — a silent
+    // fallback here would quietly change wall-clock behavior on every
+    // machine with a typo in its environment.
+    amos_core::amos_jobs_override().map_err(err)?;
     let mut args: Vec<String> = args.to_vec();
-    let accel_name = take_flag(&mut args, "--accel")?.unwrap_or_else(|| "v100".to_string());
+    let accel_flag = take_flag(&mut args, "--accel")?;
+    let accel_name = accel_flag.clone().unwrap_or_else(|| "v100".to_string());
     // Accelerator data files layered over the built-in catalog; every verb
     // resolves machine names against the merged registry.
     let accel_dir: Option<PathBuf> = take_flag(&mut args, "--accel-dir")?.map(PathBuf::from);
     let registry = load_registry(accel_dir.as_deref()).map_err(|e| err(e.to_string()))?;
-    let seed: u64 = take_flag(&mut args, "--seed")?
-        .map(|s| s.parse().map_err(|_| err("bad --seed")))
-        .transpose()?
-        .unwrap_or(2022);
-    let batch: i64 = take_flag(&mut args, "--batch")?
-        .map(|s| s.parse().map_err(|_| err("bad --batch")))
-        .transpose()?
-        .unwrap_or(1);
+    let seed_flag: Option<u64> = take_parsed_flag(&mut args, "--seed")?;
+    let seed: u64 = seed_flag.unwrap_or(2022);
+    let batch: i64 = take_parsed_flag(&mut args, "--batch")?.unwrap_or(1);
     // Worker threads for exploration; 0 (the default) means one per CPU.
     // The result is bit-identical for every value — only wall clock changes.
-    let jobs: usize = take_flag(&mut args, "--jobs")?
-        .map(|s| s.parse().map_err(|_| err("bad --jobs")))
-        .transpose()?
-        .unwrap_or(0);
+    let jobs: usize = take_parsed_flag(&mut args, "--jobs")?.unwrap_or(0);
+    // Search depth override for `explore` and the `serve` base config.
+    let generations: Option<usize> = take_parsed_flag(&mut args, "--generations")?;
     // Optional on-disk cache tier: explorations are persisted here and
     // re-validated on load, so reruns skip straight to the answer.
     let cache_dir: Option<PathBuf> = take_flag(&mut args, "--cache-dir")?.map(PathBuf::from);
@@ -606,13 +530,9 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
     // Exploration limits: the run stops cooperatively at the next generation
     // boundary, keeps its best-so-far, and exits with status 3 (degraded).
     let budget = Budget {
-        deadline_ms: take_flag(&mut args, "--deadline-ms")?
-            .map(|s| s.parse().map_err(|_| err("bad --deadline-ms")))
-            .transpose()?,
-        max_measurements: take_flag(&mut args, "--max-measurements")?
-            .map(|s| s.parse().map_err(|_| err("bad --max-measurements")))
-            .transpose()?,
-        ..Budget::default()
+        deadline_ms: take_parsed_flag(&mut args, "--deadline-ms")?,
+        max_measurements: take_parsed_flag(&mut args, "--max-measurements")?,
+        max_evaluations: take_parsed_flag(&mut args, "--max-evaluations")?,
     };
 
     let io = |e: std::io::Error| err(format!("io error: {e}"));
@@ -676,6 +596,8 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
                     seed,
                     jobs,
                     budget,
+                    generations: generations.unwrap_or(ExplorerConfig::default().generations),
+                    cancel: cancel.clone(),
                     ..ExplorerConfig::default()
                 },
                 cache_config,
@@ -759,8 +681,14 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             // order-independent cold baseline.
             let warm_start = take_switch(&mut args, "--warm-start");
             reject_extras(&args, 2)?;
-            let engine = Engine::with_cache(ExplorerConfig::default(), cache_config)
-                .with_registry(registry);
+            let engine = Engine::with_cache(
+                ExplorerConfig {
+                    cancel: cancel.clone(),
+                    ..ExplorerConfig::default()
+                },
+                cache_config,
+            )
+            .with_registry(registry);
             let accel = engine
                 .accelerator(&accel_name)
                 .map_err(|e| err(e.to_string()))?;
@@ -801,6 +729,14 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
                 amos.sim_failures
             )
             .map_err(io)?;
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                writeln!(
+                    out,
+                    "  completion: cancelled — interrupted layers report their best-so-far mapping"
+                )
+                .map_err(io)?;
+                return Ok(RunStatus::Degraded);
+            }
             Ok(RunStatus::Complete)
         }
         Some("cache") => {
@@ -843,6 +779,97 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
             writeln!(out, "  chunks  : {}", stats.chunks).map_err(io)?;
             Ok(RunStatus::Complete)
         }
+        Some("serve") => {
+            let socket = take_flag(&mut args, "--socket")?
+                .ok_or_else(|| err("serve needs --socket PATH"))?;
+            let workers: usize = take_parsed_flag(&mut args, "--workers")?.unwrap_or(2);
+            let queue: usize =
+                take_parsed_flag(&mut args, "--queue")?.unwrap_or(2 * workers.max(1));
+            let grace_ms: u64 = take_parsed_flag(&mut args, "--grace-ms")?.unwrap_or(2_000);
+            let default_deadline_ms: u64 =
+                take_parsed_flag(&mut args, "--default-deadline-ms")?.unwrap_or(10_000);
+            let retry_after_ms: u64 =
+                take_parsed_flag(&mut args, "--retry-after-ms")?.unwrap_or(200);
+            reject_extras(&args, 1)?;
+            let mut config = amos_serve::ServeConfig::new(&socket);
+            config.workers = workers;
+            config.queue = queue;
+            config.grace_ms = grace_ms;
+            config.default_deadline_ms = default_deadline_ms;
+            config.retry_after_ms = retry_after_ms;
+            config.default_accel = accel_name.clone();
+            config.seed = seed;
+            config.base = ExplorerConfig {
+                seed,
+                jobs,
+                generations: generations.unwrap_or(ExplorerConfig::default().generations),
+                ..ExplorerConfig::default()
+            };
+            config.cache_dir = cache_dir.clone();
+            config.accel_dir = accel_dir.clone();
+            let server = amos_serve::Server::bind(config).map_err(err)?;
+            writeln!(out, "amosd listening on {socket}").map_err(io)?;
+            out.flush().map_err(io)?;
+            server.run().map_err(err)?;
+            writeln!(out, "amosd drained").map_err(io)?;
+            Ok(RunStatus::Complete)
+        }
+        Some("submit") => {
+            let socket = take_flag(&mut args, "--socket")?
+                .ok_or_else(|| err("submit needs --socket PATH"))?;
+            let retries: u32 = take_parsed_flag(&mut args, "--retries")?.unwrap_or(4);
+            let retry_base_ms: u64 =
+                take_parsed_flag(&mut args, "--retry-base-ms")?.unwrap_or(50);
+            let what = args
+                .get(1)
+                .ok_or_else(|| err("submit needs an operator spec (or ping, stats, drain)"))?
+                .clone();
+            reject_extras(&args, 2)?;
+            let request = match what.as_str() {
+                "ping" => amos_serve::Request::Ping,
+                "stats" => amos_serve::Request::Stats,
+                "drain" => amos_serve::Request::Drain,
+                spec => amos_serve::Request::Explore(amos_serve::ExploreRequest {
+                    spec: spec.to_string(),
+                    accel: accel_flag.clone(),
+                    seed: seed_flag,
+                    deadline_ms: budget.deadline_ms,
+                    max_evaluations: budget.max_evaluations.map(|n| n as u64),
+                    max_measurements: budget.max_measurements.map(|n| n as u64),
+                }),
+            };
+            let policy = amos_serve::RetryPolicy {
+                attempts: retries.max(1),
+                base_ms: retry_base_ms,
+                max_ms: 2_000,
+                jitter_seed: seed,
+            };
+            let (response, raw) =
+                amos_serve::client::submit(Path::new(&socket), &request, &policy)
+                    .map_err(|e| err(e.to_string()))?;
+            // The raw response line goes to stdout verbatim: it is the
+            // bit-identity anchor scripts compare across duplicate submits.
+            writeln!(out, "{raw}").map_err(io)?;
+            match response {
+                amos_serve::Response::Ok(r) if r.completion == "finished" => {
+                    Ok(RunStatus::Complete)
+                }
+                amos_serve::Response::Ok(_) => Ok(RunStatus::Degraded),
+                amos_serve::Response::Pong { .. }
+                | amos_serve::Response::Stats(_)
+                | amos_serve::Response::Drained => Ok(RunStatus::Complete),
+                amos_serve::Response::Overloaded { retry_after_ms } => Err(err(format!(
+                    "amosd overloaded after {retries} attempts (retry_after_ms {retry_after_ms})"
+                ))),
+                amos_serve::Response::Draining => {
+                    Err(err("amosd is draining and admits no new work"))
+                }
+                amos_serve::Response::Timeout { waited_ms } => Err(err(format!(
+                    "request timed out after {waited_ms} ms (deadline + grace)"
+                ))),
+                amos_serve::Response::Error { message } => Err(err(message)),
+            }
+        }
         Some("accel") => run_accel(&mut args, &registry, out),
         Some("table6") => {
             reject_extras(&args, 1)?;
@@ -861,7 +888,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<RunStatus, 
         }
         Some(other) => Err(err(format!("unknown command `{other}`"))),
         None => Err(err(
-            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache|pool|accel> [args] [--accel NAME] [--accel-dir DIR] [--seed N] [--batch N] [--jobs N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--warm-start] [--list-accels]",
+            "usage: amos <ops|accels|mappings|explore|ir|cuda|table6|network|cache|pool|accel|serve|submit> [args] [--accel NAME] [--accel-dir DIR] [--seed N] [--batch N] [--jobs N] [--generations N] [--cache-dir DIR] [--deadline-ms N] [--max-measurements N] [--max-evaluations N] [--warm-start] [--list-accels]",
         )),
     }
 }
@@ -1041,6 +1068,77 @@ mod tests {
         let out = run_to_string(&["cache", "clear", "--cache-dir", dir_arg]).unwrap();
         assert!(out.contains("removed 0 entries"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pins the exact `cache stats` output shape for the L2 tier: the
+    /// label column and the entry/byte counts scripts grep for.
+    #[test]
+    fn cache_stats_output_shape_is_pinned() {
+        let dir = std::env::temp_dir().join(format!("amos-cli-statspin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.amosc"), b"0123456789").unwrap();
+        std::fs::write(dir.join("b.amosc"), b"01234").unwrap();
+        std::fs::write(dir.join("ignored.txt"), b"not a cache entry").unwrap();
+        let out = run_to_string(&["cache", "stats", "--cache-dir", dir.to_str().unwrap()]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert_eq!(lines[0], format!("cache dir: {}", dir.display()), "{out}");
+        assert_eq!(
+            lines[1],
+            format!("salt     : {}", amos_core::cache_salt()),
+            "{out}"
+        );
+        assert_eq!(lines[2], "entries  : 2", "{out}");
+        assert_eq!(lines[3], "bytes    : 15", "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generations_flag_bounds_the_search() {
+        let (status, out) =
+            run_with_status(&["explore", "gmm:64x64x64", "--generations", "1"]).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert!(out.contains("best       : [i1, i2, r1]"), "{out}");
+        let e = run_to_string(&["explore", "gmm:64x64x64", "--generations", "x"]).unwrap_err();
+        assert!(e.to_string().contains("bad --generations"), "{e}");
+    }
+
+    #[test]
+    fn a_cancelled_token_degrades_explore_with_best_so_far() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let args: Vec<String> = ["explore", "gmm:64x64x64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut buf = Vec::new();
+        let status = run_with_cancel(&args, &mut buf, Some(cancel)).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(out.contains("best       : [i1, i2, r1]"), "{out}");
+        assert!(out.contains("completion       : cancelled"), "{out}");
+    }
+
+    #[test]
+    fn submit_usage_errors_are_clear() {
+        let e = run_to_string(&["submit", "gmm:64x64x64"]).unwrap_err();
+        assert!(e.to_string().contains("--socket"), "{e}");
+        let e = run_to_string(&["submit", "--socket", "/tmp/x.sock"]).unwrap_err();
+        assert!(e.to_string().contains("operator spec"), "{e}");
+        let e = run_to_string(&["serve"]).unwrap_err();
+        assert!(e.to_string().contains("--socket"), "{e}");
+        // An unreachable daemon is a connect error after bounded retries.
+        let e = run_to_string(&[
+            "submit",
+            "ping",
+            "--socket",
+            "/tmp/amos-no-daemon-here.sock",
+            "--retries",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("cannot reach amosd"), "{e}");
     }
 
     #[test]

@@ -2,12 +2,17 @@
 //!
 //! Exit status: 0 on success, 2 on usage/compilation errors, 3 when the
 //! run produced a best-so-far answer but the exploration was truncated by
-//! a budget limit or degraded by quarantined candidates.
+//! a budget limit, interrupted by Ctrl-C, or degraded by quarantined
+//! candidates.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
-    match amos_cli::run(&args, &mut stdout) {
+    // Ctrl-C cancels the running exploration cooperatively: the best-so-far
+    // report is printed with a `cancelled` completion and the exit status
+    // is 3, the same contract as a budget-truncated run.
+    let cancel = amos_cli::sigint::install();
+    match amos_cli::run_with_cancel(&args, &mut stdout, Some(cancel)) {
         Ok(amos_cli::RunStatus::Complete) => {}
         Ok(amos_cli::RunStatus::Degraded) => std::process::exit(3),
         Err(e) => {

@@ -1,0 +1,44 @@
+//! `AMOS_JOBS` is a contract, not a hint: a malformed value is rejected up
+//! front with a clear error (exit 2), never silently ignored.
+
+use std::process::Command;
+
+fn amos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_amos"))
+}
+
+#[test]
+fn invalid_amos_jobs_is_rejected_with_a_clear_error() {
+    for bad in ["abc", "0", "-1", "4.5", ""] {
+        let out = amos()
+            .args(["ops"])
+            .env("AMOS_JOBS", bad)
+            .output()
+            .expect("run amos");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "AMOS_JOBS={bad:?} must be a usage error"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("invalid AMOS_JOBS") && err.contains("positive integer"),
+            "AMOS_JOBS={bad:?} must name the variable and the expected shape: {err}"
+        );
+    }
+}
+
+#[test]
+fn valid_amos_jobs_is_accepted() {
+    let out = amos()
+        .args(["ops"])
+        .env("AMOS_JOBS", "2")
+        .output()
+        .expect("run amos");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gmm"));
+}

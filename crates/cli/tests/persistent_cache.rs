@@ -88,3 +88,85 @@ fn second_process_answers_from_disk_bit_identically() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Strips the process-local instrumentation counters (how much work THIS
+/// process did, which legitimately differs between a cold explorer and a
+/// disk-served one), leaving the answer lines that must be bit-identical.
+fn answer_lines(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| !l.starts_with("exploration      :") && !l.starts_with("screening        :"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Two processes racing to explore the same operator into one cache
+/// directory: writes are atomic renames, so both must succeed, agree bit
+/// for bit, and leave a readable entry that a third process answers from
+/// with zero cold explorations.
+#[test]
+fn concurrent_writers_to_one_cache_dir_both_succeed() {
+    let dir = tmp_dir("write-race");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().unwrap().to_string();
+
+    let spawn = |dir_arg: &str| {
+        amos()
+            .args([
+                "explore",
+                "gmm:128x128x128",
+                "--cache-dir",
+                dir_arg,
+                "--jobs",
+                "1",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn amos explore")
+    };
+    // Start both before waiting on either so their explorations overlap and
+    // both reach the L2 publish step for the same fingerprint.
+    let a = spawn(&dir_arg);
+    let b = spawn(&dir_arg);
+    let a = a.wait_with_output().unwrap();
+    let b = b.wait_with_output().unwrap();
+    for out in [&a, &b] {
+        assert!(
+            out.status.success(),
+            "racing writer failed ({:?}): {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        answer_lines(&String::from_utf8_lossy(&a.stdout)),
+        answer_lines(&String::from_utf8_lossy(&b.stdout)),
+        "racing writers must print identical answers"
+    );
+
+    // The race left at least one valid entry and no torn files visible to
+    // `cache stats` (temp files are dot-prefixed and not counted).
+    let stats = run_ok(amos().args(["cache", "stats", "--cache-dir", &dir_arg]));
+    assert!(
+        !stats.contains("entries  : 0"),
+        "the winning write must persist: {stats}"
+    );
+
+    // A third process is answered entirely from the raced-on entry.
+    let warm = run_ok(amos().args([
+        "explore",
+        "gmm:128x128x128",
+        "--cache-dir",
+        &dir_arg,
+        "--jobs",
+        "1",
+    ]));
+    assert_eq!(
+        answer_lines(&String::from_utf8_lossy(&a.stdout)),
+        answer_lines(&warm),
+        "disk-served repeat must be bit-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

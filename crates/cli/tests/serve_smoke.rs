@@ -1,0 +1,225 @@
+//! End-to-end smoke of `amos serve` / `amos submit` as real processes over
+//! a Unix socket: concurrent duplicate submits share one exploration
+//! bit-identically, zero capacity sheds with exit 2, `kill -9` plus restart
+//! answers repeats from the disk cache with no cold miss, and `drain`
+//! shuts the daemon down cleanly.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn amos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_amos"))
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("amos-smoke-{tag}-{}", std::process::id()))
+}
+
+/// Kills the daemon on drop so a failing assertion never leaks a process.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server(socket: &std::path::Path, extra: &[&str]) -> Daemon {
+    let mut cmd = amos();
+    cmd.args(["serve", "--socket", socket.to_str().unwrap()])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn amos serve");
+    // Readiness: the client retries connect failures with back-off, so a
+    // single ping call doubles as the readiness poll.
+    let ping = amos()
+        .args([
+            "submit",
+            "ping",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--retries",
+            "8",
+            "--retry-base-ms",
+            "50",
+        ])
+        .output()
+        .expect("run amos submit ping");
+    assert!(
+        ping.status.success(),
+        "daemon did not come up: {}",
+        String::from_utf8_lossy(&ping.stderr)
+    );
+    Daemon(child)
+}
+
+fn submit(socket: &std::path::Path, args: &[&str]) -> Output {
+    amos()
+        .args(["submit", "--socket", socket.to_str().unwrap()])
+        .args(args)
+        .output()
+        .expect("run amos submit")
+}
+
+fn stats_line(socket: &std::path::Path) -> String {
+    let out = submit(socket, &["stats"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn drain(socket: &std::path::Path, daemon: &mut Daemon) {
+    let out = submit(socket, &["drain"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = daemon.0.wait().expect("wait for drained daemon");
+    assert!(
+        status.success(),
+        "drained daemon must exit 0, got {status:?}"
+    );
+    assert!(!socket.exists(), "drain must remove the socket file");
+}
+
+/// Four concurrent duplicate submits against a deliberately slow search
+/// (bounded by their shared deadline) must join one flight: the daemon
+/// explores once and every client prints the byte-identical response line.
+#[test]
+fn concurrent_duplicate_submits_share_one_exploration() {
+    let socket = tmp_path("dedup.sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = spawn_server(&socket, &["--generations", "100000", "--jobs", "1"]);
+
+    let started = Instant::now();
+    let children: Vec<Child> = (0..4)
+        .map(|_| {
+            amos()
+                .args([
+                    "submit",
+                    "gmm:64x64x64",
+                    "--socket",
+                    socket.to_str().unwrap(),
+                    "--deadline-ms",
+                    "1500",
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn amos submit")
+        })
+        .collect();
+    let outputs: Vec<Output> = children
+        .into_iter()
+        .map(|c| c.wait_with_output().unwrap())
+        .collect();
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "deadline + grace must bound every submit"
+    );
+
+    for out in &outputs {
+        // Deadline-truncated answers are degraded (exit 3), a finished one
+        // would be 0; anything else means a client saw an error.
+        assert!(
+            matches!(out.status.code(), Some(0) | Some(3)),
+            "submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let first = String::from_utf8_lossy(&outputs[0].stdout).into_owned();
+    for out in &outputs {
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            first,
+            "duplicate submits must print identical bytes"
+        );
+    }
+    let stats = stats_line(&socket);
+    assert!(stats.contains("\"explored\":1"), "{stats}");
+    assert!(stats.contains("\"dedup_joined\":3"), "{stats}");
+
+    drain(&socket, &mut daemon);
+}
+
+/// A zero-capacity daemon sheds every explore with a typed `Overloaded`
+/// carrying the retry hint; the client backs off, re-tries, and finally
+/// reports overload with exit 2.
+#[test]
+fn zero_capacity_daemon_sheds_and_submit_exits_2() {
+    let socket = tmp_path("shed.sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = spawn_server(
+        &socket,
+        &["--workers", "0", "--queue", "0", "--retry-after-ms", "60"],
+    );
+
+    let out = submit(
+        &socket,
+        &["gmm:64x64x64", "--retries", "2", "--retry-base-ms", "1"],
+    );
+    assert_eq!(out.status.code(), Some(2), "shed submit must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overloaded"), "{err}");
+    let stats = stats_line(&socket);
+    assert!(stats.contains("\"shed\":2"), "both attempts shed: {stats}");
+
+    drain(&socket, &mut daemon);
+}
+
+/// Crash-only recovery: `kill -9` the daemon mid-life, restart it on the
+/// same socket and cache directory, and a repeat request is answered from
+/// the L2 disk tier bit-identically with zero cold explorations.
+#[test]
+fn kill_dash_nine_then_restart_serves_repeats_from_disk() {
+    let socket = tmp_path("crash.sock");
+    let cache_dir = tmp_path("crash-cache");
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server_args = [
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--generations",
+        "2",
+        "--jobs",
+        "1",
+    ];
+
+    let daemon = spawn_server(&socket, &server_args);
+    let out = submit(&socket, &["gmm:96x96x96"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = String::from_utf8(out.stdout).unwrap();
+
+    // SIGKILL: no destructors, no drain — the socket file is left behind.
+    drop(daemon);
+    assert!(socket.exists(), "kill -9 leaves a stale socket file");
+
+    // The restart must reclaim the stale socket and answer the repeat from
+    // disk without re-exploring.
+    let mut daemon = spawn_server(&socket, &server_args);
+    let out = submit(&socket, &["gmm:96x96x96"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let second = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(first, second, "disk-served repeat must be bit-identical");
+    let stats = stats_line(&socket);
+    assert!(stats.contains("\"l2_hits\":1"), "{stats}");
+    assert!(stats.contains("\"cold_misses\":0"), "{stats}");
+
+    drain(&socket, &mut daemon);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -1,0 +1,70 @@
+//! Ctrl-C contract: SIGINT routes through the cooperative cancel path, so
+//! an interrupted `amos explore` still prints its best-so-far report with a
+//! `cancelled` completion and exits with the degraded status (3) — never a
+//! silent kill, never a hang.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGINT: i32 = 2;
+
+#[test]
+fn sigint_mid_explore_reports_best_so_far_and_exits_degraded() {
+    // A generation count large enough that the search cannot finish before
+    // the signal arrives, even on a fast machine.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_amos"))
+        .args([
+            "explore",
+            "gmm:256x256x256",
+            "--generations",
+            "100000",
+            "--jobs",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn amos explore");
+
+    // Give the process time to install the handler and enter the search.
+    std::thread::sleep(Duration::from_millis(500));
+    let rc = unsafe { kill(child.id() as i32, SIGINT) };
+    assert_eq!(rc, 0, "kill(SIGINT) must succeed");
+
+    // The cancel is cooperative: it must land within a couple of seconds,
+    // not whenever 100k generations would have finished.
+    let started = Instant::now();
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if started.elapsed() > Duration::from_secs(30) => {
+                let _ = child.kill();
+                panic!("amos ignored SIGINT for 30s");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+
+    assert_eq!(status.code(), Some(3), "interrupted run exits 3\n{out}");
+    assert!(
+        out.contains("completion       : cancelled"),
+        "must report the cancelled completion:\n{out}"
+    );
+    assert!(
+        out.contains("best       : "),
+        "must still print the best-so-far mapping:\n{out}"
+    );
+}

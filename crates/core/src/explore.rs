@@ -21,7 +21,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -96,6 +96,48 @@ impl Budget {
     }
 }
 
+/// A shared cooperative cancellation flag, checked at the same
+/// phase/generation boundaries as the [`Budget`] limits.
+///
+/// Cloning the token shares the flag: any holder can [`CancelToken::cancel`]
+/// and every exploration carrying a clone (via
+/// [`ExplorerConfig::cancel`]) stops at its next boundary with
+/// [`Completion::Cancelled`] and its best-so-far answer. This is the
+/// Ctrl-C path of the CLI and the per-request abort path of `amosd`:
+/// cancellation is always cooperative, so a cancelled run is a bit-identical
+/// prefix of the uncancelled run, exactly like a deadline stop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; safe from any thread (and from a signal
+    /// watcher — it is a single atomic store).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Tokens compare by *identity* (two clones of one flag are equal, two
+/// independent flags are not), so deriving `PartialEq` on configs that carry
+/// one stays meaningful.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
 /// How an exploration run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Completion {
@@ -113,6 +155,9 @@ pub enum Completion {
     /// The wall-clock deadline passed; the result is the best candidate
     /// measured before the stop generation.
     DeadlineExceeded,
+    /// A [`CancelToken`] was raised (Ctrl-C, a withdrawn service request);
+    /// the result is the best candidate measured before the stop generation.
+    Cancelled,
 }
 
 impl Completion {
@@ -121,22 +166,25 @@ impl Completion {
         matches!(self, Completion::Finished)
     }
 
-    /// `true` when the search stopped early on a [`Budget`] limit.
+    /// `true` when the search stopped early on a [`Budget`] limit or a
+    /// raised [`CancelToken`].
     pub fn is_truncated(&self) -> bool {
         matches!(
             self,
-            Completion::BudgetExhausted | Completion::DeadlineExceeded
+            Completion::BudgetExhausted | Completion::DeadlineExceeded | Completion::Cancelled
         )
     }
 
     /// Merge order: a truncation outranks degradation outranks a clean
-    /// finish, and the deadline (the hardest stop) outranks counters.
+    /// finish, the deadline outranks counters, and an explicit cancellation
+    /// (the hardest stop) outranks everything.
     fn severity(&self) -> u8 {
         match self {
             Completion::Finished => 0,
             Completion::Degraded { .. } => 1,
             Completion::BudgetExhausted => 2,
             Completion::DeadlineExceeded => 3,
+            Completion::Cancelled => 4,
         }
     }
 
@@ -158,6 +206,7 @@ impl fmt::Display for Completion {
             }
             Completion::BudgetExhausted => write!(f, "budget exhausted"),
             Completion::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Completion::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -239,6 +288,12 @@ pub struct ExplorerConfig {
     /// explored before changes the trajectory, so opting in trades
     /// cold-state reproducibility for faster convergence on shape families.
     pub warm_start: bool,
+    /// Cooperative cancellation flag, consulted at the same boundaries as
+    /// the [`Budget`]. `None` (the default) makes the run uninterruptible.
+    /// Like the budget, the token is excluded from cache fingerprints: it
+    /// never changes which candidates a generation evaluates, only whether
+    /// a later generation runs.
+    pub cancel: Option<CancelToken>,
     /// Deterministic fault-injection plan (test harness; inert by default).
     #[cfg(feature = "fault-injection")]
     pub faults: crate::faultplan::FaultPlan,
@@ -255,6 +310,7 @@ impl Default for ExplorerConfig {
             jobs: 0,
             budget: Budget::default(),
             warm_start: false,
+            cancel: None,
             #[cfg(feature = "fault-injection")]
             faults: crate::faultplan::FaultPlan::default(),
         }
@@ -499,19 +555,22 @@ struct Supervisor {
     deadline: Option<Instant>,
     max_measurements: Option<usize>,
     max_evaluations: Option<usize>,
+    cancel: Option<CancelToken>,
     measurements: AtomicUsize,
     evaluations: AtomicUsize,
     quarantine: Mutex<Vec<QuarantineRecord>>,
 }
 
 impl Supervisor {
-    fn new(budget: &Budget) -> Self {
+    fn new(config: &ExplorerConfig) -> Self {
+        let budget = &config.budget;
         Supervisor {
             deadline: budget
                 .deadline_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
             max_measurements: budget.max_measurements,
             max_evaluations: budget.max_evaluations,
+            cancel: config.cancel.clone(),
             measurements: AtomicUsize::new(0),
             evaluations: AtomicUsize::new(0),
             quarantine: Mutex::new(Vec::new()),
@@ -533,6 +592,11 @@ impl Supervisor {
     /// The cooperative cancellation point: `Some` once a budget limit is
     /// violated. Only consulted at phase/generation boundaries.
     fn check(&self) -> Option<Completion> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Some(Completion::Cancelled);
+            }
+        }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 return Some(Completion::DeadlineExceeded);
@@ -760,7 +824,7 @@ impl Explorer {
         warm: Option<&WarmStart>,
     ) -> Result<ExplorationResult, ExploreError> {
         self.config.validate()?;
-        let sup = Supervisor::new(&self.config.budget);
+        let sup = Supervisor::new(&self.config);
         let mut best: Option<ExplorationResult> = None;
         let mut evaluations = Vec::new();
         let mut num_mappings = 0usize;
@@ -854,7 +918,7 @@ impl Explorer {
         cache: Option<&ExplorationCache>,
     ) -> Result<ExplorationResult, ExploreError> {
         self.config.validate()?;
-        let sup = Supervisor::new(&self.config.budget);
+        let sup = Supervisor::new(&self.config);
         let intr = &accel.intrinsic;
         let mappings = match fixed {
             Some(m) => m,

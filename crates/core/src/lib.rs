@@ -93,12 +93,15 @@ pub use engine::{load_registry, Analyzed, Artifact, Engine, Explored, Lowered, M
 pub use error::{AmosError, AmosErrorKind, Stage};
 pub use explore::{
     mutate_schedule, mutate_schedule_ctx, pairwise_accuracy, random_schedule, random_schedule_into,
-    random_schedule_with, top_rate_recall, Budget, Completion, ExplorationResult, ExploreError,
-    Explorer, ExplorerConfig, QuarantineRecord, QuarantineReport, ScreeningStats, WarmStartStats,
+    random_schedule_with, top_rate_recall, Budget, CancelToken, Completion, ExplorationResult,
+    ExploreError, Explorer, ExplorerConfig, QuarantineRecord, QuarantineReport, ScreeningStats,
+    WarmStartStats,
 };
 pub use generate::{fragment_coherent, MappingGenerator, MappingPolicy};
 pub use mapping::Mapping;
-pub use parallel::{default_jobs, parallel_fill_map, parallel_map};
+pub use parallel::{
+    amos_jobs_override, default_jobs, parallel_fill_map, parallel_map, parse_jobs_value,
+};
 pub use pool::{pool_stats, PoolStats};
 pub use report::MappingReport;
 

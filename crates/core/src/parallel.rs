@@ -42,25 +42,63 @@ fn chunk_for(n: usize, workers: usize) -> usize {
     (n / (workers * 8)).clamp(1, 64)
 }
 
+/// Parses one `AMOS_JOBS` value: a positive integer worker count.
+///
+/// # Errors
+///
+/// A human-readable message for anything else — including `0`, which would
+/// silently re-mean "all cores" and mask a typo.
+pub fn parse_jobs_value(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "invalid AMOS_JOBS value `{raw}`: expected a positive integer worker count"
+        )),
+    }
+}
+
+/// Reads the `AMOS_JOBS` override from the environment: `Ok(None)` when
+/// unset, `Ok(Some(n))` for a valid positive integer.
+///
+/// Entry points (the CLI, `amosd`) call this up front so a malformed value
+/// is **rejected with a clear error** instead of being silently ignored;
+/// [`default_jobs`] itself can only warn, because it is infallible and
+/// cached process-wide.
+///
+/// # Errors
+///
+/// The [`parse_jobs_value`] message when the variable is set but invalid.
+pub fn amos_jobs_override() -> Result<Option<usize>, String> {
+    match std::env::var("AMOS_JOBS") {
+        Err(_) => Ok(None),
+        Ok(raw) => parse_jobs_value(&raw).map(Some),
+    }
+}
+
 /// The default worker count used when `ExplorerConfig::jobs == 0` (and by
 /// every CLI/bench surface that wants "all cores"): the `AMOS_JOBS`
 /// environment variable if set to a positive integer (the CI jobs matrix
 /// uses this to pin every `jobs = 0` resolution in a process), otherwise
 /// [`std::thread::available_parallelism`], otherwise 1. Cached after the
-/// first call.
+/// first call. An *invalid* `AMOS_JOBS` is never silently ignored: it
+/// prints a loud warning to stderr here (once), and front-door entry
+/// points reject it outright via [`amos_jobs_override`].
 pub fn default_jobs() -> usize {
     static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *JOBS.get_or_init(|| {
-        std::env::var("AMOS_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+    *JOBS.get_or_init(|| match amos_jobs_override() {
+        Ok(Some(n)) => n,
+        Ok(None) => available_cores(),
+        Err(msg) => {
+            eprintln!("amos: warning: {msg}; falling back to all available cores");
+            available_cores()
+        }
     })
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Maps `0..n` through `work` on up to `jobs` threads, returning results in
@@ -311,5 +349,16 @@ mod tests {
         let b = default_jobs();
         assert!(a >= 1);
         assert_eq!(a, b, "default_jobs must be cached");
+    }
+
+    #[test]
+    fn jobs_values_parse_strictly() {
+        assert_eq!(parse_jobs_value("4"), Ok(4));
+        assert_eq!(parse_jobs_value(" 16 "), Ok(16), "whitespace is trimmed");
+        for bad in ["0", "-1", "abc", "", "4.5", "1 2"] {
+            let err = parse_jobs_value(bad).expect_err(bad);
+            assert!(err.contains("invalid AMOS_JOBS"), "{err}");
+            assert!(err.contains(bad.trim()) || bad.trim().is_empty(), "{err}");
+        }
     }
 }

@@ -1,0 +1,191 @@
+//! The `amos submit` client: one request per connection, with bounded
+//! retry on the two transient failure shapes — connect errors (daemon
+//! restarting) and [`Response::Overloaded`] (admission control shed the
+//! request).
+//!
+//! Back-off is exponential with deterministic full jitter: attempt `k`
+//! sleeps in `[base·2ᵏ/2, base·2ᵏ]` (capped at `max_ms`), the exact point
+//! chosen by an FNV hash of `(jitter_seed, attempt)` so tests replay the
+//! same schedule. A server-supplied `retry_after_ms` acts as a *floor* —
+//! the client never retries sooner than the server asked.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Retry schedule for [`submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Base back-off in milliseconds (doubles per attempt).
+    pub base_ms: u64,
+    /// Back-off ceiling in milliseconds.
+    pub max_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 50,
+            max_ms: 2_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// The back-off (in milliseconds) before retry number `attempt`
+/// (0-based), honoring `retry_after_ms` as a floor. Pure, so the
+/// schedule is testable without sleeping.
+pub fn backoff_delay_ms(policy: &RetryPolicy, attempt: u32, retry_after_ms: u64) -> u64 {
+    let exp = policy
+        .base_ms
+        .saturating_mul(1u64 << attempt.min(20))
+        .min(policy.max_ms)
+        .max(1);
+    let jitter = rand::fnv1a_64(format!("{}|{attempt}", policy.jitter_seed).as_bytes());
+    let delay = exp / 2 + jitter % (exp / 2 + 1);
+    delay.max(retry_after_ms)
+}
+
+/// Client-side failure after all retries were exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Could not connect (or the connection died mid-exchange).
+    Connect(String),
+    /// The server replied with something the protocol cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot reach amosd: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One raw exchange: connect, send `line`, read one response line.
+///
+/// # Errors
+///
+/// Any socket-level failure (connect, write, read, EOF before a line).
+pub fn request_once(socket: &Path, line: &str) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without replying",
+        ));
+    }
+    Ok(reply.trim_end_matches('\n').to_string())
+}
+
+/// Sends `request`, retrying per `policy` on connect failures and
+/// [`Response::Overloaded`], and returns the final decoded response
+/// *plus* the raw line it was decoded from (the raw line is the
+/// bit-identity anchor for dedup tests).
+///
+/// A final [`Response::Overloaded`] after the last attempt is returned as
+/// `Ok` — it is a well-typed answer, and the caller decides the exit code.
+///
+/// # Errors
+///
+/// [`ClientError::Connect`] when every attempt failed to reach the
+/// daemon; [`ClientError::Protocol`] on an undecodable reply.
+pub fn submit(
+    socket: &Path,
+    request: &Request,
+    policy: &RetryPolicy,
+) -> Result<(Response, String), ClientError> {
+    let line = request.encode();
+    let attempts = policy.attempts.max(1);
+    let mut last_connect_err = String::new();
+    for attempt in 0..attempts {
+        match request_once(socket, &line) {
+            Err(e) => {
+                last_connect_err = e.to_string();
+                if attempt + 1 < attempts {
+                    sleep_backoff(policy, attempt, 0);
+                    continue;
+                }
+                return Err(ClientError::Connect(last_connect_err));
+            }
+            Ok(raw) => {
+                let response = Response::decode(&raw)
+                    .map_err(|e| ClientError::Protocol(format!("{e} in `{raw}`")))?;
+                if let Response::Overloaded { retry_after_ms } = response {
+                    if attempt + 1 < attempts {
+                        sleep_backoff(policy, attempt, retry_after_ms);
+                        continue;
+                    }
+                }
+                return Ok((response, raw));
+            }
+        }
+    }
+    Err(ClientError::Connect(last_connect_err))
+}
+
+fn sleep_backoff(policy: &RetryPolicy, attempt: u32, retry_after_ms: u64) {
+    std::thread::sleep(Duration::from_millis(backoff_delay_ms(
+        policy,
+        attempt,
+        retry_after_ms,
+    )));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_floors() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_ms: 50,
+            max_ms: 400,
+            jitter_seed: 7,
+        };
+        for attempt in 0..6 {
+            let d = backoff_delay_ms(&policy, attempt, 0);
+            let exp = (50u64 << attempt).min(400);
+            assert!(d >= exp / 2 && d <= exp, "attempt {attempt}: {d} vs {exp}");
+        }
+        // The server hint is a floor, never rounded down.
+        assert!(backoff_delay_ms(&policy, 0, 5_000) >= 5_000);
+        // Deterministic for a fixed seed.
+        assert_eq!(
+            backoff_delay_ms(&policy, 3, 0),
+            backoff_delay_ms(&policy, 3, 0)
+        );
+    }
+
+    #[test]
+    fn backoff_differs_across_jitter_seeds() {
+        let a = RetryPolicy {
+            jitter_seed: 1,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            jitter_seed: 2,
+            ..RetryPolicy::default()
+        };
+        let differs = (0..8).any(|k| backoff_delay_ms(&a, k, 0) != backoff_delay_ms(&b, k, 0));
+        assert!(differs, "jitter must depend on the seed");
+    }
+}

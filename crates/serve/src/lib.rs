@@ -1,0 +1,56 @@
+//! # amos-serve — `amosd`, a fault-tolerant compilation service
+//!
+//! AMOS explorations cost seconds to minutes (paper §7), so a shared
+//! long-running service beats a batch CLI the moment two users compile the
+//! same operator. This crate is that service:
+//!
+//! * [`server`] — the daemon: a Unix-domain-socket listener around one
+//!   [`amos_core::Engine`] with **admission control** (bounded
+//!   workers + queue, immediate typed shed), **in-flight dedup**
+//!   (fingerprint-keyed flights, bit-identical responses for every
+//!   joiner), **per-request SLAs** (client deadlines mapped onto the
+//!   cooperative [`amos_core::Budget`], a server grace bound on top) and
+//!   **crash-only recovery** (clean results live in the atomic L2 disk
+//!   cache; `kill -9` loses only in-flight work);
+//! * [`client`] — the submit side: one request per connection with
+//!   bounded exponential back-off + deterministic jitter on
+//!   `Overloaded`/connect failures;
+//! * [`proto`] — the newline-delimited JSON wire protocol;
+//! * [`json`] — the dependency-free flat-JSON codec under it.
+//!
+//! The CLI wires these up as `amos serve` and `amos submit`.
+//!
+//! ```no_run
+//! use amos_serve::{client, proto::{ExploreRequest, Request}, RetryPolicy, ServeConfig, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind(ServeConfig::new("/tmp/amosd.sock"))?;
+//! std::thread::spawn(move || server.run());
+//! let (response, _raw) = client::submit(
+//!     std::path::Path::new("/tmp/amosd.sock"),
+//!     &Request::Explore(ExploreRequest {
+//!         spec: "gmm:64x64x64".into(),
+//!         accel: None,
+//!         seed: None,
+//!         deadline_ms: Some(5_000),
+//!         max_evaluations: None,
+//!         max_measurements: None,
+//!     }),
+//!     &RetryPolicy::default(),
+//! )?;
+//! println!("{response:?}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{backoff_delay_ms, submit, ClientError, RetryPolicy};
+pub use proto::{ExploreReply, ExploreRequest, Request, Response, ServerStats};
+pub use server::{ServeConfig, Server};

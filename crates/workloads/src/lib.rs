@@ -5,7 +5,9 @@
 //! * [`configs`] — the 113 operator configurations and the ResNet-18
 //!   convolution layers C0–C11 of Table 5,
 //! * [`networks`] — the Table 2 / Figure 7 network inventories
-//!   (ShuffleNet, ResNet-18/50, MobileNet-V1, Bert-base, MI-LSTM).
+//!   (ShuffleNet, ResNet-18/50, MobileNet-V1, Bert-base, MI-LSTM),
+//! * [`spec`] — the textual `family:dims` operator-spec grammar shared by
+//!   the CLI and the `amosd` serve protocol.
 //!
 //! ```
 //! use amos_workloads::{configs, networks, ops};
@@ -22,3 +24,4 @@
 pub mod configs;
 pub mod networks;
 pub mod ops;
+pub mod spec;

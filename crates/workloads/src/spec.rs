@@ -1,0 +1,203 @@
+//! Textual operator specs (`family:dims`) shared by the CLI and `amosd`.
+//!
+//! The grammar is the `amos explore` one: a family tag from [`ops`] and
+//! either an `x`-separated dimension list (`gmm:512x512x256`) or a
+//! `key<value>` list (`c2d:n1,c64,k64,p28,r3,st1`) with per-family
+//! defaults. Both the CLI verbs and the serve protocol parse requests with
+//! [`parse_spec`], so a spec accepted on the command line is accepted over
+//! the wire byte-for-byte.
+
+use amos_ir::ComputeDef;
+
+use crate::ops;
+
+/// Parses `key1,key2,...` dims like `n16,c64,k64,p56,q56,r3,s3,st1` into
+/// (key, value) pairs.
+fn parse_kv(dims: &str) -> Result<Vec<(String, i64)>, String> {
+    dims.split(',')
+        .map(|part| {
+            let split = part
+                .find(|c: char| c.is_ascii_digit() || c == '-')
+                .ok_or_else(|| format!("malformed dimension `{part}`"))?;
+            let (key, val) = part.split_at(split);
+            let v: i64 = val.parse().map_err(|_| format!("bad number in `{part}`"))?;
+            Ok((key.to_string(), v))
+        })
+        .collect()
+}
+
+fn get(kv: &[(String, i64)], key: &str, default: i64) -> i64 {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(default)
+}
+
+/// Parses an `MxNx...` dimension list.
+fn parse_x(dims: &str, expect: usize) -> Result<Vec<i64>, String> {
+    let vals: Result<Vec<i64>, _> = dims.split('x').map(str::parse).collect();
+    let vals = vals.map_err(|_| format!("bad dimensions `{dims}`"))?;
+    if vals.len() != expect {
+        return Err(format!(
+            "expected {expect} `x`-separated dimensions, got {}",
+            vals.len()
+        ));
+    }
+    Ok(vals)
+}
+
+/// Parses an operator spec (`family:dims`) into a computation.
+///
+/// # Errors
+///
+/// A human-readable message naming the malformed piece (unknown family,
+/// wrong arity, bad number).
+pub fn parse_spec(spec: &str) -> Result<ComputeDef, String> {
+    let (family, dims) = spec
+        .split_once(':')
+        .ok_or_else(|| "operator spec must be `family:dims`, e.g. gmm:512x512x256".to_string())?;
+    match family.to_lowercase().as_str() {
+        "gmm" => {
+            let d = parse_x(dims, 3)?;
+            Ok(ops::gmm(d[0], d[1], d[2]))
+        }
+        "gmv" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::gmv(d[0], d[1]))
+        }
+        "scn" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::scn(d[0], d[1]))
+        }
+        "men" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::men(d[0], d[1]))
+        }
+        "c2d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c2d(ops::ConvShape {
+                n: get(&kv, "n", 1),
+                c: get(&kv, "c", 64),
+                k: get(&kv, "k", 64),
+                p: get(&kv, "p", 28),
+                q: get(&kv, "q", get(&kv, "p", 28)),
+                r: get(&kv, "r", 3),
+                s: get(&kv, "s", get(&kv, "r", 3)),
+                stride: get(&kv, "st", 1),
+            }))
+        }
+        "dep" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 28);
+            let r = get(&kv, "r", 3);
+            Ok(ops::dep(get(&kv, "n", 1), get(&kv, "c", 64), p, p, r, r))
+        }
+        "c3d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c3d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 8),
+                get(&kv, "k", 8),
+                get(&kv, "d", 6),
+                get(&kv, "p", 6),
+                get(&kv, "q", get(&kv, "p", 6)),
+                3,
+                3,
+                3,
+            ))
+        }
+        "c1d" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::c1d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 64),
+                get(&kv, "k", 64),
+                get(&kv, "q", 256),
+                get(&kv, "s", 3),
+                get(&kv, "st", 1),
+            ))
+        }
+        "t2d" => {
+            let kv = parse_kv(dims)?;
+            let h = get(&kv, "h", 7);
+            let r = get(&kv, "r", 3);
+            Ok(ops::t2d(
+                get(&kv, "n", 1),
+                get(&kv, "c", 8),
+                get(&kv, "k", 8),
+                h,
+                get(&kv, "w", h),
+                r,
+                r,
+            ))
+        }
+        "bcv" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 14);
+            let r = get(&kv, "r", 3);
+            Ok(ops::bcv(
+                get(&kv, "n", 8),
+                get(&kv, "c", 16),
+                get(&kv, "k", 16),
+                p,
+                p,
+                r,
+                r,
+            ))
+        }
+        "gfc" => {
+            let kv = parse_kv(dims)?;
+            Ok(ops::gfc(
+                get(&kv, "b", 16),
+                get(&kv, "g", 4),
+                get(&kv, "k", 64),
+                get(&kv, "c", 64),
+            ))
+        }
+        "var" => {
+            let d = parse_x(dims, 2)?;
+            Ok(ops::var(d[0], d[1]))
+        }
+        "grp" => {
+            let kv = parse_kv(dims)?;
+            let p = get(&kv, "p", 14);
+            let r = get(&kv, "r", 3);
+            Ok(ops::grp(
+                get(&kv, "n", 1),
+                get(&kv, "g", 4),
+                get(&kv, "c", 16),
+                get(&kv, "k", 16),
+                p,
+                p,
+                r,
+                r,
+            ))
+        }
+        other => Err(format!(
+            "unknown operator family `{other}`; known: gmm, gmv, c1d, c2d, c3d, t2d, dep, grp, bcv, gfc, men, var, scn"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_with_defaults() {
+        let g = parse_spec("gmm:128x64x32").unwrap();
+        assert_eq!(g.iters().len(), 3);
+        let c = parse_spec("c2d:n2,c8,k8,p7,q7,r3,s3,st2").unwrap();
+        assert_eq!(c.name(), "c2d");
+        let d = parse_spec("dep:c32,p14,r3").unwrap();
+        assert_eq!(d.name(), "dep");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(parse_spec("gmm:12x12").is_err());
+        assert!(parse_spec("nope:1x2x3").unwrap_err().contains("unknown"));
+        assert!(parse_spec("gmm").is_err(), "missing `:dims`");
+        assert!(parse_spec("c2d:zz").is_err(), "malformed kv dim");
+    }
+}
